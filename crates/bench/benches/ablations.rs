@@ -1,0 +1,154 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * site ordering: by-size vs. greedy set cover vs. random — the Figure 5
+//!   question, measured as compute cost (the coverage outcome is in the
+//!   figure itself);
+//! * diameter algorithms: exact iFUB vs. the double-sweep lower bound vs.
+//!   a naive all-pairs BFS on a subsample;
+//! * hashing: Fx vs. SipHash on the mention-aggregation hot path;
+//! * data source: oracle relations vs. full-text extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use webstruct_bench::bench_study;
+use webstruct_corpus::domain::{Attribute, Domain};
+use webstruct_corpus::page::{PageConfig, PageStream};
+use webstruct_coverage::{greedy_cover, k_coverage};
+use webstruct_extract::Extractor;
+use webstruct_graph::{double_sweep, eccentricity, ifub_diameter, BipartiteGraph};
+use webstruct_util::hash::FxHashMap;
+use webstruct_util::ids::EntityId;
+use webstruct_util::rng::{Seed, Xoshiro256};
+
+fn fixture() -> (usize, Vec<Vec<EntityId>>) {
+    let mut study = bench_study();
+    let built = study.domain(Domain::Restaurants);
+    let lists = built.occurrence_lists(Attribute::Phone, &study.config);
+    (built.catalog.len(), lists)
+}
+
+fn bench_site_ordering(c: &mut Criterion) {
+    let (n, lists) = fixture();
+    let mut group = c.benchmark_group("ablation_site_ordering");
+    group.sample_size(10);
+    group.bench_function("by_size_kcov", |b| {
+        b.iter(|| black_box(k_coverage(n, &lists, 1).unwrap()));
+    });
+    group.bench_function("greedy_set_cover", |b| {
+        b.iter(|| black_box(greedy_cover(n, &lists).unwrap()));
+    });
+    group.bench_function("random_order_union", |b| {
+        // Baseline: union coverage in a shuffled order (no sorting cost).
+        b.iter(|| {
+            let mut order: Vec<usize> = (0..lists.len()).collect();
+            Xoshiro256::from_seed(Seed(7)).shuffle(&mut order);
+            let mut covered = vec![false; n];
+            let mut count = 0usize;
+            for &s in &order {
+                for e in &lists[s] {
+                    if !covered[e.index()] {
+                        covered[e.index()] = true;
+                        count += 1;
+                    }
+                }
+            }
+            black_box(count)
+        });
+    });
+    group.finish();
+}
+
+fn bench_diameter(c: &mut Criterion) {
+    let (n, lists) = fixture();
+    let graph = BipartiteGraph::from_occurrences(n, &lists).unwrap();
+    let mut group = c.benchmark_group("ablation_diameter");
+    group.sample_size(10);
+    group.bench_function("ifub_exact", |b| {
+        b.iter(|| black_box(ifub_diameter(&graph, 100_000)));
+    });
+    group.bench_function("double_sweep_bound", |b| {
+        let start = (0..graph.n_nodes() as u32)
+            .max_by_key(|&v| graph.degree(v))
+            .unwrap();
+        b.iter(|| black_box(double_sweep(&graph, start)));
+    });
+    group.bench_function("sampled_eccentricities_64", |b| {
+        // The "cluster of BFS" approach the paper used, subsampled.
+        let mut rng = Xoshiro256::from_seed(Seed(11));
+        let nodes: Vec<u32> = (0..64)
+            .map(|_| rng.u64_below(graph.n_nodes() as u64) as u32)
+            .collect();
+        b.iter(|| {
+            let mut max = 0;
+            for &node in &nodes {
+                max = max.max(eccentricity(&graph, node));
+            }
+            black_box(max)
+        });
+    });
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    // The mention-aggregation hot path: count distinct entities per site.
+    let (_, lists) = fixture();
+    let pairs: Vec<(u32, u32)> = lists
+        .iter()
+        .enumerate()
+        .flat_map(|(s, l)| l.iter().map(move |e| (s as u32, e.raw())))
+        .collect();
+    let mut group = c.benchmark_group("ablation_hashing");
+    group.sample_size(10);
+    group.bench_function("fx_hash_aggregation", |b| {
+        b.iter(|| {
+            let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+            for &p in &pairs {
+                *map.entry(p).or_insert(0) += 1;
+            }
+            black_box(map.len())
+        });
+    });
+    group.bench_function("sip_hash_aggregation", |b| {
+        b.iter(|| {
+            let mut map: HashMap<(u32, u32), u32> = HashMap::new();
+            for &p in &pairs {
+                *map.entry(p).or_insert(0) += 1;
+            }
+            black_box(map.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_data_source(c: &mut Criterion) {
+    let mut study = bench_study();
+    let built = study.domain(Domain::Banks);
+    let mut group = c.benchmark_group("ablation_data_source");
+    group.sample_size(10);
+    group.bench_function("oracle_occurrences", |b| {
+        b.iter(|| black_box(built.web.occurrence_lists(Attribute::Phone)));
+    });
+    group.bench_function("full_text_extraction", |b| {
+        b.iter(|| {
+            let extractor = Extractor::new(&built.catalog);
+            let pages = PageStream::new(
+                &built.web,
+                &built.catalog,
+                PageConfig::default(),
+                Seed(3),
+            );
+            black_box(extractor.extract_all(built.web.n_sites(), pages))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_site_ordering,
+    bench_diameter,
+    bench_hashing,
+    bench_data_source
+);
+criterion_main!(benches);

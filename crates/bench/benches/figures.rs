@@ -1,0 +1,104 @@
+//! One benchmark per paper artifact: the cost of regenerating each table
+//! and figure at bench scale. Run `cargo bench -p webstruct-bench` and see
+//! EXPERIMENTS.md for the paper-vs-measured comparison the artifacts feed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webstruct_bench::bench_study;
+use webstruct_core::experiments::{connectivity, spread, table1, tail_value};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("table1_domain_list", |b| {
+        b.iter(|| black_box(table1()));
+    });
+
+    group.bench_function("fig1_phone_coverage_8_domains", |b| {
+        let mut study = bench_study();
+        // Warm the generation cache so the bench isolates the analysis.
+        let _ = spread::fig1(&mut study);
+        b.iter(|| black_box(spread::fig1(&mut study)));
+    });
+
+    group.bench_function("fig2_homepage_coverage_8_domains", |b| {
+        let mut study = bench_study();
+        let _ = spread::fig2(&mut study);
+        b.iter(|| black_box(spread::fig2(&mut study)));
+    });
+
+    group.bench_function("fig3_isbn_coverage", |b| {
+        let mut study = bench_study();
+        let _ = spread::fig3(&mut study);
+        b.iter(|| black_box(spread::fig3(&mut study)));
+    });
+
+    group.bench_function("fig4_review_coverage", |b| {
+        let mut study = bench_study();
+        let _ = spread::fig4(&mut study);
+        b.iter(|| black_box(spread::fig4(&mut study)));
+    });
+
+    group.bench_function("fig5_greedy_cover", |b| {
+        let mut study = bench_study();
+        let _ = spread::fig5(&mut study);
+        b.iter(|| black_box(spread::fig5(&mut study)));
+    });
+
+    group.bench_function("fig6_demand_curves", |b| {
+        let mut study = bench_study();
+        let _ = tail_value::fig6(&mut study);
+        b.iter(|| black_box(tail_value::fig6(&mut study)));
+    });
+
+    group.bench_function("fig7_demand_vs_reviews", |b| {
+        let mut study = bench_study();
+        let _ = tail_value::fig7(&mut study);
+        b.iter(|| black_box(tail_value::fig7(&mut study)));
+    });
+
+    group.bench_function("fig8_value_add", |b| {
+        let mut study = bench_study();
+        let _ = tail_value::fig8(&mut study);
+        b.iter(|| black_box(tail_value::fig8(&mut study)));
+    });
+
+    group.bench_function("table2_graph_metrics_17_graphs", |b| {
+        let mut study = bench_study();
+        let _ = connectivity::table2_rows(&mut study);
+        b.iter(|| black_box(connectivity::table2_rows(&mut study)));
+    });
+
+    group.bench_function("fig9_robustness_sweeps", |b| {
+        let mut study = bench_study();
+        let _ = connectivity::fig9(&mut study);
+        b.iter(|| black_box(connectivity::fig9(&mut study)));
+    });
+
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+
+    group.bench_function("generate_restaurant_world", |b| {
+        b.iter(|| {
+            let mut study = bench_study();
+            black_box(study.domain(webstruct_corpus::domain::Domain::Restaurants))
+        });
+    });
+
+    group.bench_function("simulate_traffic_year_yelp", |b| {
+        b.iter(|| {
+            let mut study = bench_study();
+            black_box(study.traffic(webstruct_demand::StudySite::Yelp))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_generation);
+criterion_main!(benches);

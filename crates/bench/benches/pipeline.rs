@@ -1,0 +1,84 @@
+//! Extraction-pipeline throughput: scanner MB/s and end-to-end pages/s.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use webstruct_bench::bench_study;
+use webstruct_corpus::domain::Domain;
+use webstruct_corpus::page::{Page, PageConfig, PageStream};
+use webstruct_extract::phone_scan::scan_phones;
+use webstruct_extract::isbn_scan::scan_isbns;
+use webstruct_extract::{train_review_classifier, Extractor, NaiveBayes};
+use webstruct_util::rng::Seed;
+
+fn rendered_pages(domain: Domain, max_pages: usize) -> (Vec<Page>, webstruct_corpus::entity::EntityCatalog) {
+    let mut study = bench_study();
+    let built = study.domain(domain);
+    let pages: Vec<Page> = PageStream::new(
+        &built.web,
+        &built.catalog,
+        PageConfig::default(),
+        Seed(3),
+    )
+    .take(max_pages)
+    .collect();
+    (pages, built.catalog.clone())
+}
+
+fn bench_scanners(c: &mut Criterion) {
+    let (pages, _) = rendered_pages(Domain::Restaurants, 2_000);
+    let corpus_text: String = pages.iter().map(|p| p.text.as_str()).collect();
+    let (book_pages, _) = rendered_pages(Domain::Books, 2_000);
+    let book_text: String = book_pages.iter().map(|p| p.text.as_str()).collect();
+
+    let mut group = c.benchmark_group("scanner_throughput");
+    group.throughput(Throughput::Bytes(corpus_text.len() as u64));
+    group.bench_function("phone_scan", |b| {
+        b.iter(|| black_box(scan_phones(&corpus_text).len()));
+    });
+    group.throughput(Throughput::Bytes(book_text.len() as u64));
+    group.bench_function("isbn_scan", |b| {
+        b.iter(|| black_box(scan_isbns(&book_text).len()));
+    });
+    group.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let clf: NaiveBayes = train_review_classifier(Seed(5), 200).unwrap();
+    let (pages, _) = rendered_pages(Domain::Restaurants, 500);
+    let mut group = c.benchmark_group("classifier");
+    group.throughput(Throughput::Elements(pages.len() as u64));
+    group.bench_function("nb_classify_pages", |b| {
+        b.iter(|| {
+            let hits = pages.iter().filter(|p| clf.is_review(&p.text)).count();
+            black_box(hits)
+        });
+    });
+    group.bench_function("nb_train_400_docs", |b| {
+        b.iter(|| black_box(train_review_classifier(Seed(5), 200).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let (pages, catalog) = rendered_pages(Domain::Restaurants, 2_000);
+    let n_sites = pages.iter().map(|p| p.site.index()).max().unwrap_or(0) + 1;
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pages.len() as u64));
+    group.bench_function("extract_2000_pages", |b| {
+        let clf = train_review_classifier(Seed(5), 200).unwrap();
+        let extractor = Extractor::new(&catalog).with_review_classifier(clf);
+        b.iter(|| {
+            let mut acc = webstruct_extract::ExtractedWeb::new(n_sites, catalog.len());
+            for page in &pages {
+                let ex = extractor.extract_page(page);
+                acc.ingest(page.site, &ex);
+            }
+            black_box(acc.pages_processed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scanners, bench_classifier, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Scaling sweeps: how generation and the analyses grow with corpus size.
+//! The k-coverage and component analyses are designed to be O(edges); this
+//! bench makes that claim measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use webstruct_corpus::domain::{Attribute, Domain};
+use webstruct_corpus::entity::{CatalogConfig, EntityCatalog};
+use webstruct_corpus::web::{Web, WebConfig};
+use webstruct_coverage::k_coverage;
+use webstruct_graph::{component_stats, BipartiteGraph};
+use webstruct_util::rng::Seed;
+
+const SCALES: [f64; 3] = [0.02, 0.05, 0.1];
+
+fn world_at(scale: f64) -> (usize, Vec<Vec<webstruct_util::EntityId>>) {
+    let n = ((20_000.0 * scale) as usize).max(64);
+    let catalog = EntityCatalog::generate(&CatalogConfig::new(Domain::Restaurants, n), Seed(1));
+    let web = Web::generate(
+        &catalog,
+        &WebConfig::preset(Domain::Restaurants).scaled(scale),
+        Seed(1),
+    );
+    (n, web.occurrence_lists(Attribute::Phone))
+}
+
+fn bench_generation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_generation");
+    group.sample_size(10);
+    for scale in SCALES {
+        let n = ((20_000.0 * scale) as usize).max(64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            let catalog =
+                EntityCatalog::generate(&CatalogConfig::new(Domain::Restaurants, n), Seed(1));
+            let cfg = WebConfig::preset(Domain::Restaurants).scaled(scale);
+            b.iter(|| black_box(Web::generate(&catalog, &cfg, Seed(1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kcov_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_kcoverage");
+    group.sample_size(10);
+    for scale in SCALES {
+        let (n, lists) = world_at(scale);
+        let edges: usize = lists.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Elements(edges as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, _| {
+            b.iter(|| black_box(k_coverage(n, &lists, 10).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_components_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_components");
+    group.sample_size(10);
+    for scale in SCALES {
+        let (n, lists) = world_at(scale);
+        let graph = BipartiteGraph::from_occurrences(n, &lists).unwrap();
+        group.throughput(Throughput::Elements(graph.n_edges() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, _| {
+            b.iter(|| black_box(component_stats(&graph, &[])));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation_scaling,
+    bench_kcov_scaling,
+    bench_components_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Benchmarks for the extension substrates: discovery, fusion, dedup,
+//! and the streaming-coverage accumulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use webstruct_bench::bench_study;
+use webstruct_corpus::domain::{Attribute, Domain};
+use webstruct_corpus::entity::EntityCatalog;
+use webstruct_coverage::StreamingCoverage;
+use webstruct_crawl::{crawl, Fifo, LargestFirst, RandomOrder, SearchIndex};
+use webstruct_dedup::{
+    candidate_pairs, dedup_and_evaluate, generate_records, Blocking, MatchConfig, VariantModel,
+};
+use webstruct_fuse::{evaluate, ClaimSet, ErrorModel, IterativeTrust, MajorityVote};
+use webstruct_util::ids::EntityId;
+use webstruct_util::rng::Seed;
+
+fn world() -> (EntityCatalog, Vec<Vec<EntityId>>) {
+    let mut study = bench_study();
+    let built = study.domain(Domain::Restaurants);
+    let lists = built.occurrence_lists(Attribute::Phone, &study.config);
+    (built.catalog.clone(), lists)
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let (catalog, lists) = world();
+    let index = SearchIndex::build(catalog.len(), &lists, None);
+    let seeds = [EntityId::new(0)];
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+    group.bench_function("index_build", |b| {
+        b.iter(|| black_box(SearchIndex::build(catalog.len(), &lists, None)));
+    });
+    group.bench_function("crawl_largest_first", |b| {
+        b.iter(|| black_box(crawl(&index, &lists, LargestFirst::default(), &seeds, 1_000)));
+    });
+    group.bench_function("crawl_fifo", |b| {
+        b.iter(|| black_box(crawl(&index, &lists, Fifo::default(), &seeds, 1_000)));
+    });
+    group.bench_function("crawl_random", |b| {
+        b.iter(|| {
+            black_box(crawl(
+                &index,
+                &lists,
+                RandomOrder::new(Seed(3)),
+                &seeds,
+                1_000,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut study = bench_study();
+    let built = study.domain(Domain::Banks);
+    let claims = ClaimSet::generate(
+        &built.catalog,
+        &built.web,
+        &ErrorModel::default(),
+        0.2,
+        Seed(4),
+    );
+    let mut group = c.benchmark_group("fusion");
+    group.throughput(Throughput::Elements(claims.n_claims() as u64));
+    group.bench_function("majority_vote", |b| {
+        b.iter(|| black_box(evaluate(&MajorityVote, &claims, 10)));
+    });
+    group.bench_function("iterative_trust", |b| {
+        b.iter(|| black_box(evaluate(&IterativeTrust::default(), &claims, 10)));
+    });
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let (catalog, _) = world();
+    let records = generate_records(&catalog, 3, &VariantModel::default(), Seed(5));
+    let mut group = c.benchmark_group("dedup");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("blocking_phone_or_name", |b| {
+        b.iter(|| black_box(candidate_pairs(&records, Blocking::PhoneOrName)));
+    });
+    group.bench_function("full_dedup_pipeline", |b| {
+        b.iter(|| {
+            black_box(dedup_and_evaluate(
+                &records,
+                Blocking::PhoneOrName,
+                &MatchConfig::default(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_streaming_coverage(c: &mut Criterion) {
+    let (catalog, lists) = world();
+    let mut group = c.benchmark_group("streaming_coverage");
+    let total: usize = lists.iter().map(Vec::len).sum();
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("ingest_all_sites", |b| {
+        b.iter(|| {
+            let mut sc = StreamingCoverage::new(catalog.len(), 10);
+            for l in &lists {
+                sc.add_site(l);
+            }
+            black_box(sc.coverage(1))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_discovery,
+    bench_fusion,
+    bench_dedup,
+    bench_streaming_coverage
+);
+criterion_main!(benches);

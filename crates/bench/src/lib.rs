@@ -1,0 +1,38 @@
+//! # webstruct-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness. The benches live
+//! in `benches/`:
+//!
+//! * `figures` — one benchmark per paper table/figure (the regeneration
+//!   cost of each artifact at bench scale);
+//! * `ablations` — design-choice ablations called out in DESIGN.md:
+//!   site-ordering strategies, diameter algorithms, hashing on the
+//!   mention-aggregation hot path, oracle vs. full-text extraction;
+//! * `pipeline` — extraction throughput microbenchmarks (pages/second,
+//!   scanner MB/s).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use webstruct_core::cache::Study;
+use webstruct_core::study::StudyConfig;
+
+/// The scale every benchmark runs at: small enough for stable Criterion
+/// timings, large enough to exercise real data volumes.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// A fresh study session at bench scale.
+#[must_use]
+pub fn bench_study() -> Study {
+    Study::new(StudyConfig::default().with_scale(BENCH_SCALE))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_study_builds() {
+        let mut s = super::bench_study();
+        let d = s.domain(webstruct_corpus::domain::Domain::Banks);
+        assert!(d.web.n_mentions() > 0);
+    }
+}

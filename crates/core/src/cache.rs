@@ -1,0 +1,81 @@
+//! Lazy, shared generation of domain webs and traffic studies so that
+//! experiments reusing the same domain (Figures 1, 2, 4, 5, 9, Table 2 all
+//! touch Restaurants) generate it exactly once.
+
+use crate::study::{DomainStudy, StudyConfig};
+use std::collections::HashMap;
+use std::rc::Rc;
+use webstruct_corpus::domain::Domain;
+use webstruct_demand::{StudySite, TrafficConfig, TrafficStudy};
+
+/// A study session: configuration plus memoised generated artifacts.
+pub struct Study {
+    /// The configuration all experiments share.
+    pub config: StudyConfig,
+    domains: HashMap<Domain, Rc<DomainStudy>>,
+    traffic: HashMap<StudySite, Rc<TrafficStudy>>,
+}
+
+impl Study {
+    /// Start a session.
+    #[must_use]
+    pub fn new(config: StudyConfig) -> Self {
+        Study {
+            config,
+            domains: HashMap::new(),
+            traffic: HashMap::new(),
+        }
+    }
+
+    /// The generated catalog+web for a domain (generated on first use).
+    pub fn domain(&mut self, domain: Domain) -> Rc<DomainStudy> {
+        if let Some(d) = self.domains.get(&domain) {
+            return Rc::clone(d);
+        }
+        let built = Rc::new(DomainStudy::generate(domain, &self.config));
+        self.domains.insert(domain, Rc::clone(&built));
+        built
+    }
+
+    /// The simulated traffic study for a site (generated on first use).
+    pub fn traffic(&mut self, site: StudySite) -> Rc<TrafficStudy> {
+        if let Some(t) = self.traffic.get(&site) {
+            return Rc::clone(t);
+        }
+        let cfg = TrafficConfig::preset(site).scaled(self.config.scale);
+        let built = Rc::new(TrafficStudy::simulate(&cfg, self.config.seed));
+        self.traffic.insert(site, Rc::clone(&built));
+        built
+    }
+
+    /// Number of domain webs generated so far.
+    #[must_use]
+    pub fn domains_generated(&self) -> usize {
+        self.domains.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_is_generated_once() {
+        let mut study = Study::new(StudyConfig::quick());
+        let a = study.domain(Domain::Banks);
+        let b = study.domain(Domain::Banks);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(study.domains_generated(), 1);
+        let _ = study.domain(Domain::Schools);
+        assert_eq!(study.domains_generated(), 2);
+    }
+
+    #[test]
+    fn traffic_is_memoised() {
+        let mut study = Study::new(StudyConfig::quick());
+        let a = study.traffic(StudySite::Yelp);
+        let b = study.traffic(StudySite::Yelp);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert!(!a.demand_search.is_empty());
+    }
+}

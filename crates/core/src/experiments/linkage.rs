@@ -1,0 +1,98 @@
+//! Extension experiment: deduplication of extracted listings.
+//!
+//! §1 of the paper lists "deduplication and linking" among the stages of
+//! the end-to-end web-extraction challenge. This experiment generates
+//! noisy per-site listing records for a domain's catalog (name variants,
+//! missing/wrong phones), runs the blocking + matching + clustering
+//! pipeline from `webstruct-dedup`, and reports pairwise quality.
+
+use crate::cache::Study;
+use webstruct_corpus::domain::Domain;
+use webstruct_dedup::{
+    dedup_and_evaluate, evaluate_blocking, generate_records, Blocking, BlockingReport,
+    DedupReport, MatchConfig, VariantModel,
+};
+use webstruct_util::report::Table;
+
+/// Records per entity in the linkage experiment (distinct "sites").
+pub const RECORDS_PER_ENTITY: usize = 4;
+
+/// Run dedup over a domain under every blocking strategy.
+pub fn dedup_reports(study: &mut Study, domain: Domain) -> Vec<(BlockingReport, DedupReport)> {
+    let built = study.domain(domain);
+    let records = generate_records(
+        &built.catalog,
+        RECORDS_PER_ENTITY,
+        &VariantModel::default(),
+        study.config.seed.derive("linkage"),
+    );
+    [Blocking::Phone, Blocking::RegionFirstToken, Blocking::PhoneOrName]
+        .into_iter()
+        .map(|b| {
+            (
+                evaluate_blocking(&records, b),
+                dedup_and_evaluate(&records, b, &MatchConfig::default()),
+            )
+        })
+        .collect()
+}
+
+/// Render the linkage experiment as a table.
+pub fn linkage_table(study: &mut Study, domain: Domain) -> Table {
+    let mut table = Table::new(
+        format!(
+            "{}: deduplication of {}x noisy listings",
+            domain.display_name(),
+            RECORDS_PER_ENTITY
+        ),
+        &[
+            "Blocking",
+            "Candidates",
+            "Block recall",
+            "Precision",
+            "Recall",
+            "F1",
+        ],
+    );
+    for (block, dedup) in dedup_reports(study, domain) {
+        table.push_row(vec![
+            block.strategy.name().to_string(),
+            block.candidates.to_string(),
+            format!("{:.3}", block.pair_recall),
+            format!("{:.3}", dedup.precision),
+            format!("{:.3}", dedup.recall),
+            format!("{:.3}", dedup.f1()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+
+    #[test]
+    fn union_blocking_wins_on_f1() {
+        let mut study = Study::new(StudyConfig::quick());
+        let reports = dedup_reports(&mut study, Domain::Restaurants);
+        assert_eq!(reports.len(), 3);
+        let f1 = |i: usize| reports[i].1.f1();
+        // phone | name union dominates each alone.
+        assert!(f1(2) >= f1(0) - 1e-9, "union {} vs phone {}", f1(2), f1(0));
+        assert!(f1(2) >= f1(1) - 1e-9, "union {} vs name {}", f1(2), f1(1));
+        assert!(f1(2) > 0.85, "union F1 {}", f1(2));
+        // Precision stays high everywhere (phone veto + thresholds).
+        for (_, d) in &reports {
+            assert!(d.precision > 0.9, "{:?} precision {}", d.blocking, d.precision);
+        }
+    }
+
+    #[test]
+    fn table_renders_three_strategies() {
+        let mut study = Study::new(StudyConfig::quick());
+        let t = linkage_table(&mut study, Domain::Banks);
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.to_markdown().contains("phone|name"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # webstruct-core
+//!
+//! The experiment registry reproducing *An Analysis of Structured Data on
+//! the Web* (Dalvi, Machanavajjhala, Pang; VLDB 2012): every table and
+//! figure of the paper, regenerated end-to-end on the synthetic web.
+//!
+//! * [`study`] — scales, seeds and the oracle/extracted source switch;
+//! * [`cache`] — memoised generation of domain webs and traffic studies;
+//! * [`experiments`] — one function per paper artifact (Figures 1–9,
+//!   Tables 1–2);
+//! * [`bootstrap`] — the §5.2 set-expansion crawler and its d/2 bound;
+//! * [`runner`] — run everything, write `.dat`/Markdown artifacts.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use webstruct_core::study::StudyConfig;
+//! use webstruct_core::runner::run_all;
+//!
+//! let output = run_all(&StudyConfig::quick());
+//! let fig = output.figure("fig1a").expect("restaurant phone coverage");
+//! let k1 = fig.series_named("k=1").expect("k=1 curve");
+//! assert!(k1.final_y().unwrap() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bootstrap;
+pub mod cache;
+pub mod experiments;
+pub mod milestones;
+pub mod runner;
+pub mod study;
+
+pub use bootstrap::{bootstrap_expansion, BootstrapResult};
+pub use cache::Study;
+pub use milestones::{compute_milestones, milestones_table, Milestone};
+pub use runner::{run_all, run_extensions, write_outputs, RunOutput};
+pub use study::{DataSource, DomainStudy, StudyConfig};

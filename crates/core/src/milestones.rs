@@ -1,0 +1,217 @@
+//! Programmatic paper-vs-measured milestones: the headline numbers of
+//! EXPERIMENTS.md, computed from a [`RunOutput`] so reports can never
+//! drift from the artifacts they describe.
+
+use crate::runner::RunOutput;
+use webstruct_util::report::Table;
+
+/// One comparable milestone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Milestone {
+    /// Stable identifier.
+    pub id: &'static str,
+    /// Human description.
+    pub description: &'static str,
+    /// The paper's reported value (as printed in the paper).
+    pub paper: &'static str,
+    /// Measured value, when the run contains the artifact.
+    pub measured: Option<f64>,
+    /// Render the measured value.
+    pub unit: Unit,
+}
+
+/// How to print a measured value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// A fraction rendered as a percentage.
+    Percent,
+    /// A site count.
+    Sites,
+    /// A plain ratio.
+    Ratio,
+}
+
+impl Milestone {
+    /// Render the measured value.
+    #[must_use]
+    pub fn measured_text(&self) -> String {
+        match (self.measured, self.unit) {
+            (None, _) => "n/a".to_string(),
+            (Some(v), Unit::Percent) => format!("{:.1}%", v * 100.0),
+            (Some(v), Unit::Sites) => format!("~{v:.0} sites"),
+            (Some(v), Unit::Ratio) => format!("{v:.2}"),
+        }
+    }
+}
+
+/// Extract every milestone from a reproduction run.
+#[must_use]
+pub fn compute_milestones(output: &RunOutput) -> Vec<Milestone> {
+    let series = |fig: &str, name: &str| {
+        output
+            .figure(fig)
+            .and_then(|f| f.series_named(name).cloned())
+    };
+    let mut out = Vec::new();
+
+    let fig1_k1 = series("fig1a", "k=1");
+    out.push(Milestone {
+        id: "fig1a-top10-k1",
+        description: "Restaurant phones: k=1 coverage of the top-10 sites",
+        paper: "~93%",
+        measured: fig1_k1.as_ref().and_then(|s| s.interpolate(10.0)),
+        unit: Unit::Percent,
+    });
+    out.push(Milestone {
+        id: "fig1a-k5-90",
+        description: "Restaurant phones: sites needed for 90% k=5 coverage",
+        paper: "~5000 (of ~1e5)",
+        measured: series("fig1a", "k=5").and_then(|s| s.first_x_reaching(0.9)),
+        unit: Unit::Sites,
+    });
+    out.push(Milestone {
+        id: "fig2a-k1-95",
+        description: "Restaurant homepages: sites needed for 95% k=1 coverage",
+        paper: "~10000 (of ~1e6)",
+        measured: series("fig2a", "k=1").and_then(|s| s.first_x_reaching(0.95)),
+        unit: Unit::Sites,
+    });
+    out.push(Milestone {
+        id: "fig4a-k1-90",
+        description: "Restaurant reviews: sites needed for 90% 1-coverage",
+        paper: ">1000",
+        measured: series("fig4a", "k=1").and_then(|s| s.first_x_reaching(0.9)),
+        unit: Unit::Sites,
+    });
+    out.push(Milestone {
+        id: "fig4b-top1000",
+        description: "Share of review pages on the top-1000 sites",
+        paper: "~80%",
+        measured: series("fig4b", "Aggregate Reviews").and_then(|s| s.interpolate(1000.0)),
+        unit: Unit::Percent,
+    });
+    // Fig 5: max greedy gain.
+    let fig5_gain = output.figure("fig5").and_then(|fig| {
+        let by_size = fig.series_named("Order by Size")?;
+        let greedy = fig.series_named("Greedy Set Cover")?;
+        greedy
+            .points
+            .iter()
+            .map(|&(t, g)| g - by_size.interpolate(t).unwrap_or(0.0))
+            .fold(None, |acc: Option<f64>, d| {
+                Some(acc.map_or(d, |a| a.max(d)))
+            })
+    });
+    out.push(Milestone {
+        id: "fig5-gain",
+        description: "Max greedy-cover improvement over order-by-size",
+        paper: "insignificant",
+        measured: fig5_gain,
+        unit: Unit::Ratio,
+    });
+    out.push(Milestone {
+        id: "fig6-imdb-top20",
+        description: "IMDb: demand share of top 20% of inventory (search)",
+        paper: ">90%",
+        measured: series("fig6-cdf-search", "imdb").and_then(|s| s.interpolate(0.2)),
+        unit: Unit::Percent,
+    });
+    out.push(Milestone {
+        id: "fig6-yelp-top20",
+        description: "Yelp: demand share of top 20% of inventory (search)",
+        paper: "~60%",
+        measured: series("fig6-cdf-search", "yelp").and_then(|s| s.interpolate(0.2)),
+        unit: Unit::Percent,
+    });
+    // Fig 8: imdb interior peak.
+    let imdb_peak = series("fig8-imdb", "search").map(|s| {
+        s.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::MIN, f64::max)
+    });
+    out.push(Milestone {
+        id: "fig8-imdb-peak",
+        description: "IMDb: peak relative value-add VA(n)/VA(0)",
+        paper: ">1 (mid-range bump)",
+        measured: imdb_peak,
+        unit: Unit::Ratio,
+    });
+    out.push(Milestone {
+        id: "fig8-amazon-head",
+        description: "Amazon: head-bin relative value-add (search)",
+        paper: "well below 1",
+        measured: series("fig8-amazon", "search").and_then(|s| s.final_y()),
+        unit: Unit::Ratio,
+    });
+    out
+}
+
+/// Render the milestones as a report table.
+#[must_use]
+pub fn milestones_table(output: &RunOutput) -> Table {
+    let mut table = Table::new(
+        "Paper-vs-measured milestones",
+        &["Milestone", "Paper", "Measured"],
+    );
+    for m in compute_milestones(output) {
+        table.push_row(vec![
+            m.description.to_string(),
+            m.paper.to_string(),
+            m.measured_text(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_all;
+    use crate::study::StudyConfig;
+
+    #[test]
+    fn all_milestones_are_computable() {
+        let out = run_all(&StudyConfig::quick());
+        let ms = compute_milestones(&out);
+        assert_eq!(ms.len(), 10);
+        for m in &ms {
+            assert!(
+                m.measured.is_some(),
+                "{}: milestone not computable at quick scale",
+                m.id
+            );
+            assert_ne!(m.measured_text(), "n/a");
+        }
+        // Qualitative relations hold even at quick scale.
+        let get = |id: &str| {
+            ms.iter()
+                .find(|m| m.id == id)
+                .and_then(|m| m.measured)
+                .unwrap()
+        };
+        assert!(get("fig1a-top10-k1") > 0.8);
+        assert!(get("fig6-imdb-top20") > get("fig6-yelp-top20"));
+        assert!(get("fig8-imdb-peak") > 1.0);
+        assert!(get("fig8-amazon-head") < 0.5);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let out = run_all(&StudyConfig::quick());
+        let t = milestones_table(&out);
+        assert_eq!(t.rows.len(), 10);
+        assert!(t.to_markdown().contains("~93%"));
+    }
+
+    #[test]
+    fn missing_artifacts_yield_na() {
+        let empty = RunOutput {
+            figures: vec![],
+            tables: vec![],
+        };
+        let ms = compute_milestones(&empty);
+        assert!(ms.iter().all(|m| m.measured.is_none()));
+        assert!(ms.iter().all(|m| m.measured_text() == "n/a"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Run every experiment and write report artifacts.
+
+use crate::cache::Study;
+use crate::experiments::{connectivity, discovery, linkage, redundancy, spread, table1, tail_value};
+use webstruct_corpus::domain::Domain;
+use crate::study::StudyConfig;
+use std::io::Write as _;
+use std::path::Path;
+use webstruct_util::report::{Figure, Table};
+
+/// The complete output of a reproduction run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Every figure, in paper order.
+    pub figures: Vec<Figure>,
+    /// Every table, in paper order.
+    pub tables: Vec<Table>,
+}
+
+impl RunOutput {
+    /// Find a figure by id (e.g. `"fig4b"`).
+    #[must_use]
+    pub fn figure(&self, id: &str) -> Option<&Figure> {
+        self.figures.iter().find(|f| f.id == id)
+    }
+}
+
+/// Run the full study: every table and figure of the paper.
+#[must_use]
+pub fn run_all(config: &StudyConfig) -> RunOutput {
+    let mut study = Study::new(config.clone());
+    let mut figures = Vec::new();
+    figures.extend(spread::fig1(&mut study));
+    figures.extend(spread::fig2(&mut study));
+    figures.push(spread::fig3(&mut study));
+    let (fig4a, fig4b) = spread::fig4(&mut study);
+    figures.push(fig4a);
+    figures.push(fig4b);
+    figures.push(spread::fig5(&mut study));
+    figures.extend(tail_value::fig6(&mut study));
+    figures.extend(tail_value::fig7(&mut study));
+    figures.extend(tail_value::fig8(&mut study));
+    figures.extend(connectivity::fig9(&mut study));
+    let tables = vec![table1(), connectivity::table2(&mut study)];
+    RunOutput { figures, tables }
+}
+
+/// Run the extension experiments (beyond the paper's own artifacts):
+/// discovery policies, redundancy fusion, user-level tail analysis, and
+/// listing deduplication, all for a representative domain.
+#[must_use]
+pub fn run_extensions(config: &StudyConfig) -> RunOutput {
+    let mut study = Study::new(config.clone());
+    let figures = vec![
+        discovery::discovery_policies(&mut study, Domain::Restaurants, 2_000),
+        redundancy::redundancy_experiment(&mut study, Domain::Restaurants),
+    ];
+    let tables = vec![
+        tail_value::user_tail_table(&mut study),
+        linkage::linkage_table(&mut study, Domain::Restaurants),
+    ];
+    RunOutput { figures, tables }
+}
+
+/// Write every artifact under `dir`: one gnuplot `.dat` and one `.csv`
+/// per figure, one Markdown file and one `.csv` per table, plus an
+/// `index.md` linking them.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_outputs(dir: &Path, output: &RunOutput) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut index = String::from("# Reproduction artifacts\n\n## Figures\n\n");
+    for fig in &output.figures {
+        std::fs::write(dir.join(format!("{}.dat", fig.id)), fig.to_dat())?;
+        std::fs::write(
+            dir.join(format!("{}.csv", fig.id)),
+            webstruct_util::csv::figure_to_csv(fig),
+        )?;
+        std::fs::write(
+            dir.join(format!("{}.svg", fig.id)),
+            webstruct_util::svg::figure_to_svg(fig),
+        )?;
+        index.push_str(&format!("- [{}]({}.dat) — {}\n", fig.id, fig.id, fig.title));
+    }
+    index.push_str("\n## Tables\n\n");
+    for (i, table) in output.tables.iter().enumerate() {
+        let name = format!("table{}.md", i + 1);
+        std::fs::write(dir.join(&name), table.to_markdown())?;
+        std::fs::write(
+            dir.join(format!("table{}.csv", i + 1)),
+            webstruct_util::csv::table_to_csv(table),
+        )?;
+        index.push_str(&format!("- [{}]({name})\n", table.title));
+    }
+    let mut f = std::fs::File::create(dir.join("index.md"))?;
+    f.write_all(index.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_all_produces_every_artifact() {
+        let out = run_all(&StudyConfig::quick());
+        // 8 + 8 + 1 + 2 + 1 + 4 + 3 + 3 + 3 = 33 figures.
+        assert_eq!(out.figures.len(), 33);
+        assert_eq!(out.tables.len(), 2);
+        for id in [
+            "fig1a", "fig1h", "fig2a", "fig3", "fig4a", "fig4b", "fig5",
+            "fig6-cdf-search", "fig6-pdf-browse", "fig7-yelp", "fig8-imdb",
+            "fig9a", "fig9c",
+        ] {
+            assert!(out.figure(id).is_some(), "missing {id}");
+        }
+        // Ids are unique.
+        let mut ids: Vec<&str> = out.figures.iter().map(|f| f.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn run_extensions_produces_artifacts() {
+        let out = run_extensions(&StudyConfig::quick());
+        assert_eq!(out.figures.len(), 2);
+        assert_eq!(out.tables.len(), 2);
+        assert!(out.figure("ext-discovery-restaurants").is_some());
+        assert!(out.figure("ext-redundancy-restaurants").is_some());
+    }
+
+    #[test]
+    fn write_outputs_creates_files() {
+        let out = run_all(&StudyConfig::quick());
+        let dir = std::env::temp_dir().join("webstruct-test-artifacts");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_outputs(&dir, &out).unwrap();
+        assert!(dir.join("fig1a.dat").exists());
+        assert!(dir.join("fig1a.csv").exists());
+        assert!(dir.join("fig1a.svg").exists());
+        assert!(dir.join("fig9c.dat").exists());
+        assert!(dir.join("table2.md").exists());
+        assert!(dir.join("table2.csv").exists());
+        let index = std::fs::read_to_string(dir.join("index.md")).unwrap();
+        assert!(index.contains("fig5"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

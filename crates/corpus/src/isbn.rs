@@ -1,0 +1,303 @@
+//! ISBN identifiers: the identifying attribute of the Books domain.
+//!
+//! The paper's book database is keyed by ISBN, matched on pages "formatted
+//! either as a 10-digit or a 13-digit ISBN, along with the string 'ISBN' in
+//! a small window near the match". We model the canonical identifier as the
+//! 9-digit registration core; every core renders as a valid ISBN-10 (check
+//! digit mod 11, `X` allowed) and as a valid 978-prefixed ISBN-13 (check
+//! digit mod 10), hyphenated or plain.
+
+use webstruct_util::rng::Xoshiro256;
+
+/// A book identifier: the 9-digit ISBN core (group + publisher + title).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Isbn(u32);
+
+/// Error constructing an [`Isbn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsbnError {
+    /// The core exceeds 9 digits.
+    CoreOutOfRange(u64),
+    /// A rendered string failed check-digit validation.
+    BadCheckDigit,
+    /// A rendered string has the wrong number of digits.
+    WrongLength(usize),
+    /// ISBN-13 prefix is not 978/979.
+    BadPrefix,
+}
+
+impl std::fmt::Display for IsbnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsbnError::CoreOutOfRange(v) => write!(f, "ISBN core {v} exceeds 9 digits"),
+            IsbnError::BadCheckDigit => write!(f, "check digit mismatch"),
+            IsbnError::WrongLength(n) => write!(f, "expected 10 or 13 digits, got {n}"),
+            IsbnError::BadPrefix => write!(f, "ISBN-13 must start with 978 or 979"),
+        }
+    }
+}
+
+impl std::error::Error for IsbnError {}
+
+/// ISBN-10 check character for a 9-digit core: weighted sum with weights
+/// 10..2, check = (11 - sum mod 11) mod 11, rendered as `X` when 10.
+#[must_use]
+pub fn isbn10_check_char(core: u32) -> char {
+    let digits = core_digits(core);
+    let sum: u32 = digits
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (10 - i as u32) * u32::from(d))
+        .sum();
+    let check = (11 - sum % 11) % 11;
+    if check == 10 {
+        'X'
+    } else {
+        char::from_digit(check, 10).expect("digit < 10")
+    }
+}
+
+/// ISBN-13 check digit for the 12 digits `978` + core.
+#[must_use]
+pub fn isbn13_check_digit(core: u32) -> u8 {
+    let mut digits = [9u8, 7, 8, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+    digits[3..].copy_from_slice(&core_digits(core));
+    let sum: u32 = digits
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| u32::from(d) * if i % 2 == 0 { 1 } else { 3 })
+        .sum();
+    ((10 - sum % 10) % 10) as u8
+}
+
+fn core_digits(core: u32) -> [u8; 9] {
+    let mut out = [0u8; 9];
+    let mut v = core;
+    for slot in out.iter_mut().rev() {
+        *slot = (v % 10) as u8;
+        v /= 10;
+    }
+    out
+}
+
+impl Isbn {
+    /// Construct from a 9-digit core.
+    ///
+    /// # Errors
+    /// Returns [`IsbnError::CoreOutOfRange`] when `core >= 10^9`.
+    pub fn new(core: u64) -> Result<Self, IsbnError> {
+        if core >= 1_000_000_000 {
+            return Err(IsbnError::CoreOutOfRange(core));
+        }
+        Ok(Isbn(core as u32))
+    }
+
+    /// The 9-digit core.
+    #[must_use]
+    pub fn core(self) -> u32 {
+        self.0
+    }
+
+    /// Render as a plain 10-character ISBN-10.
+    #[must_use]
+    pub fn to_isbn10(self) -> String {
+        format!("{:09}{}", self.0, isbn10_check_char(self.0))
+    }
+
+    /// Render as a hyphenated ISBN-10 (`0-306-40615-2`-style grouping; we
+    /// use a fixed 1-3-5 grouping, which extractors must not depend on).
+    #[must_use]
+    pub fn to_isbn10_hyphenated(self) -> String {
+        let s = self.to_isbn10();
+        format!("{}-{}-{}-{}", &s[0..1], &s[1..4], &s[4..9], &s[9..10])
+    }
+
+    /// Render as a plain 13-digit ISBN-13 (978 prefix).
+    #[must_use]
+    pub fn to_isbn13(self) -> String {
+        format!("978{:09}{}", self.0, isbn13_check_digit(self.0))
+    }
+
+    /// Render as a hyphenated ISBN-13.
+    #[must_use]
+    pub fn to_isbn13_hyphenated(self) -> String {
+        let s = self.to_isbn13();
+        format!(
+            "{}-{}-{}-{}-{}",
+            &s[0..3],
+            &s[3..4],
+            &s[4..7],
+            &s[7..12],
+            &s[12..13]
+        )
+    }
+
+    /// Parse any of the four renderings back to the core, verifying the
+    /// check digit.
+    ///
+    /// # Errors
+    /// Returns an error when the digit count (after stripping hyphens and
+    /// spaces) is not 10 or 13, the 13-digit prefix is not 978, or the
+    /// check digit fails.
+    pub fn parse(text: &str) -> Result<Self, IsbnError> {
+        let cleaned: Vec<char> = text
+            .chars()
+            .filter(|c| !matches!(c, '-' | ' '))
+            .collect();
+        match cleaned.len() {
+            10 => {
+                let mut sum = 0u32;
+                let mut core = 0u64;
+                for (i, &c) in cleaned.iter().enumerate() {
+                    let value = if i == 9 && (c == 'X' || c == 'x') {
+                        10
+                    } else {
+                        c.to_digit(10).ok_or(IsbnError::BadCheckDigit)?
+                    };
+                    if i < 9 {
+                        core = core * 10 + u64::from(value);
+                    }
+                    sum += (10 - i as u32) * value;
+                }
+                if !sum.is_multiple_of(11) {
+                    return Err(IsbnError::BadCheckDigit);
+                }
+                Isbn::new(core)
+            }
+            13 => {
+                if cleaned[0] != '9' || cleaned[1] != '7' || (cleaned[2] != '8') {
+                    // 979 exists in the wild but our catalog only issues 978.
+                    if cleaned[2] == '9' {
+                        return Err(IsbnError::BadPrefix);
+                    }
+                    return Err(IsbnError::BadPrefix);
+                }
+                let mut sum = 0u32;
+                let mut core = 0u64;
+                for (i, &c) in cleaned.iter().enumerate() {
+                    let value = c.to_digit(10).ok_or(IsbnError::BadCheckDigit)?;
+                    if (3..12).contains(&i) {
+                        core = core * 10 + u64::from(value);
+                    }
+                    sum += value * if i % 2 == 0 { 1 } else { 3 };
+                }
+                if !sum.is_multiple_of(10) {
+                    return Err(IsbnError::BadCheckDigit);
+                }
+                Isbn::new(core)
+            }
+            n => Err(IsbnError::WrongLength(n)),
+        }
+    }
+
+    /// Sample a random rendering, weighted toward the hyphenated-13 form
+    /// that dominates modern book pages.
+    #[must_use]
+    pub fn render_random(self, rng: &mut Xoshiro256) -> String {
+        match rng.u64_below(5) {
+            0 => self.to_isbn10(),
+            1 => self.to_isbn10_hyphenated(),
+            2 => self.to_isbn13(),
+            _ => self.to_isbn13_hyphenated(),
+        }
+    }
+}
+
+impl std::fmt::Display for Isbn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_isbn13_hyphenated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webstruct_util::rng::Seed;
+
+    #[test]
+    fn known_check_digits() {
+        // 0-306-40615-2 is the canonical Wikipedia example.
+        let isbn = Isbn::new(30_640_615).unwrap();
+        assert_eq!(isbn.to_isbn10(), "0306406152");
+        assert_eq!(isbn.to_isbn10_hyphenated(), "0-306-40615-2");
+        // Its ISBN-13 form is 978-0-306-40615-7.
+        assert_eq!(isbn.to_isbn13(), "9780306406157");
+        assert_eq!(isbn.to_isbn13_hyphenated(), "978-0-306-40615-7");
+    }
+
+    #[test]
+    fn check_char_x_case() {
+        // Core 043942089 has weighted sum ≡ 1 mod 11 → check 'X'.
+        // Find one programmatically to keep the test robust.
+        let core = (0..200u32)
+            .find(|&c| isbn10_check_char(c) == 'X')
+            .expect("an X check digit exists among small cores");
+        let isbn = Isbn::new(u64::from(core)).unwrap();
+        assert!(isbn.to_isbn10().ends_with('X'));
+        assert_eq!(Isbn::parse(&isbn.to_isbn10()), Ok(isbn));
+    }
+
+    #[test]
+    fn parse_roundtrips_all_renderings() {
+        let mut rng = Xoshiro256::from_seed(Seed(5));
+        for _ in 0..500 {
+            let isbn = Isbn::new(rng.u64_below(1_000_000_000)).unwrap();
+            for s in [
+                isbn.to_isbn10(),
+                isbn.to_isbn10_hyphenated(),
+                isbn.to_isbn13(),
+                isbn.to_isbn13_hyphenated(),
+            ] {
+                assert_eq!(Isbn::parse(&s), Ok(isbn), "failed on {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_corrupted_check_digit() {
+        let isbn = Isbn::new(123_456_789).unwrap();
+        let mut s10 = isbn.to_isbn10();
+        let last = s10.pop().unwrap();
+        let wrong = if last == '0' { '1' } else { '0' };
+        s10.push(wrong);
+        assert_eq!(Isbn::parse(&s10), Err(IsbnError::BadCheckDigit));
+
+        let mut s13 = isbn.to_isbn13();
+        let last = s13.pop().unwrap();
+        let wrong = if last == '0' { '1' } else { '0' };
+        s13.push(wrong);
+        assert_eq!(Isbn::parse(&s13), Err(IsbnError::BadCheckDigit));
+    }
+
+    #[test]
+    fn parse_rejects_bad_lengths_and_prefix() {
+        assert_eq!(Isbn::parse("12345"), Err(IsbnError::WrongLength(5)));
+        assert_eq!(Isbn::parse(""), Err(IsbnError::WrongLength(0)));
+        // 977 prefix (a periodical, not a book) must be rejected.
+        assert_eq!(Isbn::parse("9771234567898"), Err(IsbnError::BadPrefix));
+    }
+
+    #[test]
+    fn new_rejects_wide_core() {
+        assert_eq!(
+            Isbn::new(1_000_000_000),
+            Err(IsbnError::CoreOutOfRange(1_000_000_000))
+        );
+    }
+
+    #[test]
+    fn render_random_always_parses_back() {
+        let mut rng = Xoshiro256::from_seed(Seed(6));
+        let isbn = Isbn::new(424_242_424).unwrap();
+        for _ in 0..50 {
+            let s = isbn.render_random(&mut rng);
+            assert_eq!(Isbn::parse(&s), Ok(isbn));
+        }
+    }
+
+    #[test]
+    fn display_is_hyphenated_13() {
+        let isbn = Isbn::new(30_640_615).unwrap();
+        assert_eq!(isbn.to_string(), "978-0-306-40615-7");
+    }
+}

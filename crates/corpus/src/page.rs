@@ -1,0 +1,425 @@
+//! Page materialisation: turning the site→mention relation into concrete
+//! web pages with real text.
+//!
+//! Pages are rendered lazily and deterministically — page `i` has the same
+//! bytes on every iteration of the stream — so full-corpus extraction runs
+//! never need to hold the rendered web in memory.
+
+use crate::domain::Attribute;
+use crate::entity::EntityCatalog;
+use crate::phone::PhoneFormat;
+use crate::site::SiteKind;
+use crate::text;
+use crate::web::Web;
+use std::collections::VecDeque;
+use webstruct_util::ids::{PageId, SiteId};
+use webstruct_util::rng::{Seed, Xoshiro256};
+
+/// What a page is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// A listing/directory page mentioning one or more entities.
+    Listing,
+    /// A page of user reviews for a single entity.
+    Review,
+}
+
+/// One rendered page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Global page id, dense over the stream.
+    pub id: PageId,
+    /// The site hosting the page.
+    pub site: SiteId,
+    /// Page URL.
+    pub url: String,
+    /// Page class.
+    pub kind: PageKind,
+    /// Rendered text (HTML-lite).
+    pub text: String,
+}
+
+/// Rendering parameters.
+#[derive(Debug, Clone)]
+pub struct PageConfig {
+    /// Entities per directory page on aggregators.
+    pub agg_listing_chunk: usize,
+    /// Entities per page on regional/niche sites.
+    pub tail_listing_chunk: usize,
+    /// Probability a listing page carries an invalid phone-lookalike.
+    pub noise_phone_rate: f64,
+    /// Expected number of *valid-format* random phone numbers injected per
+    /// listing page (Poisson). These are the §3.5 accidental-collision
+    /// hazard: they scan as phones and may collide with catalog entries.
+    pub noise_valid_phone_rate: f64,
+    /// Probability a listing page carries a long tracking number.
+    pub noise_tracking_rate: f64,
+    /// Probability a listing page carries an unrelated anchor.
+    pub noise_anchor_rate: f64,
+    /// Boilerplate sentences per page: uniform in `[min, max]`.
+    pub boilerplate_min: usize,
+    /// See `boilerplate_min`.
+    pub boilerplate_max: usize,
+}
+
+impl Default for PageConfig {
+    fn default() -> Self {
+        PageConfig {
+            agg_listing_chunk: 25,
+            tail_listing_chunk: 4,
+            noise_phone_rate: 0.15,
+            noise_valid_phone_rate: 0.0,
+            noise_tracking_rate: 0.10,
+            noise_anchor_rate: 0.25,
+            boilerplate_min: 2,
+            boilerplate_max: 5,
+        }
+    }
+}
+
+/// A planned page before rendering.
+#[derive(Debug, Clone, Copy)]
+enum PagePlan {
+    /// Mentions `[start, end)` of the current site on one directory page.
+    Listing { start: u32, end: u32 },
+    /// Review page `page_no` for the mention at index `mention`.
+    Review { mention: u32, page_no: u32 },
+}
+
+/// Lazy, deterministic iterator over all pages of a [`Web`].
+pub struct PageStream<'a> {
+    web: &'a Web,
+    catalog: &'a EntityCatalog,
+    config: PageConfig,
+    seed: Seed,
+    site_cursor: usize,
+    plans: VecDeque<PagePlan>,
+    next_page: u32,
+}
+
+impl<'a> PageStream<'a> {
+    /// Create a stream over every page of the web.
+    #[must_use]
+    pub fn new(web: &'a Web, catalog: &'a EntityCatalog, config: PageConfig, seed: Seed) -> Self {
+        PageStream {
+            web,
+            catalog,
+            config,
+            seed: seed.derive("pages"),
+            site_cursor: 0,
+            plans: VecDeque::new(),
+            next_page: 0,
+        }
+    }
+
+    fn plan_site(&mut self, site_idx: usize) {
+        let site = &self.web.sites[site_idx];
+        let mentions = self.web.mentions_of(site.id);
+        if mentions.is_empty() {
+            return;
+        }
+        let chunk = match site.kind {
+            SiteKind::Aggregator => self.config.agg_listing_chunk,
+            SiteKind::Regional | SiteKind::Niche => self.config.tail_listing_chunk,
+        }
+        .max(1);
+        let mut start = 0u32;
+        while (start as usize) < mentions.len() {
+            let end = ((start as usize + chunk).min(mentions.len())) as u32;
+            self.plans.push_back(PagePlan::Listing { start, end });
+            start = end;
+        }
+        let rpp = self.web.reviews_per_page() as u32;
+        for (mi, m) in mentions.iter().enumerate() {
+            if m.reviews > 0 {
+                let n_pages = u32::from(m.reviews).div_ceil(rpp);
+                for page_no in 0..n_pages {
+                    self.plans.push_back(PagePlan::Review {
+                        mention: mi as u32,
+                        page_no,
+                    });
+                }
+            }
+        }
+    }
+
+    fn render(&self, site_idx: usize, plan: PagePlan, page_id: PageId) -> Page {
+        let site = &self.web.sites[site_idx];
+        let mentions = self.web.mentions_of(site.id);
+        let mut rng = Xoshiro256::from_seed(self.seed.derive_u64(u64::from(page_id.raw())));
+        let mut out = String::with_capacity(1024);
+        match plan {
+            PagePlan::Listing { start, end } => {
+                out.push_str(&format!(
+                    "<html><title>{} — local listings</title>\n",
+                    site.host
+                ));
+                // Site-wide navigation chrome: identical on every page of
+                // the site, which is exactly what wrapper induction learns
+                // to discard.
+                out.push_str(&format!(
+                    "Home | Categories | Contact — {}\n",
+                    site.host
+                ));
+                let nb = rng.range_u64(
+                    self.config.boilerplate_min as u64,
+                    self.config.boilerplate_max as u64 + 1,
+                ) as usize;
+                out.push_str(&text::boilerplate_block(&mut rng, nb));
+                out.push('\n');
+                for m in &mentions[start as usize..end as usize] {
+                    let entity = self.catalog.entity(m.entity);
+                    out.push_str(&format!("<h2>{}</h2>\n", entity.name));
+                    if m.attrs.contains(Attribute::Phone) {
+                        let phone = entity.phone.expect("phone attr implies phone");
+                        out.push_str(&format!(
+                            "Call {}.\n",
+                            phone.format(PhoneFormat::random(&mut rng))
+                        ));
+                    }
+                    if m.attrs.contains(Attribute::Isbn) {
+                        let isbn = entity.isbn.expect("isbn attr implies isbn");
+                        let sep = if rng.bool_with(0.5) { ": " } else { " " };
+                        out.push_str(&format!("ISBN{sep}{}\n", isbn.render_random(&mut rng)));
+                    }
+                    if m.attrs.contains(Attribute::Homepage) {
+                        let host = entity.homepage.as_ref().expect("homepage attr implies url");
+                        out.push_str(&format!(
+                            "<a href=\"http://{host}/\">{} website</a>\n",
+                            entity.name
+                        ));
+                    }
+                    if rng.bool_with(0.2) {
+                        out.push_str(&text::boilerplate_sentence(&mut rng));
+                        out.push('\n');
+                    }
+                }
+                let n_valid_noise = rng.poisson(self.config.noise_valid_phone_rate);
+                for _ in 0..n_valid_noise {
+                    out.push_str(&format!(
+                        "Customer service line {}.\n",
+                        crate::phone::PhoneNumber::random(&mut rng)
+                            .format(crate::phone::PhoneFormat::random(&mut rng))
+                    ));
+                }
+                if rng.bool_with(self.config.noise_phone_rate) {
+                    out.push_str(&format!(
+                        "Reference code {}.\n",
+                        text::invalid_phone_lookalike(&mut rng)
+                    ));
+                }
+                if rng.bool_with(self.config.noise_tracking_rate) {
+                    out.push_str(&text::tracking_number(&mut rng));
+                    out.push('\n');
+                }
+                if rng.bool_with(self.config.noise_anchor_rate) {
+                    out.push_str(&text::noise_anchor(&mut rng));
+                    out.push('\n');
+                }
+                out.push_str(&format!(
+                    "(c) {} — all listings are user submitted\n",
+                    site.host
+                ));
+                out.push_str("</html>");
+                Page {
+                    id: page_id,
+                    site: site.id,
+                    url: format!("http://{}/list/{}", site.host, page_id.raw()),
+                    kind: PageKind::Listing,
+                    text: out,
+                }
+            }
+            PagePlan::Review { mention, page_no } => {
+                let m = &mentions[mention as usize];
+                let entity = self.catalog.entity(m.entity);
+                let rpp = self.web.reviews_per_page() as u32;
+                let remaining = u32::from(m.reviews) - page_no * rpp;
+                let on_page = remaining.min(rpp);
+                out.push_str(&format!(
+                    "<html><title>Reviews of {} — {}</title>\n",
+                    entity.name, site.host
+                ));
+                if let Some(phone) = entity.phone {
+                    out.push_str(&format!(
+                        "Contact: {}\n",
+                        phone.format(PhoneFormat::random(&mut rng))
+                    ));
+                }
+                for _ in 0..on_page {
+                    out.push_str(&text::review_paragraph(&mut rng, &entity.name));
+                    out.push('\n');
+                }
+                out.push_str("</html>");
+                Page {
+                    id: page_id,
+                    site: site.id,
+                    url: format!(
+                        "http://{}/reviews/{}/{}",
+                        site.host,
+                        m.entity.raw(),
+                        page_no
+                    ),
+                    kind: PageKind::Review,
+                    text: out,
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for PageStream<'_> {
+    type Item = Page;
+
+    fn next(&mut self) -> Option<Page> {
+        loop {
+            if let Some(plan) = self.plans.pop_front() {
+                // The plan belongs to the site we most recently planned.
+                let site_idx = self.site_cursor - 1;
+                let page = self.render(site_idx, plan, PageId::new(self.next_page));
+                self.next_page += 1;
+                return Some(page);
+            }
+            if self.site_cursor >= self.web.n_sites() {
+                return None;
+            }
+            let idx = self.site_cursor;
+            self.site_cursor += 1;
+            self.plan_site(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::entity::{CatalogConfig, EntityCatalog};
+    use crate::web::WebConfig;
+
+    fn tiny_setup(domain: Domain) -> (EntityCatalog, Web) {
+        let catalog = EntityCatalog::generate(&CatalogConfig::new(domain, 300), Seed(21));
+        let config = WebConfig::preset(domain).scaled(0.01);
+        let web = Web::generate(&catalog, &config, Seed(21));
+        (catalog, web)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let (catalog, web) = tiny_setup(Domain::Restaurants);
+        let a: Vec<Page> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(3)).collect();
+        let b: Vec<Page> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(3)).collect();
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.url, y.url);
+        }
+        // Different seeds change the rendering.
+        let c: Vec<Page> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(4)).collect();
+        assert!(a.iter().zip(&c).any(|(x, y)| x.text != y.text));
+    }
+
+    #[test]
+    fn page_ids_are_dense_and_sites_ordered() {
+        let (catalog, web) = tiny_setup(Domain::Banks);
+        let pages: Vec<Page> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(3)).collect();
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p.id.index(), i);
+        }
+        // Site ids are non-decreasing along the stream.
+        assert!(pages.windows(2).all(|w| w[0].site <= w[1].site));
+    }
+
+    #[test]
+    fn every_phone_mention_appears_on_some_page() {
+        let (catalog, web) = tiny_setup(Domain::Restaurants);
+        let mut expected = std::collections::HashSet::new();
+        for (site, m) in web.iter() {
+            if m.attrs.contains(Attribute::Phone) {
+                expected.insert((site, m.entity));
+            }
+        }
+        let mut found = std::collections::HashSet::new();
+        for page in PageStream::new(&web, &catalog, PageConfig::default(), Seed(3)) {
+            for m in web.mentions_of(page.site) {
+                if m.attrs.contains(Attribute::Phone) {
+                    let digits = catalog.entity(m.entity).phone.unwrap();
+                    // Cheap containment check: all formats contain the line
+                    // number as 4 digits; use the full plain rendering scan.
+                    let plain = digits.format(PhoneFormat::Plain);
+                    let last4 = &plain[6..];
+                    if page.text.contains(last4) {
+                        found.insert((page.site, m.entity));
+                    }
+                }
+            }
+        }
+        // Every (site, entity) phone mention must surface on at least one
+        // page of that site.
+        for pair in &expected {
+            assert!(found.contains(pair), "missing mention {pair:?}");
+        }
+    }
+
+    #[test]
+    fn review_pages_contain_review_language_and_contact() {
+        let (catalog, web) = tiny_setup(Domain::Restaurants);
+        let pages: Vec<Page> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(3)).collect();
+        let review_pages: Vec<&Page> =
+            pages.iter().filter(|p| p.kind == PageKind::Review).collect();
+        assert!(!review_pages.is_empty(), "restaurants must have review pages");
+        for p in review_pages.iter().take(20) {
+            assert!(p.text.contains("out of 5 stars"), "no rating in {}", p.url);
+            assert!(p.text.contains("Contact:"), "no contact in {}", p.url);
+        }
+    }
+
+    #[test]
+    fn review_page_count_matches_web_accounting() {
+        let (catalog, web) = tiny_setup(Domain::Restaurants);
+        let pages: Vec<Page> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(3)).collect();
+        let streamed = pages.iter().filter(|p| p.kind == PageKind::Review).count() as u32;
+        let accounted: u32 = web
+            .review_page_lists()
+            .iter()
+            .flat_map(|l| l.iter().map(|&(_, n)| n))
+            .sum();
+        assert_eq!(streamed, accounted);
+    }
+
+    #[test]
+    fn books_pages_carry_isbn_with_marker() {
+        let (catalog, web) = tiny_setup(Domain::Books);
+        let mut saw_isbn = false;
+        for page in PageStream::new(&web, &catalog, PageConfig::default(), Seed(3)) {
+            if page.text.contains("ISBN") {
+                saw_isbn = true;
+                break;
+            }
+        }
+        assert!(saw_isbn, "book pages must render ISBN markers");
+    }
+
+    #[test]
+    fn listing_chunks_respect_site_kind() {
+        let (catalog, web) = tiny_setup(Domain::Restaurants);
+        let cfg = PageConfig::default();
+        let pages: Vec<Page> = PageStream::new(&web, &catalog, cfg.clone(), Seed(3)).collect();
+        for p in pages.iter().filter(|p| p.kind == PageKind::Listing) {
+            let entity_count = p.text.matches("<h2>").count();
+            let site = &web.sites[p.site.index()];
+            let cap = match site.kind {
+                SiteKind::Aggregator => cfg.agg_listing_chunk,
+                _ => cfg.tail_listing_chunk,
+            };
+            assert!(entity_count <= cap, "{} entities on {}", entity_count, p.url);
+            assert!(entity_count >= 1);
+        }
+    }
+}

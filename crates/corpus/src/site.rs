@@ -1,0 +1,76 @@
+//! The website population: head aggregators, regional directories, and the
+//! long tail of niche sites.
+
+use webstruct_util::ids::{RegionId, SiteId};
+
+/// The structural class of a website in the generative model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A national head aggregator (yelp.com-like): covers a large fraction
+    /// of all entities in the domain.
+    Aggregator,
+    /// A regional directory (chamber of commerce, metro guide): covers
+    /// entities from a single region.
+    Regional,
+    /// A niche/tail site (critic blog, personal page): a handful of
+    /// entities from one region.
+    Niche,
+}
+
+impl SiteKind {
+    /// Short stable name.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            SiteKind::Aggregator => "aggregator",
+            SiteKind::Regional => "regional",
+            SiteKind::Niche => "niche",
+        }
+    }
+}
+
+/// One website (host) in the synthetic web.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Dense id. Ids are assigned aggregators-first but analyses never rely
+    /// on that: site ordering is always recomputed from observed sizes.
+    pub id: SiteId,
+    /// Host name, e.g. `dine-3.example.org`.
+    pub host: String,
+    /// Structural class.
+    pub kind: SiteKind,
+    /// Home region for regional and niche sites; `None` for aggregators.
+    pub region: Option<RegionId>,
+    /// Latent reach parameter used during generation; retained for
+    /// diagnostics (aggregators: per-entity inclusion probability;
+    /// regional: fraction of its region; niche: expected entity count).
+    pub reach: f64,
+    /// Whether the site hosts user reviews at all.
+    pub carries_reviews: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_slugs() {
+        assert_eq!(SiteKind::Aggregator.slug(), "aggregator");
+        assert_eq!(SiteKind::Regional.slug(), "regional");
+        assert_eq!(SiteKind::Niche.slug(), "niche");
+    }
+
+    #[test]
+    fn site_is_constructible() {
+        let s = Site {
+            id: SiteId::new(3),
+            host: "dine-3.example.org".to_string(),
+            kind: SiteKind::Aggregator,
+            region: None,
+            reach: 0.5,
+            carries_reviews: true,
+        };
+        assert_eq!(s.id.raw(), 3);
+        assert!(s.region.is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Aggregate review coverage — the paper's Figure 4(b).
+//!
+//! > "A second way to define review coverage is to look at the total number
+//! > of all the webpages on the Web that contain a restaurant review. Then,
+//! > we can look at the fraction of those webpages covered by the top-n
+//! > sites as a function of n."
+
+use webstruct_util::ids::EntityId;
+use webstruct_util::report::{Figure, Series};
+use webstruct_util::stats::log_ticks;
+
+/// Result of the aggregate (page-mass) coverage sweep.
+#[derive(Debug, Clone)]
+pub struct AggregateCoverage {
+    /// Swept top-n values (log-spaced over sites with >= 1 review page).
+    pub ticks: Vec<usize>,
+    /// Fraction of all review pages hosted by the top-n sites.
+    pub fractions: Vec<f64>,
+    /// Total review pages across the web.
+    pub total_pages: u64,
+    /// Site ordering (indices, by review-page count descending).
+    pub site_order: Vec<usize>,
+}
+
+impl AggregateCoverage {
+    /// Smallest swept n reaching `target` fraction, or `None`.
+    #[must_use]
+    pub fn sites_needed(&self, target: f64) -> Option<usize> {
+        self.fractions
+            .iter()
+            .position(|&f| f >= target)
+            .map(|i| self.ticks[i])
+    }
+
+    /// Render as a single-series log-x figure.
+    #[must_use]
+    pub fn to_figure(&self, id: &str, title: &str) -> Figure {
+        let mut fig = Figure::new(id, title)
+            .with_axes("top-n sites", "fraction of all review pages")
+            .with_log_x();
+        let points: Vec<(f64, f64)> = self
+            .ticks
+            .iter()
+            .zip(&self.fractions)
+            .map(|(&t, &f)| (t as f64, f))
+            .collect();
+        fig.push(Series::new("Aggregate Reviews", points));
+        fig
+    }
+}
+
+/// Compute the aggregate review-page coverage curve.
+///
+/// `review_pages[s]` lists `(entity, page_count)` per site. Returns a
+/// degenerate result (`total_pages == 0`, empty curve) when no site hosts
+/// reviews.
+#[must_use]
+pub fn aggregate_coverage(review_pages: &[Vec<(EntityId, u32)>]) -> AggregateCoverage {
+    let site_totals: Vec<u64> = review_pages
+        .iter()
+        .map(|l| l.iter().map(|&(_, c)| u64::from(c)).sum())
+        .collect();
+    let total_pages: u64 = site_totals.iter().sum();
+    let mut site_order: Vec<usize> = (0..review_pages.len())
+        .filter(|&s| site_totals[s] > 0)
+        .collect();
+    site_order.sort_by(|&a, &b| site_totals[b].cmp(&site_totals[a]).then(a.cmp(&b)));
+    if total_pages == 0 {
+        return AggregateCoverage {
+            ticks: vec![],
+            fractions: vec![],
+            total_pages: 0,
+            site_order,
+        };
+    }
+    let ticks = log_ticks(site_order.len());
+    let mut fractions = Vec::with_capacity(ticks.len());
+    let mut acc = 0u64;
+    let mut tick_iter = ticks.iter().copied().peekable();
+    for (i, &s) in site_order.iter().enumerate() {
+        acc += site_totals[s];
+        while tick_iter.peek() == Some(&(i + 1)) {
+            tick_iter.next();
+            fractions.push(acc as f64 / total_pages as f64);
+        }
+    }
+    AggregateCoverage {
+        ticks,
+        fractions,
+        total_pages,
+        site_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u32) -> EntityId {
+        EntityId::new(id)
+    }
+
+    #[test]
+    fn head_site_mass_dominates() {
+        let pages = vec![
+            vec![(e(0), 90u32)],
+            vec![(e(1), 9)],
+            vec![(e(2), 1)],
+        ];
+        let agg = aggregate_coverage(&pages);
+        assert_eq!(agg.total_pages, 100);
+        assert_eq!(agg.site_order, vec![0, 1, 2]);
+        assert_eq!(agg.ticks, vec![1, 2, 3]);
+        assert_eq!(agg.fractions, vec![0.9, 0.99, 1.0]);
+        assert_eq!(agg.sites_needed(0.95), Some(2));
+        assert_eq!(agg.sites_needed(1.0), Some(3));
+    }
+
+    #[test]
+    fn empty_input_degenerates() {
+        let agg = aggregate_coverage(&[]);
+        assert_eq!(agg.total_pages, 0);
+        assert!(agg.ticks.is_empty());
+        assert_eq!(agg.sites_needed(0.5), None);
+    }
+
+    #[test]
+    fn zero_page_sites_are_excluded() {
+        let pages = vec![vec![], vec![(e(0), 5)], vec![]];
+        let agg = aggregate_coverage(&pages);
+        assert_eq!(agg.site_order, vec![1]);
+        assert_eq!(agg.fractions, vec![1.0]);
+    }
+
+    #[test]
+    fn multiple_entities_per_site_sum() {
+        let pages = vec![vec![(e(0), 3), (e(1), 7)], vec![(e(2), 10)]];
+        let agg = aggregate_coverage(&pages);
+        // Tie (10 vs 10) broken by index.
+        assert_eq!(agg.site_order, vec![0, 1]);
+        assert_eq!(agg.fractions, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn figure_rendering() {
+        let pages = vec![vec![(e(0), 1)], vec![(e(1), 1)]];
+        let fig = aggregate_coverage(&pages).to_figure("fig4b", "Aggregate Reviews");
+        assert_eq!(fig.series.len(), 1);
+        assert!(fig.log_x);
+        assert_eq!(fig.series[0].points.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_nondecreasing() {
+        let pages: Vec<Vec<(EntityId, u32)>> = (0..50)
+            .map(|i| vec![(e(i), (50 - i))])
+            .collect();
+        let agg = aggregate_coverage(&pages);
+        assert!(agg
+            .fractions
+            .windows(2)
+            .all(|w| w[1] >= w[0] - 1e-12));
+        assert!((agg.fractions.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,324 @@
+//! k-coverage analysis (§3.3 of the paper).
+//!
+//! > "Given a set of websites W and a positive integer k, we define the
+//! > k-coverage of W as the fraction of entities in the database that are
+//! > present in at least k different websites in W."
+//!
+//! The paper plots, for each t, the k-coverage of the top-t sites (ordered
+//! by the number of entities they contain), for k = 1..10.
+
+use webstruct_util::ids::EntityId;
+use webstruct_util::report::{Figure, Series};
+use webstruct_util::stats::log_ticks;
+
+/// Error type for coverage computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverageError {
+    /// The entity universe is empty.
+    NoEntities,
+    /// `max_k` must be at least 1.
+    ZeroK,
+    /// An occurrence list referenced an entity outside `0..n_entities`.
+    EntityOutOfRange {
+        /// The offending entity id.
+        entity: u32,
+        /// The declared universe size.
+        n_entities: usize,
+    },
+}
+
+impl std::fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverageError::NoEntities => write!(f, "entity universe is empty"),
+            CoverageError::ZeroK => write!(f, "max_k must be >= 1"),
+            CoverageError::EntityOutOfRange { entity, n_entities } => {
+                write!(f, "entity id {entity} out of range (n = {n_entities})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverageError {}
+
+/// Result of a k-coverage sweep.
+#[derive(Debug, Clone)]
+pub struct KCoverage {
+    /// The swept values of t (top-t sites), log-spaced, ending at the
+    /// number of non-empty sites.
+    pub ticks: Vec<usize>,
+    /// `curves[k-1][i]` = k-coverage of the top-`ticks[i]` sites.
+    pub curves: Vec<Vec<f64>>,
+    /// Number of sites with at least one occurrence.
+    pub n_nonempty_sites: usize,
+    /// The site ordering used (indices into the input slice, descending by
+    /// occurrence count; empty sites excluded).
+    pub site_order: Vec<usize>,
+}
+
+impl KCoverage {
+    /// Coverage of the top-t sites for a given k (interpolating between
+    /// swept ticks; exact at tick positions).
+    ///
+    /// # Panics
+    /// Panics when `k` is 0 or greater than the computed `max_k`.
+    #[must_use]
+    pub fn coverage_at(&self, k: usize, t: usize) -> f64 {
+        assert!(k >= 1 && k <= self.curves.len(), "k out of range");
+        let curve = &self.curves[k - 1];
+        match self.ticks.binary_search(&t) {
+            Ok(i) => curve[i],
+            Err(0) => 0.0,
+            Err(i) if i >= self.ticks.len() => *curve.last().expect("non-empty ticks"),
+            Err(i) => {
+                // Linear interpolation in t between surrounding ticks.
+                let (t0, y0) = (self.ticks[i - 1] as f64, curve[i - 1]);
+                let (t1, y1) = (self.ticks[i] as f64, curve[i]);
+                y0 + (y1 - y0) * (t as f64 - t0) / (t1 - t0)
+            }
+        }
+    }
+
+    /// Smallest swept t whose k-coverage reaches `target`, or `None`.
+    #[must_use]
+    pub fn sites_needed(&self, k: usize, target: f64) -> Option<usize> {
+        assert!(k >= 1 && k <= self.curves.len(), "k out of range");
+        let curve = &self.curves[k - 1];
+        curve
+            .iter()
+            .position(|&c| c >= target)
+            .map(|i| self.ticks[i])
+    }
+
+    /// Render as a paper-style figure: one series per k, log-x.
+    #[must_use]
+    pub fn to_figure(&self, id: &str, title: &str) -> Figure {
+        let mut fig = Figure::new(id, title)
+            .with_axes("top-t sites", "k-coverage")
+            .with_log_x();
+        for (ki, curve) in self.curves.iter().enumerate() {
+            let points: Vec<(f64, f64)> = self
+                .ticks
+                .iter()
+                .zip(curve)
+                .map(|(&t, &c)| (t as f64, c))
+                .collect();
+            fig.push(Series::new(format!("k={}", ki + 1), points));
+        }
+        fig
+    }
+}
+
+/// Compute k-coverage curves for `k = 1..=max_k`.
+///
+/// `site_entities[s]` lists the entities present on site `s` (duplicates
+/// are tolerated and counted once). Sites are ordered by size descending,
+/// ties broken by site index for determinism; empty sites are excluded
+/// (they can never affect coverage).
+///
+/// Complexity: `O(E + S log S + ticks·max_k)` where `E` is total
+/// occurrences.
+///
+/// # Errors
+/// See [`CoverageError`].
+pub fn k_coverage(
+    n_entities: usize,
+    site_entities: &[Vec<EntityId>],
+    max_k: usize,
+) -> Result<KCoverage, CoverageError> {
+    if n_entities == 0 {
+        return Err(CoverageError::NoEntities);
+    }
+    if max_k == 0 {
+        return Err(CoverageError::ZeroK);
+    }
+    for list in site_entities {
+        for e in list {
+            if e.index() >= n_entities {
+                return Err(CoverageError::EntityOutOfRange {
+                    entity: e.raw(),
+                    n_entities,
+                });
+            }
+        }
+    }
+    // Order sites by distinct-entity count descending. Duplicates within a
+    // site must not inflate its size; the deduped lists are kept so the
+    // sweep below does not repeat the sort/dedup work.
+    let dedup: Vec<Vec<EntityId>> = site_entities
+        .iter()
+        .map(|list| {
+            let mut v = list.clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    let mut site_order: Vec<usize> = (0..dedup.len())
+        .filter(|&s| !dedup[s].is_empty())
+        .collect();
+    site_order.sort_by(|&a, &b| dedup[b].len().cmp(&dedup[a].len()).then(a.cmp(&b)));
+
+    let n_nonempty = site_order.len();
+    let ticks = if n_nonempty == 0 {
+        vec![]
+    } else {
+        log_ticks(n_nonempty)
+    };
+    let max_k_u8 = u8::try_from(max_k.min(255)).expect("max_k clamped");
+    let mut counts = vec![0u8; n_entities];
+    let mut reached = vec![0usize; max_k + 1]; // reached[k] = #entities with count >= k
+    let mut curves = vec![Vec::with_capacity(ticks.len()); max_k];
+
+    let mut tick_iter = ticks.iter().copied().peekable();
+    for (processed, &s) in site_order.iter().enumerate() {
+        for &e in &dedup[s] {
+            let c = &mut counts[e.index()];
+            if *c < max_k_u8 {
+                *c += 1;
+                reached[usize::from(*c)] += 1;
+            }
+        }
+        while tick_iter.peek() == Some(&(processed + 1)) {
+            tick_iter.next();
+            for k in 1..=max_k {
+                curves[k - 1].push(reached[k] as f64 / n_entities as f64);
+            }
+        }
+    }
+    Ok(KCoverage {
+        ticks,
+        curves,
+        n_nonempty_sites: n_nonempty,
+        site_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u32) -> EntityId {
+        EntityId::new(id)
+    }
+
+    #[test]
+    fn single_site_full_coverage() {
+        let sites = vec![vec![e(0), e(1), e(2)]];
+        let cov = k_coverage(3, &sites, 2).unwrap();
+        assert_eq!(cov.ticks, vec![1]);
+        assert_eq!(cov.curves[0], vec![1.0]); // k=1: all covered
+        assert_eq!(cov.curves[1], vec![0.0]); // k=2: nothing twice
+        assert_eq!(cov.n_nonempty_sites, 1);
+    }
+
+    #[test]
+    fn k2_requires_two_sites() {
+        let sites = vec![vec![e(0), e(1)], vec![e(0)], vec![e(1)]];
+        let cov = k_coverage(2, &sites, 2).unwrap();
+        // Order: site0 (2), then site1, site2 (ties by index).
+        assert_eq!(cov.site_order, vec![0, 1, 2]);
+        assert_eq!(cov.ticks, vec![1, 2, 3]);
+        assert_eq!(cov.curves[0], vec![1.0, 1.0, 1.0]);
+        assert_eq!(cov.curves[1], vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn duplicates_within_site_count_once() {
+        let sites = vec![vec![e(0), e(0), e(0)], vec![e(1)]];
+        let cov = k_coverage(2, &sites, 3).unwrap();
+        assert_eq!(cov.coverage_at(1, 2), 1.0);
+        assert_eq!(cov.coverage_at(2, 2), 0.0);
+        // Duplicates must not inflate ordering size either: both sites have
+        // distinct-size 1, so order ties break by index.
+        assert_eq!(cov.site_order, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_sites_are_skipped() {
+        let sites = vec![vec![], vec![e(0)], vec![]];
+        let cov = k_coverage(1, &sites, 1).unwrap();
+        assert_eq!(cov.n_nonempty_sites, 1);
+        assert_eq!(cov.site_order, vec![1]);
+    }
+
+    #[test]
+    fn uncovered_entities_cap_the_curve() {
+        let sites = vec![vec![e(0)]];
+        let cov = k_coverage(4, &sites, 1).unwrap();
+        assert_eq!(cov.curves[0], vec![0.25]);
+    }
+
+    #[test]
+    fn coverage_at_interpolates_between_ticks() {
+        // 15 sites, each with one new entity → coverage grows linearly.
+        let sites: Vec<Vec<EntityId>> = (0..15).map(|i| vec![e(i)]).collect();
+        let cov = k_coverage(15, &sites, 1).unwrap();
+        // ticks: 1..9, 10, 15.
+        assert_eq!(cov.coverage_at(1, 10), 10.0 / 15.0);
+        let mid = cov.coverage_at(1, 12);
+        assert!((mid - 12.0 / 15.0).abs() < 0.02, "mid {mid}");
+        // Beyond the last tick clamps.
+        assert_eq!(cov.coverage_at(1, 100), 1.0);
+        // t = 0 is 0.
+        assert_eq!(cov.coverage_at(1, 0), 0.0);
+    }
+
+    #[test]
+    fn sites_needed_finds_threshold() {
+        let sites: Vec<Vec<EntityId>> = (0..20).map(|i| vec![e(i)]).collect();
+        let cov = k_coverage(20, &sites, 1).unwrap();
+        assert_eq!(cov.sites_needed(1, 0.5), Some(10));
+        assert_eq!(cov.sites_needed(1, 1.0), Some(20));
+        assert_eq!(cov.sites_needed(1, 1.01), None);
+    }
+
+    #[test]
+    fn figure_has_one_series_per_k() {
+        let sites = vec![vec![e(0), e(1)], vec![e(0)]];
+        let cov = k_coverage(2, &sites, 10).unwrap();
+        let fig = cov.to_figure("fig1a", "Restaurants phones");
+        assert_eq!(fig.series.len(), 10);
+        assert!(fig.log_x);
+        assert!(fig.series_named("k=10").is_some());
+        // Higher k never exceeds lower k at any tick.
+        for i in 0..fig.series[0].points.len() {
+            for k in 1..10 {
+                assert!(fig.series[k].points[i].1 <= fig.series[k - 1].points[i].1);
+            }
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(k_coverage(0, &[], 1).unwrap_err(), CoverageError::NoEntities);
+        assert_eq!(
+            k_coverage(3, &[], 0).unwrap_err(),
+            CoverageError::ZeroK
+        );
+        assert_eq!(
+            k_coverage(1, &[vec![e(5)]], 1).unwrap_err(),
+            CoverageError::EntityOutOfRange {
+                entity: 5,
+                n_entities: 1
+            }
+        );
+    }
+
+    #[test]
+    fn no_sites_yields_empty_curves() {
+        let cov = k_coverage(5, &[], 3).unwrap();
+        assert!(cov.ticks.is_empty());
+        assert!(cov.curves.iter().all(Vec::is_empty));
+        assert_eq!(cov.n_nonempty_sites, 0);
+    }
+
+    #[test]
+    fn ordering_is_by_distinct_size_descending() {
+        let sites = vec![vec![e(0)], vec![e(0), e(1), e(2)], vec![e(1), e(2)]];
+        let cov = k_coverage(3, &sites, 1).unwrap();
+        assert_eq!(cov.site_order, vec![1, 2, 0]);
+        // Top-1 already covers everything.
+        assert_eq!(cov.coverage_at(1, 1), 1.0);
+    }
+}

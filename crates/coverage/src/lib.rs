@@ -1,0 +1,43 @@
+//! # webstruct-coverage
+//!
+//! The spread-of-data analyses of §3 of *An Analysis of Structured Data on
+//! the Web*:
+//!
+//! * [`kcov`] — k-coverage of the top-t sites (Figures 1–4(a));
+//! * [`setcover`] — lazy-greedy set cover vs. order-by-size (Figure 5);
+//! * [`aggregate`] — aggregate review-page coverage (Figure 4(b));
+//! * [`streaming`] — the online accumulator used when sites arrive from a
+//!   crawler rather than a sorted sweep.
+//!
+//! Inputs are plain per-site entity lists, so the same functions run on
+//! ground-truth (oracle) relations from `webstruct-corpus` and on extracted
+//! relations from `webstruct-extract`.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use webstruct_coverage::k_coverage;
+//! use webstruct_util::EntityId;
+//!
+//! let sites = vec![
+//!     vec![EntityId::new(0), EntityId::new(1)],
+//!     vec![EntityId::new(1)],
+//! ];
+//! let cov = k_coverage(2, &sites, 2).unwrap();
+//! assert_eq!(cov.coverage_at(1, 1), 1.0);  // the big site covers all
+//! assert_eq!(cov.coverage_at(2, 2), 0.5);  // only entity 1 is corroborated
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aggregate;
+pub mod kcov;
+pub mod setcover;
+pub mod streaming;
+
+pub use aggregate::{aggregate_coverage, AggregateCoverage};
+pub use kcov::{k_coverage, CoverageError, KCoverage};
+pub use streaming::StreamingCoverage;
+pub use setcover::{comparison_figure, greedy_cover, GreedyCover};

@@ -1,0 +1,285 @@
+//! The budgeted bootstrapping crawler.
+//!
+//! §5's idealised expander assumes unlimited fetches; a real discovery
+//! system pays for every search query and every site crawl. This crawler
+//! makes those costs explicit: starting from seed entities it alternates
+//! *query* steps (look up an un-queried known entity in the
+//! [`SearchIndex`]) and *fetch* steps (crawl a
+//! frontier site, harvesting its entities), under a configurable frontier
+//! policy and fetch budget. The output is a discovery trace — entities
+//! known as a function of sites fetched — which is what the frontier
+//! policies are compared on.
+
+use crate::frontier::FrontierPolicy;
+use crate::index::SearchIndex;
+use webstruct_util::ids::EntityId;
+
+/// Crawl outcome.
+#[derive(Debug, Clone)]
+pub struct CrawlResult {
+    /// Entities known at the end (including seeds that resolved).
+    pub entities_found: usize,
+    /// Sites fetched.
+    pub sites_fetched: usize,
+    /// Search queries issued.
+    pub queries_issued: u64,
+    /// Whether the crawl drained every reachable site (vs. hit the budget).
+    pub exhausted: bool,
+    /// Discovery trace: `(sites_fetched, entities_known)` after each fetch.
+    pub trace: Vec<(usize, usize)>,
+}
+
+impl CrawlResult {
+    /// Entities known after at most `fetches` fetches (0 → seeds only).
+    #[must_use]
+    pub fn entities_at(&self, fetches: usize) -> usize {
+        match self.trace.binary_search_by_key(&fetches, |&(f, _)| f) {
+            Ok(i) => self.trace[i].1,
+            Err(0) => 0,
+            Err(i) => self.trace[i - 1].1,
+        }
+    }
+}
+
+/// The crawler: owns discovery state, borrows the index and the site
+/// contents.
+pub struct Crawler<'a, P: FrontierPolicy> {
+    index: &'a SearchIndex,
+    /// Per-site entity lists (what fetching a site yields).
+    site_entities: &'a [Vec<EntityId>],
+    policy: P,
+    entity_known: Vec<bool>,
+    site_seen: Vec<bool>,
+    /// Known entities not yet queried against the index.
+    query_queue: Vec<EntityId>,
+}
+
+impl<'a, P: FrontierPolicy> Crawler<'a, P> {
+    /// Start a crawl from `seeds`.
+    #[must_use]
+    pub fn new(
+        index: &'a SearchIndex,
+        site_entities: &'a [Vec<EntityId>],
+        policy: P,
+        seeds: &[EntityId],
+    ) -> Self {
+        let mut crawler = Crawler {
+            index,
+            site_entities,
+            policy,
+            entity_known: vec![false; index.n_entities()],
+            site_seen: vec![false; site_entities.len()],
+            query_queue: Vec::new(),
+        };
+        for &s in seeds {
+            if s.index() < crawler.entity_known.len() && !crawler.entity_known[s.index()] {
+                crawler.entity_known[s.index()] = true;
+                crawler.query_queue.push(s);
+            }
+        }
+        crawler
+    }
+
+    /// Run until `fetch_budget` sites have been fetched or discovery
+    /// drains (unlimited search queries).
+    #[must_use]
+    pub fn run(self, fetch_budget: usize) -> CrawlResult {
+        self.run_with_budgets(fetch_budget, u64::MAX)
+    }
+
+    /// Run under both a fetch budget and a search-query budget. Once the
+    /// query budget is spent, known entities are no longer looked up —
+    /// discovery continues only through the already-populated frontier.
+    #[must_use]
+    pub fn run_with_budgets(mut self, fetch_budget: usize, query_budget: u64) -> CrawlResult {
+        self.index.reset_meter();
+        let mut fetched = 0usize;
+        let mut trace = Vec::new();
+        loop {
+            // Drain the query queue: every known entity gets one search,
+            // while the query budget lasts.
+            while self.index.queries_served() < query_budget {
+                let Some(entity) = self.query_queue.pop() else {
+                    break;
+                };
+                for site in self.index.query_sites(entity) {
+                    if !self.site_seen[site.index()] {
+                        self.site_seen[site.index()] = true;
+                        // The size hint a real crawler gets from result
+                        // snippets/counts; here the true mention count.
+                        let size_hint = self.site_entities[site.index()].len();
+                        self.policy.offer(site, size_hint);
+                    }
+                }
+            }
+            if fetched >= fetch_budget {
+                break;
+            }
+            // Fetch the next site per policy.
+            let Some(site) = self.policy.next() else {
+                break; // frontier drained
+            };
+            fetched += 1;
+            for &e in &self.site_entities[site.index()] {
+                if !self.entity_known[e.index()] {
+                    self.entity_known[e.index()] = true;
+                    self.query_queue.push(e);
+                }
+            }
+            trace.push((fetched, self.count_known()));
+        }
+        let exhausted = self.query_queue.is_empty() && self.policy.is_empty();
+        CrawlResult {
+            entities_found: self.count_known(),
+            sites_fetched: fetched,
+            queries_issued: self.index.queries_served(),
+            exhausted,
+            trace,
+        }
+    }
+
+    fn count_known(&self) -> usize {
+        self.entity_known.iter().filter(|&&k| k).count()
+    }
+}
+
+/// Convenience: crawl with a policy and budget in one call.
+#[must_use]
+pub fn crawl<P: FrontierPolicy>(
+    index: &SearchIndex,
+    site_entities: &[Vec<EntityId>],
+    policy: P,
+    seeds: &[EntityId],
+    fetch_budget: usize,
+) -> CrawlResult {
+    Crawler::new(index, site_entities, policy, seeds).run(fetch_budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::{Fifo, LargestFirst};
+
+    fn e(id: u32) -> EntityId {
+        EntityId::new(id)
+    }
+
+    fn chain_world() -> Vec<Vec<EntityId>> {
+        // s0: {0,1}, s1: {1,2}, s2: {2,3}
+        vec![vec![e(0), e(1)], vec![e(1), e(2)], vec![e(2), e(3)]]
+    }
+
+    #[test]
+    fn crawl_discovers_whole_chain() {
+        let world = chain_world();
+        let index = SearchIndex::build(4, &world, None);
+        let result = crawl(&index, &world, Fifo::default(), &[e(0)], 100);
+        assert_eq!(result.entities_found, 4);
+        assert_eq!(result.sites_fetched, 3);
+        assert!(result.exhausted);
+        assert!(result.queries_issued >= 4, "every entity gets queried");
+        // Trace is monotone and ends at the final count.
+        assert!(result.trace.windows(2).all(|w| w[1].1 >= w[0].1));
+        assert_eq!(result.trace.last().unwrap().1, 4);
+    }
+
+    #[test]
+    fn fetch_budget_limits_discovery() {
+        let world = chain_world();
+        let index = SearchIndex::build(4, &world, None);
+        let result = crawl(&index, &world, Fifo::default(), &[e(0)], 1);
+        assert_eq!(result.sites_fetched, 1);
+        assert!(!result.exhausted);
+        assert!(result.entities_found < 4);
+    }
+
+    #[test]
+    fn entities_at_interpolates_trace() {
+        let world = chain_world();
+        let index = SearchIndex::build(4, &world, None);
+        let result = crawl(&index, &world, Fifo::default(), &[e(0)], 100);
+        assert_eq!(result.entities_at(0), 0);
+        assert_eq!(result.entities_at(3), 4);
+        assert_eq!(result.entities_at(99), 4);
+    }
+
+    #[test]
+    fn largest_first_discovers_faster() {
+        // One giant site + many small ones; seed entity appears on both a
+        // small site and the giant. LargestFirst should fetch the giant
+        // first and know (almost) everything after one fetch.
+        let mut world: Vec<Vec<EntityId>> = Vec::new();
+        let giant: Vec<EntityId> = (0..50).map(e).collect();
+        world.push(vec![e(0), e(1)]); // small site with the seed
+        world.push(giant);
+        for i in 0..10 {
+            world.push(vec![e(i), e(i + 1)]);
+        }
+        let index = SearchIndex::build(50, &world, None);
+        let largest = crawl(&index, &world, LargestFirst::default(), &[e(0)], 1);
+        assert_eq!(largest.entities_found, 50, "giant site fetched first");
+        let fifo = crawl(&index, &world, Fifo::default(), &[e(0)], 1);
+        assert!(fifo.entities_found <= largest.entities_found);
+    }
+
+    #[test]
+    fn disconnected_component_unreachable() {
+        let world = vec![vec![e(0), e(1)], vec![e(2), e(3)]];
+        let index = SearchIndex::build(4, &world, None);
+        let result = crawl(&index, &world, Fifo::default(), &[e(0)], 100);
+        assert_eq!(result.entities_found, 2);
+        assert!(result.exhausted);
+    }
+
+    #[test]
+    fn absent_seed_discovers_nothing() {
+        let world = vec![vec![e(0)]];
+        let index = SearchIndex::build(3, &world, None);
+        let result = crawl(&index, &world, Fifo::default(), &[e(2)], 100);
+        assert_eq!(result.entities_found, 1, "the seed itself is 'known'");
+        assert_eq!(result.sites_fetched, 0);
+        assert!(result.exhausted);
+    }
+
+    #[test]
+    fn duplicate_seeds_and_zero_budget() {
+        let world = chain_world();
+        let index = SearchIndex::build(4, &world, None);
+        let result = crawl(&index, &world, Fifo::default(), &[e(0), e(0)], 0);
+        assert_eq!(result.sites_fetched, 0);
+        assert_eq!(result.entities_found, 1);
+    }
+
+    #[test]
+    fn query_budget_limits_expansion() {
+        let world = chain_world();
+        let index = SearchIndex::build(4, &world, None);
+        // One query: only the seed is looked up; its site yields e1, but
+        // e1 is never queried, so s1/s2 stay undiscovered.
+        let crawler = Crawler::new(&index, &world, Fifo::default(), &[e(0)]);
+        let result = crawler.run_with_budgets(100, 1);
+        assert_eq!(result.queries_issued, 1);
+        assert_eq!(result.sites_fetched, 1);
+        assert_eq!(result.entities_found, 2);
+        // A generous budget restores full discovery.
+        let crawler = Crawler::new(&index, &world, Fifo::default(), &[e(0)]);
+        let full = crawler.run_with_budgets(100, 100);
+        assert_eq!(full.entities_found, 4);
+    }
+
+    #[test]
+    fn result_page_caps_can_break_tail_discovery() {
+        // A real hazard of search-mediated discovery: with a 1-result
+        // page, entity 1's query returns only its top-ranked site (s0,
+        // already fetched), so the chain beyond it is never reached.
+        let world = chain_world();
+        let index = SearchIndex::build(4, &world, Some(1));
+        let capped = crawl(&index, &world, Fifo::default(), &[e(0)], 100);
+        assert_eq!(capped.entities_found, 2);
+        assert!(capped.exhausted, "the crawl drains without reaching e2/e3");
+        // A 2-result page restores full discovery.
+        let index2 = SearchIndex::build(4, &world, Some(2));
+        let uncapped = crawl(&index2, &world, Fifo::default(), &[e(0)], 100);
+        assert_eq!(uncapped.entities_found, 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! The search-engine substrate of §5's discovery loop.
+//!
+//! > "…use them to reach all sites covering these entities (for instance,
+//! > via search engines)…"
+//!
+//! A [`SearchIndex`] is an inverted index from entity identifier to the
+//! sites mentioning it — what a crawler gets by querying a search engine
+//! with an identifying attribute (a phone number, an ISBN). Lookups are
+//! metered, optionally truncated to a `max_results` page size (real
+//! engines do not return a million hits), and the cumulative query count
+//! is the discovery *cost* the experiments account for.
+
+use webstruct_util::ids::{EntityId, SiteId};
+
+/// A metered entity→sites inverted index.
+#[derive(Debug)]
+pub struct SearchIndex {
+    /// CSR posting lists: sites mentioning each entity.
+    offsets: Vec<u32>,
+    postings: Vec<u32>,
+    /// Result-page cap per query (`None` = unlimited).
+    max_results: Option<usize>,
+    /// Number of queries served so far.
+    queries_served: std::cell::Cell<u64>,
+}
+
+impl SearchIndex {
+    /// Build from per-site entity lists (the same occurrence tables every
+    /// other analysis consumes). Posting lists are ordered by site size
+    /// descending — search engines rank big authorities first — with site
+    /// id as the deterministic tiebreak.
+    ///
+    /// # Panics
+    /// Panics when an entity id is out of range.
+    #[must_use]
+    pub fn build(
+        n_entities: usize,
+        site_entities: &[Vec<EntityId>],
+        max_results: Option<usize>,
+    ) -> Self {
+        // Site sizes for ranking.
+        let sizes: Vec<usize> = site_entities.iter().map(Vec::len).collect();
+        // Count postings per entity.
+        let mut counts = vec![0u32; n_entities];
+        for list in site_entities {
+            let mut seen = list.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for e in seen {
+                assert!(e.index() < n_entities, "entity id out of range");
+                counts[e.index()] += 1;
+            }
+        }
+        let mut offsets = vec![0u32; n_entities + 1];
+        for i in 0..n_entities {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let mut postings = vec![0u32; offsets[n_entities] as usize];
+        let mut cursor = offsets[..n_entities].to_vec();
+        // Insert sites in ranked order so each posting list is ranked.
+        let mut site_order: Vec<usize> = (0..site_entities.len()).collect();
+        site_order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+        for &s in &site_order {
+            let mut seen = site_entities[s].clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for e in seen {
+                postings[cursor[e.index()] as usize] = s as u32;
+                cursor[e.index()] += 1;
+            }
+        }
+        SearchIndex {
+            offsets,
+            postings,
+            max_results,
+            queries_served: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of entities indexed.
+    #[must_use]
+    pub fn n_entities(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Query: the ranked sites mentioning `entity`, truncated to the
+    /// result-page cap. Increments the query meter.
+    #[must_use]
+    pub fn query(&self, entity: EntityId) -> &[u32] {
+        self.queries_served.set(self.queries_served.get() + 1);
+        let i = entity.index();
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        let full = &self.postings[lo..hi];
+        match self.max_results {
+            Some(cap) => &full[..full.len().min(cap)],
+            None => full,
+        }
+    }
+
+    /// Posting-list length without counting as a query.
+    #[must_use]
+    pub fn result_count(&self, entity: EntityId) -> usize {
+        let i = entity.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Total queries served so far.
+    #[must_use]
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.get()
+    }
+
+    /// Reset the query meter (between experiment arms).
+    pub fn reset_meter(&self) {
+        self.queries_served.set(0);
+    }
+
+    /// Convenience: sites of `entity` as [`SiteId`]s (metered).
+    pub fn query_sites(&self, entity: EntityId) -> impl Iterator<Item = SiteId> + '_ {
+        self.query(entity).iter().map(|&s| SiteId::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u32) -> EntityId {
+        EntityId::new(id)
+    }
+
+    fn toy_index(cap: Option<usize>) -> SearchIndex {
+        // site 0 (big): {0,1,2}; site 1: {1}; site 2: {1,2}
+        SearchIndex::build(
+            3,
+            &[vec![e(0), e(1), e(2)], vec![e(1)], vec![e(1), e(2)]],
+            cap,
+        )
+    }
+
+    #[test]
+    fn posting_lists_are_ranked_by_site_size() {
+        let idx = toy_index(None);
+        assert_eq!(idx.query(e(1)), &[0, 2, 1]);
+        assert_eq!(idx.query(e(2)), &[0, 2]);
+        assert_eq!(idx.query(e(0)), &[0]);
+        assert_eq!(idx.n_entities(), 3);
+    }
+
+    #[test]
+    fn result_cap_truncates() {
+        let idx = toy_index(Some(2));
+        assert_eq!(idx.query(e(1)), &[0, 2]);
+        assert_eq!(idx.result_count(e(1)), 3, "true count is uncapped");
+    }
+
+    #[test]
+    fn query_meter_counts() {
+        let idx = toy_index(None);
+        assert_eq!(idx.queries_served(), 0);
+        let _ = idx.query(e(0));
+        let _ = idx.query(e(1));
+        assert_eq!(idx.queries_served(), 2);
+        let _ = idx.result_count(e(2)); // free
+        assert_eq!(idx.queries_served(), 2);
+        idx.reset_meter();
+        assert_eq!(idx.queries_served(), 0);
+    }
+
+    #[test]
+    fn duplicates_in_input_collapse() {
+        let idx = SearchIndex::build(2, &[vec![e(0), e(0), e(1)]], None);
+        assert_eq!(idx.query(e(0)), &[0]);
+    }
+
+    #[test]
+    fn unmentioned_entity_has_empty_postings() {
+        let idx = SearchIndex::build(3, &[vec![e(0)]], None);
+        assert!(idx.query(e(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = SearchIndex::build(1, &[vec![e(3)]], None);
+    }
+}

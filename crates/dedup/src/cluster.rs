@@ -1,0 +1,244 @@
+//! Match scoring and clustering: from candidate pairs to merged entities.
+
+use crate::blocking::{candidate_pairs, Blocking};
+use crate::records::Record;
+use crate::similarity::name_similarity;
+use webstruct_util::hash::FxHashMap;
+
+/// Matcher parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchConfig {
+    /// Name-similarity threshold for a match without phone evidence.
+    pub name_threshold: f64,
+    /// Name-similarity threshold when phones agree (much weaker evidence
+    /// needed).
+    pub name_threshold_phone_match: f64,
+    /// Whether disagreeing phones veto a match outright.
+    pub phone_veto: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            name_threshold: 0.82,
+            name_threshold_phone_match: 0.45,
+            phone_veto: true,
+        }
+    }
+}
+
+/// Pairwise decision: do two records describe the same entity?
+#[must_use]
+pub fn is_match(a: &Record, b: &Record, config: &MatchConfig) -> bool {
+    let sim = name_similarity(&a.name, &b.name);
+    match (a.phone, b.phone) {
+        (Some(pa), Some(pb)) if pa == pb => sim >= config.name_threshold_phone_match,
+        (Some(_), Some(_)) if config.phone_veto => false,
+        _ => sim >= config.name_threshold,
+    }
+}
+
+/// The result of clustering records.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster id per record.
+    pub assignment: Vec<u32>,
+    /// Number of clusters.
+    pub n_clusters: usize,
+}
+
+/// Cluster records: score candidate pairs, union the matches.
+#[must_use]
+pub fn cluster(records: &[Record], blocking: Blocking, config: &MatchConfig) -> Clustering {
+    let mut parent: Vec<u32> = (0..records.len() as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let g = parent[parent[x as usize] as usize];
+            parent[x as usize] = g;
+            x = g;
+        }
+        x
+    }
+    for (a, b) in candidate_pairs(records, blocking) {
+        if is_match(&records[a as usize], &records[b as usize], config) {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[rb as usize] = ra;
+            }
+        }
+    }
+    // Densify cluster ids.
+    let mut dense: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut assignment = Vec::with_capacity(records.len());
+    for i in 0..records.len() as u32 {
+        let root = find(&mut parent, i);
+        let next = dense.len() as u32;
+        let id = *dense.entry(root).or_insert(next);
+        assignment.push(id);
+    }
+    Clustering {
+        n_clusters: dense.len(),
+        assignment,
+    }
+}
+
+/// Pairwise precision/recall/F1 of a clustering against record truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DedupReport {
+    /// Blocking strategy used.
+    pub blocking: Blocking,
+    /// Number of predicted clusters.
+    pub n_clusters: usize,
+    /// Number of true entities among the records.
+    pub n_truth: usize,
+    /// Pairwise precision.
+    pub precision: f64,
+    /// Pairwise recall.
+    pub recall: f64,
+}
+
+impl DedupReport {
+    /// Pairwise F1.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.precision * self.recall / (self.precision + self.recall)
+    }
+}
+
+/// Cluster and evaluate in one call.
+#[must_use]
+pub fn dedup_and_evaluate(
+    records: &[Record],
+    blocking: Blocking,
+    config: &MatchConfig,
+) -> DedupReport {
+    let clustering = cluster(records, blocking, config);
+    // Pairwise counts via cluster/truth contingency.
+    let mut cluster_sizes: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut truth_sizes: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut cell: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    for (r, &c) in records.iter().zip(&clustering.assignment) {
+        *cluster_sizes.entry(c).or_insert(0) += 1;
+        *truth_sizes.entry(r.truth.raw()).or_insert(0) += 1;
+        *cell.entry((c, r.truth.raw())).or_insert(0) += 1;
+    }
+    let pairs = |n: u64| n * (n.saturating_sub(1)) / 2;
+    let predicted: u64 = cluster_sizes.values().map(|&n| pairs(n)).sum();
+    let actual: u64 = truth_sizes.values().map(|&n| pairs(n)).sum();
+    let correct: u64 = cell.values().map(|&n| pairs(n)).sum();
+    DedupReport {
+        blocking,
+        n_clusters: clustering.n_clusters,
+        n_truth: truth_sizes.len(),
+        precision: if predicted == 0 {
+            1.0
+        } else {
+            correct as f64 / predicted as f64
+        },
+        recall: if actual == 0 {
+            1.0
+        } else {
+            correct as f64 / actual as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{generate_records, VariantModel};
+    use webstruct_corpus::domain::Domain;
+    use webstruct_corpus::entity::{CatalogConfig, EntityCatalog};
+    use webstruct_util::ids::{EntityId, RegionId, SiteId};
+    use webstruct_util::rng::Seed;
+
+    fn rec(id: u32, name: &str, phone: Option<u64>, truth: u32) -> Record {
+        Record {
+            id,
+            site: SiteId::new(0),
+            name: name.to_string(),
+            phone,
+            region: RegionId::new(0),
+            truth: EntityId::new(truth),
+        }
+    }
+
+    #[test]
+    fn phone_agreement_lowers_the_bar() {
+        let cfg = MatchConfig::default();
+        let a = rec(0, "Golden Dragon Cafe", Some(4_155_550_134), 0);
+        let b = rec(1, "G D C Restaurant Group", Some(4_155_550_134), 0);
+        // Weak name similarity, but phones agree.
+        assert!(is_match(&a, &b, &cfg) || name_similarity(&a.name, &b.name) < 0.45);
+        let c = rec(2, "Golden Dragon Cafe", Some(2_125_559_999), 0);
+        assert!(!is_match(&a, &c, &cfg), "phone veto applies");
+        let mut no_veto = cfg;
+        no_veto.phone_veto = false;
+        assert!(is_match(&a, &c, &no_veto), "identical names match sans veto");
+    }
+
+    #[test]
+    fn missing_phone_falls_back_to_names() {
+        let cfg = MatchConfig::default();
+        let a = rec(0, "Golden Dragon Cafe", None, 0);
+        let b = rec(1, "Golden Dragon", Some(1), 0);
+        assert!(is_match(&a, &b, &cfg) == (name_similarity(&a.name, &b.name) >= 0.82));
+    }
+
+    #[test]
+    fn end_to_end_dedup_quality() {
+        let catalog =
+            EntityCatalog::generate(&CatalogConfig::new(Domain::Restaurants, 300), Seed(111));
+        let records = generate_records(&catalog, 4, &VariantModel::default(), Seed(112));
+        let report = dedup_and_evaluate(&records, Blocking::PhoneOrName, &MatchConfig::default());
+        assert!(report.precision > 0.97, "precision {}", report.precision);
+        assert!(report.recall > 0.80, "recall {}", report.recall);
+        assert!(report.f1() > 0.88, "f1 {}", report.f1());
+        // Cluster count lands near the true entity count.
+        let ratio = report.n_clusters as f64 / report.n_truth as f64;
+        assert!((0.8..1.5).contains(&ratio), "cluster/truth ratio {ratio}");
+    }
+
+    #[test]
+    fn clean_records_dedup_perfectly() {
+        let catalog =
+            EntityCatalog::generate(&CatalogConfig::new(Domain::Banks, 150), Seed(113));
+        let clean = VariantModel {
+            drop_suffix: 0.0,
+            typo: 0.0,
+            missing_phone: 0.0,
+            wrong_phone: 0.0,
+        };
+        let records = generate_records(&catalog, 3, &clean, Seed(114));
+        let report = dedup_and_evaluate(&records, Blocking::PhoneOrName, &MatchConfig::default());
+        assert_eq!(report.precision, 1.0);
+        assert_eq!(report.recall, 1.0);
+        assert_eq!(report.n_clusters, report.n_truth);
+    }
+
+    #[test]
+    fn singleton_records_stay_apart() {
+        let records = vec![
+            rec(0, "Alpha Bistro", Some(1_234), 0),
+            rec(1, "Omega Grill", Some(5_678), 1),
+        ];
+        let clustering = cluster(&records, Blocking::PhoneOrName, &MatchConfig::default());
+        assert_eq!(clustering.n_clusters, 2);
+        assert_ne!(clustering.assignment[0], clustering.assignment[1]);
+    }
+
+    #[test]
+    fn report_f1_edge_cases() {
+        let r = DedupReport {
+            blocking: Blocking::Phone,
+            n_clusters: 0,
+            n_truth: 0,
+            precision: 0.0,
+            recall: 0.0,
+        };
+        assert_eq!(r.f1(), 0.0);
+    }
+}

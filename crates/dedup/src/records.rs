@@ -1,0 +1,212 @@
+//! Listing records and the variant model.
+//!
+//! Different sites render the same business differently: truncated names,
+//! typos, missing phones. This module turns catalog entities into the
+//! noisy per-site records a real extraction run would produce, retaining
+//! ground truth for evaluation.
+
+use webstruct_corpus::entity::EntityCatalog;
+use webstruct_util::ids::{EntityId, RegionId, SiteId};
+use webstruct_util::rng::{Seed, Xoshiro256};
+
+/// One extracted listing record.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Dense record id.
+    pub id: u32,
+    /// The site the record came from.
+    pub site: SiteId,
+    /// Rendered (possibly corrupted) name.
+    pub name: String,
+    /// Extracted phone digits, when the site exposed one.
+    pub phone: Option<u64>,
+    /// The record's region.
+    pub region: RegionId,
+    /// Ground truth: the entity this record describes.
+    pub truth: EntityId,
+}
+
+/// Corruption rates for record generation.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantModel {
+    /// P(drop the trailing name token) — "Golden Dragon Cafe" → "Golden
+    /// Dragon".
+    pub drop_suffix: f64,
+    /// P(typo: swap two adjacent characters).
+    pub typo: f64,
+    /// P(the phone is missing from the record).
+    pub missing_phone: f64,
+    /// P(the phone digits are wrong — a stale or mistyped listing).
+    pub wrong_phone: f64,
+}
+
+impl Default for VariantModel {
+    fn default() -> Self {
+        VariantModel {
+            drop_suffix: 0.25,
+            typo: 0.15,
+            missing_phone: 0.30,
+            wrong_phone: 0.03,
+        }
+    }
+}
+
+/// Generate `per_entity` records for each catalog entity.
+///
+/// # Panics
+/// Panics when probabilities are outside `[0, 1]` or `per_entity == 0`.
+#[must_use]
+pub fn generate_records(
+    catalog: &EntityCatalog,
+    per_entity: usize,
+    model: &VariantModel,
+    seed: Seed,
+) -> Vec<Record> {
+    assert!(per_entity > 0, "need at least one record per entity");
+    for p in [
+        model.drop_suffix,
+        model.typo,
+        model.missing_phone,
+        model.wrong_phone,
+    ] {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    }
+    let mut rng = Xoshiro256::from_seed(seed.derive("records"));
+    let mut records = Vec::with_capacity(catalog.len() * per_entity);
+    for entity in &catalog.entities {
+        for copy in 0..per_entity {
+            let mut name = entity.name.clone();
+            // The first copy is the canonical listing; later copies vary.
+            if copy > 0 {
+                if rng.bool_with(model.drop_suffix) {
+                    if let Some(pos) = name.rfind(' ') {
+                        name.truncate(pos);
+                    }
+                }
+                if rng.bool_with(model.typo) {
+                    name = swap_typo(&name, &mut rng);
+                }
+            }
+            let phone = entity.phone.map(webstruct_corpus::phone::PhoneNumber::digits);
+            let phone = if rng.bool_with(model.missing_phone) {
+                None
+            } else if rng.bool_with(model.wrong_phone) {
+                phone.map(|p| {
+                    let line = p % 10_000;
+                    p - line + (line + 1 + rng.u64_below(9_998)) % 10_000
+                })
+            } else {
+                phone
+            };
+            records.push(Record {
+                id: records.len() as u32,
+                site: SiteId::new(copy as u32),
+                name,
+                phone,
+                region: entity.region,
+                truth: entity.id,
+            });
+        }
+    }
+    records
+}
+
+fn swap_typo(name: &str, rng: &mut Xoshiro256) -> String {
+    let mut chars: Vec<char> = name.chars().collect();
+    // Find a swappable pair of alphabetic neighbours.
+    let candidates: Vec<usize> = (0..chars.len().saturating_sub(1))
+        .filter(|&i| chars[i].is_alphabetic() && chars[i + 1].is_alphabetic())
+        .collect();
+    if let Some(&i) = rng.choose(&candidates) {
+        chars.swap(i, i + 1);
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webstruct_corpus::domain::Domain;
+    use webstruct_corpus::entity::CatalogConfig;
+
+    fn catalog() -> EntityCatalog {
+        EntityCatalog::generate(&CatalogConfig::new(Domain::Restaurants, 200), Seed(91))
+    }
+
+    #[test]
+    fn generates_per_entity_records_with_truth() {
+        let c = catalog();
+        let records = generate_records(&c, 3, &VariantModel::default(), Seed(92));
+        assert_eq!(records.len(), 600);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.id as usize, i);
+            assert!(r.truth.index() < c.len());
+        }
+        // Every entity appears exactly 3 times in truth.
+        let mut counts = vec![0; c.len()];
+        for r in &records {
+            counts[r.truth.index()] += 1;
+        }
+        assert!(counts.iter().all(|&n| n == 3));
+    }
+
+    #[test]
+    fn first_copy_is_canonical() {
+        let c = catalog();
+        let records = generate_records(&c, 2, &VariantModel::default(), Seed(93));
+        for chunk in records.chunks(2) {
+            let truth_name = &c.entity(chunk[0].truth).name;
+            assert_eq!(&chunk[0].name, truth_name, "copy 0 is unmodified");
+        }
+    }
+
+    #[test]
+    fn variants_actually_vary() {
+        let c = catalog();
+        let records = generate_records(&c, 4, &VariantModel::default(), Seed(94));
+        let modified = records
+            .iter()
+            .filter(|r| r.name != c.entity(r.truth).name)
+            .count();
+        assert!(modified > 50, "only {modified} modified names");
+        let missing = records.iter().filter(|r| r.phone.is_none()).count();
+        let frac = missing as f64 / records.len() as f64;
+        assert!((0.2..0.4).contains(&frac), "missing-phone fraction {frac}");
+    }
+
+    #[test]
+    fn zero_noise_model_produces_clean_records() {
+        let c = catalog();
+        let clean = VariantModel {
+            drop_suffix: 0.0,
+            typo: 0.0,
+            missing_phone: 0.0,
+            wrong_phone: 0.0,
+        };
+        let records = generate_records(&c, 2, &clean, Seed(95));
+        for r in &records {
+            assert_eq!(r.name, c.entity(r.truth).name);
+            assert_eq!(r.phone, c.entity(r.truth).phone.map(|p| p.digits()));
+        }
+    }
+
+    #[test]
+    fn swap_typo_preserves_charset() {
+        let mut rng = Xoshiro256::from_seed(Seed(96));
+        for _ in 0..50 {
+            let t = swap_typo("Golden Dragon", &mut rng);
+            let mut a: Vec<char> = t.chars().collect();
+            let mut b: Vec<char> = "Golden Dragon".chars().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_copies_rejected() {
+        let c = catalog();
+        let _ = generate_records(&c, 0, &VariantModel::default(), Seed(97));
+    }
+}

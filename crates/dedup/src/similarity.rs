@@ -1,0 +1,178 @@
+//! String similarity for record matching.
+//!
+//! Implements the standard measures used by listing-deduplication systems:
+//! Jaro, Jaro–Winkler, and token-set Jaccard over normalised names.
+
+/// Normalise a listing name: lowercase, collapse whitespace, strip
+/// punctuation.
+#[must_use]
+pub fn normalize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut last_space = true;
+    for c in name.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Jaro similarity in `[0, 1]`.
+#[must_use]
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare matched sequences in order.
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter(|&(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(&matches_b)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by shared prefix (up to 4
+/// chars), standard scaling factor 0.1.
+#[must_use]
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let base = jaro(a, b);
+    if base <= 0.7 {
+        return base;
+    }
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    base + prefix as f64 * 0.1 * (1.0 - base)
+}
+
+/// Token-set Jaccard over whitespace tokens of the *normalised* names.
+#[must_use]
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let ta: std::collections::BTreeSet<&str> = a.split_whitespace().collect();
+    let tb: std::collections::BTreeSet<&str> = b.split_whitespace().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    let union = ta.union(&tb).count();
+    inter as f64 / union as f64
+}
+
+/// The combined name similarity used by the matcher: the mean of
+/// Jaro–Winkler (character-level typos) and token Jaccard (word-level
+/// edits), over normalised inputs.
+#[must_use]
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let na = normalize(a);
+    let nb = normalize(b);
+    (jaro_winkler(&na, &nb) + token_jaccard(&na, &nb)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize("Golden  Dragon, Cafe!"), "golden dragon cafe");
+        assert_eq!(normalize("  A&B  "), "a b");
+        assert_eq!(normalize(""), "");
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Classic textbook pairs.
+        assert!((jaro("martha", "marhta") - 0.9444).abs() < 1e-3);
+        assert!((jaro("dixon", "dicksonx") - 0.7667).abs() < 1e-3);
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_shared_prefixes() {
+        let jw = jaro_winkler("martha", "marhta");
+        assert!((jw - 0.9611).abs() < 1e-3);
+        assert!(jw > jaro("martha", "marhta"));
+        // No boost below the 0.7 threshold.
+        assert_eq!(jaro_winkler("abc", "xyz"), jaro("abc", "xyz"));
+    }
+
+    #[test]
+    fn jaccard_counts_tokens() {
+        assert_eq!(token_jaccard("golden dragon cafe", "golden dragon"), 2.0 / 3.0);
+        assert_eq!(token_jaccard("a b", "a b"), 1.0);
+        assert_eq!(token_jaccard("", ""), 1.0);
+        assert_eq!(token_jaccard("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn name_similarity_tolerates_realistic_variants() {
+        let full = "Golden Dragon Cafe";
+        assert!(name_similarity(full, "Golden Dragon Cafe") > 0.99);
+        assert!(name_similarity(full, "Golden Dragon") > 0.75);
+        assert!(name_similarity(full, "Goldn Dragon Cafe") > 0.7); // typo
+        assert!(name_similarity(full, "Prairie Crown Grill") < 0.5);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let pairs = [
+            ("Golden Dragon Cafe", "Golden Dragon"),
+            ("martha", "marhta"),
+            ("", "x"),
+        ];
+        for (a, b) in pairs {
+            for f in [jaro, jaro_winkler, token_jaccard, name_similarity] {
+                let ab = f(a, b);
+                let ba = f(b, a);
+                assert!((ab - ba).abs() < 1e-12, "asymmetric on {a:?}/{b:?}");
+                assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+}

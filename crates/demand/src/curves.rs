@@ -1,0 +1,183 @@
+//! The aggregate demand curves of Figure 6: cumulative demand vs.
+//! normalized inventory (CDF) and demand share vs. rank (PDF, log-log).
+
+use crate::model::TrafficStudy;
+use webstruct_util::report::{Figure, Series};
+use webstruct_util::stats::cumulative_share_curve;
+
+/// Which traffic channel to plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// Search-log demand (raw demand).
+    Search,
+    /// Browse-log demand (on-site traffic).
+    Browse,
+}
+
+impl Channel {
+    /// Label used in figure ids/titles.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Channel::Search => "search",
+            Channel::Browse => "browse",
+        }
+    }
+}
+
+fn demand_of(study: &TrafficStudy, channel: Channel) -> &[u32] {
+    match channel {
+        Channel::Search => &study.demand_search,
+        Channel::Browse => &study.demand_browse,
+    }
+}
+
+/// Demand values sorted descending (the rank axis of both plots).
+#[must_use]
+pub fn demand_sorted_desc(study: &TrafficStudy, channel: Channel) -> Vec<f64> {
+    let mut v: Vec<f64> = demand_of(study, channel)
+        .iter()
+        .map(|&d| f64::from(d))
+        .collect();
+    v.sort_by(|a, b| b.partial_cmp(a).expect("demand is finite"));
+    v
+}
+
+/// One site's CDF series: cumulative demand fraction vs. inventory
+/// fraction (Figure 6(a)/(c)).
+#[must_use]
+pub fn cdf_series(study: &TrafficStudy, channel: Channel, points: usize) -> Series {
+    let sorted = demand_sorted_desc(study, channel);
+    Series::new(study.site.slug(), cumulative_share_curve(&sorted, points))
+}
+
+/// One site's PDF series: per-rank share of total demand, on log-log axes
+/// (Figure 6(b)/(d)). Zero-demand ranks are omitted (they cannot render on
+/// a log axis).
+#[must_use]
+pub fn pdf_series(study: &TrafficStudy, channel: Channel) -> Series {
+    let sorted = demand_sorted_desc(study, channel);
+    let total: f64 = sorted.iter().sum();
+    let points = sorted
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d > 0.0 && total > 0.0)
+        .map(|(rank, &d)| ((rank + 1) as f64, d / total))
+        .collect();
+    Series::new(study.site.slug(), points)
+}
+
+/// Figure 6(a)/(c): CDFs of all studies on one channel.
+#[must_use]
+pub fn cdf_figure(studies: &[&TrafficStudy], channel: Channel) -> Figure {
+    let mut fig = Figure::new(
+        format!("fig6-cdf-{}", channel.slug()),
+        format!("cdf for {} data", channel.slug()),
+    )
+    .with_axes("normalized inventory", "cumulative demand");
+    for study in studies {
+        fig.push(cdf_series(study, channel, 101));
+    }
+    fig
+}
+
+/// Figure 6(b)/(d): per-rank demand share, log-log.
+#[must_use]
+pub fn pdf_figure(studies: &[&TrafficStudy], channel: Channel) -> Figure {
+    let mut fig = Figure::new(
+        format!("fig6-pdf-{}", channel.slug()),
+        format!("pdf for {} data", channel.slug()),
+    )
+    .with_axes("rank", "percentage of demand")
+    .with_log_x()
+    .with_log_y();
+    for study in studies {
+        fig.push(pdf_series(study, channel));
+    }
+    fig
+}
+
+/// Demand share captured by the top `frac` of the inventory — the paper's
+/// headline comparison ("top 20% of movie titles account for more than 90%
+/// of the overall demand on IMDb, top 20% of business entities account for
+/// only 60% on Yelp").
+#[must_use]
+pub fn top_share(study: &TrafficStudy, channel: Channel, frac: f64) -> f64 {
+    let sorted = demand_sorted_desc(study, channel);
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let k = ((sorted.len() as f64 * frac).round() as usize).min(sorted.len());
+    sorted[..k].iter().sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StudySite, TrafficConfig};
+    use webstruct_util::rng::Seed;
+
+    fn study(site: StudySite) -> TrafficStudy {
+        TrafficStudy::simulate(&TrafficConfig::preset(site).scaled(0.05), Seed(8))
+    }
+
+    #[test]
+    fn cdf_series_endpoints() {
+        let s = study(StudySite::Yelp);
+        let series = cdf_series(&s, Channel::Search, 51);
+        assert_eq!(series.points.first().unwrap(), &(0.0, 0.0));
+        let last = series.points.last().unwrap();
+        assert!((last.0 - 1.0).abs() < 1e-12);
+        assert!((last.1 - 1.0).abs() < 1e-9);
+        // Monotone.
+        assert!(series.points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-12));
+    }
+
+    #[test]
+    fn pdf_series_is_normalized_and_decreasing() {
+        let s = study(StudySite::Amazon);
+        let series = pdf_series(&s, Channel::Browse);
+        let sum: f64 = series.points.iter().map(|&(_, y)| y).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Ranks sorted descending by demand → shares non-increasing.
+        assert!(series
+            .points
+            .windows(2)
+            .all(|w| w[1].1 <= w[0].1 + 1e-12));
+    }
+
+    #[test]
+    fn imdb_top20_beats_yelp_top20() {
+        let imdb = study(StudySite::Imdb);
+        let yelp = study(StudySite::Yelp);
+        let si = top_share(&imdb, Channel::Search, 0.2);
+        let sy = top_share(&yelp, Channel::Search, 0.2);
+        assert!(si > 0.8, "imdb top-20% share {si}");
+        assert!(sy < si, "yelp {sy} must be flatter than imdb {si}");
+        assert!(sy > 0.2, "even yelp is head-skewed");
+    }
+
+    #[test]
+    fn figures_have_one_series_per_site() {
+        let studies = [
+            study(StudySite::Imdb),
+            study(StudySite::Amazon),
+            study(StudySite::Yelp),
+        ];
+        let refs: Vec<&TrafficStudy> = studies.iter().collect();
+        let cdf = cdf_figure(&refs, Channel::Search);
+        assert_eq!(cdf.series.len(), 3);
+        assert!(cdf.series_named("imdb").is_some());
+        let pdf = pdf_figure(&refs, Channel::Browse);
+        assert_eq!(pdf.series.len(), 3);
+        assert!(pdf.log_x && pdf.log_y);
+    }
+
+    #[test]
+    fn top_share_edge_cases() {
+        let s = study(StudySite::Yelp);
+        assert_eq!(top_share(&s, Channel::Search, 0.0), 0.0);
+        assert!((top_share(&s, Channel::Search, 1.0) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! # webstruct-demand
+//!
+//! The value-of-tail-extraction analyses of §4 of *An Analysis of
+//! Structured Data on the Web*:
+//!
+//! * [`model`] — a deterministic year of search/browse traffic with
+//!   unique-cookie demand counting, plus per-entity review inventories,
+//!   for Amazon-, Yelp- and IMDb-like sites;
+//! * [`curves`] — aggregate demand CDFs/PDFs (Figure 6);
+//! * [`value`] — demand vs. availability and the relative value-add
+//!   `VA(n)/VA(0)` of one new review (Figures 7–8), with pluggable
+//!   information-decay models.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use webstruct_demand::{StudySite, TrafficConfig, TrafficStudy};
+//! use webstruct_util::Seed;
+//!
+//! let cfg = TrafficConfig::preset(StudySite::Yelp).scaled(0.01);
+//! let study = TrafficStudy::simulate(&cfg, Seed::DEFAULT);
+//! assert!(study.total_search() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod curves;
+pub mod estimate;
+pub mod model;
+pub mod value;
+
+pub use curves::{cdf_figure, pdf_figure, top_share, Channel};
+pub use estimate::{estimate_demand, DemandEstimate};
+pub use model::{ReviewModel, StudySite, TrafficConfig, TrafficStudy, UserTailStats};
+pub use value::{fig7, fig8, review_bins, value_add_series, InfoDecay, ReviewBin};

@@ -1,0 +1,556 @@
+//! The traffic simulator: the stand-in for one year of Yahoo! Search logs
+//! ("search") and Yahoo! Toolbar logs ("browse"), §4.1 of the paper.
+//!
+//! We simulate a user population clicking entity pages on three
+//! review-rich sites — product (Amazon-like), local-business (Yelp-like)
+//! and movie (IMDb-like) inventories. Demand for an entity is the number
+//! of unique cookies that visited it: per-month uniques summed over the
+//! year for search (the paper's footnote 2), per-year uniques for browse.
+//!
+//! The generative knobs encode the qualitative structure the paper
+//! reports: movie demand is the most concentrated ("a top movie title can
+//! be watched by millions of people at the same time"), local-business
+//! demand the flattest; every user carries some niche interest (the
+//! Goel et al. observation the paper cites); and review availability
+//! decays *faster* toward the tail than demand does — which is the
+//! paper's headline §4 finding, emerging here from `review_rho >
+//! demand exponents` rather than being asserted.
+
+use webstruct_util::hash::FxHashSet;
+use webstruct_util::rng::{Seed, Xoshiro256};
+use webstruct_util::sample::{AliasTable, Zipf};
+
+/// The three studied sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StudySite {
+    /// Product inventory (Amazon-like).
+    Amazon,
+    /// Local-business inventory (Yelp-like).
+    Yelp,
+    /// Movie inventory (IMDb-like).
+    Imdb,
+}
+
+impl StudySite {
+    /// All three, in the paper's plotting order.
+    pub const ALL: [StudySite; 3] = [StudySite::Imdb, StudySite::Amazon, StudySite::Yelp];
+
+    /// Lowercase label used in figures.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            StudySite::Amazon => "amazon",
+            StudySite::Yelp => "yelp",
+            StudySite::Imdb => "imdb",
+        }
+    }
+}
+
+impl std::fmt::Display for StudySite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// How a site's review inventory relates to entity popularity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReviewModel {
+    /// Expected reviews `scale · percentile^rho`, where percentile is the
+    /// entity's popularity percentile in `(0, 1]`. With `rho` above the
+    /// demand exponent this makes availability decay *faster* than demand
+    /// toward the tail — the Amazon/Yelp regime of Figure 8.
+    PercentilePower {
+        /// Expected reviews of the top entity.
+        scale: f64,
+        /// Decay exponent.
+        rho: f64,
+    },
+    /// Expected reviews `lin · E[demand] + quad · E[demand]²`, capped.
+    /// Linear accumulation in the mid-range plus a quadratic pile-on for
+    /// blockbusters (the reviewer micro-community effect of Gilbert &
+    /// Karahalios, cited in §4.3 of the paper) — the IMDb regime, which
+    /// produces the paper's mid-range value-add bump.
+    DemandPolynomial {
+        /// Reviews per expected visit in the linear regime.
+        lin: f64,
+        /// Quadratic pile-on coefficient.
+        quad: f64,
+        /// Hard cap on expected reviews.
+        cap: f64,
+    },
+}
+
+impl ReviewModel {
+    /// Expected review count for an entity with popularity percentile
+    /// `percentile` and analytically expected demand `expected_demand`.
+    #[must_use]
+    pub fn expected(self, percentile: f64, expected_demand: f64) -> f64 {
+        match self {
+            ReviewModel::PercentilePower { scale, rho } => scale * percentile.powf(rho),
+            ReviewModel::DemandPolynomial { lin, quad, cap } => {
+                (lin * expected_demand + quad * expected_demand * expected_demand).min(cap)
+            }
+        }
+    }
+}
+
+/// Configuration of one site's traffic study.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Which site.
+    pub site: StudySite,
+    /// Inventory size (entity pages).
+    pub n_entities: usize,
+    /// User population (cookies).
+    pub n_users: usize,
+    /// Search click events over the year.
+    pub search_events: usize,
+    /// Browse click events over the year.
+    pub browse_events: usize,
+    /// Zipf exponent of the *interest* distribution over entities for
+    /// search traffic (raw demand).
+    pub search_alpha: f64,
+    /// Same for browse traffic (shaped by on-site navigation).
+    pub browse_alpha: f64,
+    /// Optional exponential tail cutoff: interest is multiplied by
+    /// `exp(-rank / (cutoff_frac * n))`. Movies use this — tail-movie
+    /// demand collapses much faster than a power law.
+    pub demand_tail_cutoff: Option<f64>,
+    /// Probability a click goes to the user's personal niche set instead
+    /// of the global interest distribution.
+    pub niche_frac: f64,
+    /// Size of each user's niche set.
+    pub niche_size: usize,
+    /// Zipf exponent of user activity.
+    pub user_alpha: f64,
+    /// The review-inventory model.
+    pub review_model: ReviewModel,
+}
+
+impl TrafficConfig {
+    /// Calibrated preset per site at a default laptop scale.
+    #[must_use]
+    pub fn preset(site: StudySite) -> Self {
+        match site {
+            // Products: mid concentration, deep inventory, many reviews.
+            StudySite::Amazon => TrafficConfig {
+                site,
+                n_entities: 40_000,
+                n_users: 30_000,
+                search_events: 600_000,
+                browse_events: 600_000,
+                search_alpha: 0.95,
+                browse_alpha: 1.05,
+                demand_tail_cutoff: None,
+                niche_frac: 0.25,
+                niche_size: 8,
+                user_alpha: 0.8,
+                review_model: ReviewModel::PercentilePower {
+                    scale: 1_500.0,
+                    rho: 2.6,
+                },
+            },
+            // Local businesses: flattest demand.
+            StudySite::Yelp => TrafficConfig {
+                site,
+                n_entities: 20_000,
+                n_users: 30_000,
+                search_events: 400_000,
+                browse_events: 400_000,
+                search_alpha: 0.65,
+                browse_alpha: 0.7,
+                demand_tail_cutoff: None,
+                niche_frac: 0.35,
+                niche_size: 10,
+                user_alpha: 0.8,
+                review_model: ReviewModel::PercentilePower {
+                    scale: 1_000.0,
+                    rho: 2.2,
+                },
+            },
+            // Movies: sharpest demand with a hard tail collapse.
+            StudySite::Imdb => TrafficConfig {
+                site,
+                n_entities: 8_000,
+                n_users: 30_000,
+                search_events: 500_000,
+                browse_events: 500_000,
+                search_alpha: 1.25,
+                browse_alpha: 1.4,
+                demand_tail_cutoff: Some(0.45),
+                niche_frac: 0.05,
+                niche_size: 5,
+                user_alpha: 0.8,
+                review_model: ReviewModel::DemandPolynomial {
+                    lin: 0.05,
+                    quad: 1e-5,
+                    cap: 50_000.0,
+                },
+            },
+        }
+    }
+
+    /// Scale entity/user/event counts by `factor` (for tests and benches).
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scale = |v: usize| ((v as f64 * factor).round() as usize).max(16);
+        self.n_entities = scale(self.n_entities);
+        self.n_users = scale(self.n_users);
+        self.search_events = scale(self.search_events);
+        self.browse_events = scale(self.browse_events);
+        self
+    }
+}
+
+/// User-level tail statistics — the paper's §4.2 discussion of Goel et
+/// al.: *"nearly every user had some niche interests represented in the
+/// tail, even though these tail entities may only account for a small
+/// fraction of the total demand."* Tail = entities outside the top 20% of
+/// the inventory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserTailStats {
+    /// Users with at least one counted visit.
+    pub active_users: usize,
+    /// Users with at least one counted visit to a tail entity.
+    pub users_touching_tail: usize,
+    /// Users with >= 20% of their counted visits on tail entities
+    /// ("regularly" per the cited study).
+    pub regular_tail_users: usize,
+    /// Fraction of all counted visits that hit tail entities.
+    pub tail_demand_share: f64,
+}
+
+impl UserTailStats {
+    /// Fraction of active users who touched the tail at least once.
+    #[must_use]
+    pub fn touching_fraction(&self) -> f64 {
+        if self.active_users == 0 {
+            return 0.0;
+        }
+        self.users_touching_tail as f64 / self.active_users as f64
+    }
+
+    /// Fraction of active users who are regular tail consumers.
+    #[must_use]
+    pub fn regular_fraction(&self) -> f64 {
+        if self.active_users == 0 {
+            return 0.0;
+        }
+        self.regular_tail_users as f64 / self.active_users as f64
+    }
+}
+
+/// The simulated year of traffic plus the site's review inventory.
+#[derive(Debug, Clone)]
+pub struct TrafficStudy {
+    /// Which site this is.
+    pub site: StudySite,
+    /// Review count per entity (index = entity rank).
+    pub reviews: Vec<u32>,
+    /// Search demand per entity: unique (cookie, month) visits.
+    pub demand_search: Vec<u32>,
+    /// Browse demand per entity: unique cookies over the year.
+    pub demand_browse: Vec<u32>,
+    /// User-level tail statistics for the search channel.
+    pub tail_stats_search: UserTailStats,
+    /// User-level tail statistics for the browse channel.
+    pub tail_stats_browse: UserTailStats,
+}
+
+impl TrafficStudy {
+    /// Simulate a study deterministically.
+    ///
+    /// # Panics
+    /// Panics on empty inventories/populations or probabilities outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn simulate(config: &TrafficConfig, seed: Seed) -> Self {
+        assert!(config.n_entities > 0, "inventory must be non-empty");
+        assert!(config.n_users > 0, "user population must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&config.niche_frac),
+            "niche_frac out of range"
+        );
+        let seed = seed.derive("traffic").derive(config.site.slug());
+        let n = config.n_entities;
+
+        // Review inventory. The analytical expected search demand per
+        // entity (global interest share + the uniform niche floor) feeds
+        // the demand-indexed review models.
+        let weights = interest_weights(config, config.search_alpha);
+        let weight_sum: f64 = weights.iter().sum();
+        let global_events = config.search_events as f64 * (1.0 - config.niche_frac);
+        let niche_floor = config.search_events as f64 * config.niche_frac / n as f64;
+        let mut rng = Xoshiro256::from_seed(seed.derive("reviews"));
+        let reviews: Vec<u32> = (0..n)
+            .map(|rank| {
+                let percentile = 1.0 - rank as f64 / n as f64; // (0, 1]
+                let expected_demand = global_events * weights[rank] / weight_sum + niche_floor;
+                let lambda = config.review_model.expected(percentile, expected_demand);
+                u32::try_from(rng.poisson(lambda).min(u64::from(u32::MAX))).expect("clamped")
+            })
+            .collect();
+
+        let user_sampler = Zipf::new(config.n_users, config.user_alpha);
+        let (demand_search, tail_stats_search) = simulate_channel(
+            config,
+            seed.derive("search"),
+            config.search_events,
+            config.search_alpha,
+            &user_sampler,
+            DedupWindow::Monthly,
+        );
+        let (demand_browse, tail_stats_browse) = simulate_channel(
+            config,
+            seed.derive("browse"),
+            config.browse_events,
+            config.browse_alpha,
+            &user_sampler,
+            DedupWindow::Yearly,
+        );
+        TrafficStudy {
+            site: config.site,
+            reviews,
+            demand_search,
+            demand_browse,
+            tail_stats_search,
+            tail_stats_browse,
+        }
+    }
+
+    /// Total search demand.
+    #[must_use]
+    pub fn total_search(&self) -> u64 {
+        self.demand_search.iter().map(|&d| u64::from(d)).sum()
+    }
+
+    /// Total browse demand.
+    #[must_use]
+    pub fn total_browse(&self) -> u64 {
+        self.demand_browse.iter().map(|&d| u64::from(d)).sum()
+    }
+}
+
+/// Cookie-dedup window, per the paper's footnote 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DedupWindow {
+    /// Unique (cookie, month) pairs, summed over the year (search data).
+    Monthly,
+    /// Unique cookies over the whole year (browse data).
+    Yearly,
+}
+
+/// Per-rank interest weights: power law with the optional exponential
+/// tail cutoff.
+fn interest_weights(config: &TrafficConfig, alpha: f64) -> Vec<f64> {
+    let n = config.n_entities;
+    let mut weights: Vec<f64> = (0..n)
+        .map(|rank| (rank as f64 + 1.0).powf(-alpha))
+        .collect();
+    if let Some(cutoff_frac) = config.demand_tail_cutoff {
+        let scale = (cutoff_frac * n as f64).max(1.0);
+        for (rank, w) in weights.iter_mut().enumerate() {
+            *w *= (-(rank as f64) / scale).exp();
+        }
+    }
+    weights
+}
+
+fn simulate_channel(
+    config: &TrafficConfig,
+    seed: Seed,
+    n_events: usize,
+    alpha: f64,
+    user_sampler: &Zipf,
+    window: DedupWindow,
+) -> (Vec<u32>, UserTailStats) {
+    let n = config.n_entities;
+    let tail_threshold = (n / 5) as u32; // top 20% are "head"
+    let mut user_visits = vec![0u32; config.n_users];
+    let mut user_tail_visits = vec![0u32; config.n_users];
+    let interest = AliasTable::new(&interest_weights(config, alpha));
+
+    let mut rng = Xoshiro256::from_seed(seed);
+    let mut seen: FxHashSet<(u32, u32, u8)> =
+        webstruct_util::hash::fx_set_with_capacity(n_events);
+    let mut demand = vec![0u32; n];
+    for _ in 0..n_events {
+        let user = user_sampler.sample(&mut rng) as u32;
+        let entity = if rng.bool_with(config.niche_frac) {
+            // Personal niche interests: a fixed per-user set of entities,
+            // derived (not stored) so memory stays O(1) in users.
+            let slot = rng.u64_below(config.niche_size.max(1) as u64);
+            let h = Seed(u64::from(user))
+                .derive("niche")
+                .derive_u64(slot)
+                .0;
+            (h % n as u64) as u32
+        } else {
+            interest.sample(&mut rng) as u32
+        };
+        let month = match window {
+            DedupWindow::Monthly => rng.u64_below(12) as u8,
+            DedupWindow::Yearly => 0u8,
+        };
+        if seen.insert((user, entity, month)) {
+            demand[entity as usize] += 1;
+            user_visits[user as usize] += 1;
+            if entity >= tail_threshold {
+                user_tail_visits[user as usize] += 1;
+            }
+        }
+    }
+    let active_users = user_visits.iter().filter(|&&v| v > 0).count();
+    let users_touching_tail = user_tail_visits.iter().filter(|&&v| v > 0).count();
+    let regular_tail_users = user_visits
+        .iter()
+        .zip(&user_tail_visits)
+        .filter(|&(&v, &t)| v > 0 && f64::from(t) >= 0.2 * f64::from(v))
+        .count();
+    let total_visits: u64 = user_visits.iter().map(|&v| u64::from(v)).sum();
+    let tail_visits: u64 = user_tail_visits.iter().map(|&v| u64::from(v)).sum();
+    let stats = UserTailStats {
+        active_users,
+        users_touching_tail,
+        regular_tail_users,
+        tail_demand_share: if total_visits == 0 {
+            0.0
+        } else {
+            tail_visits as f64 / total_visits as f64
+        },
+    };
+    (demand, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webstruct_util::stats::gini;
+
+    fn quick(site: StudySite) -> TrafficStudy {
+        TrafficStudy::simulate(&TrafficConfig::preset(site).scaled(0.05), Seed(5))
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = quick(StudySite::Yelp);
+        let b = quick(StudySite::Yelp);
+        assert_eq!(a.reviews, b.reviews);
+        assert_eq!(a.demand_search, b.demand_search);
+        assert_eq!(a.demand_browse, b.demand_browse);
+    }
+
+    #[test]
+    fn demand_is_positive_and_head_skewed() {
+        let s = quick(StudySite::Amazon);
+        assert!(s.total_search() > 0);
+        assert!(s.total_browse() > 0);
+        let n = s.demand_search.len();
+        let head: u64 = s.demand_search[..n / 10]
+            .iter()
+            .map(|&d| u64::from(d))
+            .sum();
+        assert!(
+            head as f64 > 0.3 * s.total_search() as f64,
+            "top decile should hold a large demand share"
+        );
+    }
+
+    #[test]
+    fn imdb_is_most_concentrated_yelp_least() {
+        let imdb = quick(StudySite::Imdb);
+        let amazon = quick(StudySite::Amazon);
+        let yelp = quick(StudySite::Yelp);
+        let g = |s: &TrafficStudy| {
+            gini(&s.demand_search.iter().map(|&d| f64::from(d)).collect::<Vec<_>>())
+        };
+        let (gi, ga, gy) = (g(&imdb), g(&amazon), g(&yelp));
+        assert!(gi > ga, "imdb {gi} vs amazon {ga}");
+        assert!(ga > gy, "amazon {ga} vs yelp {gy}");
+    }
+
+    #[test]
+    fn reviews_decay_with_rank() {
+        let s = quick(StudySite::Amazon);
+        let n = s.reviews.len();
+        let head: u64 = s.reviews[..n / 10].iter().map(|&r| u64::from(r)).sum();
+        let tail: u64 = s.reviews[9 * n / 10..].iter().map(|&r| u64::from(r)).sum();
+        assert!(head > 50 * tail.max(1), "head {head} tail {tail}");
+        // Head entities actually have many reviews.
+        assert!(s.reviews[0] > 100);
+    }
+
+    #[test]
+    fn availability_decays_faster_than_demand() {
+        // The paper's central §4 claim, checked mechanistically: the ratio
+        // demand/review-count grows toward the tail for amazon/yelp.
+        for site in [StudySite::Amazon, StudySite::Yelp] {
+            let s = quick(site);
+            let n = s.reviews.len();
+            let band = |lo: usize, hi: usize| {
+                let d: f64 = s.demand_search[lo..hi].iter().map(|&x| f64::from(x)).sum();
+                let r: f64 = s.reviews[lo..hi].iter().map(|&x| f64::from(x) + 1.0).sum();
+                d / r
+            };
+            let head_ratio = band(0, n / 10);
+            let tail_ratio = band(n / 2, n);
+            assert!(
+                tail_ratio > head_ratio,
+                "{site}: tail demand/review {tail_ratio} should exceed head {head_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn monthly_dedup_yields_more_countable_visits_than_yearly() {
+        // Same event volume: splitting the year into months can only
+        // increase the number of unique (cookie, month) pairs.
+        let cfg = TrafficConfig::preset(StudySite::Yelp).scaled(0.05);
+        let s = TrafficStudy::simulate(&cfg, Seed(6));
+        // Not an exact invariant across channels (different alphas), but
+        // with near-equal alphas search uniques should not be wildly lower.
+        assert!(s.total_search() as f64 > 0.5 * s.total_browse() as f64);
+    }
+
+    #[test]
+    fn scaled_preserves_minimums() {
+        let tiny = TrafficConfig::preset(StudySite::Imdb).scaled(1e-9);
+        assert!(tiny.n_entities >= 16);
+        assert!(tiny.n_users >= 16);
+    }
+
+    #[test]
+    fn nearly_every_user_touches_the_tail() {
+        // The Goel et al. structure §4.2 cites: tail entities account for
+        // a minority of demand, yet the vast majority of users touch the
+        // tail at least once.
+        for site in [StudySite::Amazon, StudySite::Yelp] {
+            let s = quick(site);
+            for stats in [s.tail_stats_search, s.tail_stats_browse] {
+                assert!(stats.active_users > 0);
+                assert!(
+                    stats.touching_fraction() > 0.7,
+                    "{site}: only {:.2} of users touch the tail",
+                    stats.touching_fraction()
+                );
+                assert!(
+                    stats.tail_demand_share < stats.touching_fraction(),
+                    "{site}: tail share {:.2} vs touching {:.2}",
+                    stats.tail_demand_share,
+                    stats.touching_fraction()
+                );
+                assert!(stats.regular_tail_users <= stats.users_touching_tail);
+                assert!(stats.users_touching_tail <= stats.active_users);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inventory must be non-empty")]
+    fn rejects_empty_inventory() {
+        let mut cfg = TrafficConfig::preset(StudySite::Imdb);
+        cfg.n_entities = 0;
+        let _ = TrafficStudy::simulate(&cfg, Seed(1));
+    }
+}

@@ -1,0 +1,312 @@
+//! Demand vs. availability and the value-add of a new review
+//! (§4.3, Figures 7 and 8).
+//!
+//! The value of adding one review to entity `e` with `n` existing reviews
+//! and demand `k` is `VA = k · I∆(n)`; with the paper's inverse-linear
+//! information decay `I∆(n) = 1/(1+n)`, `VA = k/(1+n)`. Entities are
+//! grouped by `log₂(n+1)` bins (paper footnote 4), and Figure 8 plots the
+//! per-bin average relative to the zero-review bin.
+
+use crate::curves::Channel;
+use crate::model::TrafficStudy;
+use webstruct_util::report::{Figure, Series};
+use webstruct_util::stats::{log2_bin_midpoint, log2_review_bin, mean, std_dev};
+
+/// The information-decay model `I∆(n)` for the (n+1)-th review.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InfoDecay {
+    /// `1 / (1 + n)` — the paper's primary choice, motivated by averaged
+    /// review summaries.
+    InverseLinear,
+    /// A step function: full value while `n < c`, zero afterwards — the
+    /// "users read at most c reviews" alternative the paper discusses
+    /// (which only strengthens the tail-value conclusion).
+    Step(u32),
+}
+
+impl InfoDecay {
+    /// Evaluate `I∆(n)`.
+    #[must_use]
+    pub fn eval(self, n_reviews: u64) -> f64 {
+        match self {
+            InfoDecay::InverseLinear => 1.0 / (1.0 + n_reviews as f64),
+            InfoDecay::Step(c) => {
+                if n_reviews < u64::from(c) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Per-bin aggregate used by Figures 7 and 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReviewBin {
+    /// Bin index (`log2_review_bin`).
+    pub bin: u32,
+    /// Representative review count (bin midpoint).
+    pub midpoint: f64,
+    /// Number of entities in the bin.
+    pub n_entities: usize,
+    /// Mean demand (raw units) of entities in the bin.
+    pub mean_demand: f64,
+    /// Mean z-normalised demand (Figure 7's y-axis).
+    pub mean_demand_z: f64,
+    /// Mean value-add `k·I∆(n)` over entities in the bin.
+    pub mean_value_add: f64,
+}
+
+/// Group a study's entities by review-count bin and aggregate demand.
+///
+/// Returns bins in increasing order; empty bins are omitted.
+#[must_use]
+pub fn review_bins(study: &TrafficStudy, channel: Channel, decay: InfoDecay) -> Vec<ReviewBin> {
+    let demand: Vec<f64> = match channel {
+        Channel::Search => study.demand_search.iter().map(|&d| f64::from(d)).collect(),
+        Channel::Browse => study.demand_browse.iter().map(|&d| f64::from(d)).collect(),
+    };
+    // Z-normalise demand within the dataset (Figure 7 caption).
+    let m = mean(&demand);
+    let s = std_dev(&demand);
+    let mut per_bin: Vec<(usize, f64, f64, f64)> = vec![(0, 0.0, 0.0, 0.0); 11];
+    for (e, &n_reviews) in study.reviews.iter().enumerate() {
+        let bin = log2_review_bin(u64::from(n_reviews)) as usize;
+        let k = demand[e];
+        let z = if s > 0.0 { (k - m) / s } else { 0.0 };
+        let va = k * decay.eval(u64::from(n_reviews));
+        let slot = &mut per_bin[bin];
+        slot.0 += 1;
+        slot.1 += k;
+        slot.2 += z;
+        slot.3 += va;
+    }
+    per_bin
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, (count, _, _, _))| count > 0)
+        .map(|(bin, (count, dsum, zsum, vsum))| ReviewBin {
+            bin: bin as u32,
+            midpoint: log2_bin_midpoint(bin as u32),
+            n_entities: count,
+            mean_demand: dsum / count as f64,
+            mean_demand_z: zsum / count as f64,
+            mean_value_add: vsum / count as f64,
+        })
+        .collect()
+}
+
+/// Figure 7 series: average normalized demand vs. number of reviews.
+#[must_use]
+pub fn demand_vs_reviews_series(
+    study: &TrafficStudy,
+    channel: Channel,
+    decay: InfoDecay,
+) -> Series {
+    let bins = review_bins(study, channel, decay);
+    Series::new(
+        channel.slug(),
+        bins.iter()
+            .map(|b| (b.midpoint, b.mean_demand_z))
+            .collect(),
+    )
+}
+
+/// Figure 8 series: average relative value-add `VA(n)/VA(0)` vs. reviews.
+///
+/// Returns an empty series when the zero-review bin is absent or has zero
+/// value-add (relative values would be undefined).
+#[must_use]
+pub fn value_add_series(study: &TrafficStudy, channel: Channel, decay: InfoDecay) -> Series {
+    let bins = review_bins(study, channel, decay);
+    let Some(base) = bins
+        .iter()
+        .find(|b| b.bin == 0)
+        .map(|b| b.mean_value_add)
+        .filter(|&v| v > 0.0)
+    else {
+        return Series::new(channel.slug(), Vec::new());
+    };
+    Series::new(
+        channel.slug(),
+        bins.iter()
+            // x: use midpoint+1 so the zero-review bin renders on log axes.
+            .map(|b| (b.midpoint + 1.0, b.mean_value_add / base))
+            .collect(),
+    )
+}
+
+/// Figure 7 for one site: both channels.
+#[must_use]
+pub fn fig7(study: &TrafficStudy) -> Figure {
+    let mut fig = Figure::new(
+        format!("fig7-{}", study.site.slug()),
+        format!("{}: normalized demand vs. number of reviews", study.site),
+    )
+    .with_axes("# of reviews", "average normalized demand");
+    fig.push(demand_vs_reviews_series(
+        study,
+        Channel::Browse,
+        InfoDecay::InverseLinear,
+    ));
+    let mut s = demand_vs_reviews_series(study, Channel::Search, InfoDecay::InverseLinear);
+    s.name = "search".to_string();
+    fig.series[0].name = "browse".to_string();
+    fig.push(s);
+    fig
+}
+
+/// Figure 8 for one site: both channels, log-x.
+#[must_use]
+pub fn fig8(study: &TrafficStudy, decay: InfoDecay) -> Figure {
+    let mut fig = Figure::new(
+        format!("fig8-{}", study.site.slug()),
+        format!("{}: average relative value-add of one review", study.site),
+    )
+    .with_axes("# of reviews", "VA(n)/VA(0)")
+    .with_log_x();
+    let mut browse = value_add_series(study, Channel::Browse, decay);
+    browse.name = "browse".to_string();
+    fig.push(browse);
+    let mut search = value_add_series(study, Channel::Search, decay);
+    search.name = "search".to_string();
+    fig.push(search);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StudySite, TrafficConfig};
+    use webstruct_util::rng::Seed;
+
+    fn study(site: StudySite) -> TrafficStudy {
+        TrafficStudy::simulate(&TrafficConfig::preset(site).scaled(0.1), Seed(13))
+    }
+
+    #[test]
+    fn info_decay_models() {
+        assert_eq!(InfoDecay::InverseLinear.eval(0), 1.0);
+        assert_eq!(InfoDecay::InverseLinear.eval(9), 0.1);
+        assert_eq!(InfoDecay::Step(10).eval(9), 1.0);
+        assert_eq!(InfoDecay::Step(10).eval(10), 0.0);
+    }
+
+    #[test]
+    fn bins_partition_all_entities() {
+        let s = study(StudySite::Amazon);
+        let bins = review_bins(&s, Channel::Search, InfoDecay::InverseLinear);
+        let total: usize = bins.iter().map(|b| b.n_entities).sum();
+        assert_eq!(total, s.reviews.len());
+        // Bins strictly increasing.
+        assert!(bins.windows(2).all(|w| w[0].bin < w[1].bin));
+    }
+
+    #[test]
+    fn demand_increases_with_review_count() {
+        // Figure 7's qualitative shape: entities with more reviews have
+        // more demand on average.
+        let s = study(StudySite::Amazon);
+        let bins = review_bins(&s, Channel::Search, InfoDecay::InverseLinear);
+        let first = bins.first().unwrap();
+        let last = bins.last().unwrap();
+        assert!(
+            last.mean_demand > 3.0 * first.mean_demand.max(0.1),
+            "head bin demand {} vs tail bin {}",
+            last.mean_demand,
+            first.mean_demand
+        );
+    }
+
+    #[test]
+    fn value_add_declines_for_amazon_and_yelp() {
+        // The paper's Figure 8 finding: VA(n)/VA(0) < 1 for head bins.
+        for site in [StudySite::Amazon, StudySite::Yelp] {
+            let s = study(site);
+            for channel in [Channel::Search, Channel::Browse] {
+                let series = value_add_series(&s, channel, InfoDecay::InverseLinear);
+                assert!(!series.points.is_empty());
+                let (_, first) = series.points[0];
+                let (_, last) = *series.points.last().unwrap();
+                assert!((first - 1.0).abs() < 1e-9, "VA(0)/VA(0) must be 1");
+                assert!(
+                    last < 0.5,
+                    "{site:?}/{channel:?}: head VA ratio {last} should fall well below 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn imdb_shows_midrange_bump() {
+        // "For the IMDb data, the relative value-add goes up for entities
+        // with mid-range popularity but then falls off for the head."
+        let s = study(StudySite::Imdb);
+        let series = value_add_series(&s, Channel::Search, InfoDecay::InverseLinear);
+        let ys: Vec<f64> = series.points.iter().map(|&(_, y)| y).collect();
+        let max = ys.iter().cloned().fold(f64::MIN, f64::max);
+        let max_idx = ys.iter().position(|&y| y == max).unwrap();
+        assert!(max > 1.1, "mid-range bump should exceed VA(0): max {max}");
+        assert!(
+            max_idx > 0 && max_idx < ys.len() - 1,
+            "bump must be interior: idx {max_idx} of {}",
+            ys.len()
+        );
+        assert!(
+            *ys.last().unwrap() < max,
+            "head bin should fall back from the bump"
+        );
+    }
+
+    #[test]
+    fn step_decay_strengthens_tail_value() {
+        let s = study(StudySite::Amazon);
+        let inv = value_add_series(&s, Channel::Search, InfoDecay::InverseLinear);
+        let step = value_add_series(&s, Channel::Search, InfoDecay::Step(10));
+        // Under the step model, head bins (n >= 10) have zero value-add.
+        let head_step = step.points.last().unwrap().1;
+        let head_inv = inv.points.last().unwrap().1;
+        assert!(head_step <= head_inv);
+        assert!(head_step.abs() < 1e-9);
+    }
+
+    #[test]
+    fn figures_have_two_channels() {
+        let s = study(StudySite::Yelp);
+        let f7 = fig7(&s);
+        assert_eq!(f7.series.len(), 2);
+        assert!(f7.series_named("browse").is_some());
+        assert!(f7.series_named("search").is_some());
+        let f8 = fig8(&s, InfoDecay::InverseLinear);
+        assert_eq!(f8.series.len(), 2);
+        assert!(f8.log_x);
+    }
+
+    #[test]
+    fn degenerate_zero_demand_study() {
+        let study = TrafficStudy {
+            site: StudySite::Yelp,
+            reviews: vec![0, 5, 100],
+            demand_search: vec![0, 0, 0],
+            demand_browse: vec![0, 0, 0],
+            tail_stats_search: crate::model::UserTailStats {
+                active_users: 0,
+                users_touching_tail: 0,
+                regular_tail_users: 0,
+                tail_demand_share: 0.0,
+            },
+            tail_stats_browse: crate::model::UserTailStats {
+                active_users: 0,
+                users_touching_tail: 0,
+                regular_tail_users: 0,
+                tail_demand_share: 0.0,
+            },
+        };
+        let series = value_add_series(&study, Channel::Search, InfoDecay::InverseLinear);
+        assert!(series.points.is_empty(), "zero base VA must yield empty series");
+        let bins = review_bins(&study, Channel::Search, InfoDecay::InverseLinear);
+        assert_eq!(bins.len(), 3);
+        assert!(bins.iter().all(|b| b.mean_demand == 0.0));
+    }
+}

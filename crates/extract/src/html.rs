@@ -1,0 +1,219 @@
+//! A minimal HTML-lite parser: enough structure-awareness for the study's
+//! extraction pipeline — anchor `href` extraction (the paper's homepage
+//! methodology looks at "the content of href tags of all anchor nodes") and
+//! tag stripping for text classification.
+//!
+//! This is deliberately not a spec-compliant HTML5 parser: the corpus
+//! renders a constrained HTML subset, and the parser is robust to the
+//! malformed fragments the noise models emit (unterminated tags, stray
+//! angle brackets).
+
+/// An extracted anchor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anchor {
+    /// The raw `href` attribute value.
+    pub href: String,
+    /// Byte offset of the anchor tag in the document.
+    pub offset: usize,
+}
+
+/// Extract the `href` value of every `<a ...>` tag.
+///
+/// Accepts single-quoted, double-quoted and unquoted attribute values;
+/// attribute matching is case-insensitive.
+#[must_use]
+pub fn anchor_hrefs(html: &str) -> Vec<Anchor> {
+    let bytes = html.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        let tag_start = i;
+        // Find the end of the tag (or give up at EOF for unterminated tags).
+        let Some(rel_end) = html[i..].find('>') else {
+            break;
+        };
+        let tag = &html[i + 1..i + rel_end];
+        i += rel_end + 1;
+        let mut chars = tag.chars();
+        let first = chars.next();
+        if !matches!(first, Some('a' | 'A')) {
+            continue;
+        }
+        // Must be exactly "a" followed by whitespace (not <abbr> etc.).
+        match chars.next() {
+            Some(c) if !c.is_ascii_whitespace() => continue,
+            None => continue, // bare <a> has no href
+            _ => {}
+        }
+        if let Some(href) = find_attr(tag, "href") {
+            out.push(Anchor {
+                href,
+                offset: tag_start,
+            });
+        }
+    }
+    out
+}
+
+/// Find the value of `attr` within a tag body (case-insensitive name).
+fn find_attr(tag: &str, attr: &str) -> Option<String> {
+    let lower = tag.to_ascii_lowercase();
+    let mut search_from = 0;
+    while let Some(rel) = lower[search_from..].find(attr) {
+        let pos = search_from + rel;
+        // Must be preceded by whitespace and followed (possibly after
+        // spaces) by '='.
+        let before_ok = pos > 0
+            && lower[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_whitespace());
+        let after = lower[pos + attr.len()..].trim_start();
+        if before_ok && after.starts_with('=') {
+            let value_region = &tag[tag.len() - after.len()..]; // same offsets as lower
+            let value = value_region[1..].trim_start();
+            return Some(parse_attr_value(value));
+        }
+        search_from = pos + attr.len();
+    }
+    None
+}
+
+fn parse_attr_value(value: &str) -> String {
+    let mut chars = value.chars();
+    match chars.next() {
+        Some(q @ ('"' | '\'')) => chars.take_while(|&c| c != q).collect(),
+        Some(_) => value
+            .chars()
+            .take_while(|c| !c.is_ascii_whitespace())
+            .collect(),
+        None => String::new(),
+    }
+}
+
+/// Strip tags, returning visible text with tags replaced by single spaces
+/// (so tokens never merge across tag boundaries).
+#[must_use]
+pub fn strip_tags(html: &str) -> String {
+    let mut out = String::with_capacity(html.len());
+    let mut in_tag = false;
+    for c in html.chars() {
+        match c {
+            '<' => {
+                in_tag = true;
+                out.push(' ');
+            }
+            '>' => in_tag = false,
+            _ if !in_tag => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parse the host out of an absolute URL (`http://` / `https://`),
+/// lowercased, with any `www.` prefix removed. Returns `None` for other
+/// schemes or malformed input.
+#[must_use]
+pub fn url_host(url: &str) -> Option<String> {
+    let rest = url
+        .strip_prefix("http://")
+        .or_else(|| url.strip_prefix("https://"))
+        .or_else(|| url.strip_prefix("HTTP://"))
+        .or_else(|| url.strip_prefix("HTTPS://"))?;
+    let host_end = rest
+        .find(['/', '?', '#', ':'])
+        .unwrap_or(rest.len());
+    let host = &rest[..host_end];
+    if host.is_empty() || !host.contains('.') {
+        return None;
+    }
+    let host = host.to_ascii_lowercase();
+    let host = host.strip_prefix("www.").unwrap_or(&host).to_string();
+    if host.is_empty() {
+        None
+    } else {
+        Some(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_double_quoted_hrefs() {
+        let html = r#"<p>Hello</p><a href="http://foo.example.com/">foo</a>"#;
+        let anchors = anchor_hrefs(html);
+        assert_eq!(anchors.len(), 1);
+        assert_eq!(anchors[0].href, "http://foo.example.com/");
+        assert!(anchors[0].offset > 0);
+    }
+
+    #[test]
+    fn extracts_single_quoted_and_unquoted() {
+        let html = "<a href='http://a.example.com/x'>a</a> <a href=http://b.example.com/>b</a>";
+        let hrefs: Vec<String> = anchor_hrefs(html).into_iter().map(|a| a.href).collect();
+        assert_eq!(
+            hrefs,
+            vec!["http://a.example.com/x", "http://b.example.com/"]
+        );
+    }
+
+    #[test]
+    fn ignores_non_anchor_tags_and_anchors_without_href() {
+        let html = r#"<abbr href="x">n</abbr><area href="y"><a name="top">t</a>"#;
+        assert!(anchor_hrefs(html).is_empty());
+    }
+
+    #[test]
+    fn case_insensitive_attr_and_extra_attrs() {
+        let html = r#"<A class="btn" HREF="http://c.example.com/" rel=nofollow>c</A>"#;
+        let anchors = anchor_hrefs(html);
+        assert_eq!(anchors.len(), 1);
+        assert_eq!(anchors[0].href, "http://c.example.com/");
+    }
+
+    #[test]
+    fn survives_unterminated_tags() {
+        let html = "text <a href=\"http://d.example.com/\">d</a> <a href=\"http://unfinished";
+        let anchors = anchor_hrefs(html);
+        assert_eq!(anchors.len(), 1);
+        assert_eq!(anchors[0].href, "http://d.example.com/");
+    }
+
+    #[test]
+    fn strip_tags_keeps_visible_text() {
+        let html = "<html><h2>Golden Dragon</h2>Call 415-555-0134.</html>";
+        let text = strip_tags(html);
+        assert!(text.contains("Golden Dragon"));
+        assert!(text.contains("Call 415-555-0134."));
+        assert!(!text.contains('<'));
+        // Tokens do not merge across tags.
+        assert!(text.contains("Dragon Call") || text.contains("Dragon  Call"));
+    }
+
+    #[test]
+    fn url_host_normalises() {
+        assert_eq!(
+            url_host("http://www.Foo-Bar.Example.COM/path?q=1"),
+            Some("foo-bar.example.com".to_string())
+        );
+        assert_eq!(
+            url_host("https://a.example.com"),
+            Some("a.example.com".to_string())
+        );
+        assert_eq!(
+            url_host("http://a.example.com:8080/x"),
+            Some("a.example.com".to_string())
+        );
+        assert_eq!(url_host("ftp://a.example.com/"), None);
+        assert_eq!(url_host("http:///nohost"), None);
+        assert_eq!(url_host("http://nodots/"), None);
+        assert_eq!(url_host("not a url"), None);
+    }
+}

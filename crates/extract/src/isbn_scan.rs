@@ -1,0 +1,174 @@
+//! The ISBN extractor: finds 10/13-digit ISBN-shaped tokens and accepts
+//! them only when the string `ISBN` occurs in a small window near the
+//! match and the check digit validates — exactly the methodology of §3.2
+//! of the paper.
+
+use webstruct_corpus::isbn::Isbn;
+
+/// Marker window, in bytes, searched on each side of a candidate.
+pub const MARKER_WINDOW: usize = 24;
+
+/// One ISBN match in a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsbnMatch {
+    /// The parsed ISBN.
+    pub isbn: Isbn,
+    /// Byte offset of the first character of the token.
+    pub start: usize,
+    /// Byte offset one past the token.
+    pub end: usize,
+}
+
+/// Scan `text` for ISBNs with a nearby `ISBN` marker (case-insensitive).
+#[must_use]
+pub fn scan_isbns(text: &str) -> Vec<IsbnMatch> {
+    let bytes = text.as_bytes();
+    let lower = text.to_ascii_lowercase();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_digit() || (i > 0 && is_token_byte(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        // Collect the maximal token of digits/hyphens/X.
+        let start = i;
+        let mut j = i;
+        while j < bytes.len() && is_token_byte(bytes[j]) {
+            j += 1;
+        }
+        // Trim trailing hyphens (sentence punctuation like "978-...-7-").
+        let mut end = j;
+        while end > start && bytes[end - 1] == b'-' {
+            end -= 1;
+        }
+        let token = &text[start..end];
+        if let Ok(isbn) = Isbn::parse(token) {
+            if has_marker_nearby(&lower, start, end) {
+                out.push(IsbnMatch { isbn, start, end });
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_digit() || b == b'-' || b == b'X' || b == b'x'
+}
+
+fn has_marker_nearby(lower: &str, start: usize, end: usize) -> bool {
+    let lo = start.saturating_sub(MARKER_WINDOW);
+    let hi = (end + MARKER_WINDOW).min(lower.len());
+    // The slice bounds are byte offsets that may split UTF-8 sequences in
+    // pathological inputs; fall back to a widened char boundary.
+    let lo = floor_char_boundary(lower, lo);
+    let hi = ceil_char_boundary(lower, hi);
+    lower[lo..hi].contains("isbn")
+}
+
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+fn ceil_char_boundary(s: &str, mut i: usize) -> usize {
+    while i < s.len() && !s.is_char_boundary(i) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cores(text: &str) -> Vec<u32> {
+        scan_isbns(text).into_iter().map(|m| m.isbn.core()).collect()
+    }
+
+    #[test]
+    fn finds_marked_isbn13() {
+        let isbn = Isbn::new(30_640_615).unwrap();
+        let text = format!("Available now. ISBN: {}", isbn.to_isbn13_hyphenated());
+        assert_eq!(cores(&text), vec![isbn.core()]);
+    }
+
+    #[test]
+    fn finds_marked_isbn10_including_x_check() {
+        let core = (0..500u32)
+            .find(|&c| webstruct_corpus::isbn::isbn10_check_char(c) == 'X')
+            .unwrap();
+        let isbn = Isbn::new(u64::from(core)).unwrap();
+        let text = format!("ISBN {}", isbn.to_isbn10());
+        assert_eq!(cores(&text), vec![isbn.core()]);
+    }
+
+    #[test]
+    fn marker_may_follow_the_number() {
+        let isbn = Isbn::new(123_456_789).unwrap();
+        let text = format!("{} (ISBN)", isbn.to_isbn13());
+        assert_eq!(cores(&text), vec![isbn.core()]);
+    }
+
+    #[test]
+    fn rejects_unmarked_isbn_shaped_numbers() {
+        let isbn = Isbn::new(123_456_789).unwrap();
+        let text = format!("Catalog number {} in stock", isbn.to_isbn13());
+        assert!(cores(&text).is_empty());
+    }
+
+    #[test]
+    fn rejects_marker_outside_window() {
+        let isbn = Isbn::new(123_456_789).unwrap();
+        let padding = "x".repeat(MARKER_WINDOW + 10);
+        let text = format!("ISBN {padding} {}", isbn.to_isbn13());
+        assert!(cores(&text).is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_check_digit_even_with_marker() {
+        let isbn = Isbn::new(123_456_789).unwrap();
+        let mut s = isbn.to_isbn13();
+        let last = s.pop().unwrap();
+        s.push(if last == '0' { '1' } else { '0' });
+        let text = format!("ISBN {s}");
+        assert!(cores(&text).is_empty());
+    }
+
+    #[test]
+    fn match_offsets_cover_token() {
+        let isbn = Isbn::new(55_555_555).unwrap();
+        let rendered = isbn.to_isbn13_hyphenated();
+        let text = format!("ISBN {rendered}.");
+        let m = scan_isbns(&text)[0];
+        assert_eq!(&text[m.start..m.end], rendered);
+    }
+
+    #[test]
+    fn multiple_isbns_on_one_page() {
+        let a = Isbn::new(111_111_111).unwrap();
+        let b = Isbn::new(222_222_222).unwrap();
+        let text = format!(
+            "First ISBN {} and second ISBN {}",
+            a.to_isbn13(),
+            b.to_isbn10()
+        );
+        assert_eq!(cores(&text), vec![a.core(), b.core()]);
+    }
+
+    #[test]
+    fn long_digit_runs_are_not_isbns() {
+        let text = "ISBN 12345678901234567890";
+        assert!(cores(text).is_empty());
+    }
+
+    #[test]
+    fn handles_unicode_neighbourhoods() {
+        let isbn = Isbn::new(777_777_777).unwrap();
+        let text = format!("Crème brûlée — ISBN {} — è", isbn.to_isbn13_hyphenated());
+        assert_eq!(cores(&text), vec![isbn.core()]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Multinomial Naïve Bayes — the review-page classifier of §3.2 of the
+//! paper ("used a Naïve-Bayes classifier over the textual content to
+//! determine if a page has review content").
+
+use crate::tokenize::tokenize;
+use webstruct_util::hash::FxHashMap;
+
+/// A vocabulary token with its review-vs-boilerplate log-likelihood ratio.
+pub type ScoredToken = (String, f64);
+
+/// Errors from classifier training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// Training requires at least one document of each class.
+    MissingClass(&'static str),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::MissingClass(c) => {
+                write!(f, "training set has no documents of class '{c}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// A binary multinomial Naïve Bayes classifier with Laplace smoothing.
+///
+/// Class `true` is "review page"; class `false` is "non-review page".
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// token -> (count in positive docs, count in negative docs)
+    token_counts: FxHashMap<String, (u32, u32)>,
+    /// Total token occurrences per class.
+    total_tokens: [u64; 2],
+    /// Document counts per class.
+    doc_counts: [u64; 2],
+    /// Laplace smoothing constant.
+    alpha: f64,
+}
+
+impl NaiveBayes {
+    /// Train on `(text, is_review)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`TrainError::MissingClass`] unless both classes are present.
+    pub fn train<'a, I>(docs: I) -> Result<Self, TrainError>
+    where
+        I: IntoIterator<Item = (&'a str, bool)>,
+    {
+        let mut token_counts: FxHashMap<String, (u32, u32)> = FxHashMap::default();
+        let mut total_tokens = [0u64; 2];
+        let mut doc_counts = [0u64; 2];
+        for (text, label) in docs {
+            let class = usize::from(label);
+            doc_counts[class] += 1;
+            for token in tokenize(text) {
+                let entry = token_counts.entry(token).or_insert((0, 0));
+                if label {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
+                total_tokens[class] += 1;
+            }
+        }
+        if doc_counts[1] == 0 {
+            return Err(TrainError::MissingClass("review"));
+        }
+        if doc_counts[0] == 0 {
+            return Err(TrainError::MissingClass("non-review"));
+        }
+        Ok(NaiveBayes {
+            token_counts,
+            total_tokens,
+            doc_counts,
+            alpha: 1.0,
+        })
+    }
+
+    /// Vocabulary size.
+    #[must_use]
+    pub fn vocab_size(&self) -> usize {
+        self.token_counts.len()
+    }
+
+    /// Log-odds `log P(review | text) - log P(non-review | text)`.
+    /// Positive values favour the review class.
+    #[must_use]
+    pub fn log_odds(&self, text: &str) -> f64 {
+        let v = self.token_counts.len() as f64;
+        let prior_pos = self.doc_counts[1] as f64;
+        let prior_neg = self.doc_counts[0] as f64;
+        let mut score = prior_pos.ln() - prior_neg.ln();
+        let denom_pos = self.total_tokens[1] as f64 + self.alpha * v;
+        let denom_neg = self.total_tokens[0] as f64 + self.alpha * v;
+        for token in tokenize(text) {
+            let (pos, neg) = self
+                .token_counts
+                .get(&token)
+                .copied()
+                .unwrap_or((0, 0));
+            // Unknown tokens contribute the same smoothed mass to both
+            // classes; include them anyway for a consistent definition.
+            let lp = (f64::from(pos) + self.alpha).ln() - denom_pos.ln();
+            let ln = (f64::from(neg) + self.alpha).ln() - denom_neg.ln();
+            score += lp - ln;
+        }
+        score
+    }
+
+    /// Classify: is this text a review page?
+    #[must_use]
+    pub fn is_review(&self, text: &str) -> bool {
+        self.log_odds(text) > 0.0
+    }
+
+    /// The `n` most review-indicative and most boilerplate-indicative
+    /// tokens, by smoothed log-likelihood ratio. Useful for inspecting
+    /// what the classifier actually learned.
+    #[must_use]
+    pub fn top_features(&self, n: usize) -> (Vec<ScoredToken>, Vec<ScoredToken>) {
+        let v = self.token_counts.len() as f64;
+        let denom_pos = self.total_tokens[1] as f64 + self.alpha * v;
+        let denom_neg = self.total_tokens[0] as f64 + self.alpha * v;
+        let mut scored: Vec<(String, f64)> = self
+            .token_counts
+            .iter()
+            .map(|(token, &(pos, neg))| {
+                let lp = (f64::from(pos) + self.alpha).ln() - denom_pos.ln();
+                let ln = (f64::from(neg) + self.alpha).ln() - denom_neg.ln();
+                (token.clone(), lp - ln)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        let top_review = scored.iter().take(n).cloned().collect();
+        let top_boiler = scored.iter().rev().take(n).cloned().collect();
+        (top_review, top_boiler)
+    }
+
+    /// Accuracy on a labelled evaluation set.
+    #[must_use]
+    pub fn accuracy<'a, I>(&self, docs: I) -> f64
+    where
+        I: IntoIterator<Item = (&'a str, bool)>,
+    {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (text, label) in docs {
+            total += 1;
+            if self.is_review(text) == label {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_classifier() -> NaiveBayes {
+        NaiveBayes::train(vec![
+            ("the food was amazing and delicious", true),
+            ("terrible service but great dessert, five stars", true),
+            ("wonderful atmosphere, would come back", true),
+            ("hours of operation and directions", false),
+            ("browse listings in your neighborhood", false),
+            ("claim this listing to update details", false),
+        ])
+        .expect("both classes present")
+    }
+
+    #[test]
+    fn classifies_obvious_cases() {
+        let clf = toy_classifier();
+        assert!(clf.is_review("the dessert was amazing, five stars"));
+        assert!(!clf.is_review("browse listings and directions"));
+    }
+
+    #[test]
+    fn log_odds_sign_matches_classification() {
+        let clf = toy_classifier();
+        for text in ["delicious food", "claim this listing"] {
+            assert_eq!(clf.log_odds(text) > 0.0, clf.is_review(text));
+        }
+    }
+
+    #[test]
+    fn unknown_tokens_fall_back_to_prior() {
+        let clf = toy_classifier();
+        // Equal priors (3 vs 3 docs): a fully-unknown text has log-odds
+        // close to the smoothing differential only.
+        let odds = clf.log_odds("zzzz qqqq xxxx");
+        assert!(odds.abs() < 1.0, "odds {odds}");
+    }
+
+    #[test]
+    fn training_requires_both_classes() {
+        assert_eq!(
+            NaiveBayes::train(vec![("a b", true)]).unwrap_err(),
+            TrainError::MissingClass("non-review")
+        );
+        assert_eq!(
+            NaiveBayes::train(vec![("a b", false)]).unwrap_err(),
+            TrainError::MissingClass("review")
+        );
+    }
+
+    #[test]
+    fn accuracy_on_training_set_is_high() {
+        let clf = toy_classifier();
+        let train = vec![
+            ("the food was amazing and delicious", true),
+            ("hours of operation and directions", false),
+        ];
+        assert!(clf.accuracy(train) > 0.99);
+        assert_eq!(clf.accuracy(Vec::<(&str, bool)>::new()), 0.0);
+    }
+
+    #[test]
+    fn top_features_split_the_registers() {
+        let clf = toy_classifier();
+        let (review, boiler) = clf.top_features(5);
+        assert_eq!(review.len(), 5);
+        assert_eq!(boiler.len(), 5);
+        // Review side scores positive, boilerplate side negative.
+        assert!(review.iter().all(|&(_, s)| s > 0.0));
+        assert!(boiler.iter().all(|&(_, s)| s < 0.0));
+        let review_tokens: Vec<&str> = review.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(
+            review_tokens.iter().any(|t| ["amazing", "delicious", "stars", "wonderful"].contains(t)),
+            "review features {review_tokens:?}"
+        );
+    }
+
+    #[test]
+    fn vocab_grows_with_training_data() {
+        let clf = toy_classifier();
+        assert!(clf.vocab_size() > 15);
+    }
+}

@@ -1,0 +1,63 @@
+//! Word tokenisation for text classification.
+
+/// Lowercased alphabetic tokens of length >= 2. Digits and punctuation are
+/// separators: phone numbers and ids carry no signal for the review
+/// classifier and would bloat the vocabulary.
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphabetic() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            if current.chars().count() >= 2 {
+                out.push(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        }
+    }
+    if current.chars().count() >= 2 {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("The FOOD was great!"),
+            vec!["the", "food", "was", "great"]
+        );
+    }
+
+    #[test]
+    fn digits_and_punctuation_separate() {
+        assert_eq!(
+            tokenize("call 415-555-0134 today"),
+            vec!["call", "today"]
+        );
+        assert_eq!(tokenize("rated 4/5 stars"), vec!["rated", "stars"]);
+    }
+
+    #[test]
+    fn single_letters_dropped() {
+        assert_eq!(tokenize("a b cc d"), vec!["cc"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("1234 !!!").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(tokenize("Crème brûlée"), vec!["crème", "brûlée"]);
+    }
+}

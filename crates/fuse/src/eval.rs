@@ -1,0 +1,200 @@
+//! Evaluation: fused-database accuracy, overall and as a function of the
+//! number of corroborating sources — the quantitative version of the
+//! paper's "k different sources for high confidence" argument.
+
+use crate::claims::ClaimSet;
+use crate::strategies::FusionStrategy;
+use webstruct_util::report::{Figure, Series};
+
+/// Accuracy of a fused database against the ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionReport {
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Entities with at least one claim.
+    pub entities_claimed: usize,
+    /// Fraction of claimed entities fused to the correct value.
+    pub accuracy: f64,
+    /// Accuracy among entities bucketed by claim count: index `k` holds
+    /// entities with exactly `k` claims for `k < max_k`, and the final
+    /// bucket pools entities with `max_k` or more. Index 0 is unused
+    /// (claim-less entities are never fused). `None` for empty buckets.
+    pub accuracy_by_redundancy: Vec<Option<f64>>,
+}
+
+/// Evaluate one strategy over a claim corpus, bucketing by redundancy up
+/// to `max_k` claims.
+#[must_use]
+pub fn evaluate<S: FusionStrategy>(
+    strategy: &S,
+    claims: &ClaimSet,
+    max_k: usize,
+) -> FusionReport {
+    let fused = strategy.fuse(claims);
+    let mut correct = 0usize;
+    let mut claimed = 0usize;
+    let mut per_k_correct = vec![0usize; max_k + 1];
+    let mut per_k_total = vec![0usize; max_k + 1];
+    for (e, value) in fused.iter().enumerate() {
+        let Some(v) = value else { continue };
+        claimed += 1;
+        let k = claims.by_entity[e].len().min(max_k);
+        per_k_total[k] += 1;
+        if *v == claims.truth[e] {
+            correct += 1;
+            per_k_correct[k] += 1;
+        }
+    }
+    let accuracy_by_redundancy = per_k_total
+        .iter()
+        .zip(&per_k_correct)
+        .map(|(&t, &c)| {
+            if t == 0 {
+                None
+            } else {
+                Some(c as f64 / t as f64)
+            }
+        })
+        .collect();
+    FusionReport {
+        strategy: strategy.name(),
+        entities_claimed: claimed,
+        accuracy: if claimed == 0 {
+            0.0
+        } else {
+            correct as f64 / claimed as f64
+        },
+        accuracy_by_redundancy,
+    }
+}
+
+/// Build a "value of redundancy" figure: accuracy vs. number of
+/// corroborating sources, one series per strategy.
+#[must_use]
+pub fn redundancy_figure(reports: &[FusionReport]) -> Figure {
+    let mut fig = Figure::new(
+        "ext-redundancy",
+        "Extraction accuracy vs. corroborating sources",
+    )
+    .with_axes("# of sources for the entity", "fused accuracy");
+    for r in reports {
+        let points: Vec<(f64, f64)> = r
+            .accuracy_by_redundancy
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(k, acc)| acc.map(|a| (k as f64, a)))
+            .collect();
+        fig.push(Series::new(r.strategy, points));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::claims::{ClaimSet, ErrorModel};
+    use crate::strategies::{FirstClaim, IterativeTrust, MajorityVote};
+    use webstruct_corpus::domain::Domain;
+    use webstruct_corpus::entity::{CatalogConfig, EntityCatalog};
+    use webstruct_corpus::web::{Web, WebConfig};
+    use webstruct_util::rng::Seed;
+
+    fn claims() -> ClaimSet {
+        let catalog =
+            EntityCatalog::generate(&CatalogConfig::new(Domain::Banks, 600), Seed(71));
+        let web = Web::generate(
+            &catalog,
+            &WebConfig::preset(Domain::Banks).scaled(0.03),
+            Seed(71),
+        );
+        ClaimSet::generate(&catalog, &web, &ErrorModel::default(), 0.2, Seed(72))
+    }
+
+    #[test]
+    fn redundancy_improves_accuracy() {
+        // Use a deliberately noisy error model so the low-redundancy
+        // buckets show real errors.
+        let catalog =
+            EntityCatalog::generate(&CatalogConfig::new(Domain::Banks, 600), Seed(71));
+        let web = Web::generate(
+            &catalog,
+            &WebConfig::preset(Domain::Banks).scaled(0.03),
+            Seed(71),
+        );
+        let noisy = ErrorModel {
+            aggregator: 0.15,
+            regional: 0.3,
+            niche: 0.4,
+        };
+        let claims = ClaimSet::generate(&catalog, &web, &noisy, 0.2, Seed(73));
+        let report = evaluate(&MajorityVote, &claims, 10);
+        let lo = report.accuracy_by_redundancy[1]
+            .or(report.accuracy_by_redundancy[2])
+            .expect("low-redundancy bucket populated");
+        let hi = report.accuracy_by_redundancy[10].expect("high-redundancy bucket populated");
+        assert!(
+            hi > lo,
+            "10-source accuracy {hi} should beat 1-source {lo}"
+        );
+        assert!(hi > 0.95, "high redundancy should be near-perfect: {hi}");
+        assert!(lo < 0.9, "single-source accuracy should show the noise: {lo}");
+    }
+
+    #[test]
+    fn majority_beats_first_claim_beats_nothing() {
+        let claims = claims();
+        let majority = evaluate(&MajorityVote, &claims, 10);
+        let first = evaluate(&FirstClaim, &claims, 10);
+        assert!(majority.accuracy > first.accuracy);
+        assert!(majority.accuracy > 0.9);
+        assert_eq!(majority.entities_claimed, first.entities_claimed);
+    }
+
+    #[test]
+    fn iterative_trust_at_least_matches_majority() {
+        let claims = claims();
+        let majority = evaluate(&MajorityVote, &claims, 10);
+        let trust = evaluate(&IterativeTrust::default(), &claims, 10);
+        assert!(
+            trust.accuracy >= majority.accuracy - 0.005,
+            "trust {} vs majority {}",
+            trust.accuracy,
+            majority.accuracy
+        );
+    }
+
+    #[test]
+    fn figure_has_one_series_per_strategy() {
+        let claims = claims();
+        let reports = vec![
+            evaluate(&FirstClaim, &claims, 10),
+            evaluate(&MajorityVote, &claims, 10),
+            evaluate(&IterativeTrust::default(), &claims, 10),
+        ];
+        let fig = redundancy_figure(&reports);
+        assert_eq!(fig.series.len(), 3);
+        assert!(fig.series_named("majority").is_some());
+        for s in &fig.series {
+            assert!(!s.points.is_empty());
+            for &(_, acc) in &s.points {
+                assert!((0.0..=1.0).contains(&acc));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_claimset_yields_zero_accuracy() {
+        let empty = ClaimSet {
+            n_entities: 3,
+            n_sites: 0,
+            by_entity: vec![vec![]; 3],
+            truth: vec![1, 2, 3],
+            true_error_rates: vec![],
+        };
+        let report = evaluate(&MajorityVote, &empty, 5);
+        assert_eq!(report.entities_claimed, 0);
+        assert_eq!(report.accuracy, 0.0);
+        assert!(report.accuracy_by_redundancy.iter().all(Option::is_none));
+    }
+}

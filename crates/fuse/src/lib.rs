@@ -1,0 +1,44 @@
+//! # webstruct-fuse
+//!
+//! Truth fusion for corroborated extraction — the quantitative companion
+//! to the paper's k-coverage motivation (§2/§3.3): redundancy across
+//! sources is what lets a web-scale extractor "place a high confidence in
+//! the extraction" despite per-source errors.
+//!
+//! * [`claims`] — generate per-source attribute claims from a corpus web
+//!   under a per-site-kind error model;
+//! * [`strategies`] — majority vote, first-claim baseline, and iterative
+//!   source-trust estimation;
+//! * [`eval`] — fused-database accuracy overall and by redundancy level.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use webstruct_fuse::{ClaimSet, FusionStrategy, MajorityVote};
+//! use webstruct_util::ids::{EntityId, SiteId};
+//!
+//! let claims = ClaimSet {
+//!     n_entities: 1,
+//!     n_sites: 3,
+//!     by_entity: vec![vec![
+//!         webstruct_fuse::Claim { source: SiteId::new(0), entity: EntityId::new(0), value: 7 },
+//!         webstruct_fuse::Claim { source: SiteId::new(1), entity: EntityId::new(0), value: 7 },
+//!         webstruct_fuse::Claim { source: SiteId::new(2), entity: EntityId::new(0), value: 9 },
+//!     ]],
+//!     truth: vec![7],
+//!     true_error_rates: vec![0.0; 3],
+//! };
+//! assert_eq!(MajorityVote.fuse(&claims), vec![Some(7)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod claims;
+pub mod eval;
+pub mod strategies;
+
+pub use claims::{Claim, ClaimSet, ErrorModel};
+pub use eval::{evaluate, redundancy_figure, FusionReport};
+pub use strategies::{FirstClaim, FusionStrategy, IterativeTrust, MajorityVote};

@@ -1,0 +1,177 @@
+//! Additional structural metrics of the entity–site graph: degree
+//! distributions and sampled average path length. Complements the Table 2
+//! metrics with the diagnostics used to validate the generative model.
+
+use crate::bipartite::BipartiteGraph;
+use std::collections::VecDeque;
+use webstruct_util::ids::EntityId;
+use webstruct_util::powerlaw::{hill_estimator, LogHistogram};
+use webstruct_util::rng::{Seed, Xoshiro256};
+
+/// Degree statistics for one side of the bipartite graph.
+#[derive(Debug, Clone)]
+pub struct DegreeStats {
+    /// Number of nodes with degree >= 1.
+    pub nonzero: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree over nonzero nodes.
+    pub mean: f64,
+    /// Log₂ histogram of nonzero degrees.
+    pub histogram: LogHistogram,
+    /// Hill estimate of the degree tail exponent, when estimable.
+    pub tail_exponent: Option<f64>,
+}
+
+fn degree_stats(degrees: impl Iterator<Item = usize>) -> DegreeStats {
+    let nonzero: Vec<f64> = degrees.filter(|&d| d > 0).map(|d| d as f64).collect();
+    let k = if nonzero.len() < 3 {
+        0
+    } else {
+        (nonzero.len() / 10).clamp(1, nonzero.len() - 1)
+    };
+    DegreeStats {
+        nonzero: nonzero.len(),
+        max: nonzero.iter().copied().fold(0.0, f64::max) as usize,
+        mean: if nonzero.is_empty() {
+            0.0
+        } else {
+            nonzero.iter().sum::<f64>() / nonzero.len() as f64
+        },
+        histogram: LogHistogram::build(&nonzero),
+        tail_exponent: if k == 0 {
+            None
+        } else {
+            hill_estimator(&nonzero, k)
+        },
+    }
+}
+
+/// Degree statistics of the entity side (sites per entity).
+#[must_use]
+pub fn entity_degrees(graph: &BipartiteGraph) -> DegreeStats {
+    degree_stats((0..graph.n_entities()).map(|e| graph.sites_of(EntityId::new(e as u32)).len()))
+}
+
+/// Degree statistics of the site side (entities per site).
+#[must_use]
+pub fn site_degrees(graph: &BipartiteGraph) -> DegreeStats {
+    degree_stats(
+        (0..graph.n_sites())
+            .map(|s| graph.entities_of(webstruct_util::ids::SiteId::new(s as u32)).len()),
+    )
+}
+
+/// Estimate the average shortest-path length between *entities* by
+/// sampling `samples` BFS sources; unreachable pairs are skipped.
+///
+/// Returns `None` when the graph has no edges.
+#[must_use]
+pub fn sampled_avg_entity_distance(
+    graph: &BipartiteGraph,
+    samples: usize,
+    seed: Seed,
+) -> Option<f64> {
+    if graph.n_edges() == 0 || samples == 0 {
+        return None;
+    }
+    let mut rng = Xoshiro256::from_seed(seed.derive("avg-dist"));
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    let mut dist = vec![u32::MAX; graph.n_nodes()];
+    for _ in 0..samples {
+        // Sample a present entity as source.
+        let source = loop {
+            let e = rng.u64_below(graph.n_entities() as u64) as u32;
+            if !graph.sites_of(EntityId::new(e)).is_empty() {
+                break e;
+            }
+        };
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        dist[source as usize] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for v in graph.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (node, &d) in dist.iter().enumerate().take(graph.n_entities()) {
+            if d != u32::MAX && node as u32 != source {
+                total += u64::from(d);
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u32) -> EntityId {
+        EntityId::new(id)
+    }
+
+    fn star(n: u32) -> BipartiteGraph {
+        BipartiteGraph::from_occurrences(n as usize, &[(0..n).map(e).collect()]).unwrap()
+    }
+
+    #[test]
+    fn degree_stats_of_a_star() {
+        let g = star(10);
+        let ent = entity_degrees(&g);
+        assert_eq!(ent.nonzero, 10);
+        assert_eq!(ent.max, 1);
+        assert!((ent.mean - 1.0).abs() < 1e-12);
+        let site = site_degrees(&g);
+        assert_eq!(site.nonzero, 1);
+        assert_eq!(site.max, 10);
+        assert_eq!(site.histogram.total(), 1);
+    }
+
+    #[test]
+    fn avg_distance_on_star_is_two() {
+        let g = star(20);
+        let d = sampled_avg_entity_distance(&g, 5, Seed(1)).unwrap();
+        // Every entity pair is at distance exactly 2 (via the hub).
+        assert!((d - 2.0).abs() < 1e-12, "avg {d}");
+    }
+
+    #[test]
+    fn avg_distance_on_path_graph() {
+        // e0-s0-e1-s1-e2: distances from each entity: e0: {2,4}, e1: {2,2},
+        // e2: {4,2} → mean over sampled sources converges to 8/3 when all
+        // three get sampled.
+        let g = BipartiteGraph::from_occurrences(
+            3,
+            &[vec![e(0), e(1)], vec![e(1), e(2)]],
+        )
+        .unwrap();
+        let d = sampled_avg_entity_distance(&g, 50, Seed(2)).unwrap();
+        assert!((2.0..=4.0).contains(&d), "avg {d}");
+    }
+
+    #[test]
+    fn empty_graph_has_no_distance() {
+        let g = BipartiteGraph::from_occurrences(3, &[]).unwrap();
+        assert_eq!(sampled_avg_entity_distance(&g, 5, Seed(3)), None);
+        assert_eq!(entity_degrees(&g).nonzero, 0);
+        assert_eq!(entity_degrees(&g).mean, 0.0);
+    }
+
+    #[test]
+    fn zero_samples_yield_none() {
+        let g = star(5);
+        assert_eq!(sampled_avg_entity_distance(&g, 0, Seed(4)), None);
+    }
+}

@@ -1,0 +1,122 @@
+//! Newtyped 32-bit identifiers.
+//!
+//! Entities, sites, pages, users and regions are all dense, sequentially
+//! assigned ids. Newtypes prevent the classic bug of indexing an entity
+//! table with a site id, and `u32` storage halves the memory of adjacency
+//! lists relative to `usize` (per the type-size guidance in the Rust
+//! Performance Book).
+
+/// Declare a dense `u32` id newtype with the standard conversions.
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            #[must_use]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index value.
+            #[inline]
+            #[must_use]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The id as a `usize`, for indexing dense tables.
+            #[inline]
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+define_id! {
+    /// Identifier of a structured entity (restaurant, book, ...).
+    EntityId
+}
+define_id! {
+    /// Identifier of a website (host).
+    SiteId
+}
+define_id! {
+    /// Identifier of a single web page within the corpus.
+    PageId
+}
+define_id! {
+    /// Identifier of a simulated user (an anonymized cookie).
+    UserId
+}
+define_id! {
+    /// Identifier of a geographic region (metro area).
+    RegionId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_conversions() {
+        let e = EntityId::new(17);
+        assert_eq!(e.raw(), 17);
+        assert_eq!(e.index(), 17);
+        assert_eq!(u32::from(e), 17);
+        assert_eq!(usize::from(e), 17);
+        assert_eq!(EntityId::from(17u32), e);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(SiteId::new(1) < SiteId::new(2));
+        let mut v = vec![PageId::new(3), PageId::new(1), PageId::new(2)];
+        v.sort();
+        assert_eq!(v, vec![PageId::new(1), PageId::new(2), PageId::new(3)]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(EntityId::new(5).to_string(), "EntityId(5)");
+        assert_eq!(RegionId::new(0).to_string(), "RegionId(0)");
+    }
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<EntityId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<EntityId>>(), 8);
+    }
+}

@@ -1,0 +1,37 @@
+//! # webstruct-util
+//!
+//! Shared foundations for the `webstruct` workspace — the reproduction of
+//! *An Analysis of Structured Data on the Web* (Dalvi, Machanavajjhala,
+//! Pang; VLDB 2012):
+//!
+//! * [`rng`] — deterministic SplitMix64 / xoshiro256** generators and the
+//!   experiment [`rng::Seed`] type;
+//! * [`hash`] — Fx hashing and fast map/set aliases for the integer-keyed
+//!   hot paths;
+//! * [`csv`] — CSV rendering of report artifacts;
+//! * [`ids`] — newtyped dense u32 identifiers;
+//! * [`powerlaw`] — log-binned histograms and the Hill tail estimator;
+//! * [`sample`] — Zipf weights, alias-table sampling, bounded Pareto;
+//! * [`stats`] — means, quantiles, z-normalisation, the paper's log₂
+//!   review-count binning, log-spaced sweep ticks;
+//! * [`report`] — `Figure`/`Series`/`Table` report artifacts with `.dat`,
+//!   Markdown and ASCII renderings;
+//! * [`svg`] — standalone SVG line charts for every figure.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod csv;
+pub mod hash;
+pub mod ids;
+pub mod powerlaw;
+pub mod report;
+pub mod rng;
+pub mod sample;
+pub mod stats;
+pub mod svg;
+
+pub use hash::{FxHashMap, FxHashSet};
+pub use ids::{EntityId, PageId, RegionId, SiteId, UserId};
+pub use report::{Figure, Series, Table};
+pub use rng::{Seed, Xoshiro256};

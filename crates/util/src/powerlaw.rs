@@ -1,0 +1,140 @@
+//! Heavy-tail diagnostics: log-binned histograms and the Hill estimator.
+//!
+//! The generative model's claims ("site sizes are heavy-tailed", "demand
+//! is Zipfian with exponent α") should be *checkable* on generated data;
+//! these tools do that, and back the corpus-statistics reports.
+
+/// A log₂-binned histogram of positive values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    /// Bin lower bounds: `2^i`.
+    pub bounds: Vec<f64>,
+    /// Counts per bin.
+    pub counts: Vec<u64>,
+    /// Values `<= 0` that were skipped.
+    pub skipped: u64,
+}
+
+impl LogHistogram {
+    /// Bin positive values by `floor(log2(v))`.
+    #[must_use]
+    pub fn build(values: &[f64]) -> Self {
+        let mut bins: Vec<u64> = Vec::new();
+        let mut skipped = 0u64;
+        for &v in values {
+            if v <= 0.0 || !v.is_finite() {
+                skipped += 1;
+                continue;
+            }
+            let bin = v.log2().floor().max(0.0) as usize;
+            if bins.len() <= bin {
+                bins.resize(bin + 1, 0);
+            }
+            bins[bin] += 1;
+        }
+        LogHistogram {
+            bounds: (0..bins.len()).map(|i| (1u64 << i) as f64).collect(),
+            counts: bins,
+            skipped,
+        }
+    }
+
+    /// Total counted values.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Points `(bin_lower_bound, density)` for log-log plotting, where
+    /// density is count divided by bin width.
+    #[must_use]
+    pub fn density_points(&self) -> Vec<(f64, f64)> {
+        self.bounds
+            .iter()
+            .zip(&self.counts)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&lo, &c)| (lo, c as f64 / lo))
+            .collect()
+    }
+}
+
+/// Hill estimator of the tail exponent of a power law, using the top-`k`
+/// order statistics: `alpha_hat = k / sum(ln(x_i / x_k))` over the k
+/// largest values. Returns `None` when fewer than `k + 1` positive values
+/// exist or the estimate degenerates.
+///
+/// For a pure Pareto with survival exponent α the estimator is consistent;
+/// for rank-Zipf data with rank exponent `s` the *size* distribution has
+/// survival exponent `1/s`, so expect `alpha_hat ≈ 1/s`.
+#[must_use]
+pub fn hill_estimator(values: &[f64], k: usize) -> Option<f64> {
+    if k == 0 {
+        return None;
+    }
+    let mut positive: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    if positive.len() <= k {
+        return None;
+    }
+    positive.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let x_k = positive[k];
+    if x_k <= 0.0 {
+        return None;
+    }
+    let sum: f64 = positive[..k].iter().map(|&x| (x / x_k).ln()).sum();
+    if sum <= 0.0 {
+        return None;
+    }
+    Some(k as f64 / sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Seed, Xoshiro256};
+    use crate::sample::bounded_pareto;
+
+    #[test]
+    fn histogram_bins_powers_of_two() {
+        let h = LogHistogram::build(&[1.0, 1.5, 2.0, 3.9, 4.0, 100.0, 0.0, -5.0]);
+        assert_eq!(h.skipped, 2);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts[0], 2); // [1,2)
+        assert_eq!(h.counts[1], 2); // [2,4)
+        assert_eq!(h.counts[2], 1); // [4,8)
+        assert_eq!(h.counts[6], 1); // [64,128)
+        assert_eq!(h.bounds[2], 4.0);
+    }
+
+    #[test]
+    fn density_points_skip_empty_bins() {
+        let h = LogHistogram::build(&[1.0, 64.0]);
+        let pts = h.density_points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], (1.0, 1.0));
+        assert_eq!(pts[1], (64.0, 1.0 / 64.0));
+    }
+
+    #[test]
+    fn hill_recovers_pareto_exponent() {
+        let mut rng = Xoshiro256::from_seed(Seed(7));
+        for alpha in [1.0, 2.0] {
+            let xs: Vec<f64> = (0..20_000)
+                .map(|_| bounded_pareto(&mut rng, alpha, 1.0, 1e9))
+                .collect();
+            let est = hill_estimator(&xs, 2_000).expect("estimable");
+            assert!(
+                (est - alpha).abs() < 0.15 * alpha,
+                "alpha {alpha}, estimate {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn hill_degenerate_inputs() {
+        assert_eq!(hill_estimator(&[], 10), None);
+        assert_eq!(hill_estimator(&[1.0, 2.0], 0), None);
+        assert_eq!(hill_estimator(&[1.0, 2.0, 3.0], 5), None);
+        // Constant values: sum of logs is 0.
+        assert_eq!(hill_estimator(&[5.0; 100], 10), None);
+    }
+}

@@ -1,0 +1,417 @@
+//! Report primitives: figures (named series of points) and tables, with
+//! gnuplot-compatible `.dat`, Markdown, and terminal ASCII renderings.
+//!
+//! Every experiment in `webstruct-core` produces one of these, so the same
+//! artifact can be printed in an example binary, written to disk for
+//! plotting, and asserted against in integration tests.
+
+use std::fmt::Write as _;
+
+/// One named curve: a sequence of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"k=5"` or `"greedy set cover"`.
+    pub name: String,
+    /// Points in plotting order (normally ascending x).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct a series from a name and points.
+    #[must_use]
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// The y value at the largest x (often "coverage at the full site
+    /// list"), or `None` for an empty series.
+    #[must_use]
+    pub fn final_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// Linear interpolation of y at `x`, clamping outside the domain.
+    /// Returns `None` for an empty series. Points must be sorted by x.
+    #[must_use]
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let first = self.points[0];
+        let last = *self.points.last().expect("non-empty");
+        if x <= first.0 {
+            return Some(first.1);
+        }
+        if x >= last.0 {
+            return Some(last.1);
+        }
+        let idx = self.points.partition_point(|&(px, _)| px < x);
+        let (x0, y0) = self.points[idx - 1];
+        let (x1, y1) = self.points[idx];
+        if (x1 - x0).abs() < f64::EPSILON {
+            return Some(y0);
+        }
+        Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+    }
+
+    /// The smallest x at which the series reaches `target` y (series must be
+    /// non-decreasing in y for the answer to be meaningful). `None` if the
+    /// target is never reached.
+    #[must_use]
+    pub fn first_x_reaching(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(_, y)| y >= target)
+            .map(|&(x, _)| x)
+    }
+}
+
+/// A figure: several series sharing axes, mirroring one paper plot.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Stable identifier, e.g. `"fig1a"`.
+    pub id: String,
+    /// Human title, e.g. `"Restaurants phones"`.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// Whether the x axis is logarithmic (all coverage plots are).
+    pub log_x: bool,
+    /// Whether the y axis is logarithmic (the demand PDFs are).
+    pub log_y: bool,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Start an empty figure with linear axes.
+    #[must_use]
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: "x".to_string(),
+            y_label: "y".to_string(),
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Builder: set axis labels.
+    #[must_use]
+    pub fn with_axes(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Builder: mark the x axis logarithmic.
+    #[must_use]
+    pub fn with_log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Builder: mark the y axis logarithmic.
+    #[must_use]
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Find a series by name.
+    #[must_use]
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Gnuplot-compatible data block: `# series` comment headers, `x y`
+    /// rows, blank-line separated.
+    #[must_use]
+    pub fn to_dat(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}: {}", self.id, self.title);
+        let _ = writeln!(out, "# x: {} | y: {}", self.x_label, self.y_label);
+        for s in &self.series {
+            let _ = writeln!(out, "\n# series: {}", s.name);
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{x} {y}");
+            }
+        }
+        out
+    }
+
+    /// Render a compact ASCII chart (for examples and quick inspection).
+    ///
+    /// Each series gets a distinct glyph; later series overdraw earlier
+    /// ones. Log axes are applied per the figure flags (x/y values must be
+    /// positive on log axes; non-positive points are skipped).
+    #[must_use]
+    pub fn ascii_plot(&self, width: usize, height: usize) -> String {
+        const GLYPHS: [char; 10] = ['*', '+', 'o', 'x', '#', '@', '%', '&', '=', '~'];
+        let width = width.max(16);
+        let height = height.max(4);
+        let tx = |x: f64| if self.log_x { x.ln() } else { x };
+        let ty = |y: f64| if self.log_y { y.ln() } else { y };
+        let usable = |x: f64, y: f64| {
+            (!self.log_x || x > 0.0) && (!self.log_y || y > 0.0) && x.is_finite() && y.is_finite()
+        };
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if usable(x, y) {
+                    xs.push(tx(x));
+                    ys.push(ty(y));
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        if xs.is_empty() {
+            let _ = writeln!(out, "(no plottable points)");
+            return out;
+        }
+        let (xmin, xmax) = min_max(&xs);
+        let (ymin, ymax) = min_max(&ys);
+        let xspan = (xmax - xmin).max(f64::EPSILON);
+        let yspan = (ymax - ymin).max(f64::EPSILON);
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !usable(x, y) {
+                    continue;
+                }
+                let cx = (((tx(x) - xmin) / xspan) * (width - 1) as f64).round() as usize;
+                let cy = (((ty(y) - ymin) / yspan) * (height - 1) as f64).round() as usize;
+                grid[height - 1 - cy][cx.min(width - 1)] = glyph;
+            }
+        }
+        for row in &grid {
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', width));
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            " x: {} [{:.3}..{:.3}]{}  y: {} [{:.3}..{:.3}]{}",
+            self.x_label,
+            if self.log_x { xmin.exp() } else { xmin },
+            if self.log_x { xmax.exp() } else { xmax },
+            if self.log_x { " (log)" } else { "" },
+            self.y_label,
+            if self.log_y { ymin.exp() } else { ymin },
+            if self.log_y { ymax.exp() } else { ymax },
+            if self.log_y { " (log)" } else { "" },
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "   {} {}", GLYPHS[si % GLYPHS.len()], s.name);
+        }
+        out
+    }
+}
+
+fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+/// A rectangular table with a header row, mirroring the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row should match `headers.len()`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "table row width mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavoured Markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Render as fixed-width plain text (for terminal output).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Series {
+        Series::new("k=1", vec![(1.0, 0.2), (10.0, 0.6), (100.0, 0.9)])
+    }
+
+    #[test]
+    fn series_final_and_reaching() {
+        let s = sample_series();
+        assert_eq!(s.final_y(), Some(0.9));
+        assert_eq!(s.first_x_reaching(0.5), Some(10.0));
+        assert_eq!(s.first_x_reaching(0.95), None);
+        assert_eq!(Series::new("empty", vec![]).final_y(), None);
+    }
+
+    #[test]
+    fn series_interpolation_clamps_and_lerps() {
+        let s = sample_series();
+        assert_eq!(s.interpolate(0.5), Some(0.2));
+        assert_eq!(s.interpolate(1000.0), Some(0.9));
+        let mid = s.interpolate(5.5).unwrap();
+        assert!((mid - 0.4).abs() < 1e-12, "mid {mid}");
+        assert_eq!(Series::new("empty", vec![]).interpolate(1.0), None);
+    }
+
+    #[test]
+    fn figure_dat_format() {
+        let mut fig = Figure::new("fig1a", "Restaurants phones")
+            .with_axes("top-t sites", "coverage")
+            .with_log_x();
+        fig.push(sample_series());
+        let dat = fig.to_dat();
+        assert!(dat.contains("# fig1a: Restaurants phones"));
+        assert!(dat.contains("# series: k=1"));
+        assert!(dat.contains("10 0.6"));
+        assert!(fig.log_x);
+        assert!(!fig.log_y);
+    }
+
+    #[test]
+    fn figure_series_lookup() {
+        let mut fig = Figure::new("f", "t");
+        fig.push(sample_series());
+        assert!(fig.series_named("k=1").is_some());
+        assert!(fig.series_named("k=2").is_none());
+    }
+
+    #[test]
+    fn ascii_plot_renders_all_series() {
+        let mut fig = Figure::new("fig", "demo").with_axes("x", "y").with_log_x();
+        fig.push(sample_series());
+        fig.push(Series::new("k=2", vec![(1.0, 0.1), (100.0, 0.5)]));
+        let art = fig.ascii_plot(40, 10);
+        assert!(art.contains('*'));
+        assert!(art.contains('+'));
+        assert!(art.contains("k=2"));
+        assert!(art.contains("(log)"));
+    }
+
+    #[test]
+    fn ascii_plot_empty_figure() {
+        let fig = Figure::new("fig", "empty");
+        assert!(fig.ascii_plot(40, 10).contains("no plottable points"));
+    }
+
+    #[test]
+    fn ascii_plot_skips_nonpositive_on_log_axes() {
+        let mut fig = Figure::new("fig", "log").with_log_x().with_log_y();
+        fig.push(Series::new("s", vec![(0.0, 1.0), (1.0, 0.0), (10.0, 5.0)]));
+        let art = fig.ascii_plot(30, 8);
+        // Only the single positive point survives; plot still renders.
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn table_renders_markdown_and_text() {
+        let mut t = Table::new("Graph metrics", &["Domain", "diameter"]);
+        t.push_row(vec!["Books".into(), "8".into()]);
+        t.push_row(vec!["Banks".into(), "6".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| Domain | diameter |"));
+        assert!(md.contains("| Books | 8 |"));
+        let txt = t.to_text();
+        assert!(txt.contains("Graph metrics"));
+        assert!(txt.contains("Books"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

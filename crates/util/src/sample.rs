@@ -1,0 +1,324 @@
+//! Discrete sampling: Zipf/power-law weights and O(1) alias-table sampling.
+//!
+//! Every heavy-tailed quantity in the study — entity popularity, site reach,
+//! user activity — is modelled as rank-Zipf: weight of the item at rank `r`
+//! (1-based) is `r^-alpha`. Sampling millions of mentions demands O(1) draws,
+//! so we implement Vose's alias method.
+
+use crate::rng::Xoshiro256;
+
+/// Unnormalised rank-Zipf weights `1^-a, 2^-a, ..., n^-a`.
+///
+/// # Panics
+/// Panics if `n == 0` or `alpha` is not finite.
+#[must_use]
+pub fn zipf_weights(n: usize, alpha: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf_weights: n must be positive");
+    assert!(alpha.is_finite(), "zipf_weights: alpha must be finite");
+    (1..=n).map(|r| (r as f64).powf(-alpha)).collect()
+}
+
+/// Normalise weights in place to sum to 1.
+///
+/// # Panics
+/// Panics if the weights sum to zero or contain negatives/NaNs.
+pub fn normalize(weights: &mut [f64]) {
+    let sum: f64 = weights.iter().sum();
+    assert!(
+        sum > 0.0 && sum.is_finite(),
+        "normalize: weights must be positive and finite, sum = {sum}"
+    );
+    for w in weights.iter_mut() {
+        assert!(*w >= 0.0, "normalize: negative weight {w}");
+        *w /= sum;
+    }
+}
+
+/// Walker/Vose alias table: O(n) construction, O(1) sampling from an
+/// arbitrary discrete distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability per bucket, scaled so comparison with a
+    /// uniform in `[0,1)` works directly.
+    prob: Vec<f64>,
+    /// Alias index per bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from (possibly unnormalised) non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable: empty weights");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "AliasTable: too many buckets"
+        );
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            sum > 0.0 && sum.is_finite(),
+            "AliasTable: weights must sum to a positive finite value"
+        );
+        let n = weights.len();
+        let scale = n as f64 / sum;
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        // Partition buckets into under- and over-full worklists.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "AliasTable: bad weight {w}");
+                w * scale
+            })
+            .collect();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = large.pop().expect("checked non-empty");
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: both lists drain to probability exactly 1.
+        for i in large.into_iter().chain(small) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no buckets (never: construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let i = rng.usize_below(self.prob.len());
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// A rank-Zipf distribution over `0..n` (index 0 is the most popular rank).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    table: AliasTable,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Build a Zipf(alpha) sampler over `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite.
+    #[must_use]
+    pub fn new(n: usize, alpha: f64) -> Self {
+        let weights = zipf_weights(n, alpha);
+        Zipf {
+            table: AliasTable::new(&weights),
+            alpha,
+        }
+    }
+
+    /// The Zipf exponent.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when there are no ranks (never: construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Draw a rank in `0..n`; rank 0 is the heaviest.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+/// Continuous bounded Pareto sample in `[lo, hi]` with shape `alpha > 0`.
+///
+/// Used for site-size draws where we want a smooth heavy tail rather than
+/// fixed ranks.
+///
+/// # Panics
+/// Panics unless `0 < lo < hi` and `alpha > 0`.
+pub fn bounded_pareto(rng: &mut Xoshiro256, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo, "bounded_pareto: need 0 < lo < hi");
+    assert!(alpha > 0.0, "bounded_pareto: alpha must be positive");
+    let u = rng.f64();
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // Inverse CDF of the bounded Pareto.
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Seed;
+
+    #[test]
+    fn zipf_weights_shape() {
+        let w = zipf_weights(4, 1.0);
+        assert_eq!(w.len(), 4);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!((w[3] - 0.25).abs() < 1e-12);
+        // alpha = 0 gives uniform weights.
+        let u = zipf_weights(3, 0.0);
+        assert!(u.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let mut w = vec![2.0, 6.0, 2.0];
+        normalize(&mut w);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn normalize_rejects_zero_sum() {
+        normalize(&mut [0.0, 0.0]);
+    }
+
+    #[test]
+    fn alias_table_matches_weights_empirically() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = Xoshiro256::from_seed(Seed(100));
+        let n = 400_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.005,
+                "bucket {i}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_single_bucket() {
+        let table = AliasTable::new(&[3.7]);
+        let mut rng = Xoshiro256::from_seed(Seed(101));
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_zero_weights() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = Xoshiro256::from_seed(Seed(102));
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn alias_table_rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn alias_table_rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn zipf_sampler_is_head_heavy() {
+        let z = Zipf::new(1000, 1.0);
+        assert_eq!(z.len(), 1000);
+        assert!((z.alpha() - 1.0).abs() < 1e-12);
+        let mut rng = Xoshiro256::from_seed(Seed(103));
+        let n = 100_000;
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..n {
+            let r = z.sample(&mut rng);
+            if r < 10 {
+                head += 1;
+            }
+            if r >= 500 {
+                tail += 1;
+            }
+        }
+        // With alpha=1, H(10)/H(1000) ~ 2.93/7.49 ~ 0.39 of the mass is in
+        // the top 10 ranks.
+        let head_frac = head as f64 / n as f64;
+        assert!(
+            (head_frac - 0.39).abs() < 0.02,
+            "head fraction {head_frac}"
+        );
+        assert!(tail > 0, "tail ranks must still occur");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_range() {
+        let mut rng = Xoshiro256::from_seed(Seed(104));
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut rng, 1.2, 1.0, 1000.0);
+            assert!((1.0..=1000.0).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        let mut rng = Xoshiro256::from_seed(Seed(105));
+        let n = 50_000;
+        let below_10 = (0..n)
+            .filter(|_| bounded_pareto(&mut rng, 1.0, 1.0, 10_000.0) < 10.0)
+            .count();
+        // For alpha=1 bounded Pareto on [1, 1e4], P(X < 10) ~ 0.9.
+        let frac = below_10 as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.02, "frac {frac}");
+    }
+}

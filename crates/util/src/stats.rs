@@ -1,0 +1,317 @@
+//! Descriptive statistics used by the demand and coverage analyses.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0.0 for slices of length < 2.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Z-normalise in place: subtract the mean, divide by the standard
+/// deviation. Matches the paper's Figure 7 ("normalized within each dataset
+/// to have a mean of zero and standard deviation of one"). If the standard
+/// deviation is zero only the mean is removed.
+pub fn z_normalize(xs: &mut [f64]) {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    for x in xs.iter_mut() {
+        *x -= m;
+        if s > 0.0 {
+            *x /= s;
+        }
+    }
+}
+
+/// Linear-interpolated quantile (`q` in `[0,1]`) of a sorted slice.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q out of range: {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Pearson correlation coefficient; 0.0 when either side is constant or the
+/// slices are shorter than 2 elements.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Gini coefficient of non-negative values: 0 = perfectly even, →1 =
+/// maximally concentrated. Used to summarise demand concentration (the
+/// paper's "IMDb demand is sharpest" observation).
+#[must_use]
+pub fn gini(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("gini: NaN value"));
+    let n = sorted.len() as f64;
+    let sum: f64 = sorted.iter().sum();
+    if sum <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+/// The paper's Figure 8 review-count binning: group 0 = {0 reviews},
+/// group 1 = {1, 2}, group 2 = {3..6}, ..., capped so that 1023+ reviews
+/// land in the final group (10).
+///
+/// Formally: `min(floor(log2(n + 1)), 10)`.
+#[must_use]
+pub fn log2_review_bin(n_reviews: u64) -> u32 {
+    let bin = (64 - (n_reviews + 1).leading_zeros() - 1).min(10);
+    debug_assert!(bin <= 10);
+    bin
+}
+
+/// Representative review count for a bin produced by [`log2_review_bin`]:
+/// the geometric-ish midpoint of the bin's range, used as the x coordinate
+/// when plotting Figure 8.
+#[must_use]
+pub fn log2_bin_midpoint(bin: u32) -> f64 {
+    if bin == 0 {
+        return 0.0;
+    }
+    let lo = (1u64 << bin) - 1; // first n with floor(log2(n+1)) == bin
+    let hi = (1u64 << (bin + 1)) - 2; // last such n
+    (lo + hi) as f64 / 2.0
+}
+
+/// Log-spaced sweep points `1, 2, ..., 9, 10, 20, ..., 90, 100, ...` up to
+/// and including a final point `>= max` (clamped to `max`). These are the x
+/// coordinates for every coverage plot (paper figures use log-x axes).
+#[must_use]
+pub fn log_ticks(max: usize) -> Vec<usize> {
+    assert!(max > 0, "log_ticks: max must be positive");
+    let mut ticks = Vec::new();
+    let mut decade = 1usize;
+    loop {
+        for mult in 1..=9 {
+            let Some(t) = decade.checked_mul(mult) else {
+                ticks.push(max);
+                return ticks;
+            };
+            if t >= max {
+                ticks.push(max);
+                return ticks;
+            }
+            ticks.push(t);
+        }
+        let Some(next) = decade.checked_mul(10) else {
+            ticks.push(max);
+            return ticks;
+        };
+        decade = next;
+    }
+}
+
+/// Empirical CDF over item weights sorted descending: returns, for each
+/// prefix fraction of the inventory, the cumulative fraction of total
+/// weight. Output is `points` pairs `(inventory_fraction, demand_fraction)`.
+///
+/// This is exactly Figure 6(a)/(c): "cumulative demand vs. normalized
+/// inventory".
+#[must_use]
+pub fn cumulative_share_curve(weights_desc: &[f64], points: usize) -> Vec<(f64, f64)> {
+    assert!(points >= 2, "cumulative_share_curve: need >= 2 points");
+    if weights_desc.is_empty() {
+        return vec![(0.0, 0.0), (1.0, 0.0)];
+    }
+    debug_assert!(
+        weights_desc.windows(2).all(|w| w[0] >= w[1]),
+        "weights must be sorted descending"
+    );
+    let total: f64 = weights_desc.iter().sum();
+    let n = weights_desc.len();
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    for &w in weights_desc {
+        acc += w;
+        prefix.push(acc);
+    }
+    (0..points)
+        .map(|i| {
+            let frac = i as f64 / (points - 1) as f64;
+            let idx = (frac * n as f64).round() as usize;
+            let share = if total > 0.0 { prefix[idx] / total } else { 0.0 };
+            (frac, share)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalize_standardizes() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        z_normalize(&mut xs);
+        assert!(mean(&xs).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.0).abs() < 1e-12);
+        // Constant input: mean removed, no division by zero.
+        let mut c = vec![3.0, 3.0, 3.0];
+        z_normalize(&mut c);
+        assert!(c.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&xs, 1.0), 4.0);
+        assert!((quantile_sorted(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn pearson_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!(gini(&[1.0, 1.0, 1.0, 1.0]).abs() < 1e-12);
+        // One item holds everything among many: approaches 1 - 1/n.
+        let mut v = vec![0.0; 99];
+        v.push(100.0);
+        assert!(gini(&v) > 0.97);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn review_bins_match_paper_grouping() {
+        assert_eq!(log2_review_bin(0), 0);
+        assert_eq!(log2_review_bin(1), 1);
+        assert_eq!(log2_review_bin(2), 1);
+        assert_eq!(log2_review_bin(3), 2);
+        assert_eq!(log2_review_bin(6), 2);
+        assert_eq!(log2_review_bin(7), 3);
+        assert_eq!(log2_review_bin(1022), 9);
+        assert_eq!(log2_review_bin(1023), 10);
+        assert_eq!(log2_review_bin(1_000_000), 10);
+    }
+
+    #[test]
+    fn bin_midpoints_are_monotone() {
+        assert_eq!(log2_bin_midpoint(0), 0.0);
+        assert!((log2_bin_midpoint(1) - 1.5).abs() < 1e-12); // {1,2}
+        assert!((log2_bin_midpoint(2) - 4.5).abs() < 1e-12); // {3..6}
+        for b in 0..10 {
+            assert!(log2_bin_midpoint(b) < log2_bin_midpoint(b + 1));
+        }
+    }
+
+    #[test]
+    fn log_ticks_shape() {
+        assert_eq!(log_ticks(1), vec![1]);
+        assert_eq!(log_ticks(10), vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let t = log_ticks(250);
+        assert_eq!(
+            t,
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 250]
+        );
+        // Always ends exactly at max and is strictly increasing.
+        let t = log_ticks(123_456);
+        assert_eq!(*t.last().unwrap(), 123_456);
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cumulative_share_curve_endpoints_and_concavity() {
+        let weights = [50.0, 30.0, 15.0, 5.0];
+        let curve = cumulative_share_curve(&weights, 5);
+        assert_eq!(curve[0], (0.0, 0.0));
+        assert!((curve[4].0 - 1.0).abs() < 1e-12);
+        assert!((curve[4].1 - 1.0).abs() < 1e-12);
+        // Head-heavy: halfway through the inventory covers > 50% of weight.
+        assert!(curve[2].1 > 0.5);
+        // Monotone non-decreasing.
+        assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1));
+    }
+
+    #[test]
+    fn cumulative_share_curve_empty() {
+        let curve = cumulative_share_curve(&[], 4);
+        assert_eq!(curve, vec![(0.0, 0.0), (1.0, 0.0)]);
+    }
+}

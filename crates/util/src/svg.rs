@@ -1,0 +1,261 @@
+//! SVG rendering of figures: self-contained line charts with axes, ticks
+//! and a legend, so every artifact can be viewed in a browser without
+//! gnuplot.
+
+use crate::report::Figure;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+/// A categorical palette (okabe-ito-ish, readable on white).
+const COLORS: [&str; 10] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9", "#E69F00", "#000000", "#999999",
+    "#7B3294", "#A6611A",
+];
+
+/// Render a figure as a standalone SVG document.
+///
+/// Log axes are honoured; points that cannot render on a log axis
+/// (non-positive coordinates) are skipped. Returns a minimal document for
+/// figures with no plottable points.
+#[must_use]
+pub fn figure_to_svg(fig: &Figure) -> String {
+    let tx = |x: f64| if fig.log_x { x.log10() } else { x };
+    let ty = |y: f64| if fig.log_y { y.log10() } else { y };
+    let usable =
+        |x: f64, y: f64| (!fig.log_x || x > 0.0) && (!fig.log_y || y > 0.0) && x.is_finite() && y.is_finite();
+
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for s in &fig.series {
+        for &(x, y) in &s.points {
+            if usable(x, y) {
+                xs.push(tx(x));
+                ys.push(ty(y));
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"##
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"##
+    );
+    let _ = writeln!(
+        out,
+        r##"<text x="{:.1}" y="22" font-size="15" font-weight="bold">{}</text>"##,
+        MARGIN_L,
+        escape(&fig.title)
+    );
+    if xs.is_empty() {
+        let _ = writeln!(
+            out,
+            r##"<text x="{:.1}" y="{:.1}" font-size="12">(no plottable points)</text>"##,
+            MARGIN_L,
+            HEIGHT / 2.0
+        );
+        out.push_str("</svg>\n");
+        return out;
+    }
+    let (xmin, xmax) = bounds(&xs);
+    let (ymin, ymax) = bounds(&ys);
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = move |v: f64| MARGIN_L + (v - xmin) / (xmax - xmin).max(f64::EPSILON) * plot_w;
+    let sy = move |v: f64| HEIGHT - MARGIN_B - (v - ymin) / (ymax - ymin).max(f64::EPSILON) * plot_h;
+
+    // Frame.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#444"/>"##
+    );
+    // Axis ticks: 5 per axis, labelled in data space.
+    for i in 0..=4 {
+        let fx = xmin + (xmax - xmin) * f64::from(i) / 4.0;
+        let label = if fig.log_x { 10f64.powf(fx) } else { fx };
+        let px = sx(fx);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#444"/>"##,
+            HEIGHT - MARGIN_B,
+            HEIGHT - MARGIN_B + 5.0
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{px:.1}" y="{:.1}" font-size="10" text-anchor="middle">{}</text>"##,
+            HEIGHT - MARGIN_B + 17.0,
+            format_tick(label)
+        );
+        let fy = ymin + (ymax - ymin) * f64::from(i) / 4.0;
+        let label = if fig.log_y { 10f64.powf(fy) } else { fy };
+        let py = sy(fy);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{:.1}" y1="{py:.1}" x2="{MARGIN_L}" y2="{py:.1}" stroke="#444"/>"##,
+            MARGIN_L - 5.0
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{}</text>"##,
+            MARGIN_L - 8.0,
+            py + 3.5,
+            format_tick(label)
+        );
+    }
+    // Axis labels.
+    let _ = writeln!(
+        out,
+        r##"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}{}</text>"##,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 10.0,
+        escape(&fig.x_label),
+        if fig.log_x { " (log)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        r##"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}{}</text>"##,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        escape(&fig.y_label),
+        if fig.log_y { " (log)" } else { "" }
+    );
+    // Series polylines + legend.
+    for (si, s) in fig.series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let points: Vec<String> = s
+            .points
+            .iter()
+            .filter(|&&(x, y)| usable(x, y))
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(tx(x)), sy(ty(y))))
+            .collect();
+        if !points.is_empty() {
+            let _ = writeln!(
+                out,
+                r##"<polyline fill="none" stroke="{color}" stroke-width="1.6" points="{}"/>"##,
+                points.join(" ")
+            );
+        }
+        let ly = MARGIN_T + 14.0 + si as f64 * 16.0;
+        let lx = WIDTH - MARGIN_R + 12.0;
+        let _ = writeln!(
+            out,
+            r##"<line x1="{lx:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-width="2"/>"##,
+            ly - 3.5,
+            lx + 18.0,
+            ly - 3.5
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{:.1}" y="{ly:.1}" font-size="11">{}</text>"##,
+            lx + 24.0,
+            escape(&s.name)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn bounds(vs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in vs {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if (hi - lo).abs() < f64::EPSILON {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(0.01..10_000.0).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Figure, Series};
+
+    fn fig() -> Figure {
+        let mut f = Figure::new("fig1a", "Restaurants & phones")
+            .with_axes("top-t sites", "coverage")
+            .with_log_x();
+        f.push(Series::new("k=1", vec![(1.0, 0.3), (10.0, 0.8), (100.0, 0.95)]));
+        f.push(Series::new("k=2", vec![(1.0, 0.0), (100.0, 0.6)]));
+        f
+    }
+
+    #[test]
+    fn svg_is_wellformed_and_complete() {
+        let svg = figure_to_svg(&fig());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("k=1"));
+        assert!(svg.contains("Restaurants &amp; phones"), "title escaped");
+        assert!(svg.contains("(log)"));
+        // Balanced text tags.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn log_axis_skips_nonpositive_points() {
+        let mut f = Figure::new("f", "t").with_log_x();
+        f.push(Series::new("s", vec![(0.0, 1.0), (10.0, 2.0), (100.0, 3.0)]));
+        let svg = figure_to_svg(&f);
+        // Only the 2 positive-x points survive in the polyline.
+        let poly_line = svg.lines().find(|l| l.contains("<polyline")).unwrap();
+        assert_eq!(poly_line.matches(',').count(), 2);
+    }
+
+    #[test]
+    fn empty_figure_renders_placeholder() {
+        let f = Figure::new("f", "t");
+        let svg = figure_to_svg(&f);
+        assert!(svg.contains("no plottable points"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut f = Figure::new("f", "t");
+        f.push(Series::new("s", vec![(1.0, 5.0), (2.0, 5.0)]));
+        let svg = figure_to_svg(&f);
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(0.5), "0.50");
+        assert_eq!(format_tick(42.0), "42");
+        assert_eq!(format_tick(1_000_000.0), "1e6");
+        assert_eq!(format_tick(0.0001), "1e-4");
+    }
+}

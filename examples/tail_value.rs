@@ -1,0 +1,69 @@
+//! The §4 "value of tail extraction" study: one simulated year of search
+//! and browse traffic over Amazon-, Yelp- and IMDb-like sites, demand
+//! curves (Figure 6), demand vs. availability (Figure 7) and the relative
+//! value-add of one new review (Figure 8).
+//!
+//! Run with `cargo run --release --example tail_value [scale]`.
+
+use webstruct::core::cache::Study;
+use webstruct::core::experiments::tail_value;
+use webstruct::core::study::StudyConfig;
+use webstruct::demand::{top_share, Channel, InfoDecay, StudySite};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    println!("== value of tail extraction (scale {scale}) ==\n");
+    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+
+    // Figure 6: aggregate demand.
+    let figs = tail_value::fig6(&mut study);
+    println!("{}", figs[0].ascii_plot(72, 16));
+    println!("demand concentration (search): share of demand held by the top 20% of inventory");
+    for site in StudySite::ALL {
+        let t = study.traffic(site);
+        println!(
+            "  {:<7} {:>5.1}%   (browse: {:>5.1}%)",
+            site.slug(),
+            100.0 * top_share(&t, Channel::Search, 0.2),
+            100.0 * top_share(&t, Channel::Browse, 0.2),
+        );
+    }
+    println!("  ⇒ movie demand is sharpest, local-business demand flattest (paper §4.2)\n");
+
+    // Figure 7: demand vs. number of existing reviews.
+    for fig in tail_value::fig7(&mut study) {
+        println!("{}", fig.ascii_plot(72, 12));
+    }
+
+    // Figure 8: relative value-add.
+    println!("--- Figure 8: average relative value-add VA(n)/VA(0) ---\n");
+    for fig in tail_value::fig8(&mut study) {
+        println!("{}", fig.ascii_plot(72, 14));
+        for s in &fig.series {
+            let head = s.points.last().map_or(0.0, |&(_, y)| y);
+            let peak = s
+                .points
+                .iter()
+                .map(|&(_, y)| y)
+                .fold(f64::MIN, f64::max);
+            println!(
+                "  {:<7} head ratio {head:.2}, peak {peak:.2}",
+                s.name
+            );
+        }
+        println!();
+    }
+
+    // The step-decay sensitivity check the paper discusses.
+    let step = tail_value::fig8_with_decay(&mut study, InfoDecay::Step(10));
+    let head = step[1]
+        .series_named("search")
+        .and_then(|s| s.points.last().copied())
+        .map_or(0.0, |(_, y)| y);
+    println!(
+        "under the step model I∆(n) = 1[n < 10], the amazon head ratio drops to {head:.3} —\nalternative decay models only strengthen the tail-value conclusion (§4.3.1)."
+    );
+}

@@ -1,0 +1,340 @@
+//! `webstruct` — command-line front end for the reproduction.
+//!
+//! ```text
+//! webstruct list                         list every artifact id
+//! webstruct reproduce [SCALE] [OUTDIR]   regenerate all tables & figures
+//! webstruct figure <ID> [SCALE]          print one figure (ASCII + .dat)
+//! webstruct table <1|2> [SCALE]          print one table
+//! webstruct bootstrap [DOMAIN] [SCALE]   run the set-expansion crawler
+//! webstruct redundancy [DOMAIN] [SCALE]  fusion accuracy vs. redundancy
+//! webstruct tail-users [SCALE]           user-level tail analysis
+//! webstruct precision [NOISE] [SCALE]    §3.5 false-match study
+//! ```
+
+use webstruct::core::bootstrap::bootstrap_expansion;
+use webstruct::core::cache::Study;
+use webstruct::core::experiments::{ablations, connectivity, discovery, linkage, open_extraction, redundancy, stability, table1, tail_value};
+use webstruct::core::runner::{run_all, write_outputs};
+use webstruct::core::study::StudyConfig;
+use webstruct::corpus::domain::{Attribute, Domain};
+use webstruct::extract::phone_precision_study;
+use webstruct::util::ids::EntityId;
+use webstruct::util::rng::{Seed, Xoshiro256};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "list" => list(),
+        "reproduce" => reproduce(&args[1..]),
+        "figure" => figure(&args[1..]),
+        "table" => table(&args[1..]),
+        "bootstrap" => bootstrap(&args[1..]),
+        "discover" => discover(&args[1..]),
+        "dedup" => dedup_cmd(&args[1..]),
+        "open-extract" => open_extract_cmd(&args[1..]),
+        "ablations" => ablations_cmd(&args[1..]),
+        "stability" => stability_cmd(&args[1..]),
+        "redundancy" => redundancy_cmd(&args[1..]),
+        "tail-users" => tail_users(&args[1..]),
+        "precision" => precision(&args[1..]),
+        "help" | "--help" | "-h" => help(),
+        other => {
+            eprintln!("unknown command '{other}'\n");
+            help();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn help() {
+    println!(
+        "webstruct — reproduction of 'An Analysis of Structured Data on the Web' (VLDB 2012)\n\
+         \n\
+         USAGE:\n\
+         \twebstruct list\n\
+         \twebstruct reproduce [SCALE] [OUTDIR]\n\
+         \twebstruct figure <ID> [SCALE]      e.g. fig1a, fig4b, fig6-cdf-search, fig8-imdb\n\
+         \twebstruct table <1|2> [SCALE]\n\
+         \twebstruct bootstrap [DOMAIN] [SCALE]\n\
+         \twebstruct discover [DOMAIN] [SCALE]   compare frontier policies + seed robustness\n\
+         \twebstruct dedup [DOMAIN] [SCALE]      deduplicate noisy listing records\n\
+         \twebstruct open-extract [DOMAIN] [SITES] [SCALE]  catalog-free database build\n\
+         \twebstruct ablations [DOMAIN] [SCALE]  model-ingredient ablations\n\
+         \twebstruct stability [SEEDS] [SCALE]   milestone variance across seeds\n\
+         \twebstruct redundancy [DOMAIN] [SCALE]\n\
+         \twebstruct tail-users [SCALE]\n\
+         \twebstruct precision [NOISE_PER_PAGE] [SCALE]\n\
+         \n\
+         DOMAINS: {}",
+        Domain::ALL
+            .iter()
+            .map(|d| d.slug())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}
+
+fn parse_scale(args: &[String], index: usize, default: f64) -> f64 {
+    match args.get(index) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("warning: could not parse '{raw}' as a number, using {default}");
+            default
+        }),
+    }
+}
+
+fn parse_domain(args: &[String], index: usize) -> Domain {
+    let slug = args.get(index).map(String::as_str).unwrap_or("restaurants");
+    Domain::ALL
+        .iter()
+        .copied()
+        .find(|d| d.slug() == slug)
+        .unwrap_or_else(|| {
+            eprintln!("unknown domain '{slug}', using restaurants");
+            Domain::Restaurants
+        })
+}
+
+fn list() {
+    let out = run_all(&StudyConfig::quick());
+    println!("figures:");
+    for f in &out.figures {
+        println!("  {:<18} {}", f.id, f.title);
+    }
+    println!("tables:\n  table1             {}", out.tables[0].title);
+    println!("  table2             {}", out.tables[1].title);
+    println!("extensions: redundancy, tail-users, precision, bootstrap, discover, dedup, open-extract, ablations, stability");
+}
+
+fn reproduce(args: &[String]) {
+    let scale = parse_scale(args, 0, 1.0);
+    let outdir = args.get(1).cloned().unwrap_or_else(|| "artifacts".into());
+    let config = StudyConfig::default().with_scale(scale);
+    let t0 = std::time::Instant::now();
+    let out = run_all(&config);
+    println!(
+        "generated {} figures, {} tables in {:.1?}",
+        out.figures.len(),
+        out.tables.len(),
+        t0.elapsed()
+    );
+    write_outputs(std::path::Path::new(&outdir), &out).expect("write artifacts");
+    println!("written to {outdir}/");
+}
+
+fn figure(args: &[String]) {
+    let Some(id) = args.first() else {
+        eprintln!("usage: webstruct figure <ID> [SCALE]");
+        std::process::exit(2);
+    };
+    let scale = parse_scale(args, 1, 0.25);
+    let out = run_all(&StudyConfig::default().with_scale(scale));
+    match out.figure(id) {
+        Some(f) => {
+            println!("{}", f.ascii_plot(76, 20));
+            println!("{}", f.to_dat());
+        }
+        None => {
+            eprintln!("no figure '{id}'; try `webstruct list`");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn table(args: &[String]) {
+    let which = args.first().map(String::as_str).unwrap_or("2");
+    let scale = parse_scale(args, 1, 0.25);
+    match which {
+        "1" => println!("{}", table1().to_text()),
+        "2" => {
+            let mut study = Study::new(StudyConfig::default().with_scale(scale));
+            println!("{}", connectivity::table2(&mut study).to_text());
+        }
+        other => {
+            eprintln!("no table '{other}' (the paper has tables 1 and 2)");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn bootstrap(args: &[String]) {
+    let domain = parse_domain(args, 0);
+    let scale = parse_scale(args, 1, 0.25);
+    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let attr = if domain == Domain::Books {
+        Attribute::Isbn
+    } else {
+        Attribute::Phone
+    };
+    let graph = connectivity::build_graph(&mut study, domain, attr);
+    let metrics = connectivity::graph_metrics(&mut study, domain, attr);
+    println!(
+        "{domain} / {attr}: diameter {} → crawler bound d/2 = {}",
+        metrics.diameter,
+        (metrics.diameter as usize).div_ceil(2)
+    );
+    let mut rng = Xoshiro256::from_seed(Seed::DEFAULT.derive("cli-seeds"));
+    for n_seeds in [1usize, 5] {
+        let seeds: Vec<EntityId> = (0..n_seeds)
+            .map(|_| EntityId::new(rng.u64_below(graph.n_entities() as u64) as u32))
+            .collect();
+        let r = bootstrap_expansion(&graph, &seeds);
+        println!(
+            "  seeds={n_seeds}: {} iterations, recall {:.2}%",
+            r.iterations,
+            100.0 * r.recall(&graph)
+        );
+    }
+}
+
+fn discover(args: &[String]) {
+    let domain = parse_domain(args, 0);
+    let scale = parse_scale(args, 1, 0.25);
+    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let fig = discovery::discovery_policies(&mut study, domain, 2_000);
+    println!("{}", fig.ascii_plot(76, 16));
+    let r = discovery::discovery_seed_robustness(&mut study, domain, 20);
+    println!(
+        "seed robustness: {}/{} random single seeds recovered >=95% of present \
+         entities\n(mean recall {:.3}; largest-component ceiling {:.3})",
+        r.successes,
+        r.trials,
+        r.mean_recall,
+        r.largest_component_fraction
+    );
+}
+
+fn ablations_cmd(args: &[String]) {
+    let domain = parse_domain(args, 0);
+    let scale = parse_scale(args, 1, 0.1);
+    let config = StudyConfig::default().with_scale(scale);
+    println!("which model ingredient drives which finding ({domain}):\n");
+    println!(
+        "{:<20} {:>10} {:>10} {:>8} {:>10}",
+        "arm", "top10 cov", "k5 final", "comps", "% largest"
+    );
+    for arm in ablations::ablation_suite(domain, &config) {
+        println!(
+            "{:<20} {:>10.3} {:>10.3} {:>8} {:>10.2}",
+            arm.label,
+            arm.top10_coverage,
+            arm.k5_final,
+            arm.components.n_components,
+            100.0 * arm.components.largest_fraction(),
+        );
+    }
+    println!(
+        "\nno-aggregators kills the head; no-tail-sites kills corroboration (k=5);\n\
+         no-inclusion-floor starves/fragments the tail — each paper finding traces\n\
+         to one structural ingredient."
+    );
+}
+
+fn stability_cmd(args: &[String]) {
+    let n_seeds = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5usize);
+    let scale = parse_scale(args, 1, 0.1);
+    let config = StudyConfig::default().with_scale(scale);
+    println!("milestone stability over {n_seeds} independent seeds:\n");
+    for s in stability::fig1_stability(&config, n_seeds) {
+        println!(
+            "  {:<28} mean {:.4} ± {:.4} (cv {:.3})",
+            s.label,
+            s.mean,
+            s.std_dev,
+            s.cv()
+        );
+    }
+}
+
+fn open_extract_cmd(args: &[String]) {
+    let domain = parse_domain(args, 0);
+    let max_sites = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100usize);
+    let scale = parse_scale(args, 2, 0.1);
+    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let r = open_extraction::open_extraction(&mut study, domain, max_sites);
+    println!(
+        "open extraction over the {} largest sites of {domain}:\n\
+         \traw records extracted   {}\n\
+         \tdatabase after dedup    {}\n\
+         \ttrue entities on sites  {}\n\
+         \tname recall             {:.2}%\n\n\
+         No catalog was consulted during extraction — wrappers were induced from\n\
+         page templates, phones came from the scanner, identity from the deduper.",
+        r.sites_wrapped,
+        r.raw_records,
+        r.database_size,
+        r.true_entities,
+        100.0 * r.name_recall,
+    );
+}
+
+fn dedup_cmd(args: &[String]) {
+    let domain = parse_domain(args, 0);
+    let scale = parse_scale(args, 1, 0.25);
+    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    println!("{}", linkage::linkage_table(&mut study, domain).to_text());
+}
+
+fn redundancy_cmd(args: &[String]) {
+    let domain = parse_domain(args, 0);
+    let scale = parse_scale(args, 1, 0.25);
+    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let fig = redundancy::redundancy_experiment(&mut study, domain);
+    println!("{}", fig.ascii_plot(76, 16));
+    for r in redundancy::fusion_reports(&mut study, domain) {
+        println!(
+            "  {:<16} overall accuracy {:.4} over {} entities",
+            r.strategy, r.accuracy, r.entities_claimed
+        );
+    }
+}
+
+fn tail_users(args: &[String]) {
+    let scale = parse_scale(args, 0, 0.25);
+    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    println!("{}", tail_value::user_tail_table(&mut study).to_text());
+    println!(
+        "(cf. Goel et al., cited in §4.2: tail items held 13–34% of ratings, yet\n\
+         90–95% of users rated tail items at least once)"
+    );
+}
+
+fn precision(args: &[String]) {
+    let noise = parse_scale(args, 0, 3.0);
+    let scale = parse_scale(args, 1, 0.1);
+    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let built = study.domain(Domain::Restaurants);
+    let report = phone_precision_study(
+        &built.catalog,
+        &built.web,
+        noise,
+        Seed::DEFAULT.derive("precision"),
+    );
+    println!(
+        "phone extraction with {noise} valid-format noise numbers per page:\n\
+         \ttruth pairs      {}\n\
+         \textracted pairs  {}\n\
+         \tfalse positives  {}\n\
+         \tunmatched noise  {}\n\
+         \tprecision        {:.6}\n\
+         \trecall           {:.6}",
+        report.truth_pairs,
+        report.extracted_pairs,
+        report.false_positives,
+        report.unmatched_noise,
+        report.precision(),
+        report.recall()
+    );
+    println!(
+        "\n§3.5's conclusion holds: accidental matches are vanishingly rare, and when\n\
+         they occur they only over-estimate head coverage."
+    );
+}

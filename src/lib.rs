@@ -1,0 +1,56 @@
+//! # webstruct
+//!
+//! A full reproduction of **“An Analysis of Structured Data on the Web”**
+//! (Nilesh Dalvi, Ashwin Machanavajjhala, Bo Pang; PVLDB 5(7), 2012) as a
+//! Rust workspace: a synthetic web corpus standing in for the paper's
+//! proprietary Yahoo! data, a real extraction pipeline (phone/ISBN/href
+//! scanners plus a Naïve Bayes review classifier), and the complete set of
+//! spread / tail-value / connectivity analyses, regenerating every table
+//! and figure of the paper.
+//!
+//! This umbrella crate re-exports the member crates under stable names:
+//!
+//! * [`util`] — deterministic RNG, hashing, sampling, statistics, reports;
+//! * [`corpus`] — entity catalogs, the generative web model, page text;
+//! * [`extract`] — identifier scanners and the extraction pipeline;
+//! * [`coverage`] — k-coverage, greedy set cover, aggregate coverage;
+//! * [`graph`] — the entity–site bipartite graph analyses;
+//! * [`demand`] — traffic simulation and value-add analyses;
+//! * [`fuse`] — truth fusion for corroborated extraction;
+//! * [`crawl`] — bootstrapping-based source discovery;
+//! * [`dedup`] — record deduplication for extracted listings;
+//! * [`core`] — the experiment registry (`run_all` regenerates the paper).
+//!
+//! ## Example
+//!
+//! ```
+//! use webstruct::core::study::StudyConfig;
+//! use webstruct::core::runner::run_all;
+//!
+//! // Regenerate every table and figure at a fast test scale.
+//! let out = run_all(&StudyConfig::quick());
+//! assert_eq!(out.figures.len(), 33);
+//! assert_eq!(out.tables.len(), 2);
+//! ```
+
+pub use webstruct_core as core;
+pub use webstruct_corpus as corpus;
+pub use webstruct_coverage as coverage;
+pub use webstruct_demand as demand;
+pub use webstruct_extract as extract;
+pub use webstruct_fuse as fuse;
+pub use webstruct_crawl as crawl;
+pub use webstruct_dedup as dedup;
+pub use webstruct_graph as graph;
+pub use webstruct_util as util;
+
+/// The version of the workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Calibration integration tests: the reproduced figures must match the
+//! *shape* of the paper's results — who wins, by roughly what factor,
+//! where crossovers fall. These run at a moderate scale (0.3) for
+//! fidelity; EXPERIMENTS.md records the full-scale (1.0) numbers.
+
+use webstruct::core::cache::Study;
+use webstruct::core::experiments::{connectivity, spread, tail_value};
+use webstruct::core::study::StudyConfig;
+use webstruct::corpus::domain::{Attribute, Domain};
+
+fn study() -> Study {
+    Study::new(StudyConfig::default().with_scale(0.3))
+}
+
+#[test]
+fn fig1_phone_head_sites_cover_most_but_corroboration_needs_thousands() {
+    let mut study = study();
+    let figs = spread::fig1(&mut study);
+    let restaurants = &figs[0];
+    // Paper: "the top-10 sites cover around 93% of all the entities" and
+    // "top-100 sites [give] close to 100%".
+    let k1 = restaurants.series_named("k=1").unwrap();
+    let top10 = k1.interpolate(10.0).unwrap();
+    assert!(
+        (0.85..=0.99).contains(&top10),
+        "restaurant phones: top-10 k=1 coverage {top10} (paper ~0.93)"
+    );
+    let top100 = k1.interpolate(100.0).unwrap();
+    assert!(top100 > 0.97, "top-100 k=1 coverage {top100} (paper ~1.0)");
+    // Paper: "if we want at least k = 5 pages ... we need to go to
+    // top-5000 sites to cover even 90%".
+    let k5 = restaurants.series_named("k=5").unwrap();
+    let k5_at_100 = k5.interpolate(100.0).unwrap();
+    assert!(
+        k5_at_100 < 0.75,
+        "k=5 coverage at top-100 must still be far from done: {k5_at_100}"
+    );
+    let needed = k5.first_x_reaching(0.9).expect("k=5 reaches 90% eventually");
+    assert!(
+        needed > 500.0,
+        "k=5 needs thousands of sites for 90% (got {needed})"
+    );
+}
+
+#[test]
+fn fig2_homepages_spread_wider_than_phones_in_every_domain() {
+    let mut study = study();
+    let phones = spread::fig1(&mut study);
+    let homepages = spread::fig2(&mut study);
+    for (p, h) in phones.iter().zip(&homepages) {
+        let pk1 = p.series_named("k=1").unwrap();
+        let hk1 = h.series_named("k=1").unwrap();
+        let p10 = pk1.interpolate(10.0).unwrap();
+        let h10 = hk1.interpolate(10.0).unwrap();
+        assert!(
+            h10 < p10,
+            "{}: homepage top-10 coverage {h10} should trail phone {p10}",
+            h.title
+        );
+    }
+    // Paper: "We need at least 10,000 sites to cover 95% of unique
+    // restaurants (even with k = 1)" — i.e. a large fraction of the tail.
+    let rest = &homepages[0];
+    let k1 = rest.series_named("k=1").unwrap();
+    let needed = k1.first_x_reaching(0.95).expect("95% reachable");
+    let n_sites = k1.points.last().unwrap().0;
+    assert!(
+        needed > 0.05 * n_sites,
+        "95% homepage coverage needs a deep prefix: {needed} of {n_sites}"
+    );
+}
+
+#[test]
+fn fig3_books_match_paper_shape() {
+    let mut study = study();
+    let fig = spread::fig3(&mut study);
+    let k1 = fig.series_named("k=1").unwrap();
+    assert!(k1.interpolate(10.0).unwrap() > 0.6, "head book sites cover most ISBNs");
+    assert!(k1.final_y().unwrap() > 0.95);
+    // Corroboration gap: k=10 trails k=1 substantially at top-100.
+    let k10 = fig.series_named("k=10").unwrap();
+    assert!(k10.interpolate(100.0).unwrap() < k1.interpolate(100.0).unwrap() - 0.3);
+}
+
+#[test]
+fn fig4_reviews_match_paper_shape() {
+    let mut study = study();
+    let (fig4a, fig4b) = spread::fig4(&mut study);
+    let k1 = fig4a.series_named("k=1").unwrap();
+    // Paper: ">1000 sites to get 90% coverage" of restaurants with a
+    // review; at our 0.3 scale the site population is ~12k vs their ~1e5,
+    // so the milestone shifts proportionally (hundreds, not tens).
+    let needed = k1.first_x_reaching(0.9).expect("90% reachable");
+    let n_sites = k1.points.last().unwrap().0;
+    assert!(
+        needed > 50.0 && needed / n_sites > 0.003,
+        "review 1-coverage at 90% needs a deep prefix (got {needed} of {n_sites}; paper: ~1000 of ~1e5)"
+    );
+    // Aggregate page coverage trails entity coverage at the same prefix
+    // (paper: 95% of entities vs 80% of reviews at top-1000).
+    let agg = &fig4b.series[0];
+    for t in [100.0, 300.0, 1000.0] {
+        let entity = k1.interpolate(t).unwrap();
+        let pages = agg.interpolate(t).unwrap();
+        assert!(
+            pages < entity,
+            "at top-{t}: aggregate review pages {pages} must trail entity coverage {entity}"
+        );
+    }
+}
+
+#[test]
+fn fig5_greedy_improvement_is_insignificant() {
+    let mut study = study();
+    let fig = spread::fig5(&mut study);
+    let by_size = fig.series_named("Order by Size").unwrap();
+    let greedy = fig.series_named("Greedy Set Cover").unwrap();
+    // Paper: "While the coverage slightly improves with the greedy set
+    // cover, the improvement is insignificant."
+    let mut max_gain: f64 = 0.0;
+    for &(t, g) in &greedy.points {
+        let s = by_size.interpolate(t).unwrap();
+        max_gain = max_gain.max(g - s);
+    }
+    assert!(
+        max_gain < 0.15,
+        "greedy's max improvement {max_gain} should be modest"
+    );
+    assert!(max_gain > -0.05, "greedy should not lose either");
+}
+
+#[test]
+fn fig6_demand_concentration_ordering() {
+    let mut study = study();
+    let figs = tail_value::fig6(&mut study);
+    for panel in [&figs[0], &figs[2]] {
+        // CDF panels: imdb above amazon above yelp at 20% inventory.
+        let at = |name: &str| panel.series_named(name).unwrap().interpolate(0.2).unwrap();
+        let (i, a, y) = (at("imdb"), at("amazon"), at("yelp"));
+        assert!(i > a && a > y, "{}: imdb {i} amazon {a} yelp {y}", panel.id);
+        // Paper: imdb top-20% > 90%, yelp ~60%.
+        assert!(i > 0.85, "{}: imdb share {i}", panel.id);
+        assert!((0.3..0.8).contains(&y), "{}: yelp share {y}", panel.id);
+    }
+}
+
+#[test]
+fn fig8_value_add_shapes() {
+    let mut study = study();
+    let figs = tail_value::fig8(&mut study);
+    // figs order: yelp, amazon, imdb.
+    for fig in &figs[..2] {
+        for s in &fig.series {
+            let last = s.points.last().unwrap().1;
+            assert!(
+                last < 0.3,
+                "{} {}: head VA ratio {last} (paper: well below 1)",
+                fig.id,
+                s.name
+            );
+        }
+    }
+    let imdb = &figs[2];
+    for s in &imdb.series {
+        let max = s.points.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max);
+        let last = s.points.last().unwrap().1;
+        assert!(max > 1.2, "imdb {}: interior bump {max}", s.name);
+        assert!(last < max, "imdb {}: head falls from bump", s.name);
+    }
+}
+
+#[test]
+fn table2_matches_paper_magnitudes() {
+    let mut study = study();
+    let rows = connectivity::table2_rows(&mut study);
+    assert_eq!(rows.len(), 17);
+    for row in &rows {
+        assert!(row.diameter_exact, "{} {}: iFUB must converge", row.domain, row.attr);
+        // Paper diameters are 6-8 on graphs with avg degree up to 251; at
+        // reproduction scale the sparser homepage graphs grow longer
+        // peripheral chains (see EXPERIMENTS.md), so their bound is wider.
+        let diam_max = if row.attr == Attribute::Homepage { 26 } else { 14 };
+        assert!(
+            (4..=diam_max).contains(&row.diameter),
+            "{} {}: diameter {} (paper range 6-8, allowed <= {diam_max})",
+            row.domain,
+            row.attr,
+            row.diameter
+        );
+        let largest_floor = if row.attr == Attribute::Homepage { 93.0 } else { 98.5 };
+        assert!(
+            row.pct_in_largest > largest_floor,
+            "{} {}: largest component {}% (paper >= {largest_floor}%)",
+            row.domain,
+            row.attr,
+            row.pct_in_largest
+        );
+        assert!(
+            row.avg_sites_per_entity > 2.0 && row.avg_sites_per_entity < 500.0,
+            "{} {}: avg sites/entity {}",
+            row.domain,
+            row.attr,
+            row.avg_sites_per_entity
+        );
+    }
+    // Relative ordering from Table 2: hotels are mentioned on more sites
+    // than automotive businesses (56 vs 13); books are the sparsest graph.
+    let find = |d: Domain, a: Attribute| {
+        rows.iter()
+            .find(|r| r.domain == d && r.attr == a)
+            .unwrap()
+            .avg_sites_per_entity
+    };
+    assert!(
+        find(Domain::HotelsLodging, Attribute::Phone) > find(Domain::Automotive, Attribute::Phone)
+    );
+    assert!(find(Domain::Books, Attribute::Isbn) < find(Domain::Restaurants, Attribute::Phone));
+    // HomeGarden is the most fragmented phone graph (paper: 4507 comps).
+    let hg = rows
+        .iter()
+        .find(|r| r.domain == Domain::HomeGarden && r.attr == Attribute::Phone)
+        .unwrap();
+    let banks = rows
+        .iter()
+        .find(|r| r.domain == Domain::Banks && r.attr == Attribute::Phone)
+        .unwrap();
+    assert!(
+        hg.n_components > banks.n_components,
+        "HomeGarden ({}) should fragment more than Banks ({})",
+        hg.n_components,
+        banks.n_components
+    );
+}
+
+#[test]
+fn fig9_robustness_matches_paper() {
+    let mut study = study();
+    let panels = connectivity::fig9(&mut study);
+    // Paper: after removing the top 10 sites, > 99% of entities remain in
+    // the largest component for ISBN and phones, > 90% for homepages.
+    for s in &panels[0].series {
+        assert!(
+            s.points[10].1 > 0.95,
+            "phones {}: k=10 fraction {}",
+            s.name,
+            s.points[10].1
+        );
+    }
+    for s in &panels[1].series {
+        assert!(
+            s.points[10].1 > 0.75,
+            "homepages {}: k=10 fraction {}",
+            s.name,
+            s.points[10].1
+        );
+    }
+    assert!(
+        panels[2].series[0].points[10].1 > 0.93,
+        "books: k=10 fraction {}",
+        panels[2].series[0].points[10].1
+    );
+}

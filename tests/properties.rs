@@ -1,0 +1,281 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the workspace.
+
+use proptest::prelude::*;
+use webstruct::corpus::isbn::Isbn;
+use webstruct::corpus::phone::{PhoneFormat, PhoneNumber};
+use webstruct::coverage::{greedy_cover, k_coverage};
+use webstruct::extract::phone_scan::scan_phones;
+use webstruct::graph::{component_stats, double_sweep, eccentricity, ifub_diameter, BipartiteGraph};
+use webstruct::util::ids::EntityId;
+use webstruct::util::sample::AliasTable;
+use webstruct::util::rng::{Seed, Xoshiro256};
+use webstruct::crawl::{crawl, Fifo, SearchIndex};
+use webstruct::dedup::{jaro, jaro_winkler, normalize, token_jaccard};
+
+/// Strategy: a random occurrence table over `n` entities.
+fn occurrence_table(max_entities: u32, max_sites: usize) -> impl Strategy<Value = (usize, Vec<Vec<EntityId>>)> {
+    (2..max_entities).prop_flat_map(move |n| {
+        let sites = prop::collection::vec(
+            prop::collection::vec(0..n, 0..24usize),
+            0..max_sites,
+        );
+        sites.prop_map(move |raw| {
+            let lists = raw
+                .into_iter()
+                .map(|l| l.into_iter().map(EntityId::new).collect())
+                .collect();
+            (n as usize, lists)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn phone_scanner_finds_any_valid_phone_in_any_format(
+        area in 200u16..1000,
+        exchange in 200u16..1000,
+        line in 0u16..10000,
+        fmt_idx in 0usize..6,
+        prefix in "[a-zA-Z ,.]{0,20}",
+        suffix in "[a-zA-Z ,.]{0,20}",
+    ) {
+        prop_assume!(area % 100 != 11 && exchange % 100 != 11);
+        let phone = PhoneNumber::new(area, exchange, line).unwrap();
+        let fmt = PhoneFormat::ALL[fmt_idx];
+        let text = format!("{prefix} {} {suffix}", phone.format(fmt));
+        let found = scan_phones(&text);
+        prop_assert!(
+            found.iter().any(|m| m.phone == phone),
+            "missed {} in {text:?}", phone.format(fmt)
+        );
+    }
+
+    #[test]
+    fn phone_scanner_never_reports_invalid_numbers(text in "[0-9()+. -]{0,60}") {
+        for m in scan_phones(&text) {
+            // Every reported number must survive NANP re-validation.
+            prop_assert!(PhoneNumber::from_digits(m.phone.digits()).is_ok());
+        }
+    }
+
+    #[test]
+    fn isbn_roundtrips_and_rejects_corruption(core in 0u64..1_000_000_000) {
+        let isbn = Isbn::new(core).unwrap();
+        for rendering in [
+            isbn.to_isbn10(),
+            isbn.to_isbn10_hyphenated(),
+            isbn.to_isbn13(),
+            isbn.to_isbn13_hyphenated(),
+        ] {
+            prop_assert_eq!(Isbn::parse(&rendering), Ok(isbn));
+        }
+        // Single-digit corruption of the plain forms must be rejected
+        // (check digits catch all single-digit substitutions).
+        let s = isbn.to_isbn13();
+        let bytes = s.as_bytes();
+        for i in 0..bytes.len() {
+            let orig = bytes[i] - b'0';
+            let replaced = (orig + 1) % 10;
+            let mut corrupted = s.clone().into_bytes();
+            corrupted[i] = b'0' + replaced;
+            let corrupted = String::from_utf8(corrupted).unwrap();
+            if let Ok(parsed) = Isbn::parse(&corrupted) {
+                prop_assert_ne!(parsed, isbn, "corruption at {} undetected", i);
+            }
+        }
+    }
+
+    #[test]
+    fn k_coverage_invariants((n, lists) in occurrence_table(200, 40)) {
+        let cov = k_coverage(n, &lists, 10).unwrap();
+        for k in 1..=10usize {
+            let curve = &cov.curves[k - 1];
+            // Bounded and monotone non-decreasing in t.
+            for w in curve.windows(2) {
+                prop_assert!(w[1] + 1e-12 >= w[0]);
+            }
+            for &c in curve {
+                prop_assert!((0.0..=1.0).contains(&c));
+            }
+            // Anti-monotone in k at every tick.
+            if k > 1 {
+                for (hi, lo) in cov.curves[k - 2].iter().zip(curve) {
+                    prop_assert!(lo <= hi);
+                }
+            }
+        }
+        // Final 1-coverage equals the distinct-entity fraction.
+        if let Some(&last) = cov.curves[0].last() {
+            let mut all: Vec<u32> = lists.iter().flatten().map(|e| e.raw()).collect();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert!((last - all.len() as f64 / n as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_cover_invariants((n, lists) in occurrence_table(150, 30)) {
+        let g = greedy_cover(n, &lists).unwrap();
+        // Monotone coverage, bounded by 1.
+        for w in g.coverage.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        // Final coverage equals the union coverage.
+        if let Some(&last) = g.coverage.last() {
+            let mut all: Vec<u32> = lists.iter().flatten().map(|e| e.raw()).collect();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert!((last - all.len() as f64 / n as f64).abs() < 1e-9);
+        }
+        // Picks are distinct sites.
+        let mut picks = g.pick_order.clone();
+        picks.sort_unstable();
+        picks.dedup();
+        prop_assert_eq!(picks.len(), g.pick_order.len());
+    }
+
+    #[test]
+    fn component_stats_invariants((n, lists) in occurrence_table(150, 30)) {
+        let graph = BipartiteGraph::from_occurrences(n, &lists).unwrap();
+        let stats = component_stats(&graph, &[]);
+        prop_assert!(stats.largest_entities <= stats.entities_present);
+        prop_assert!(stats.n_components <= stats.entities_present);
+        prop_assert_eq!(stats.entities_present, graph.entities_present());
+        if stats.entities_present > 0 {
+            prop_assert!(stats.n_components >= 1);
+            prop_assert!(stats.largest_fraction() > 0.0);
+            prop_assert!(stats.largest_fraction() <= 1.0);
+        }
+        // Removing all sites empties the graph.
+        let all_sites: Vec<usize> = (0..lists.len()).collect();
+        let removed = component_stats(&graph, &all_sites);
+        prop_assert_eq!(removed.entities_present, 0);
+    }
+
+    #[test]
+    fn diameter_bounds((n, lists) in occurrence_table(80, 20)) {
+        let graph = BipartiteGraph::from_occurrences(n, &lists).unwrap();
+        let exact = ifub_diameter(&graph, 1_000_000);
+        prop_assert!(exact.exact);
+        // Double sweep from the max-degree node lower-bounds the exact
+        // diameter of that node's component.
+        if let Some(start) = (0..graph.n_nodes() as u32).max_by_key(|&v| graph.degree(v)) {
+            if graph.degree(start) > 0 {
+                let ds = double_sweep(&graph, start);
+                prop_assert!(ds.value <= exact.value);
+                // Any node's eccentricity in that component never exceeds
+                // the diameter.
+                prop_assert!(eccentricity(&graph, start) <= exact.value);
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_samples_in_range(weights in prop::collection::vec(0.0f64..100.0, 1..50)) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = Xoshiro256::from_seed(Seed(1));
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            // Zero-weight buckets are never drawn.
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight bucket {i}");
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = Xoshiro256::from_seed(Seed(seed));
+        let mut b = Xoshiro256::from_seed(Seed(seed));
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ifub_matches_brute_force_diameter((n, lists) in occurrence_table(24, 10)) {
+        let graph = BipartiteGraph::from_occurrences(n, &lists).unwrap();
+        let fast = ifub_diameter(&graph, 1_000_000);
+        prop_assert!(fast.exact);
+        // Brute force: max eccentricity over all nodes of the
+        // largest-entity component's... iFUB reports the diameter of the
+        // component containing the max-degree node; brute-force that
+        // component.
+        let start = (0..graph.n_nodes() as u32)
+            .max_by_key(|&v| graph.degree(v))
+            .unwrap_or(0);
+        if graph.degree(start) == 0 {
+            prop_assert_eq!(fast.value, 0);
+            return Ok(());
+        }
+        // Collect the component of `start`.
+        let mut comp = Vec::new();
+        let mut seen = vec![false; graph.n_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start as usize] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for v in graph.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let brute = comp
+            .iter()
+            .map(|&u| eccentricity(&graph, u))
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(fast.value, brute, "iFUB {} vs brute {}", fast.value, brute);
+    }
+
+    #[test]
+    fn crawler_invariants((n, lists) in occurrence_table(120, 25)) {
+        let index = SearchIndex::build(n, &lists, None);
+        let seed_entity = EntityId::new(0);
+        let result = crawl(&index, &lists, Fifo::default(), &[seed_entity], usize::MAX);
+        // Trace is monotone; totals are bounded by the universe.
+        prop_assert!(result.entities_found <= n);
+        prop_assert!(result.sites_fetched <= lists.len());
+        prop_assert!(result.trace.windows(2).all(|w| w[1].1 >= w[0].1));
+        prop_assert!(result.exhausted, "unbudgeted crawls drain");
+        // An unbudgeted crawl recovers exactly the seed's connected
+        // component (checked against the graph library).
+        let graph = BipartiteGraph::from_occurrences(n, &lists).unwrap();
+        let mut reach = vec![false; graph.n_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        reach[0] = true;
+        queue.push_back(0u32);
+        while let Some(u) = queue.pop_front() {
+            for v in graph.neighbors(u) {
+                if !reach[v as usize] {
+                    reach[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let component_entities = reach[..n].iter().filter(|&&r| r).count();
+        prop_assert_eq!(result.entities_found, component_entities);
+    }
+
+    #[test]
+    fn similarity_metrics_are_sane(a in "[a-z ]{0,16}", b in "[a-z ]{0,16}") {
+        for f in [jaro, jaro_winkler, token_jaccard] {
+            let ab = f(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+            prop_assert!((f(&b, &a) - ab).abs() < 1e-12, "symmetry");
+        }
+        // Identity.
+        prop_assert!(jaro(&a, &a) > 0.999 || a.is_empty());
+        // Normalisation is idempotent.
+        let na = normalize(&a);
+        let nna = normalize(&na);
+        prop_assert_eq!(nna.as_str(), na.as_str());
+    }
+}
+
