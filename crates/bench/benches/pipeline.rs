@@ -1,84 +1,69 @@
-//! Extraction-pipeline throughput: scanner MB/s and end-to-end pages/s.
+//! Std-only pipeline benchmark: times generate / render+extract /
+//! analyze stages across worker-thread counts and writes
+//! `BENCH_pipeline.json`.
+//!
+//! ```text
+//! cargo bench -p webstruct-bench --bench pipeline -- \
+//!     --out artifacts/BENCH_pipeline.json --scale 0.05 --threads 1,2,4,8 --repeats 3
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
-use webstruct_bench::bench_study;
-use webstruct_corpus::domain::Domain;
-use webstruct_corpus::page::{Page, PageConfig, PageStream};
-use webstruct_extract::phone_scan::scan_phones;
-use webstruct_extract::isbn_scan::scan_isbns;
-use webstruct_extract::{train_review_classifier, Extractor, NaiveBayes};
-use webstruct_util::rng::Seed;
+use webstruct_bench::run_pipeline_bench;
 
-fn rendered_pages(domain: Domain, max_pages: usize) -> (Vec<Page>, webstruct_corpus::entity::EntityCatalog) {
-    let mut study = bench_study();
-    let built = study.domain(domain);
-    let pages: Vec<Page> = PageStream::new(
-        &built.web,
-        &built.catalog,
-        PageConfig::default(),
-        Seed(3),
-    )
-    .take(max_pages)
-    .collect();
-    (pages, built.catalog.clone())
-}
+fn main() {
+    let mut out_path = String::from("artifacts/BENCH_pipeline.json");
+    let mut scale = 0.02f64;
+    let mut repeats = 3usize;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
 
-fn bench_scanners(c: &mut Criterion) {
-    let (pages, _) = rendered_pages(Domain::Restaurants, 2_000);
-    let corpus_text: String = pages.iter().map(|p| p.text.as_str()).collect();
-    let (book_pages, _) = rendered_pages(Domain::Books, 2_000);
-    let book_text: String = book_pages.iter().map(|p| p.text.as_str()).collect();
-
-    let mut group = c.benchmark_group("scanner_throughput");
-    group.throughput(Throughput::Bytes(corpus_text.len() as u64));
-    group.bench_function("phone_scan", |b| {
-        b.iter(|| black_box(scan_phones(&corpus_text).len()));
-    });
-    group.throughput(Throughput::Bytes(book_text.len() as u64));
-    group.bench_function("isbn_scan", |b| {
-        b.iter(|| black_box(scan_isbns(&book_text).len()));
-    });
-    group.finish();
-}
-
-fn bench_classifier(c: &mut Criterion) {
-    let clf: NaiveBayes = train_review_classifier(Seed(5), 200).unwrap();
-    let (pages, _) = rendered_pages(Domain::Restaurants, 500);
-    let mut group = c.benchmark_group("classifier");
-    group.throughput(Throughput::Elements(pages.len() as u64));
-    group.bench_function("nb_classify_pages", |b| {
-        b.iter(|| {
-            let hits = pages.iter().filter(|p| clf.is_review(&p.text)).count();
-            black_box(hits)
-        });
-    });
-    group.bench_function("nb_train_400_docs", |b| {
-        b.iter(|| black_box(train_review_classifier(Seed(5), 200).unwrap()));
-    });
-    group.finish();
-}
-
-fn bench_end_to_end(c: &mut Criterion) {
-    let (pages, catalog) = rendered_pages(Domain::Restaurants, 2_000);
-    let n_sites = pages.iter().map(|p| p.site.index()).max().unwrap_or(0) + 1;
-    let mut group = c.benchmark_group("pipeline_end_to_end");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(pages.len() as u64));
-    group.bench_function("extract_2000_pages", |b| {
-        let clf = train_review_classifier(Seed(5), 200).unwrap();
-        let extractor = Extractor::new(&catalog).with_review_classifier(clf);
-        b.iter(|| {
-            let mut acc = webstruct_extract::ExtractedWeb::new(n_sites, catalog.len());
-            for page in &pages {
-                let ex = extractor.extract_page(page);
-                acc.ingest(page.site, &ex);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
             }
-            black_box(acc.pages_processed)
-        });
-    });
-    group.finish();
-}
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--repeats" if i + 1 < args.len() => {
+                repeats = args[i + 1].parse().expect("--repeats takes an integer");
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                threads = args[i + 1]
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads takes e.g. 1,2,4"))
+                    .collect();
+                i += 2;
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench); skip them.
+            _ => i += 1,
+        }
+    }
 
-criterion_group!(benches, bench_scanners, bench_classifier, bench_end_to_end);
-criterion_main!(benches);
+    eprintln!(
+        "pipeline bench: scale={scale} repeats={repeats} threads={threads:?} -> {out_path}"
+    );
+    let report = run_pipeline_bench(scale, &threads, repeats);
+    for m in &report.measurements {
+        let speedup = report
+            .speedup(&m.stage, m.threads)
+            .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x"));
+        eprintln!(
+            "  {:<20} threads={:<3} {:>10.4}s  speedup {}",
+            m.stage, m.threads, m.secs, speedup
+        );
+    }
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH_pipeline.json");
+    eprintln!(
+        "wrote {out_path} (hardware_threads={})",
+        report.hardware_threads
+    );
+}

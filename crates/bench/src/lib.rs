@@ -1,24 +1,32 @@
 //! # webstruct-bench
 //!
-//! Shared fixtures for the Criterion benchmark harness. The benches live
-//! in `benches/`:
+//! Std-only benchmark harness (the offline build environment cannot
+//! resolve criterion). The single bench target, `benches/pipeline.rs`,
+//! times the four pipeline stages — generate, render+extract, analyze
+//! (oracle figures), and the end-to-end Extracted-source study — at a
+//! sweep of worker-thread counts, and writes the measurements to
+//! `BENCH_pipeline.json` to seed the repo's performance trajectory.
 //!
-//! * `figures` — one benchmark per paper table/figure (the regeneration
-//!   cost of each artifact at bench scale);
-//! * `ablations` — design-choice ablations called out in DESIGN.md:
-//!   site-ordering strategies, diameter algorithms, hashing on the
-//!   mention-aggregation hot path, oracle vs. full-text extraction;
-//! * `pipeline` — extraction throughput microbenchmarks (pages/second,
-//!   scanner MB/s).
+//! Run it with:
+//!
+//! ```text
+//! cargo bench -p webstruct-bench --bench pipeline -- --out artifacts/BENCH_pipeline.json
+//! ```
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+use std::time::Instant;
 use webstruct_core::cache::Study;
-use webstruct_core::study::StudyConfig;
+use webstruct_core::runner::run_all;
+use webstruct_core::study::{DataSource, StudyConfig};
+use webstruct_corpus::domain::{Attribute, Domain};
+use webstruct_corpus::page::PageConfig;
+use webstruct_extract::{train_review_classifier, Extractor};
+use webstruct_util::par;
 
-/// The scale every benchmark runs at: small enough for stable Criterion
-/// timings, large enough to exercise real data volumes.
+/// The scale every benchmark runs at: small enough for stable timings,
+/// large enough to exercise real data volumes.
 pub const BENCH_SCALE: f64 = 0.05;
 
 /// A fresh study session at bench scale.
@@ -27,12 +35,206 @@ pub fn bench_study() -> Study {
     Study::new(StudyConfig::default().with_scale(BENCH_SCALE))
 }
 
+/// One timed measurement: a named stage at a worker-thread count.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Stage name (`generate`, `render_extract`, `analyze_oracle`,
+    /// `pipeline_extracted`).
+    pub stage: String,
+    /// Worker threads the stage was configured with.
+    pub threads: usize,
+    /// Best-of-`repeats` wall-clock seconds.
+    pub secs: f64,
+}
+
+/// A full benchmark report, serialisable to JSON by hand (no serde in
+/// the offline environment).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Corpus scale factor the stages ran at.
+    pub scale: f64,
+    /// Repeats per measurement (best time is kept).
+    pub repeats: usize,
+    /// `std::thread::available_parallelism()` on the machine that ran
+    /// the bench — speedups are only physically possible up to this.
+    pub hardware_threads: usize,
+    /// All measurements, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl BenchReport {
+    /// Best time recorded for `stage` at `threads`, if measured.
+    #[must_use]
+    pub fn secs_for(&self, stage: &str, threads: usize) -> Option<f64> {
+        self.measurements
+            .iter()
+            .find(|m| m.stage == stage && m.threads == threads)
+            .map(|m| m.secs)
+    }
+
+    /// Speedup of `stage` at `threads` relative to its 1-thread time.
+    #[must_use]
+    pub fn speedup(&self, stage: &str, threads: usize) -> Option<f64> {
+        let base = self.secs_for(stage, 1)?;
+        let t = self.secs_for(stage, threads)?;
+        (t > 0.0).then(|| base / t)
+    }
+
+    /// Render the report as a stable, hand-rolled JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!(
+            "  \"hardware_threads\": {},\n",
+            self.hardware_threads
+        ));
+        out.push_str("  \"measurements\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            let speedup = self
+                .speedup(&m.stage, m.threads)
+                .map_or_else(|| "null".to_string(), |s| format!("{s:.3}"));
+            out.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \"speedup_vs_1\": {}}}{}\n",
+                m.stage,
+                m.threads,
+                m.secs,
+                speedup,
+                if i + 1 < self.measurements.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn best_of<F: FnMut() -> ()>(repeats: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Time the pipeline stages at each thread count in `thread_counts`.
+///
+/// Stages:
+/// * `generate` — catalog + web generation for the Restaurants domain
+///   (inherently sequential; measured once per thread count as a
+///   baseline anchor);
+/// * `render_extract` — page rendering plus full extraction via
+///   [`Extractor::extract_web`] at the given worker count;
+/// * `analyze_oracle` — the full 33-figure oracle-source study
+///   ([`run_all`]) with `WEBSTRUCT_THREADS` pinned to the worker count;
+/// * `pipeline_extracted` — the end-to-end Extracted-source study
+///   (render + extract + every figure), the acceptance-criterion
+///   workload.
+///
+/// # Panics
+/// Panics if classifier training fails (impossible by construction).
+#[must_use]
+pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -> BenchReport {
+    let mut report = BenchReport {
+        scale,
+        repeats,
+        hardware_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        measurements: Vec::new(),
+    };
+    let config = StudyConfig::default().with_scale(scale);
+    let study = webstruct_core::study::DomainStudy::generate(Domain::Restaurants, &config);
+    let clf = train_review_classifier(config.seed.derive("nb"), 300)
+        .expect("training set is balanced by construction");
+    let extractor = Extractor::new(&study.catalog).with_review_classifier(clf);
+
+    for &threads in thread_counts {
+        let secs = best_of(repeats, || {
+            let d = webstruct_core::study::DomainStudy::generate(Domain::Restaurants, &config);
+            std::hint::black_box(d.web.n_sites());
+        });
+        report.measurements.push(Measurement {
+            stage: "generate".into(),
+            threads,
+            secs,
+        });
+
+        let secs = best_of(repeats, || {
+            let extracted = extractor.extract_web(
+                &study.web,
+                &PageConfig::default(),
+                config.seed.derive("render"),
+                threads,
+            );
+            std::hint::black_box(extracted.total_occurrences(Attribute::Phone));
+        });
+        report.measurements.push(Measurement {
+            stage: "render_extract".into(),
+            threads,
+            secs,
+        });
+
+        std::env::set_var(par::THREADS_ENV, threads.to_string());
+        let secs = best_of(repeats, || {
+            let out = run_all(&config);
+            std::hint::black_box(out.figures.len());
+        });
+        report.measurements.push(Measurement {
+            stage: "analyze_oracle".into(),
+            threads,
+            secs,
+        });
+
+        let secs = best_of(repeats, || {
+            let cfg = config.clone().with_source(DataSource::Extracted);
+            let out = run_all(&cfg);
+            std::hint::black_box(out.figures.len());
+        });
+        report.measurements.push(Measurement {
+            stage: "pipeline_extracted".into(),
+            threads,
+            secs,
+        });
+        std::env::remove_var(par::THREADS_ENV);
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn bench_study_builds() {
-        let mut s = super::bench_study();
+        let s = super::bench_study();
         let d = s.domain(webstruct_corpus::domain::Domain::Banks);
         assert!(d.web.n_mentions() > 0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = BenchReport {
+            scale: 0.01,
+            repeats: 1,
+            hardware_threads: 4,
+            measurements: vec![
+                Measurement {
+                    stage: "render_extract".into(),
+                    threads: 1,
+                    secs: 2.0,
+                },
+                Measurement {
+                    stage: "render_extract".into(),
+                    threads: 4,
+                    secs: 0.5,
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"hardware_threads\": 4"));
+        assert!(json.contains("\"speedup_vs_1\": 4.000"));
+        assert_eq!(report.speedup("render_extract", 4), Some(4.0));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

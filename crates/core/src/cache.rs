@@ -1,10 +1,17 @@
 //! Lazy, shared generation of domain webs and traffic studies so that
 //! experiments reusing the same domain (Figures 1, 2, 4, 5, 9, Table 2 all
 //! touch Restaurants) generate it exactly once.
+//!
+//! The cache is thread-safe: experiment families running on different
+//! threads can request domains concurrently. Each key holds its own
+//! [`OnceLock`], so two threads asking for the *same* domain block on one
+//! generation while threads asking for *different* domains generate in
+//! parallel. Generation is seeded per key, so which thread wins the race
+//! never changes the bytes produced.
 
 use crate::study::{DomainStudy, StudyConfig};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, OnceLock};
 use webstruct_corpus::domain::Domain;
 use webstruct_demand::{StudySite, TrafficConfig, TrafficStudy};
 
@@ -12,8 +19,8 @@ use webstruct_demand::{StudySite, TrafficConfig, TrafficStudy};
 pub struct Study {
     /// The configuration all experiments share.
     pub config: StudyConfig,
-    domains: HashMap<Domain, Rc<DomainStudy>>,
-    traffic: HashMap<StudySite, Rc<TrafficStudy>>,
+    domains: Mutex<HashMap<Domain, Arc<OnceLock<Arc<DomainStudy>>>>>,
+    traffic: Mutex<HashMap<StudySite, Arc<OnceLock<Arc<TrafficStudy>>>>>,
 }
 
 impl Study {
@@ -22,36 +29,52 @@ impl Study {
     pub fn new(config: StudyConfig) -> Self {
         Study {
             config,
-            domains: HashMap::new(),
-            traffic: HashMap::new(),
+            domains: Mutex::new(HashMap::new()),
+            traffic: Mutex::new(HashMap::new()),
         }
     }
 
     /// The generated catalog+web for a domain (generated on first use).
-    pub fn domain(&mut self, domain: Domain) -> Rc<DomainStudy> {
-        if let Some(d) = self.domains.get(&domain) {
-            return Rc::clone(d);
-        }
-        let built = Rc::new(DomainStudy::generate(domain, &self.config));
-        self.domains.insert(domain, Rc::clone(&built));
-        built
+    ///
+    /// # Panics
+    /// Panics if the cache mutex was poisoned by a panicking generator.
+    pub fn domain(&self, domain: Domain) -> Arc<DomainStudy> {
+        let cell = {
+            let mut map = self.domains.lock().expect("domain cache poisoned");
+            Arc::clone(map.entry(domain).or_default())
+        };
+        // Generate outside the map lock: distinct domains proceed
+        // concurrently, same-domain callers block on this cell only.
+        Arc::clone(cell.get_or_init(|| Arc::new(DomainStudy::generate(domain, &self.config))))
     }
 
     /// The simulated traffic study for a site (generated on first use).
-    pub fn traffic(&mut self, site: StudySite) -> Rc<TrafficStudy> {
-        if let Some(t) = self.traffic.get(&site) {
-            return Rc::clone(t);
-        }
-        let cfg = TrafficConfig::preset(site).scaled(self.config.scale);
-        let built = Rc::new(TrafficStudy::simulate(&cfg, self.config.seed));
-        self.traffic.insert(site, Rc::clone(&built));
-        built
+    ///
+    /// # Panics
+    /// Panics if the cache mutex was poisoned by a panicking generator.
+    pub fn traffic(&self, site: StudySite) -> Arc<TrafficStudy> {
+        let cell = {
+            let mut map = self.traffic.lock().expect("traffic cache poisoned");
+            Arc::clone(map.entry(site).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            let cfg = TrafficConfig::preset(site).scaled(self.config.scale);
+            Arc::new(TrafficStudy::simulate(&cfg, self.config.seed))
+        }))
     }
 
     /// Number of domain webs generated so far.
+    ///
+    /// # Panics
+    /// Panics if the cache mutex was poisoned by a panicking generator.
     #[must_use]
     pub fn domains_generated(&self) -> usize {
-        self.domains.len()
+        self.domains
+            .lock()
+            .expect("domain cache poisoned")
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
     }
 }
 
@@ -61,10 +84,10 @@ mod tests {
 
     #[test]
     fn domain_is_generated_once() {
-        let mut study = Study::new(StudyConfig::quick());
+        let study = Study::new(StudyConfig::quick());
         let a = study.domain(Domain::Banks);
         let b = study.domain(Domain::Banks);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(study.domains_generated(), 1);
         let _ = study.domain(Domain::Schools);
         assert_eq!(study.domains_generated(), 2);
@@ -72,10 +95,27 @@ mod tests {
 
     #[test]
     fn traffic_is_memoised() {
-        let mut study = Study::new(StudyConfig::quick());
+        let study = Study::new(StudyConfig::quick());
         let a = study.traffic(StudySite::Yelp);
         let b = study.traffic(StudySite::Yelp);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert!(!a.demand_search.is_empty());
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_generation() {
+        let study = Study::new(StudyConfig::quick());
+        let handles: Vec<Arc<DomainStudy>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(|| study.domain(Domain::Libraries)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(study.domains_generated(), 1);
+        for pair in handles.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
     }
 }

@@ -54,7 +54,7 @@ pub fn table2_graphs() -> Vec<(Domain, Attribute)> {
 }
 
 /// Build the entity–site graph for one (domain, attribute) pair.
-pub fn build_graph(study: &mut Study, domain: Domain, attr: Attribute) -> BipartiteGraph {
+pub fn build_graph(study: &Study, domain: Domain, attr: Attribute) -> BipartiteGraph {
     let built = study.domain(domain);
     let lists = built.occurrence_lists(attr, &study.config);
     BipartiteGraph::from_occurrences(built.catalog.len(), &lists)
@@ -62,7 +62,7 @@ pub fn build_graph(study: &mut Study, domain: Domain, attr: Attribute) -> Bipart
 }
 
 /// Compute one Table 2 row.
-pub fn graph_metrics(study: &mut Study, domain: Domain, attr: Attribute) -> GraphMetricsRow {
+pub fn graph_metrics(study: &Study, domain: Domain, attr: Attribute) -> GraphMetricsRow {
     let graph = build_graph(study, domain, attr);
     let stats = component_stats(&graph, &[]);
     let diameter = ifub_diameter(&graph, DIAMETER_BFS_BUDGET);
@@ -78,7 +78,7 @@ pub fn graph_metrics(study: &mut Study, domain: Domain, attr: Attribute) -> Grap
 }
 
 /// All 17 rows of Table 2.
-pub fn table2_rows(study: &mut Study) -> Vec<GraphMetricsRow> {
+pub fn table2_rows(study: &Study) -> Vec<GraphMetricsRow> {
     table2_graphs()
         .into_iter()
         .map(|(d, a)| graph_metrics(study, d, a))
@@ -86,7 +86,7 @@ pub fn table2_rows(study: &mut Study) -> Vec<GraphMetricsRow> {
 }
 
 /// Table 2 rendered as a report table.
-pub fn table2(study: &mut Study) -> Table {
+pub fn table2(study: &Study) -> Table {
     let mut table = Table::new(
         "Table 2: Entity-Site Graphs and Metrics",
         &[
@@ -118,7 +118,7 @@ pub fn table2(study: &mut Study) -> Table {
 /// Figure 9: fraction of entities in the largest component after removing
 /// the top-k sites, k = 0..10. Three panels: (a) phones for the eight
 /// local domains, (b) homepages, (c) book ISBNs.
-pub fn fig9(study: &mut Study) -> Vec<Figure> {
+pub fn fig9(study: &Study) -> Vec<Figure> {
     let locals = [
         Domain::Automotive,
         Domain::Banks,
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn metrics_match_paper_shape_for_phones() {
         let mut study = quick_study();
-        let row = graph_metrics(&mut study, Domain::Restaurants, Attribute::Phone);
+        let row = graph_metrics(&study, Domain::Restaurants, Attribute::Phone);
         assert!(row.diameter_exact, "iFUB should converge");
         assert!(
             (4..=12).contains(&row.diameter),
@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let mut study = quick_study();
-        let t = table2(&mut study);
+        let t = table2(&study);
         assert_eq!(t.rows.len(), 17);
         let md = t.to_markdown();
         assert!(md.contains("Books"));
@@ -216,8 +216,8 @@ mod tests {
     fn fig9_panels_and_robustness() {
         // Robustness depends on tail-site mass, so this test runs at a
         // larger scale than the other quick tests.
-        let mut study = Study::new(StudyConfig::quick().with_scale(0.2));
-        let panels = fig9(&mut study);
+        let study = Study::new(StudyConfig::quick().with_scale(0.2));
+        let panels = fig9(&study);
         assert_eq!(panels.len(), 3);
         assert_eq!(panels[0].series.len(), 8);
         assert_eq!(panels[1].series.len(), 8);

@@ -24,7 +24,7 @@ fn id_attr(domain: Domain) -> Attribute {
 
 /// Policy-comparison figure for one domain: fraction of entities
 /// discovered vs. sites fetched, per frontier policy.
-pub fn discovery_policies(study: &mut Study, domain: Domain, fetch_budget: usize) -> Figure {
+pub fn discovery_policies(study: &Study, domain: Domain, fetch_budget: usize) -> Figure {
     let built = study.domain(domain);
     let lists = built.occurrence_lists(id_attr(domain), &study.config);
     let mut rng = Xoshiro256::from_seed(study.config.seed.derive("discovery-seeds"));
@@ -45,7 +45,7 @@ pub fn discovery_policies(study: &mut Study, domain: Domain, fetch_budget: usize
 
 /// Seed-robustness experiment for one domain.
 pub fn discovery_seed_robustness(
-    study: &mut Study,
+    study: &Study,
     domain: Domain,
     trials: usize,
 ) -> SeedRobustness {
@@ -67,8 +67,8 @@ mod tests {
 
     #[test]
     fn policies_produce_four_series_with_largest_first_leading() {
-        let mut study = Study::new(StudyConfig::quick());
-        let fig = discovery_policies(&mut study, Domain::Restaurants, 200);
+        let study = Study::new(StudyConfig::quick());
+        let fig = discovery_policies(&study, Domain::Restaurants, 200);
         assert_eq!(fig.series.len(), 4);
         let at = |name: &str| {
             fig.series_named(name)
@@ -95,8 +95,8 @@ mod tests {
 
     #[test]
     fn random_seeds_recover_almost_everything() {
-        let mut study = Study::new(StudyConfig::quick());
-        let r = discovery_seed_robustness(&mut study, Domain::Banks, 10);
+        let study = Study::new(StudyConfig::quick());
+        let r = discovery_seed_robustness(&study, Domain::Banks, 10);
         assert!(
             r.success_rate() > 0.85,
             "success {} with ceiling {}",

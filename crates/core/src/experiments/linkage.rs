@@ -18,7 +18,7 @@ use webstruct_util::report::Table;
 pub const RECORDS_PER_ENTITY: usize = 4;
 
 /// Run dedup over a domain under every blocking strategy.
-pub fn dedup_reports(study: &mut Study, domain: Domain) -> Vec<(BlockingReport, DedupReport)> {
+pub fn dedup_reports(study: &Study, domain: Domain) -> Vec<(BlockingReport, DedupReport)> {
     let built = study.domain(domain);
     let records = generate_records(
         &built.catalog,
@@ -38,7 +38,7 @@ pub fn dedup_reports(study: &mut Study, domain: Domain) -> Vec<(BlockingReport, 
 }
 
 /// Render the linkage experiment as a table.
-pub fn linkage_table(study: &mut Study, domain: Domain) -> Table {
+pub fn linkage_table(study: &Study, domain: Domain) -> Table {
     let mut table = Table::new(
         format!(
             "{}: deduplication of {}x noisy listings",
@@ -74,8 +74,8 @@ mod tests {
 
     #[test]
     fn union_blocking_wins_on_f1() {
-        let mut study = Study::new(StudyConfig::quick());
-        let reports = dedup_reports(&mut study, Domain::Restaurants);
+        let study = Study::new(StudyConfig::quick());
+        let reports = dedup_reports(&study, Domain::Restaurants);
         assert_eq!(reports.len(), 3);
         let f1 = |i: usize| reports[i].1.f1();
         // phone | name union dominates each alone.
@@ -90,8 +90,8 @@ mod tests {
 
     #[test]
     fn table_renders_three_strategies() {
-        let mut study = Study::new(StudyConfig::quick());
-        let t = linkage_table(&mut study, Domain::Banks);
+        let study = Study::new(StudyConfig::quick());
+        let t = linkage_table(&study, Domain::Banks);
         assert_eq!(t.rows.len(), 3);
         assert!(t.to_markdown().contains("phone|name"));
     }

@@ -40,7 +40,7 @@ pub struct OpenExtractionReport {
 /// cross-site deduper. The catalog is consulted only afterwards, for
 /// evaluation.
 pub fn open_extraction(
-    study: &mut Study,
+    study: &Study,
     domain: Domain,
     max_sites: usize,
 ) -> OpenExtractionReport {
@@ -135,8 +135,8 @@ mod tests {
 
     #[test]
     fn open_extraction_builds_a_credible_database() {
-        let mut study = Study::new(StudyConfig::quick());
-        let report = open_extraction(&mut study, Domain::Restaurants, 40);
+        let study = Study::new(StudyConfig::quick());
+        let report = open_extraction(&study, Domain::Restaurants, 40);
         assert_eq!(report.sites_wrapped, 40);
         assert!(report.raw_records > report.true_entities);
         // Catalog-free recall: nearly every entity on the processed sites

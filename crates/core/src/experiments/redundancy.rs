@@ -20,7 +20,7 @@ use webstruct_util::report::Figure;
 pub const MAX_REDUNDANCY: usize = 10;
 
 /// Generate the claim corpus for a domain under the default error model.
-pub fn claims_for(study: &mut Study, domain: Domain) -> ClaimSet {
+pub fn claims_for(study: &Study, domain: Domain) -> ClaimSet {
     let built = study.domain(domain);
     ClaimSet::generate(
         &built.catalog,
@@ -32,7 +32,7 @@ pub fn claims_for(study: &mut Study, domain: Domain) -> ClaimSet {
 }
 
 /// Run all three fusion strategies over one domain's claims.
-pub fn fusion_reports(study: &mut Study, domain: Domain) -> Vec<FusionReport> {
+pub fn fusion_reports(study: &Study, domain: Domain) -> Vec<FusionReport> {
     let claims = claims_for(study, domain);
     vec![
         evaluate(&FirstClaim, &claims, MAX_REDUNDANCY),
@@ -42,7 +42,7 @@ pub fn fusion_reports(study: &mut Study, domain: Domain) -> Vec<FusionReport> {
 }
 
 /// The extension figure: fused accuracy vs. corroborating sources.
-pub fn redundancy_experiment(study: &mut Study, domain: Domain) -> Figure {
+pub fn redundancy_experiment(study: &Study, domain: Domain) -> Figure {
     let mut fig = redundancy_figure(&fusion_reports(study, domain));
     fig.id = format!("ext-redundancy-{}", domain.slug());
     fig.title = format!(
@@ -59,8 +59,8 @@ mod tests {
 
     #[test]
     fn fusion_beats_single_source_on_corpus_claims() {
-        let mut study = Study::new(StudyConfig::quick());
-        let reports = fusion_reports(&mut study, Domain::Restaurants);
+        let study = Study::new(StudyConfig::quick());
+        let reports = fusion_reports(&study, Domain::Restaurants);
         assert_eq!(reports.len(), 3);
         let first = &reports[0];
         let majority = &reports[1];
@@ -73,8 +73,8 @@ mod tests {
 
     #[test]
     fn redundancy_figure_is_monotoneish() {
-        let mut study = Study::new(StudyConfig::quick());
-        let fig = redundancy_experiment(&mut study, Domain::Banks);
+        let study = Study::new(StudyConfig::quick());
+        let fig = redundancy_experiment(&study, Domain::Banks);
         assert!(fig.id.contains("banks"));
         let majority = fig.series_named("majority").expect("majority series");
         // Accuracy at the top redundancy bucket beats the bottom one.

@@ -14,7 +14,7 @@ pub const MAX_K: usize = 10;
 /// and the paper's Figure 2 curves approach 1 — with ids remapped to that
 /// dense sub-universe.
 fn universe_lists(
-    study: &mut Study,
+    study: &Study,
     domain: Domain,
     attr: Attribute,
 ) -> (usize, Vec<Vec<webstruct_util::EntityId>>) {
@@ -44,7 +44,7 @@ fn universe_lists(
     (n_universe as usize, remapped)
 }
 
-fn coverage_for(study: &mut Study, domain: Domain, attr: Attribute) -> KCoverage {
+fn coverage_for(study: &Study, domain: Domain, attr: Attribute) -> KCoverage {
     let (n, lists) = universe_lists(study, domain, attr);
     k_coverage(n, &lists, MAX_K)
         .expect("generated corpora always have entities and valid ids")
@@ -52,17 +52,17 @@ fn coverage_for(study: &mut Study, domain: Domain, attr: Attribute) -> KCoverage
 
 /// Figure 1: spread of the phone attribute for the eight local-business
 /// domains. Returns figures in the paper's (a)–(h) order.
-pub fn fig1(study: &mut Study) -> Vec<Figure> {
+pub fn fig1(study: &Study) -> Vec<Figure> {
     fig_for_attribute(study, Attribute::Phone, "fig1")
 }
 
 /// Figure 2: spread of the homepage attribute for the eight local-business
 /// domains.
-pub fn fig2(study: &mut Study) -> Vec<Figure> {
+pub fn fig2(study: &Study) -> Vec<Figure> {
     fig_for_attribute(study, Attribute::Homepage, "fig2")
 }
 
-fn fig_for_attribute(study: &mut Study, attr: Attribute, id_prefix: &str) -> Vec<Figure> {
+fn fig_for_attribute(study: &Study, attr: Attribute, id_prefix: &str) -> Vec<Figure> {
     let order = [
         Domain::Restaurants,
         Domain::Automotive,
@@ -88,14 +88,14 @@ fn fig_for_attribute(study: &mut Study, attr: Attribute, id_prefix: &str) -> Vec
 }
 
 /// Figure 3: spread of book ISBN numbers.
-pub fn fig3(study: &mut Study) -> Figure {
+pub fn fig3(study: &Study) -> Figure {
     let cov = coverage_for(study, Domain::Books, Attribute::Isbn);
     cov.to_figure("fig3", "Books books")
 }
 
 /// Figure 4(a): k-coverage of restaurant reviews; Figure 4(b): aggregate
 /// review-page coverage.
-pub fn fig4(study: &mut Study) -> (Figure, Figure) {
+pub fn fig4(study: &Study) -> (Figure, Figure) {
     let fig4a = coverage_for(study, Domain::Restaurants, Attribute::Review)
         .to_figure("fig4a", "Restaurant Reviews");
     let built = study.domain(Domain::Restaurants);
@@ -105,7 +105,7 @@ pub fn fig4(study: &mut Study) -> (Figure, Figure) {
 }
 
 /// Figure 5: greedy set cover vs. order-by-size for restaurant homepages.
-pub fn fig5(study: &mut Study) -> Figure {
+pub fn fig5(study: &Study) -> Figure {
     let (n, lists) = universe_lists(study, Domain::Restaurants, Attribute::Homepage);
     let by_size = k_coverage(n, &lists, 1).expect("valid corpus");
     let greedy = greedy_cover(n, &lists).expect("valid corpus");
@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn fig1_has_eight_panels_with_ten_curves() {
         let mut study = quick_study();
-        let figs = fig1(&mut study);
+        let figs = fig1(&study);
         assert_eq!(figs.len(), 8);
         for f in &figs {
             assert_eq!(f.series.len(), MAX_K);
@@ -153,8 +153,8 @@ mod tests {
     #[test]
     fn fig2_spread_is_wider_than_fig1() {
         let mut study = quick_study();
-        let phones = fig1(&mut study);
-        let homepages = fig2(&mut study);
+        let phones = fig1(&study);
+        let homepages = fig2(&study);
         // Paper: homepage coverage at small t is far below phone coverage.
         // Compare k=1 coverage of the top-10 sites for restaurants.
         let p = phones[0].series_named("k=1").unwrap().interpolate(10.0).unwrap();
@@ -172,7 +172,7 @@ mod tests {
     #[test]
     fn fig3_books_cover_eventually() {
         let mut study = quick_study();
-        let fig = fig3(&mut study);
+        let fig = fig3(&study);
         assert_eq!(fig.series.len(), MAX_K);
         assert!(fig.series_named("k=1").unwrap().final_y().unwrap() > 0.9);
     }
@@ -180,7 +180,7 @@ mod tests {
     #[test]
     fn fig4_review_coverage_spreads_wider_than_existence() {
         let mut study = quick_study();
-        let (a, b) = fig4(&mut study);
+        let (a, b) = fig4(&study);
         assert_eq!(a.id, "fig4a");
         assert_eq!(b.id, "fig4b");
         assert_eq!(b.series.len(), 1);
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn fig5_greedy_dominates_but_modestly() {
         let mut study = quick_study();
-        let fig = fig5(&mut study);
+        let fig = fig5(&study);
         let by_size = fig.series_named("Order by Size").unwrap();
         let greedy = fig.series_named("Greedy Set Cover").unwrap();
         // At every shared t, greedy is at least on par with by-size.

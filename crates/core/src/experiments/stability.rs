@@ -57,8 +57,8 @@ pub fn fig1_stability(base: &StudyConfig, n_seeds: usize) -> Vec<MilestoneStabil
         let config = base
             .clone()
             .with_seed(Seed::DEFAULT.derive_u64(0xAB1E + i as u64));
-        let mut study = Study::new(config);
-        let figs = spread::fig1(&mut study);
+        let study = Study::new(config);
+        let figs = spread::fig1(&study);
         let restaurants = &figs[0];
         let k1 = restaurants.series_named("k=1").expect("k=1 exists");
         let k5 = restaurants.series_named("k=5").expect("k=5 exists");

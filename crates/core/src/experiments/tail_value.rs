@@ -9,7 +9,7 @@ use webstruct_util::report::{Figure, Table};
 
 /// Figure 6: the four aggregate demand panels — CDF and PDF for search and
 /// browse data, each with one curve per site (imdb, amazon, yelp).
-pub fn fig6(study: &mut Study) -> Vec<Figure> {
+pub fn fig6(study: &Study) -> Vec<Figure> {
     let studies: Vec<_> = StudySite::ALL.iter().map(|&s| study.traffic(s)).collect();
     let refs: Vec<&webstruct_demand::TrafficStudy> =
         studies.iter().map(std::convert::AsRef::as_ref).collect();
@@ -23,7 +23,7 @@ pub fn fig6(study: &mut Study) -> Vec<Figure> {
 
 /// Figure 7: normalized demand vs. number of existing reviews, one panel
 /// per site (yelp, amazon, imdb — the paper's order).
-pub fn fig7(study: &mut Study) -> Vec<Figure> {
+pub fn fig7(study: &Study) -> Vec<Figure> {
     [StudySite::Yelp, StudySite::Amazon, StudySite::Imdb]
         .iter()
         .map(|&s| demand_fig7(&study.traffic(s)))
@@ -31,13 +31,13 @@ pub fn fig7(study: &mut Study) -> Vec<Figure> {
 }
 
 /// Figure 8: average relative value-add `VA(n)/VA(0)`, one panel per site.
-pub fn fig8(study: &mut Study) -> Vec<Figure> {
+pub fn fig8(study: &Study) -> Vec<Figure> {
     fig8_with_decay(study, InfoDecay::InverseLinear)
 }
 
 /// Figure 8 under an alternative information-decay model (the paper's
 /// step-function discussion).
-pub fn fig8_with_decay(study: &mut Study, decay: InfoDecay) -> Vec<Figure> {
+pub fn fig8_with_decay(study: &Study, decay: InfoDecay) -> Vec<Figure> {
     [StudySite::Yelp, StudySite::Amazon, StudySite::Imdb]
         .iter()
         .map(|&s| demand_fig8(&study.traffic(s), decay))
@@ -47,7 +47,7 @@ pub fn fig8_with_decay(study: &mut Study, decay: InfoDecay) -> Vec<Figure> {
 /// Extension: the user-level tail analysis §4.2 cites from Goel et al. —
 /// tail entities hold a minority of demand yet nearly every user touches
 /// them.
-pub fn user_tail_table(study: &mut Study) -> Table {
+pub fn user_tail_table(study: &Study) -> Table {
     let mut table = Table::new(
         "User-level tail analysis (tail = bottom 80% of inventory)",
         &[
@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn fig6_has_four_panels_of_three_sites() {
         let mut study = quick_study();
-        let figs = fig6(&mut study);
+        let figs = fig6(&study);
         assert_eq!(figs.len(), 4);
         for f in &figs {
             assert_eq!(f.series.len(), 3, "{}", f.id);
@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn fig6_ordering_imdb_sharpest() {
         let mut study = quick_study();
-        let figs = fig6(&mut study);
+        let figs = fig6(&study);
         // In the CDF panel, at 20% inventory imdb > amazon > yelp.
         let cdf = &figs[0];
         let at = |name: &str| cdf.series_named(name).unwrap().interpolate(0.2).unwrap();
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn fig7_demand_rises_with_reviews() {
         let mut study = quick_study();
-        let figs = fig7(&mut study);
+        let figs = fig7(&study);
         assert_eq!(figs.len(), 3);
         for f in &figs {
             for s in &f.series {
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn fig8_shapes_match_paper() {
         let mut study = quick_study();
-        let figs = fig8(&mut study);
+        let figs = fig8(&study);
         assert_eq!(figs.len(), 3);
         for f in &figs {
             for s in &f.series {
@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn user_tail_table_has_six_rows() {
         let mut study = quick_study();
-        let table = user_tail_table(&mut study);
+        let table = user_tail_table(&study);
         assert_eq!(table.rows.len(), 6);
         let md = table.to_markdown();
         assert!(md.contains("imdb"));
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn step_decay_variant_runs() {
         let mut study = quick_study();
-        let figs = fig8_with_decay(&mut study, InfoDecay::Step(10));
+        let figs = fig8_with_decay(&study, InfoDecay::Step(10));
         assert_eq!(figs.len(), 3);
         // Step decay zeroes head-bin value-add entirely.
         for f in &figs {

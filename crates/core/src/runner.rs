@@ -1,4 +1,11 @@
 //! Run every experiment and write report artifacts.
+//!
+//! The study splits into independent figure families (spread, tail value,
+//! connectivity) that share only the thread-safe [`Study`] cache. With
+//! more than one worker thread available (see
+//! [`webstruct_util::par::num_threads`]) the families run concurrently;
+//! output is assembled in fixed paper order either way, and per-key
+//! seeding makes the artifacts byte-identical to the sequential run.
 
 use crate::cache::Study;
 use crate::experiments::{connectivity, discovery, linkage, redundancy, spread, table1, tail_value};
@@ -6,6 +13,7 @@ use webstruct_corpus::domain::Domain;
 use crate::study::StudyConfig;
 use std::io::Write as _;
 use std::path::Path;
+use webstruct_util::par;
 use webstruct_util::report::{Figure, Table};
 
 /// The complete output of a reproduction run.
@@ -25,23 +33,66 @@ impl RunOutput {
     }
 }
 
-/// Run the full study: every table and figure of the paper.
-#[must_use]
-pub fn run_all(config: &StudyConfig) -> RunOutput {
-    let mut study = Study::new(config.clone());
+/// The spread family: Figures 1–5, in paper order.
+fn spread_family(study: &Study) -> Vec<Figure> {
     let mut figures = Vec::new();
-    figures.extend(spread::fig1(&mut study));
-    figures.extend(spread::fig2(&mut study));
-    figures.push(spread::fig3(&mut study));
-    let (fig4a, fig4b) = spread::fig4(&mut study);
+    figures.extend(spread::fig1(study));
+    figures.extend(spread::fig2(study));
+    figures.push(spread::fig3(study));
+    let (fig4a, fig4b) = spread::fig4(study);
     figures.push(fig4a);
     figures.push(fig4b);
-    figures.push(spread::fig5(&mut study));
-    figures.extend(tail_value::fig6(&mut study));
-    figures.extend(tail_value::fig7(&mut study));
-    figures.extend(tail_value::fig8(&mut study));
-    figures.extend(connectivity::fig9(&mut study));
-    let tables = vec![table1(), connectivity::table2(&mut study)];
+    figures.push(spread::fig5(study));
+    figures
+}
+
+/// The tail-value family: Figures 6–8, in paper order.
+fn tail_family(study: &Study) -> Vec<Figure> {
+    let mut figures = Vec::new();
+    figures.extend(tail_value::fig6(study));
+    figures.extend(tail_value::fig7(study));
+    figures.extend(tail_value::fig8(study));
+    figures
+}
+
+/// The connectivity family: Figure 9 and Table 2.
+fn connectivity_family(study: &Study) -> (Vec<Figure>, Table) {
+    let figures = connectivity::fig9(study);
+    let t2 = connectivity::table2(study);
+    (figures, t2)
+}
+
+/// Run the full study: every table and figure of the paper.
+///
+/// Independent figure families execute on separate threads when more than
+/// one worker is configured; the artifact list is identical to the
+/// sequential run either way.
+#[must_use]
+pub fn run_all(config: &StudyConfig) -> RunOutput {
+    let study = Study::new(config.clone());
+    let (spread_figs, tail_figs, (conn_figs, table2)) = if par::num_threads() == 1 {
+        (
+            spread_family(&study),
+            tail_family(&study),
+            connectivity_family(&study),
+        )
+    } else {
+        std::thread::scope(|s| {
+            let tail = s.spawn(|| tail_family(&study));
+            let conn = s.spawn(|| connectivity_family(&study));
+            // The heaviest family runs on the current thread.
+            let spread = spread_family(&study);
+            (
+                spread,
+                tail.join().expect("tail-value family panicked"),
+                conn.join().expect("connectivity family panicked"),
+            )
+        })
+    };
+    let mut figures = spread_figs;
+    figures.extend(tail_figs);
+    figures.extend(conn_figs);
+    let tables = vec![table1(), table2];
     RunOutput { figures, tables }
 }
 
@@ -50,15 +101,33 @@ pub fn run_all(config: &StudyConfig) -> RunOutput {
 /// listing deduplication, all for a representative domain.
 #[must_use]
 pub fn run_extensions(config: &StudyConfig) -> RunOutput {
-    let mut study = Study::new(config.clone());
-    let figures = vec![
-        discovery::discovery_policies(&mut study, Domain::Restaurants, 2_000),
-        redundancy::redundancy_experiment(&mut study, Domain::Restaurants),
-    ];
-    let tables = vec![
-        tail_value::user_tail_table(&mut study),
-        linkage::linkage_table(&mut study, Domain::Restaurants),
-    ];
+    let study = Study::new(config.clone());
+    let (figures, tables) = if par::num_threads() == 1 {
+        (
+            vec![
+                discovery::discovery_policies(&study, Domain::Restaurants, 2_000),
+                redundancy::redundancy_experiment(&study, Domain::Restaurants),
+            ],
+            vec![
+                tail_value::user_tail_table(&study),
+                linkage::linkage_table(&study, Domain::Restaurants),
+            ],
+        )
+    } else {
+        std::thread::scope(|s| {
+            let disc = s.spawn(|| discovery::discovery_policies(&study, Domain::Restaurants, 2_000));
+            let red = s.spawn(|| redundancy::redundancy_experiment(&study, Domain::Restaurants));
+            let tail = s.spawn(|| tail_value::user_tail_table(&study));
+            let link = linkage::linkage_table(&study, Domain::Restaurants);
+            (
+                vec![
+                    disc.join().expect("discovery experiment panicked"),
+                    red.join().expect("redundancy experiment panicked"),
+                ],
+                vec![tail.join().expect("user-tail experiment panicked"), link],
+            )
+        })
+    };
     RunOutput { figures, tables }
 }
 

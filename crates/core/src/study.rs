@@ -3,7 +3,7 @@
 
 use webstruct_corpus::domain::{Attribute, Domain};
 use webstruct_corpus::entity::{CatalogConfig, EntityCatalog};
-use webstruct_corpus::page::{PageConfig, PageStream};
+use webstruct_corpus::page::PageConfig;
 use webstruct_corpus::web::{Web, WebConfig};
 use webstruct_extract::{train_review_classifier, Extractor};
 use webstruct_util::ids::EntityId;
@@ -100,7 +100,7 @@ pub fn reference_entity_count(domain: Domain) -> usize {
 }
 
 /// A fully generated domain: catalog plus web.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DomainStudy {
     /// The domain.
     pub domain: Domain,
@@ -111,8 +111,9 @@ pub struct DomainStudy {
     /// Memoised full-text extraction result, keyed by the seed it was
     /// rendered with (rendering + extraction is by far the most expensive
     /// step, and several experiments ask for different attributes of the
-    /// same extracted web).
-    extracted_cache: std::cell::RefCell<Option<(Seed, std::rc::Rc<webstruct_extract::ExtractedWeb>)>>,
+    /// same extracted web). A `Mutex` rather than `RefCell` so a
+    /// `DomainStudy` can be shared across experiment threads.
+    extracted_cache: std::sync::Mutex<Option<(Seed, std::sync::Arc<webstruct_extract::ExtractedWeb>)>>,
 }
 
 impl DomainStudy {
@@ -129,7 +130,7 @@ impl DomainStudy {
             domain,
             catalog,
             web,
-            extracted_cache: std::cell::RefCell::new(None),
+            extracted_cache: std::sync::Mutex::new(None),
         }
     }
 
@@ -158,10 +159,13 @@ impl DomainStudy {
         }
     }
 
-    fn extracted(&self, config: &StudyConfig) -> std::rc::Rc<webstruct_extract::ExtractedWeb> {
-        if let Some((seed, cached)) = self.extracted_cache.borrow().as_ref() {
+    fn extracted(&self, config: &StudyConfig) -> std::sync::Arc<webstruct_extract::ExtractedWeb> {
+        // Compute under the lock: concurrent callers for the same seed
+        // block on one render rather than racing to do it twice.
+        let mut cache = self.extracted_cache.lock().expect("extracted cache poisoned");
+        if let Some((seed, cached)) = cache.as_ref() {
             if *seed == config.seed {
-                return std::rc::Rc::clone(cached);
+                return std::sync::Arc::clone(cached);
             }
         }
         let mut extractor = Extractor::new(&self.catalog);
@@ -170,14 +174,16 @@ impl DomainStudy {
                 .expect("training set is balanced by construction");
             extractor = extractor.with_review_classifier(clf);
         }
-        let pages = PageStream::new(
+        // Site-sharded parallel render+extract; bit-identical to the
+        // sequential stream at any worker count (WEBSTRUCT_THREADS=1
+        // forces the sequential path).
+        let extracted = std::sync::Arc::new(extractor.extract_web(
             &self.web,
-            &self.catalog,
-            PageConfig::default(),
+            &PageConfig::default(),
             config.seed.derive("render"),
-        );
-        let extracted = std::rc::Rc::new(extractor.extract_all(self.web.n_sites(), pages));
-        *self.extracted_cache.borrow_mut() = Some((config.seed, std::rc::Rc::clone(&extracted)));
+            webstruct_util::par::num_threads(),
+        ));
+        *cache = Some((config.seed, std::sync::Arc::clone(&extracted)));
         extracted
     }
 }

@@ -93,6 +93,7 @@ pub struct PageStream<'a> {
     config: PageConfig,
     seed: Seed,
     site_cursor: usize,
+    site_end: usize,
     plans: VecDeque<PagePlan>,
     next_page: u32,
 }
@@ -101,15 +102,85 @@ impl<'a> PageStream<'a> {
     /// Create a stream over every page of the web.
     #[must_use]
     pub fn new(web: &'a Web, catalog: &'a EntityCatalog, config: PageConfig, seed: Seed) -> Self {
+        let site_end = web.n_sites();
         PageStream {
             web,
             catalog,
             config,
             seed: seed.derive("pages"),
             site_cursor: 0,
+            site_end,
             plans: VecDeque::new(),
             next_page: 0,
         }
+    }
+
+    /// Create a stream over the pages of sites `[sites.start, sites.end)`
+    /// only, numbering them from `first_page`.
+    ///
+    /// Page rendering is a pure function of `(seed, page id)`, and the full
+    /// stream assigns dense page ids in site order — so when `first_page`
+    /// equals the number of pages contributed by sites `0..sites.start`
+    /// (see [`PageStream::site_page_count`]), this shard yields bytes
+    /// identical to the corresponding slice of [`PageStream::new`]. That is
+    /// the determinism contract the parallel extraction path relies on.
+    ///
+    /// # Panics
+    /// Panics when the range extends past `web.n_sites()`.
+    #[must_use]
+    pub fn for_site_range(
+        web: &'a Web,
+        catalog: &'a EntityCatalog,
+        config: PageConfig,
+        seed: Seed,
+        sites: std::ops::Range<usize>,
+        first_page: u32,
+    ) -> Self {
+        assert!(
+            sites.end <= web.n_sites(),
+            "site range {sites:?} exceeds {} sites",
+            web.n_sites()
+        );
+        PageStream {
+            web,
+            catalog,
+            config,
+            seed: seed.derive("pages"),
+            site_cursor: sites.start,
+            site_end: sites.end,
+            plans: VecDeque::new(),
+            next_page: first_page,
+        }
+    }
+
+    /// Number of pages site `site_idx` contributes to the stream: its
+    /// listing chunks plus one review page per `reviews_per_page` reviews.
+    ///
+    /// Mirrors the planning logic exactly, so prefix sums of this count
+    /// give each site's first global page id.
+    ///
+    /// # Panics
+    /// Panics when `site_idx` is out of range.
+    #[must_use]
+    pub fn site_page_count(web: &Web, config: &PageConfig, site_idx: usize) -> u32 {
+        let site = &web.sites[site_idx];
+        let mentions = web.mentions_of(site.id);
+        if mentions.is_empty() {
+            return 0;
+        }
+        let chunk = match site.kind {
+            SiteKind::Aggregator => config.agg_listing_chunk,
+            SiteKind::Regional | SiteKind::Niche => config.tail_listing_chunk,
+        }
+        .max(1);
+        let listings = mentions.len().div_ceil(chunk) as u32;
+        let rpp = web.reviews_per_page() as u32;
+        let reviews: u32 = mentions
+            .iter()
+            .filter(|m| m.reviews > 0)
+            .map(|m| u32::from(m.reviews).div_ceil(rpp))
+            .sum();
+        listings + reviews
     }
 
     fn plan_site(&mut self, site_idx: usize) {
@@ -279,7 +350,7 @@ impl Iterator for PageStream<'_> {
                 self.next_page += 1;
                 return Some(page);
             }
-            if self.site_cursor >= self.web.n_sites() {
+            if self.site_cursor >= self.site_end {
                 return None;
             }
             let idx = self.site_cursor;
@@ -404,6 +475,53 @@ mod tests {
             }
         }
         assert!(saw_isbn, "book pages must render ISBN markers");
+    }
+
+    #[test]
+    fn site_page_counts_match_streamed_pages() {
+        let (catalog, web) = tiny_setup(Domain::Restaurants);
+        let cfg = PageConfig::default();
+        let mut per_site = vec![0u32; web.n_sites()];
+        for p in PageStream::new(&web, &catalog, cfg.clone(), Seed(3)) {
+            per_site[p.site.index()] += 1;
+        }
+        for (i, &streamed) in per_site.iter().enumerate() {
+            assert_eq!(
+                PageStream::site_page_count(&web, &cfg, i),
+                streamed,
+                "site {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn site_range_shards_reproduce_the_full_stream() {
+        let (catalog, web) = tiny_setup(Domain::Restaurants);
+        let cfg = PageConfig::default();
+        let full: Vec<Page> = PageStream::new(&web, &catalog, cfg.clone(), Seed(3)).collect();
+        // Split the sites into three uneven shards and re-render.
+        let n = web.n_sites();
+        let cuts = [0, n / 3, 2 * n / 3 + 1, n];
+        let mut sharded: Vec<Page> = Vec::new();
+        for w in cuts.windows(2) {
+            let first_page: u32 = (0..w[0])
+                .map(|i| PageStream::site_page_count(&web, &cfg, i))
+                .sum();
+            sharded.extend(PageStream::for_site_range(
+                &web,
+                &catalog,
+                cfg.clone(),
+                Seed(3),
+                w[0]..w[1],
+                first_page,
+            ));
+        }
+        assert_eq!(full.len(), sharded.len());
+        for (a, b) in full.iter().zip(&sharded) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.url, b.url);
+            assert_eq!(a.text, b.text, "page {} diverged", a.id.raw());
+        }
     }
 
     #[test]

@@ -12,9 +12,12 @@ use crate::nb::NaiveBayes;
 use crate::phone_scan::scan_phones;
 use webstruct_corpus::domain::Attribute;
 use webstruct_corpus::entity::EntityCatalog;
-use webstruct_corpus::page::Page;
+use webstruct_corpus::page::{Page, PageConfig, PageStream};
+use webstruct_corpus::web::Web;
 use webstruct_util::hash::{FxHashMap, FxHashSet};
 use webstruct_util::ids::{EntityId, SiteId};
+use webstruct_util::par;
+use webstruct_util::rng::Seed;
 
 /// What one page yielded.
 #[derive(Debug, Clone, Default)]
@@ -122,6 +125,76 @@ impl<'a> Extractor<'a> {
             acc.ingest(page.site, &ex);
         }
         acc
+    }
+
+    /// Render and extract every page of `web`, sharding sites across
+    /// `threads` workers.
+    ///
+    /// Pages aggregate per host (§3.1), so partitioning *sites* across
+    /// workers keeps each site's accumulation local to one shard. Each
+    /// shard renders its own [`PageStream::for_site_range`] — page
+    /// rendering is a pure function of `(seed, page id)`, and every shard
+    /// is told its first global page id — so the merged result is
+    /// byte-identical to [`Extractor::extract_all`] over the full stream.
+    /// `threads == 1` takes the sequential path exactly.
+    #[must_use]
+    pub fn extract_web(
+        &self,
+        web: &Web,
+        config: &PageConfig,
+        seed: Seed,
+        threads: usize,
+    ) -> ExtractedWeb {
+        let n_sites = web.n_sites();
+        if threads <= 1 || n_sites <= 1 {
+            let pages = PageStream::new(web, self.catalog, config.clone(), seed);
+            return self.extract_all(n_sites, pages);
+        }
+        // First global page id of every site, by prefix sum.
+        let mut first_page = vec![0u32; n_sites + 1];
+        for i in 0..n_sites {
+            first_page[i + 1] = first_page[i] + PageStream::site_page_count(web, config, i);
+        }
+        let total_pages = first_page[n_sites];
+        // Cut sites into contiguous shards of roughly equal page counts
+        // (site sizes are heavy-tailed; balancing by site count alone
+        // leaves the aggregator-bearing shard dominating the wall clock).
+        let k = threads.min(n_sites);
+        let mut shards: Vec<std::ops::Range<usize>> = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for s in 0..k {
+            let target = (u64::from(total_pages) * (s as u64 + 1) / k as u64) as u32;
+            let mut end = start;
+            while end < n_sites && (first_page[end + 1] <= target || end < start + 1) {
+                end += 1;
+            }
+            if s == k - 1 {
+                end = n_sites;
+            }
+            shards.push(start..end);
+            start = end;
+        }
+        let merged = par::par_map_threads(threads, shards, |sites| {
+            let lo = sites.start;
+            let pages = PageStream::for_site_range(
+                web,
+                self.catalog,
+                config.clone(),
+                seed,
+                sites,
+                first_page[lo],
+            );
+            self.extract_all(n_sites, pages)
+        })
+        .into_iter()
+        .fold(
+            ExtractedWeb::new(n_sites, self.catalog.len()),
+            |mut acc, shard| {
+                acc.merge(shard);
+                acc
+            },
+        );
+        merged
     }
 }
 
@@ -234,9 +307,60 @@ impl ExtractedWeb {
     }
 
     /// Total (site, entity) pairs for an attribute.
+    ///
+    /// Computed straight from the per-site set sizes — no sorting, no
+    /// per-site list materialisation.
     #[must_use]
     pub fn total_occurrences(&self, attr: Attribute) -> usize {
-        self.occurrence_lists(attr).iter().map(Vec::len).sum()
+        match attr {
+            Attribute::Phone => self.phone.iter().map(FxHashSet::len).sum(),
+            Attribute::Isbn => self.isbn.iter().map(FxHashSet::len).sum(),
+            Attribute::Homepage => self.homepage.iter().map(FxHashSet::len).sum(),
+            Attribute::Review => self.review_pages.iter().map(FxHashMap::len).sum(),
+        }
+    }
+
+    /// Fold another accumulator over the same site/entity universe into
+    /// this one. Shards produced by site-partitioned extraction touch
+    /// disjoint sites, but the merge is correct for overlapping ones too:
+    /// entity sets union, review page counts add, diagnostics add.
+    ///
+    /// # Panics
+    /// Panics when the accumulators track different numbers of sites or
+    /// entities.
+    pub fn merge(&mut self, other: ExtractedWeb) {
+        assert_eq!(self.n_sites(), other.n_sites(), "site universe mismatch");
+        assert_eq!(self.n_entities, other.n_entities, "entity universe mismatch");
+        self.pages_processed += other.pages_processed;
+        self.unmatched_phones += other.unmatched_phones;
+        self.unmatched_isbns += other.unmatched_isbns;
+        self.unmatched_hrefs += other.unmatched_hrefs;
+        for (dst, src) in self.phone.iter_mut().zip(other.phone) {
+            merge_set(dst, src);
+        }
+        for (dst, src) in self.isbn.iter_mut().zip(other.isbn) {
+            merge_set(dst, src);
+        }
+        for (dst, src) in self.homepage.iter_mut().zip(other.homepage) {
+            merge_set(dst, src);
+        }
+        for (dst, src) in self.review_pages.iter_mut().zip(other.review_pages) {
+            if dst.is_empty() {
+                *dst = src;
+            } else {
+                for (e, c) in src {
+                    *dst.entry(e).or_insert(0) += c;
+                }
+            }
+        }
+    }
+}
+
+fn merge_set(dst: &mut FxHashSet<EntityId>, src: FxHashSet<EntityId>) {
+    if dst.is_empty() {
+        *dst = src;
+    } else {
+        dst.extend(src);
     }
 }
 
@@ -347,6 +471,95 @@ mod tests {
         // in training-noise, which our listing pages do not contain.
         assert_eq!(extracted.unmatched_phones, 0);
         assert!(extracted.pages_processed > 0);
+    }
+
+    #[test]
+    fn parallel_extraction_is_bit_identical_to_sequential() {
+        let (catalog, web) = restaurant_fixture();
+        let clf = train_review_classifier(Seed(35), 150).unwrap();
+        let extractor = Extractor::new(&catalog).with_review_classifier(clf);
+        let sequential = extractor.extract_web(&web, &PageConfig::default(), Seed(32), 1);
+        for threads in [2, 3, 8] {
+            let parallel = extractor.extract_web(&web, &PageConfig::default(), Seed(32), threads);
+            for attr in [Attribute::Phone, Attribute::Homepage, Attribute::Review] {
+                assert_eq!(
+                    parallel.occurrence_lists(attr),
+                    sequential.occurrence_lists(attr),
+                    "{attr:?} diverged at {threads} threads"
+                );
+            }
+            assert_eq!(parallel.review_page_lists(), sequential.review_page_lists());
+            assert_eq!(parallel.pages_processed, sequential.pages_processed);
+            assert_eq!(parallel.unmatched_phones, sequential.unmatched_phones);
+            assert_eq!(parallel.unmatched_isbns, sequential.unmatched_isbns);
+            assert_eq!(parallel.unmatched_hrefs, sequential.unmatched_hrefs);
+        }
+    }
+
+    #[test]
+    fn extract_web_single_thread_matches_extract_all() {
+        let (catalog, web) = restaurant_fixture();
+        let extractor = Extractor::new(&catalog);
+        let via_web = extractor.extract_web(&web, &PageConfig::default(), Seed(32), 1);
+        let pages = PageStream::new(&web, &catalog, PageConfig::default(), Seed(32));
+        let via_stream = extractor.extract_all(web.n_sites(), pages);
+        assert_eq!(
+            via_web.occurrence_lists(Attribute::Phone),
+            via_stream.occurrence_lists(Attribute::Phone)
+        );
+        assert_eq!(via_web.pages_processed, via_stream.pages_processed);
+    }
+
+    #[test]
+    fn merge_unions_sets_and_adds_counts() {
+        let mut a = ExtractedWeb::new(2, 10);
+        let mut b = ExtractedWeb::new(2, 10);
+        let e1 = EntityId::new(1);
+        let e2 = EntityId::new(2);
+        a.ingest(
+            SiteId::new(0),
+            &PageExtraction {
+                phone_entities: vec![e1],
+                is_review: true,
+                ..PageExtraction::default()
+            },
+        );
+        b.ingest(
+            SiteId::new(0),
+            &PageExtraction {
+                phone_entities: vec![e1, e2],
+                is_review: true,
+                ..PageExtraction::default()
+            },
+        );
+        b.ingest(
+            SiteId::new(1),
+            &PageExtraction {
+                unmatched_phones: 3,
+                ..PageExtraction::default()
+            },
+        );
+        a.merge(b);
+        assert_eq!(a.pages_processed, 3);
+        assert_eq!(a.unmatched_phones, 3);
+        assert_eq!(a.total_occurrences(Attribute::Phone), 2);
+        assert_eq!(a.review_page_lists()[0], vec![(e1, 2), (e2, 1)]);
+    }
+
+    #[test]
+    fn total_occurrences_matches_list_lengths() {
+        let (catalog, web) = restaurant_fixture();
+        let extractor = Extractor::new(&catalog);
+        let pages = PageStream::new(&web, &catalog, PageConfig::default(), Seed(32));
+        let extracted = extractor.extract_all(web.n_sites(), pages);
+        for attr in [Attribute::Phone, Attribute::Homepage, Attribute::Review] {
+            let listed: usize = extracted
+                .occurrence_lists(attr)
+                .iter()
+                .map(Vec::len)
+                .sum();
+            assert_eq!(extracted.total_occurrences(attr), listed, "{attr:?}");
+        }
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   review-count binning, log-spaced sweep ticks;
 //! * [`report`] — `Figure`/`Series`/`Table` report artifacts with `.dat`,
 //!   Markdown and ASCII renderings;
-//! * [`svg`] — standalone SVG line charts for every figure.
+//! * [`svg`] — standalone SVG line charts for every figure;
+//! * [`par`] — deterministic std-only parallel map (`std::thread::scope`
+//!   chunking with a `WEBSTRUCT_THREADS` override).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -24,6 +26,7 @@
 pub mod csv;
 pub mod hash;
 pub mod ids;
+pub mod par;
 pub mod powerlaw;
 pub mod report;
 pub mod rng;

@@ -1,0 +1,175 @@
+//! Deterministic, std-only data parallelism.
+//!
+//! The build environment is offline, so this module provides the small
+//! slice of rayon the workspace actually needs — an order-preserving,
+//! chunked parallel map over indexed work — on top of
+//! [`std::thread::scope`] alone.
+//!
+//! Determinism is the contract: `par_map(items, f)` returns exactly
+//! `items.into_iter().map(f).collect()` for any thread count, because
+//! work is split into contiguous chunks and results are re-assembled in
+//! chunk order. Callers are responsible for making `f` itself a pure
+//! function of its input (every corpus/render path achieves this by
+//! deriving per-item seeds, never by sharing a generator).
+//!
+//! Thread count resolution: the `WEBSTRUCT_THREADS` environment variable
+//! when set to a positive integer, else
+//! [`std::thread::available_parallelism`]. `WEBSTRUCT_THREADS=1` is the
+//! documented way to force every parallel path in the workspace onto the
+//! purely sequential code path.
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "WEBSTRUCT_THREADS";
+
+/// The number of worker threads parallel paths should use.
+///
+/// Resolution order: `WEBSTRUCT_THREADS` (positive integer) if set and
+/// parseable, otherwise [`std::thread::available_parallelism`], falling
+/// back to 1 when even that is unavailable. Re-read on every call so
+/// tests and harnesses can vary it at runtime.
+#[must_use]
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Order-preserving parallel map using [`num_threads`] workers.
+///
+/// Equivalent to `items.into_iter().map(f).collect()` for every thread
+/// count (the single-thread case literally is that expression).
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    par_map_threads(num_threads(), items, f)
+}
+
+/// Order-preserving parallel map passing each item's original index.
+///
+/// Equivalent to `items.into_iter().enumerate().map(|(i, t)| f(i, t))`
+/// in output order, for every thread count.
+pub fn par_map_indexed<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    par_map_indexed_threads(num_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (1 forces the sequential path).
+pub fn par_map_threads<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    par_map_indexed_threads(threads, items, |_, t| f(t))
+}
+
+/// [`par_map_indexed`] with an explicit worker count.
+pub fn par_map_indexed_threads<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let k = threads.min(n);
+    // Contiguous, balanced chunks: the first `n % k` chunks get one extra
+    // item, so indices stay dense and chunk boundaries are deterministic.
+    let base = n / k;
+    let extra = n % k;
+    let mut rest = items;
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(k);
+    let mut offset = 0;
+    for i in 0..k {
+        let size = base + usize::from(i < extra);
+        let tail = rest.split_off(size);
+        chunks.push((offset, rest));
+        rest = tail;
+        offset += size;
+    }
+    debug_assert!(rest.is_empty());
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(start, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, t)| f(start + j, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("par_map worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_for_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 97, 200] {
+            let got = par_map_threads(threads, items.clone(), |x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_passes_original_indices() {
+        let items: Vec<&str> = vec!["a", "b", "c", "d", "e"];
+        for threads in [1, 2, 5, 9] {
+            let got = par_map_indexed_threads(threads, items.clone(), |i, s| format!("{i}:{s}"));
+            assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_threads(4, empty, |x| x).is_empty());
+        assert_eq!(par_map_threads(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn chunking_is_balanced_and_exhaustive() {
+        // 10 items over 4 threads: chunks of 3, 3, 2, 2 — every index once.
+        let seen = par_map_indexed_threads(4, (0..10u32).collect(), |i, t| {
+            assert_eq!(i as u32, t);
+            i
+        });
+        assert_eq!(seen, (0..10).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

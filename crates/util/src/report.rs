@@ -70,7 +70,7 @@ impl Series {
 }
 
 /// A figure: several series sharing axes, mirroring one paper plot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Stable identifier, e.g. `"fig1a"`.
     pub id: String,

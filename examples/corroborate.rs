@@ -18,11 +18,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.25);
     println!("== corroborated extraction (scale {scale}) ==\n");
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let study = Study::new(StudyConfig::default().with_scale(scale));
 
-    let fig = redundancy::redundancy_experiment(&mut study, Domain::Restaurants);
+    let fig = redundancy::redundancy_experiment(&study, Domain::Restaurants);
     println!("{}", fig.ascii_plot(72, 16));
-    for r in redundancy::fusion_reports(&mut study, Domain::Restaurants) {
+    for r in redundancy::fusion_reports(&study, Domain::Restaurants) {
         println!(
             "  {:<16} overall accuracy {:.4} ({} entities claimed)",
             r.strategy, r.accuracy, r.entities_claimed

@@ -82,7 +82,7 @@ fn main() {
     println!("Fig 5: max greedy improvement over by-size = {max_gain:.3} (paper: 'insignificant')");
 
     // Fig 6 shares need the traffic studies; rebuild (cached seeds).
-    let mut study = Study::new(config.clone());
+    let study = Study::new(config.clone());
     print!("Fig 6 search top-20% demand share:");
     for site in StudySite::ALL {
         let t = study.traffic(site);
@@ -99,6 +99,6 @@ fn main() {
     }
 
     println!("\n--- Table 2 (measured) ---");
-    let t2 = connectivity::table2(&mut study);
+    let t2 = connectivity::table2(&study);
     println!("{}", t2.to_text());
 }

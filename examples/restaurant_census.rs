@@ -13,20 +13,20 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.25);
     println!("== restaurant census (scale {scale}) ==\n");
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let study = Study::new(StudyConfig::default().with_scale(scale));
 
     // Figure 1(a): phones.
-    let fig1 = spread::fig1(&mut study).into_iter().next().expect("8 panels");
+    let fig1 = spread::fig1(&study).into_iter().next().expect("8 panels");
     println!("{}", fig1.ascii_plot(72, 16));
     milestone(&fig1, "phones");
 
     // Figure 2(a): homepages.
-    let fig2 = spread::fig2(&mut study).into_iter().next().expect("8 panels");
+    let fig2 = spread::fig2(&study).into_iter().next().expect("8 panels");
     println!("{}", fig2.ascii_plot(72, 16));
     milestone(&fig2, "homepages");
 
     // Figure 4: reviews.
-    let (fig4a, fig4b) = spread::fig4(&mut study);
+    let (fig4a, fig4b) = spread::fig4(&study);
     println!("{}", fig4a.ascii_plot(72, 16));
     milestone(&fig4a, "reviews (entity coverage)");
     println!("{}", fig4b.ascii_plot(72, 12));
@@ -41,7 +41,7 @@ fn main() {
     }
 
     // Figure 5: does careful site selection beat picking the biggest?
-    let fig5 = spread::fig5(&mut study);
+    let fig5 = spread::fig5(&study);
     println!("{}", fig5.ascii_plot(72, 14));
     let by_size = fig5.series_named("Order by Size").expect("series");
     let greedy = fig5.series_named("Greedy Set Cover").expect("series");

@@ -16,10 +16,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.25);
     println!("== value of tail extraction (scale {scale}) ==\n");
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let study = Study::new(StudyConfig::default().with_scale(scale));
 
     // Figure 6: aggregate demand.
-    let figs = tail_value::fig6(&mut study);
+    let figs = tail_value::fig6(&study);
     println!("{}", figs[0].ascii_plot(72, 16));
     println!("demand concentration (search): share of demand held by the top 20% of inventory");
     for site in StudySite::ALL {
@@ -34,13 +34,13 @@ fn main() {
     println!("  ⇒ movie demand is sharpest, local-business demand flattest (paper §4.2)\n");
 
     // Figure 7: demand vs. number of existing reviews.
-    for fig in tail_value::fig7(&mut study) {
+    for fig in tail_value::fig7(&study) {
         println!("{}", fig.ascii_plot(72, 12));
     }
 
     // Figure 8: relative value-add.
     println!("--- Figure 8: average relative value-add VA(n)/VA(0) ---\n");
-    for fig in tail_value::fig8(&mut study) {
+    for fig in tail_value::fig8(&study) {
         println!("{}", fig.ascii_plot(72, 14));
         for s in &fig.series {
             let head = s.points.last().map_or(0.0, |&(_, y)| y);
@@ -58,7 +58,7 @@ fn main() {
     }
 
     // The step-decay sensitivity check the paper discusses.
-    let step = tail_value::fig8_with_decay(&mut study, InfoDecay::Step(10));
+    let step = tail_value::fig8_with_decay(&study, InfoDecay::Step(10));
     let head = step[1]
         .series_named("search")
         .and_then(|s| s.points.last().copied())

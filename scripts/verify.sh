@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the parallel-determinism contract and the
+# pipeline bench. Everything runs offline with the std toolchain only.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip the bench harness (tier-1 + determinism only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> determinism: parallel output must be byte-identical to sequential"
+cargo test -q --test determinism
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "==> bench: pipeline stages across thread counts -> artifacts/BENCH_pipeline.json"
+    mkdir -p artifacts
+    # Absolute path: cargo runs bench binaries with cwd at the package root.
+    cargo bench -p webstruct-bench --bench pipeline -- \
+        --out "$PWD/artifacts/BENCH_pipeline.json" \
+        --scale "${BENCH_SCALE:-0.02}" \
+        --threads "${BENCH_THREADS:-1,2,4}" \
+        --repeats "${BENCH_REPEATS:-2}"
+fi
+
+echo "==> verify OK"

@@ -149,8 +149,8 @@ fn table(args: &[String]) {
     match which {
         "1" => println!("{}", table1().to_text()),
         "2" => {
-            let mut study = Study::new(StudyConfig::default().with_scale(scale));
-            println!("{}", connectivity::table2(&mut study).to_text());
+            let study = Study::new(StudyConfig::default().with_scale(scale));
+            println!("{}", connectivity::table2(&study).to_text());
         }
         other => {
             eprintln!("no table '{other}' (the paper has tables 1 and 2)");
@@ -162,14 +162,14 @@ fn table(args: &[String]) {
 fn bootstrap(args: &[String]) {
     let domain = parse_domain(args, 0);
     let scale = parse_scale(args, 1, 0.25);
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let study = Study::new(StudyConfig::default().with_scale(scale));
     let attr = if domain == Domain::Books {
         Attribute::Isbn
     } else {
         Attribute::Phone
     };
-    let graph = connectivity::build_graph(&mut study, domain, attr);
-    let metrics = connectivity::graph_metrics(&mut study, domain, attr);
+    let graph = connectivity::build_graph(&study, domain, attr);
+    let metrics = connectivity::graph_metrics(&study, domain, attr);
     println!(
         "{domain} / {attr}: diameter {} → crawler bound d/2 = {}",
         metrics.diameter,
@@ -192,10 +192,10 @@ fn bootstrap(args: &[String]) {
 fn discover(args: &[String]) {
     let domain = parse_domain(args, 0);
     let scale = parse_scale(args, 1, 0.25);
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
-    let fig = discovery::discovery_policies(&mut study, domain, 2_000);
+    let study = Study::new(StudyConfig::default().with_scale(scale));
+    let fig = discovery::discovery_policies(&study, domain, 2_000);
     println!("{}", fig.ascii_plot(76, 16));
-    let r = discovery::discovery_seed_robustness(&mut study, domain, 20);
+    let r = discovery::discovery_seed_robustness(&study, domain, 20);
     println!(
         "seed robustness: {}/{} random single seeds recovered >=95% of present \
          entities\n(mean recall {:.3}; largest-component ceiling {:.3})",
@@ -258,8 +258,8 @@ fn open_extract_cmd(args: &[String]) {
         .and_then(|s| s.parse().ok())
         .unwrap_or(100usize);
     let scale = parse_scale(args, 2, 0.1);
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
-    let r = open_extraction::open_extraction(&mut study, domain, max_sites);
+    let study = Study::new(StudyConfig::default().with_scale(scale));
+    let r = open_extraction::open_extraction(&study, domain, max_sites);
     println!(
         "open extraction over the {} largest sites of {domain}:\n\
          \traw records extracted   {}\n\
@@ -279,17 +279,17 @@ fn open_extract_cmd(args: &[String]) {
 fn dedup_cmd(args: &[String]) {
     let domain = parse_domain(args, 0);
     let scale = parse_scale(args, 1, 0.25);
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
-    println!("{}", linkage::linkage_table(&mut study, domain).to_text());
+    let study = Study::new(StudyConfig::default().with_scale(scale));
+    println!("{}", linkage::linkage_table(&study, domain).to_text());
 }
 
 fn redundancy_cmd(args: &[String]) {
     let domain = parse_domain(args, 0);
     let scale = parse_scale(args, 1, 0.25);
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
-    let fig = redundancy::redundancy_experiment(&mut study, domain);
+    let study = Study::new(StudyConfig::default().with_scale(scale));
+    let fig = redundancy::redundancy_experiment(&study, domain);
     println!("{}", fig.ascii_plot(76, 16));
-    for r in redundancy::fusion_reports(&mut study, domain) {
+    for r in redundancy::fusion_reports(&study, domain) {
         println!(
             "  {:<16} overall accuracy {:.4} over {} entities",
             r.strategy, r.accuracy, r.entities_claimed
@@ -299,8 +299,8 @@ fn redundancy_cmd(args: &[String]) {
 
 fn tail_users(args: &[String]) {
     let scale = parse_scale(args, 0, 0.25);
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
-    println!("{}", tail_value::user_tail_table(&mut study).to_text());
+    let study = Study::new(StudyConfig::default().with_scale(scale));
+    println!("{}", tail_value::user_tail_table(&study).to_text());
     println!(
         "(cf. Goel et al., cited in §4.2: tail items held 13–34% of ratings, yet\n\
          90–95% of users rated tail items at least once)"
@@ -310,7 +310,7 @@ fn tail_users(args: &[String]) {
 fn precision(args: &[String]) {
     let noise = parse_scale(args, 0, 3.0);
     let scale = parse_scale(args, 1, 0.1);
-    let mut study = Study::new(StudyConfig::default().with_scale(scale));
+    let study = Study::new(StudyConfig::default().with_scale(scale));
     let built = study.domain(Domain::Restaurants);
     let report = phone_precision_study(
         &built.catalog,

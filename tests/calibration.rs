@@ -14,8 +14,8 @@ fn study() -> Study {
 
 #[test]
 fn fig1_phone_head_sites_cover_most_but_corroboration_needs_thousands() {
-    let mut study = study();
-    let figs = spread::fig1(&mut study);
+    let study = study();
+    let figs = spread::fig1(&study);
     let restaurants = &figs[0];
     // Paper: "the top-10 sites cover around 93% of all the entities" and
     // "top-100 sites [give] close to 100%".
@@ -44,9 +44,9 @@ fn fig1_phone_head_sites_cover_most_but_corroboration_needs_thousands() {
 
 #[test]
 fn fig2_homepages_spread_wider_than_phones_in_every_domain() {
-    let mut study = study();
-    let phones = spread::fig1(&mut study);
-    let homepages = spread::fig2(&mut study);
+    let study = study();
+    let phones = spread::fig1(&study);
+    let homepages = spread::fig2(&study);
     for (p, h) in phones.iter().zip(&homepages) {
         let pk1 = p.series_named("k=1").unwrap();
         let hk1 = h.series_named("k=1").unwrap();
@@ -72,8 +72,8 @@ fn fig2_homepages_spread_wider_than_phones_in_every_domain() {
 
 #[test]
 fn fig3_books_match_paper_shape() {
-    let mut study = study();
-    let fig = spread::fig3(&mut study);
+    let study = study();
+    let fig = spread::fig3(&study);
     let k1 = fig.series_named("k=1").unwrap();
     assert!(k1.interpolate(10.0).unwrap() > 0.6, "head book sites cover most ISBNs");
     assert!(k1.final_y().unwrap() > 0.95);
@@ -84,8 +84,8 @@ fn fig3_books_match_paper_shape() {
 
 #[test]
 fn fig4_reviews_match_paper_shape() {
-    let mut study = study();
-    let (fig4a, fig4b) = spread::fig4(&mut study);
+    let study = study();
+    let (fig4a, fig4b) = spread::fig4(&study);
     let k1 = fig4a.series_named("k=1").unwrap();
     // Paper: ">1000 sites to get 90% coverage" of restaurants with a
     // review; at our 0.3 scale the site population is ~12k vs their ~1e5,
@@ -111,8 +111,8 @@ fn fig4_reviews_match_paper_shape() {
 
 #[test]
 fn fig5_greedy_improvement_is_insignificant() {
-    let mut study = study();
-    let fig = spread::fig5(&mut study);
+    let study = study();
+    let fig = spread::fig5(&study);
     let by_size = fig.series_named("Order by Size").unwrap();
     let greedy = fig.series_named("Greedy Set Cover").unwrap();
     // Paper: "While the coverage slightly improves with the greedy set
@@ -131,8 +131,8 @@ fn fig5_greedy_improvement_is_insignificant() {
 
 #[test]
 fn fig6_demand_concentration_ordering() {
-    let mut study = study();
-    let figs = tail_value::fig6(&mut study);
+    let study = study();
+    let figs = tail_value::fig6(&study);
     for panel in [&figs[0], &figs[2]] {
         // CDF panels: imdb above amazon above yelp at 20% inventory.
         let at = |name: &str| panel.series_named(name).unwrap().interpolate(0.2).unwrap();
@@ -146,8 +146,8 @@ fn fig6_demand_concentration_ordering() {
 
 #[test]
 fn fig8_value_add_shapes() {
-    let mut study = study();
-    let figs = tail_value::fig8(&mut study);
+    let study = study();
+    let figs = tail_value::fig8(&study);
     // figs order: yelp, amazon, imdb.
     for fig in &figs[..2] {
         for s in &fig.series {
@@ -171,8 +171,8 @@ fn fig8_value_add_shapes() {
 
 #[test]
 fn table2_matches_paper_magnitudes() {
-    let mut study = study();
-    let rows = connectivity::table2_rows(&mut study);
+    let study = study();
+    let rows = connectivity::table2_rows(&study);
     assert_eq!(rows.len(), 17);
     for row in &rows {
         assert!(row.diameter_exact, "{} {}: iFUB must converge", row.domain, row.attr);
@@ -234,8 +234,8 @@ fn table2_matches_paper_magnitudes() {
 
 #[test]
 fn fig9_robustness_matches_paper() {
-    let mut study = study();
-    let panels = connectivity::fig9(&mut study);
+    let study = study();
+    let panels = connectivity::fig9(&study);
     // Paper: after removing the top 10 sites, > 99% of entities remain in
     // the largest component for ISBN and phones, > 90% for homepages.
     for s in &panels[0].series {

@@ -1,0 +1,108 @@
+//! The parallel execution layer's contract: every parallel path produces
+//! byte-identical figures, tables and occurrence lists to the sequential
+//! (`WEBSTRUCT_THREADS=1`) path.
+//!
+//! Thread counts are driven through the `WEBSTRUCT_THREADS` environment
+//! variable — the same knob operators use — so these tests serialise
+//! their env mutations through a process-wide lock. Determinism means
+//! the *results* of any concurrently running test are unaffected; only
+//! scheduling changes.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use webstruct::core::runner::run_all;
+use webstruct::core::study::{DataSource, DomainStudy, StudyConfig};
+use webstruct::corpus::domain::{Attribute, Domain};
+use webstruct::corpus::page::PageConfig;
+use webstruct::extract::Extractor;
+use webstruct::util::par;
+use webstruct::util::rng::Seed;
+
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("env lock poisoned")
+}
+
+/// Run `f` with `WEBSTRUCT_THREADS` pinned to `threads`.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = env_lock();
+    std::env::set_var(par::THREADS_ENV, threads.to_string());
+    let out = f();
+    std::env::remove_var(par::THREADS_ENV);
+    out
+}
+
+#[test]
+fn threads_env_override_is_respected() {
+    let _ = with_threads(3, || assert_eq!(par::num_threads(), 3));
+    let _ = with_threads(1, || assert_eq!(par::num_threads(), 1));
+}
+
+#[test]
+fn run_all_is_identical_across_thread_counts() {
+    let cfg = StudyConfig::quick();
+    let baseline = with_threads(1, || run_all(&cfg));
+    assert_eq!(baseline.figures.len(), 33);
+    for threads in [2, 8] {
+        let parallel = with_threads(threads, || run_all(&cfg));
+        assert_eq!(
+            parallel.figures, baseline.figures,
+            "figures diverged at {threads} threads"
+        );
+        assert_eq!(
+            parallel.tables, baseline.tables,
+            "tables diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn extracted_source_run_is_identical_across_thread_counts() {
+    // Extracted source renders every page; keep the corpus small.
+    let cfg = StudyConfig::quick()
+        .with_scale(0.02)
+        .with_source(DataSource::Extracted);
+    let baseline = with_threads(1, || run_all(&cfg));
+    let parallel = with_threads(4, || run_all(&cfg));
+    assert_eq!(parallel.figures, baseline.figures);
+    assert_eq!(parallel.tables, baseline.tables);
+}
+
+#[test]
+fn extract_all_occurrences_identical_across_thread_counts() {
+    let cfg = StudyConfig::quick().with_scale(0.02);
+    let study = DomainStudy::generate(Domain::Restaurants, &cfg);
+    let extractor = Extractor::new(&study.catalog);
+    let seed = Seed(77);
+    let baseline = extractor.extract_web(&study.web, &PageConfig::default(), seed, 1);
+    for threads in [2, 8] {
+        let parallel = extractor.extract_web(&study.web, &PageConfig::default(), seed, threads);
+        for attr in [Attribute::Phone, Attribute::Homepage, Attribute::Review] {
+            assert_eq!(
+                parallel.occurrence_lists(attr),
+                baseline.occurrence_lists(attr),
+                "{attr:?} diverged at {threads} threads"
+            );
+            assert_eq!(
+                parallel.total_occurrences(attr),
+                baseline.total_occurrences(attr)
+            );
+        }
+        assert_eq!(parallel.pages_processed, baseline.pages_processed);
+    }
+}
+
+#[test]
+fn oracle_and_extracted_sources_agree_under_parallel_path() {
+    let cfg = StudyConfig::quick().with_scale(0.02);
+    let study = DomainStudy::generate(Domain::Banks, &cfg);
+    let oracle = study.occurrence_lists(Attribute::Phone, &cfg);
+    let extracted = with_threads(8, || {
+        study.occurrence_lists(
+            Attribute::Phone,
+            &cfg.clone().with_source(DataSource::Extracted),
+        )
+    });
+    assert_eq!(oracle, extracted);
+}
