@@ -1,0 +1,77 @@
+//! Std-only fault-injection benchmark: times budgeted crawls at a sweep
+//! of injected failure rates and writes `BENCH_faults.json` — crawl
+//! throughput (fetch attempts per second) clean vs. flaky.
+//!
+//! ```text
+//! cargo bench -p webstruct-bench --bench faults -- \
+//!     --out artifacts/BENCH_faults.json --scale 0.05 --budget 2000 --repeats 3
+//! ```
+
+use webstruct_bench::run_fault_bench;
+
+fn main() {
+    let mut out_path = String::from("artifacts/BENCH_faults.json");
+    let mut scale = 0.05f64;
+    let mut budget = 2_000usize;
+    let mut repeats = 3usize;
+    let mut rates: Vec<f64> = vec![0.0, 0.1, 0.3];
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--budget" if i + 1 < args.len() => {
+                budget = args[i + 1].parse().expect("--budget takes an integer");
+                i += 2;
+            }
+            "--repeats" if i + 1 < args.len() => {
+                repeats = args[i + 1].parse().expect("--repeats takes an integer");
+                i += 2;
+            }
+            "--rates" if i + 1 < args.len() => {
+                rates = args[i + 1]
+                    .split(',')
+                    .map(|r| r.trim().parse().expect("--rates takes e.g. 0,0.1,0.3"))
+                    .collect();
+                i += 2;
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench); skip them.
+            _ => i += 1,
+        }
+    }
+
+    eprintln!(
+        "fault bench: scale={scale} budget={budget} rates={rates:?} repeats={repeats} -> {out_path}"
+    );
+    let report = run_fault_bench(scale, budget, &rates, repeats);
+    for m in &report.measurements {
+        let rel = report
+            .relative_throughput(m.failure_rate)
+            .map_or_else(|| "-".to_string(), |r| format!("{r:.2}x"));
+        eprintln!(
+            "  fail={:<5} {:>10.4}s  {:>10.1} attempts/s (rel {})  retries={} breaker_opens={} entities={}",
+            format!("{:.0}%", m.failure_rate * 100.0),
+            m.secs,
+            m.attempts_per_sec(),
+            rel,
+            m.retries,
+            m.breaker_opens,
+            m.entities_found
+        );
+    }
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH_faults.json");
+    eprintln!("wrote {out_path}");
+}

@@ -1,16 +1,22 @@
 //! # webstruct-bench
 //!
 //! Std-only benchmark harness (the offline build environment cannot
-//! resolve criterion). The single bench target, `benches/pipeline.rs`,
-//! times the four pipeline stages — generate, render+extract, analyze
-//! (oracle figures), and the end-to-end Extracted-source study — at a
-//! sweep of worker-thread counts, and writes the measurements to
-//! `BENCH_pipeline.json` to seed the repo's performance trajectory.
+//! resolve criterion). Two bench targets:
 //!
-//! Run it with:
+//! * `benches/pipeline.rs` times the four pipeline stages — generate,
+//!   render+extract, analyze (oracle figures), and the end-to-end
+//!   Extracted-source study — at a sweep of worker-thread counts, and
+//!   writes the measurements to `BENCH_pipeline.json`;
+//! * `benches/faults.rs` times budgeted crawls under increasing
+//!   fault-injection severity and writes crawl throughput (fetch
+//!   attempts per second, including retry/backoff bookkeeping) to
+//!   `BENCH_faults.json`.
+//!
+//! Run them with:
 //!
 //! ```text
 //! cargo bench -p webstruct-bench --bench pipeline -- --out artifacts/BENCH_pipeline.json
+//! cargo bench -p webstruct-bench --bench faults -- --out artifacts/BENCH_faults.json
 //! ```
 
 #![warn(missing_docs)]
@@ -201,6 +207,160 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
     report
 }
 
+/// One timed crawl under a fault plan of the given severity.
+#[derive(Debug, Clone)]
+pub struct FaultMeasurement {
+    /// Injected failure rate (0.0 = clean baseline).
+    pub failure_rate: f64,
+    /// Best-of-`repeats` wall-clock seconds for the budgeted crawl.
+    pub secs: f64,
+    /// Fetch attempts charged against the budget (includes retries).
+    pub attempts: u64,
+    /// Retries issued inside those attempts.
+    pub retries: u64,
+    /// Rounds that exhausted their retries and failed.
+    pub failed_rounds: u64,
+    /// Circuit-breaker trips.
+    pub breaker_opens: u64,
+    /// Entities discovered by the end of the budget.
+    pub entities_found: usize,
+}
+
+impl FaultMeasurement {
+    /// Crawl throughput: fetch attempts per wall-clock second.
+    #[must_use]
+    pub fn attempts_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.attempts as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Report for the fault-injection bench, serialisable to JSON by hand.
+#[derive(Debug, Clone)]
+pub struct FaultBenchReport {
+    /// Corpus scale factor the crawls ran at.
+    pub scale: f64,
+    /// Fetch budget each crawl ran with.
+    pub fetch_budget: usize,
+    /// Repeats per measurement (best time is kept).
+    pub repeats: usize,
+    /// One measurement per swept failure rate.
+    pub measurements: Vec<FaultMeasurement>,
+}
+
+impl FaultBenchReport {
+    /// Throughput at `failure_rate` relative to the clean (0.0) baseline.
+    #[must_use]
+    pub fn relative_throughput(&self, failure_rate: f64) -> Option<f64> {
+        let base = self
+            .measurements
+            .iter()
+            .find(|m| m.failure_rate == 0.0)?
+            .attempts_per_sec();
+        let at = self
+            .measurements
+            .iter()
+            .find(|m| (m.failure_rate - failure_rate).abs() < 1e-9)?
+            .attempts_per_sec();
+        (base > 0.0).then(|| at / base)
+    }
+
+    /// Render the report as a stable, hand-rolled JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"fetch_budget\": {},\n", self.fetch_budget));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str("  \"measurements\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"failure_rate\": {}, \"secs\": {:.6}, \"attempts_per_sec\": {:.1}, \
+                 \"attempts\": {}, \"retries\": {}, \"failed_rounds\": {}, \
+                 \"breaker_opens\": {}, \"entities_found\": {}}}{}\n",
+                m.failure_rate,
+                m.secs,
+                m.attempts_per_sec(),
+                m.attempts,
+                m.retries,
+                m.failed_rounds,
+                m.breaker_opens,
+                m.entities_found,
+                if i + 1 < self.measurements.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Time budgeted crawls at each failure rate in `rates`.
+///
+/// Every crawl uses the same Restaurants occurrence lists, seeds and
+/// largest-first frontier; only the injected [`FaultConfig::flaky`]
+/// severity varies, so the timing difference is exactly the cost of the
+/// retry/backoff/breaker machinery plus the extra rounds faults force.
+#[must_use]
+pub fn run_fault_bench(
+    scale: f64,
+    fetch_budget: usize,
+    rates: &[f64],
+    repeats: usize,
+) -> FaultBenchReport {
+    use webstruct_crawl::{Crawler, LargestFirst, SearchIndex};
+    use webstruct_util::fault::{BreakerConfig, FaultConfig, FaultPlan, RetryPolicy};
+    use webstruct_util::ids::EntityId;
+    use webstruct_util::rng::Xoshiro256;
+
+    let config = StudyConfig::default().with_scale(scale);
+    let study = Study::new(config.clone());
+    let built = study.domain(Domain::Restaurants);
+    let lists = built.occurrence_lists(webstruct_corpus::domain::Attribute::Phone, &config);
+    let n_entities = built.catalog.len();
+    let mut rng = Xoshiro256::from_seed(config.seed.derive("bench-fault-seeds"));
+    let seeds: Vec<EntityId> = (0..3)
+        .map(|_| EntityId::new(rng.u64_below(n_entities as u64) as u32))
+        .collect();
+    let plan_seed = config.seed.derive("bench-fault-plan");
+
+    let mut report = FaultBenchReport {
+        scale,
+        fetch_budget,
+        repeats,
+        measurements: Vec::new(),
+    };
+    for (i, &rate) in rates.iter().enumerate() {
+        let plan = FaultPlan::new(FaultConfig::flaky(rate), plan_seed.derive_u64(i as u64));
+        let run = || {
+            let index = SearchIndex::build(n_entities, &lists, None);
+            Crawler::new(&index, &lists, LargestFirst::default(), &seeds).run_with_faults(
+                fetch_budget,
+                u64::MAX,
+                &plan,
+                RetryPolicy::default(),
+                BreakerConfig::default(),
+            )
+        };
+        let result = run();
+        let secs = best_of(repeats, || {
+            std::hint::black_box(run().entities_found);
+        });
+        report.measurements.push(FaultMeasurement {
+            failure_rate: rate,
+            secs,
+            attempts: result.fetch.attempts as u64,
+            retries: result.fetch.retries as u64,
+            failed_rounds: result.fetch.failed_rounds as u64,
+            breaker_opens: result.fetch.breaker_opens as u64,
+            entities_found: result.entities_found,
+        });
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +396,55 @@ mod tests {
         assert!(json.contains("\"speedup_vs_1\": 4.000"));
         assert_eq!(report.speedup("render_extract", 4), Some(4.0));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fault_report_json_is_well_formed() {
+        let report = FaultBenchReport {
+            scale: 0.01,
+            fetch_budget: 100,
+            repeats: 1,
+            measurements: vec![
+                FaultMeasurement {
+                    failure_rate: 0.0,
+                    secs: 1.0,
+                    attempts: 100,
+                    retries: 0,
+                    failed_rounds: 0,
+                    breaker_opens: 0,
+                    entities_found: 50,
+                },
+                FaultMeasurement {
+                    failure_rate: 0.3,
+                    secs: 2.0,
+                    attempts: 100,
+                    retries: 20,
+                    failed_rounds: 3,
+                    breaker_opens: 1,
+                    entities_found: 30,
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"failure_rate\": 0.3"));
+        assert!(json.contains("\"attempts_per_sec\": 100.0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let rel = report.relative_throughput(0.3).unwrap();
+        assert!((rel - 0.5).abs() < 1e-9, "rel {rel}");
+    }
+
+    #[test]
+    fn fault_bench_runs_at_tiny_scale() {
+        let report = run_fault_bench(0.01, 200, &[0.0, 0.3], 1);
+        assert_eq!(report.measurements.len(), 2);
+        let clean = &report.measurements[0];
+        let faulty = &report.measurements[1];
+        assert_eq!(clean.retries, 0, "clean run never retries");
+        assert!(clean.attempts > 0);
+        assert!(faulty.retries > 0, "30% run should retry");
+        assert!(
+            faulty.entities_found <= clean.entities_found,
+            "faults cannot help discovery"
+        );
     }
 }

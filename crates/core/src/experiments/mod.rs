@@ -16,8 +16,10 @@
 //!
 //! Extensions (motivated by the paper's text, beyond its own artifacts):
 //! [`redundancy::redundancy_experiment`] (§2/§3.3 corroboration),
-//! [`discovery::discovery_policies`] and
-//! [`discovery::discovery_seed_robustness`] (§5 operational discovery),
+//! [`discovery::discovery_policies`],
+//! [`discovery::discovery_seed_robustness`] and
+//! [`discovery::discovery_under_failure`] (§5 operational discovery,
+//! healthy and under injected faults),
 //! [`tail_value::user_tail_table`] (§4.2 user-level tail analysis),
 //! [`linkage::linkage_table`] (§1 deduplication stage),
 //! [`ablations::ablation_suite`] (which model ingredient drives which

@@ -209,6 +209,7 @@ mod tests {
         let empty = RunOutput {
             figures: vec![],
             tables: vec![],
+            failures: vec![],
         };
         let ms = compute_milestones(&empty);
         assert!(ms.iter().all(|m| m.measured.is_none()));

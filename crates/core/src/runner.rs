@@ -6,6 +6,13 @@
 //! [`webstruct_util::par::num_threads`]) the families run concurrently;
 //! output is assembled in fixed paper order either way, and per-key
 //! seeding makes the artifacts byte-identical to the sequential run.
+//!
+//! Every family runs behind a `catch_unwind` backstop: a panic inside
+//! one experiment removes that family's artifacts and records a
+//! [`FamilyFailure`], but the other families still run and their
+//! artifacts are still written (plus a `DEGRADED.md` report naming what
+//! failed). Set the `WEBSTRUCT_FAIL_FAMILY` environment variable to a
+//! family name to run a chaos drill against a live binary.
 
 use crate::cache::Study;
 use crate::experiments::{connectivity, discovery, linkage, redundancy, spread, table1, tail_value};
@@ -16,6 +23,21 @@ use std::path::Path;
 use webstruct_util::par;
 use webstruct_util::report::{Figure, Table};
 
+/// Environment variable naming a figure family to fail on purpose
+/// (chaos drill): one of `spread`, `tail-value`, `connectivity`,
+/// `ext-discovery`, `ext-redundancy`, `ext-user-tail`, `ext-linkage`,
+/// `ext-failure`.
+pub const FAIL_FAMILY_ENV: &str = "WEBSTRUCT_FAIL_FAMILY";
+
+/// One figure family that died: which one, and the panic it died with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyFailure {
+    /// Family name (e.g. `"tail-value"`).
+    pub family: String,
+    /// The panic message the family failed with.
+    pub error: String,
+}
+
 /// The complete output of a reproduction run.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -23,6 +45,9 @@ pub struct RunOutput {
     pub figures: Vec<Figure>,
     /// Every table, in paper order.
     pub tables: Vec<Table>,
+    /// Families that panicked instead of producing artifacts. Empty on a
+    /// healthy run.
+    pub failures: Vec<FamilyFailure>,
 }
 
 impl RunOutput {
@@ -31,6 +56,49 @@ impl RunOutput {
     pub fn figure(&self, id: &str) -> Option<&Figure> {
         self.figures.iter().find(|f| f.id == id)
     }
+
+    /// Whether every family completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one figure family behind a `catch_unwind` backstop, injecting a
+/// panic first when `chaos` names this family. The closure only touches
+/// the panic-safe [`Study`] cache (its locks are never held across
+/// experiment code), so `AssertUnwindSafe` is sound: a dead family
+/// leaves the cache usable by the others.
+fn run_family<T>(
+    name: &str,
+    chaos: Option<&str>,
+    f: impl FnOnce() -> T,
+) -> Result<T, FamilyFailure> {
+    let inject = chaos == Some(name);
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        assert!(!inject, "chaos drill: injected failure into the '{name}' family");
+        f()
+    }))
+    .map_err(|payload| FamilyFailure {
+        family: name.to_string(),
+        error: panic_message(payload.as_ref()),
+    })
+}
+
+/// The chaos target from [`FAIL_FAMILY_ENV`], if set.
+fn chaos_from_env() -> Option<String> {
+    std::env::var(FAIL_FAMILY_ENV).ok().filter(|s| !s.is_empty())
 }
 
 /// The spread family: Figures 1–5, in paper order.
@@ -66,105 +134,233 @@ fn connectivity_family(study: &Study) -> (Vec<Figure>, Table) {
 ///
 /// Independent figure families execute on separate threads when more than
 /// one worker is configured; the artifact list is identical to the
-/// sequential run either way.
+/// sequential run either way. A panicking family degrades the output
+/// (see [`RunOutput::failures`]) instead of killing the run; set
+/// [`FAIL_FAMILY_ENV`] to drill that path.
 #[must_use]
 pub fn run_all(config: &StudyConfig) -> RunOutput {
+    run_all_chaos(config, chaos_from_env().as_deref())
+}
+
+/// [`run_all`] with an explicit chaos target: when `fail_family` names a
+/// family (`spread`, `tail-value`, `connectivity`), that family panics
+/// on entry and the run degrades around it.
+#[must_use]
+pub fn run_all_chaos(config: &StudyConfig, fail_family: Option<&str>) -> RunOutput {
     let study = Study::new(config.clone());
-    let (spread_figs, tail_figs, (conn_figs, table2)) = if par::num_threads() == 1 {
+    let chaos = fail_family;
+    let (spread_res, tail_res, conn_res) = if par::num_threads() == 1 {
         (
-            spread_family(&study),
-            tail_family(&study),
-            connectivity_family(&study),
+            run_family("spread", chaos, || spread_family(&study)),
+            run_family("tail-value", chaos, || tail_family(&study)),
+            run_family("connectivity", chaos, || connectivity_family(&study)),
         )
     } else {
         std::thread::scope(|s| {
-            let tail = s.spawn(|| tail_family(&study));
-            let conn = s.spawn(|| connectivity_family(&study));
+            // Panics are caught inside each spawned closure, so `join`
+            // only fails if a thread dies outside the backstop (it
+            // cannot, short of an abort).
+            let tail = s.spawn(|| run_family("tail-value", chaos, || tail_family(&study)));
+            let conn = s.spawn(|| run_family("connectivity", chaos, || connectivity_family(&study)));
             // The heaviest family runs on the current thread.
-            let spread = spread_family(&study);
+            let spread = run_family("spread", chaos, || spread_family(&study));
             (
                 spread,
-                tail.join().expect("tail-value family panicked"),
-                conn.join().expect("connectivity family panicked"),
+                tail.join().expect("tail-value worker died outside the backstop"),
+                conn.join().expect("connectivity worker died outside the backstop"),
             )
         })
     };
-    let mut figures = spread_figs;
-    figures.extend(tail_figs);
-    figures.extend(conn_figs);
-    let tables = vec![table1(), table2];
-    RunOutput { figures, tables }
+    let mut figures = Vec::new();
+    let mut tables = vec![table1()];
+    let mut failures = Vec::new();
+    match spread_res {
+        Ok(figs) => figures.extend(figs),
+        Err(failure) => failures.push(failure),
+    }
+    match tail_res {
+        Ok(figs) => figures.extend(figs),
+        Err(failure) => failures.push(failure),
+    }
+    match conn_res {
+        Ok((figs, table2)) => {
+            figures.extend(figs);
+            tables.push(table2);
+        }
+        Err(failure) => failures.push(failure),
+    }
+    RunOutput {
+        figures,
+        tables,
+        failures,
+    }
 }
 
 /// Run the extension experiments (beyond the paper's own artifacts):
-/// discovery policies, redundancy fusion, user-level tail analysis, and
-/// listing deduplication, all for a representative domain.
+/// discovery policies, redundancy fusion, user-level tail analysis,
+/// listing deduplication, and discovery under failure, all for a
+/// representative domain.
 #[must_use]
 pub fn run_extensions(config: &StudyConfig) -> RunOutput {
+    run_extensions_chaos(config, chaos_from_env().as_deref())
+}
+
+/// [`run_extensions`] with an explicit chaos target (`ext-discovery`,
+/// `ext-redundancy`, `ext-user-tail`, `ext-linkage`, `ext-failure`).
+#[must_use]
+pub fn run_extensions_chaos(config: &StudyConfig, fail_family: Option<&str>) -> RunOutput {
     let study = Study::new(config.clone());
-    let (figures, tables) = if par::num_threads() == 1 {
+    let chaos = fail_family;
+    let run_disc = || discovery::discovery_policies(&study, Domain::Restaurants, 2_000);
+    let run_red = || redundancy::redundancy_experiment(&study, Domain::Restaurants);
+    let run_tail = || tail_value::user_tail_table(&study);
+    let run_link = || linkage::linkage_table(&study, Domain::Restaurants);
+    let run_fail = || discovery::discovery_under_failure(&study, Domain::Restaurants, 2_000);
+    let (disc, red, tail, link, fail) = if par::num_threads() == 1 {
         (
-            vec![
-                discovery::discovery_policies(&study, Domain::Restaurants, 2_000),
-                redundancy::redundancy_experiment(&study, Domain::Restaurants),
-            ],
-            vec![
-                tail_value::user_tail_table(&study),
-                linkage::linkage_table(&study, Domain::Restaurants),
-            ],
+            run_family("ext-discovery", chaos, run_disc),
+            run_family("ext-redundancy", chaos, run_red),
+            run_family("ext-user-tail", chaos, run_tail),
+            run_family("ext-linkage", chaos, run_link),
+            run_family("ext-failure", chaos, run_fail),
         )
     } else {
         std::thread::scope(|s| {
-            let disc = s.spawn(|| discovery::discovery_policies(&study, Domain::Restaurants, 2_000));
-            let red = s.spawn(|| redundancy::redundancy_experiment(&study, Domain::Restaurants));
-            let tail = s.spawn(|| tail_value::user_tail_table(&study));
-            let link = linkage::linkage_table(&study, Domain::Restaurants);
+            let disc = s.spawn(|| run_family("ext-discovery", chaos, run_disc));
+            let red = s.spawn(|| run_family("ext-redundancy", chaos, run_red));
+            let tail = s.spawn(|| run_family("ext-user-tail", chaos, run_tail));
+            let fail = s.spawn(|| run_family("ext-failure", chaos, run_fail));
+            let link = run_family("ext-linkage", chaos, run_link);
             (
-                vec![
-                    disc.join().expect("discovery experiment panicked"),
-                    red.join().expect("redundancy experiment panicked"),
-                ],
-                vec![tail.join().expect("user-tail experiment panicked"), link],
+                disc.join().expect("discovery worker died outside the backstop"),
+                red.join().expect("redundancy worker died outside the backstop"),
+                tail.join().expect("user-tail worker died outside the backstop"),
+                link,
+                fail.join().expect("failure-sweep worker died outside the backstop"),
             )
         })
     };
-    RunOutput { figures, tables }
+    let mut figures = Vec::new();
+    let mut tables = Vec::new();
+    let mut failures = Vec::new();
+    match disc {
+        Ok(fig) => figures.push(fig),
+        Err(failure) => failures.push(failure),
+    }
+    match red {
+        Ok(fig) => figures.push(fig),
+        Err(failure) => failures.push(failure),
+    }
+    match tail {
+        Ok(table) => tables.push(table),
+        Err(failure) => failures.push(failure),
+    }
+    match link {
+        Ok(table) => tables.push(table),
+        Err(failure) => failures.push(failure),
+    }
+    match fail {
+        Ok((fig, table)) => {
+            figures.push(fig);
+            tables.push(table);
+        }
+        Err(failure) => failures.push(failure),
+    }
+    RunOutput {
+        figures,
+        tables,
+        failures,
+    }
 }
 
 /// Write every artifact under `dir`: one gnuplot `.dat` and one `.csv`
 /// per figure, one Markdown file and one `.csv` per table, plus an
 /// `index.md` linking them.
 ///
+/// Writing is best-effort per artifact: a failed write is recorded and
+/// the remaining artifacts are still attempted, so one bad path never
+/// costs the rest of the run's output. When the run itself degraded
+/// ([`RunOutput::failures`] non-empty) a `DEGRADED.md` report naming
+/// each failed family (and any failed writes) is emitted alongside the
+/// artifacts.
+///
 /// # Errors
-/// Propagates I/O errors.
+/// Returns an error only after attempting every artifact; the message
+/// lists each artifact that could not be written and the first error's
+/// kind is preserved.
 pub fn write_outputs(dir: &Path, output: &RunOutput) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
+    let mut write_errors: Vec<(String, std::io::Error)> = Vec::new();
+    let mut attempt = |name: String, content: Vec<u8>| {
+        if let Err(e) = std::fs::write(dir.join(&name), content) {
+            write_errors.push((name, e));
+        }
+    };
     let mut index = String::from("# Reproduction artifacts\n\n## Figures\n\n");
     for fig in &output.figures {
-        std::fs::write(dir.join(format!("{}.dat", fig.id)), fig.to_dat())?;
-        std::fs::write(
-            dir.join(format!("{}.csv", fig.id)),
-            webstruct_util::csv::figure_to_csv(fig),
-        )?;
-        std::fs::write(
-            dir.join(format!("{}.svg", fig.id)),
-            webstruct_util::svg::figure_to_svg(fig),
-        )?;
+        attempt(format!("{}.dat", fig.id), fig.to_dat().into_bytes());
+        attempt(
+            format!("{}.csv", fig.id),
+            webstruct_util::csv::figure_to_csv(fig).into_bytes(),
+        );
+        attempt(
+            format!("{}.svg", fig.id),
+            webstruct_util::svg::figure_to_svg(fig).into_bytes(),
+        );
         index.push_str(&format!("- [{}]({}.dat) — {}\n", fig.id, fig.id, fig.title));
     }
     index.push_str("\n## Tables\n\n");
     for (i, table) in output.tables.iter().enumerate() {
         let name = format!("table{}.md", i + 1);
-        std::fs::write(dir.join(&name), table.to_markdown())?;
-        std::fs::write(
-            dir.join(format!("table{}.csv", i + 1)),
-            webstruct_util::csv::table_to_csv(table),
-        )?;
+        attempt(name.clone(), table.to_markdown().into_bytes());
+        attempt(
+            format!("table{}.csv", i + 1),
+            webstruct_util::csv::table_to_csv(table).into_bytes(),
+        );
         index.push_str(&format!("- [{}]({name})\n", table.title));
     }
-    let mut f = std::fs::File::create(dir.join("index.md"))?;
-    f.write_all(index.as_bytes())?;
-    Ok(())
+    if !output.failures.is_empty() {
+        index.push_str("\n**Degraded run** — see [DEGRADED.md](DEGRADED.md).\n");
+    }
+    attempt("index.md".to_string(), index.into_bytes());
+    if !output.failures.is_empty() || !write_errors.is_empty() {
+        let mut report = String::from("# Degradation report\n");
+        if !output.failures.is_empty() {
+            report.push_str("\n## Failed figure families\n\n");
+            for f in &output.failures {
+                report.push_str(&format!("- `{}` — {}\n", f.family, f.error));
+            }
+            report.push_str(
+                "\nArtifacts from these families are missing; everything else was produced.\n",
+            );
+        }
+        if !write_errors.is_empty() {
+            report.push_str("\n## Failed artifact writes\n\n");
+            for (name, e) in &write_errors {
+                report.push_str(&format!("- `{name}` — {e}\n"));
+            }
+        }
+        let mut f = std::fs::File::create(dir.join("DEGRADED.md"))?;
+        f.write_all(report.as_bytes())?;
+    }
+    if write_errors.is_empty() {
+        Ok(())
+    } else {
+        let kind = write_errors[0].1.kind();
+        let listing = write_errors
+            .iter()
+            .map(|(name, e)| format!("{name}: {e}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(std::io::Error::new(
+            kind,
+            format!(
+                "{} of {} artifacts could not be written ({listing})",
+                write_errors.len(),
+                3 * output.figures.len() + 2 * output.tables.len() + 1
+            ),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -195,10 +391,20 @@ mod tests {
     #[test]
     fn run_extensions_produces_artifacts() {
         let out = run_extensions(&StudyConfig::quick());
-        assert_eq!(out.figures.len(), 2);
-        assert_eq!(out.tables.len(), 2);
+        assert_eq!(out.figures.len(), 3);
+        assert_eq!(out.tables.len(), 3);
+        assert!(out.is_complete());
         assert!(out.figure("ext-discovery-restaurants").is_some());
         assert!(out.figure("ext-redundancy-restaurants").is_some());
+        let fail_fig = out
+            .figure("ext-discovery-under-failure-restaurants")
+            .expect("failure-sweep figure present");
+        assert_eq!(fail_fig.series.len(), 3, "one curve per failure rate");
+        // The counters table carries breaker/retry columns per rate.
+        let counters = &out.tables[2];
+        assert_eq!(counters.rows.len(), 3);
+        assert!(counters.headers.iter().any(|h| h == "Retries"));
+        assert!(counters.headers.iter().any(|h| h == "Breaker opens"));
     }
 
     #[test]
@@ -213,8 +419,96 @@ mod tests {
         assert!(dir.join("fig9c.dat").exists());
         assert!(dir.join("table2.md").exists());
         assert!(dir.join("table2.csv").exists());
+        assert!(
+            !dir.join("DEGRADED.md").exists(),
+            "healthy runs produce no degradation report"
+        );
         let index = std::fs::read_to_string(dir.join("index.md")).unwrap();
         assert!(index.contains("fig5"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_killing_one_family_leaves_the_rest_alive() {
+        let out = run_all_chaos(&StudyConfig::quick(), Some("tail-value"));
+        assert!(!out.is_complete());
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].family, "tail-value");
+        assert!(
+            out.failures[0].error.contains("chaos drill"),
+            "failure message was: {}",
+            out.failures[0].error
+        );
+        // Spread and connectivity artifacts survive; no fig6/7/8.
+        assert!(out.figure("fig1a").is_some());
+        assert!(out.figure("fig9a").is_some());
+        assert!(out.figure("fig6-cdf-search").is_none());
+        // fig6 (4) + fig7 (3) + fig8 (3) = 10 tail figures are gone.
+        assert_eq!(out.figures.len(), 33 - 10);
+        assert_eq!(out.tables.len(), 2, "table1 + table2 unaffected");
+    }
+
+    #[test]
+    fn chaos_killing_connectivity_drops_table2_only() {
+        let out = run_all_chaos(&StudyConfig::quick(), Some("connectivity"));
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].family, "connectivity");
+        assert_eq!(out.tables.len(), 1, "table1 survives, table2 is gone");
+        assert!(out.figure("fig9a").is_none());
+        assert!(out.figure("fig1a").is_some());
+        assert!(out.figure("fig6-cdf-search").is_some());
+    }
+
+    #[test]
+    fn chaos_in_extensions_degrades_gracefully() {
+        let out = run_extensions_chaos(&StudyConfig::quick(), Some("ext-failure"));
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].family, "ext-failure");
+        assert_eq!(out.figures.len(), 2);
+        assert_eq!(out.tables.len(), 2);
+        assert!(out.figure("ext-discovery-restaurants").is_some());
+    }
+
+    #[test]
+    fn degraded_run_writes_report_naming_the_failed_family() {
+        let out = run_all_chaos(&StudyConfig::quick(), Some("tail-value"));
+        let dir = std::env::temp_dir().join("webstruct-test-degraded");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_outputs(&dir, &out).expect("writes succeed; degradation is not an I/O error");
+        assert!(dir.join("fig1a.dat").exists());
+        assert!(!dir.join("fig6-cdf-search.dat").exists());
+        let report = std::fs::read_to_string(dir.join("DEGRADED.md")).unwrap();
+        assert!(report.contains("`tail-value`"), "report: {report}");
+        assert!(report.contains("chaos drill"));
+        let index = std::fs::read_to_string(dir.join("index.md")).unwrap();
+        assert!(index.contains("DEGRADED.md"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_outputs_surfaces_partial_failures_but_writes_the_rest() {
+        let out = run_all(&StudyConfig::quick());
+        let dir = std::env::temp_dir().join("webstruct-test-partial-write");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Make two artifact paths unwritable by pre-creating directories
+        // with those names (std::fs::write then fails with EISDIR — this
+        // works even when the tests run as root, unlike a chmod).
+        std::fs::create_dir_all(dir.join("fig1a.dat")).unwrap();
+        std::fs::create_dir_all(dir.join("table1.md")).unwrap();
+        let err = write_outputs(&dir, &out).expect_err("two artifacts are unwritable");
+        let msg = err.to_string();
+        assert!(msg.contains("fig1a.dat"), "error was: {msg}");
+        assert!(msg.contains("table1.md"), "error was: {msg}");
+        assert!(msg.contains("2 of"), "error was: {msg}");
+        // Every other artifact was still written.
+        assert!(dir.join("fig1a.csv").exists());
+        assert!(dir.join("fig1a.svg").exists());
+        assert!(dir.join("fig9c.dat").exists());
+        assert!(dir.join("table2.md").exists());
+        assert!(dir.join("index.md").exists());
+        // The write failures are also recorded in the degradation report.
+        let report = std::fs::read_to_string(dir.join("DEGRADED.md")).unwrap();
+        assert!(report.contains("Failed artifact writes"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,22 +10,32 @@
 //! known as a function of sites fetched — which is what the frontier
 //! policies are compared on.
 
+use crate::fetch::{FetchOutcome, FetchSim, FetchStats};
 use crate::frontier::FrontierPolicy;
 use crate::index::SearchIndex;
+use webstruct_util::fault::{BreakerConfig, FaultPlan, RetryPolicy};
 use webstruct_util::ids::EntityId;
 
 /// Crawl outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrawlResult {
     /// Entities known at the end (including seeds that resolved).
     pub entities_found: usize,
-    /// Sites fetched.
+    /// Fetch attempts charged against the budget (on a fault-free web,
+    /// exactly the number of sites fetched; under faults, retries charge
+    /// it too).
     pub sites_fetched: usize,
     /// Search queries issued.
     pub queries_issued: u64,
     /// Whether the crawl drained every reachable site (vs. hit the budget).
     pub exhausted: bool,
-    /// Discovery trace: `(sites_fetched, entities_known)` after each fetch.
+    /// Seed ids outside the entity universe, dropped at construction.
+    pub seeds_dropped: usize,
+    /// Fetch-layer counters: attempts, retries, failures, truncations,
+    /// breaker activity, simulated time.
+    pub fetch: FetchStats,
+    /// Discovery trace: `(budget_spent, entities_known)` after each fetch
+    /// round.
     pub trace: Vec<(usize, usize)>,
 }
 
@@ -52,6 +62,9 @@ pub struct Crawler<'a, P: FrontierPolicy> {
     site_seen: Vec<bool>,
     /// Known entities not yet queried against the index.
     query_queue: Vec<EntityId>,
+    /// Seed ids outside `[0, n_entities)`, counted rather than silently
+    /// ignored.
+    seeds_dropped: usize,
 }
 
 impl<'a, P: FrontierPolicy> Crawler<'a, P> {
@@ -70,9 +83,12 @@ impl<'a, P: FrontierPolicy> Crawler<'a, P> {
             entity_known: vec![false; index.n_entities()],
             site_seen: vec![false; site_entities.len()],
             query_queue: Vec::new(),
+            seeds_dropped: 0,
         };
         for &s in seeds {
-            if s.index() < crawler.entity_known.len() && !crawler.entity_known[s.index()] {
+            if s.index() >= crawler.entity_known.len() {
+                crawler.seeds_dropped += 1;
+            } else if !crawler.entity_known[s.index()] {
                 crawler.entity_known[s.index()] = true;
                 crawler.query_queue.push(s);
             }
@@ -90,10 +106,42 @@ impl<'a, P: FrontierPolicy> Crawler<'a, P> {
     /// Run under both a fetch budget and a search-query budget. Once the
     /// query budget is spent, known entities are no longer looked up —
     /// discovery continues only through the already-populated frontier.
+    ///
+    /// Equivalent to [`Crawler::run_with_faults`] under the fault-free
+    /// plan: every round is one successful attempt, so the budget counts
+    /// sites exactly as it always did.
     #[must_use]
-    pub fn run_with_budgets(mut self, fetch_budget: usize, query_budget: u64) -> CrawlResult {
+    pub fn run_with_budgets(self, fetch_budget: usize, query_budget: u64) -> CrawlResult {
+        self.run_with_faults(
+            fetch_budget,
+            query_budget,
+            &FaultPlan::none(),
+            RetryPolicy::default(),
+            BreakerConfig::default(),
+        )
+    }
+
+    /// Run against a faulty web. Every fetch *attempt* — including
+    /// retries — charges the fetch budget; timed-out and backed-off time
+    /// accrues on the simulated clock; per-site circuit breakers drop
+    /// sites that keep failing, so budget is not burned on the dead.
+    /// Truncated responses harvest a prefix of the site's entity list.
+    ///
+    /// All fault decisions are pure functions of `(plan seed, site,
+    /// attempt#)`, so the same inputs produce a byte-identical
+    /// [`CrawlResult`] on every run.
+    #[must_use]
+    pub fn run_with_faults(
+        mut self,
+        fetch_budget: usize,
+        query_budget: u64,
+        plan: &FaultPlan,
+        retry: RetryPolicy,
+        breaker: BreakerConfig,
+    ) -> CrawlResult {
         self.index.reset_meter();
-        let mut fetched = 0usize;
+        let mut sim = FetchSim::new(plan, retry, breaker, self.site_entities.len());
+        let mut spent = 0usize;
         let mut trace = Vec::new();
         loop {
             // Drain the query queue: every known entity gets one search,
@@ -112,28 +160,56 @@ impl<'a, P: FrontierPolicy> Crawler<'a, P> {
                     }
                 }
             }
-            if fetched >= fetch_budget {
+            if spent >= fetch_budget {
                 break;
             }
             // Fetch the next site per policy.
             let Some(site) = self.policy.next() else {
                 break; // frontier drained
             };
-            fetched += 1;
-            for &e in &self.site_entities[site.index()] {
-                if !self.entity_known[e.index()] {
-                    self.entity_known[e.index()] = true;
-                    self.query_queue.push(e);
+            if !sim.allow(site.index()) {
+                // Breaker open: the site is dropped for free, budget
+                // untouched, and the loop moves to the next frontier
+                // entry.
+                continue;
+            }
+            let (outcome, used) = sim.fetch_round(site.index(), fetch_budget - spent);
+            spent += used;
+            match outcome {
+                FetchOutcome::Success { truncated } => {
+                    let list = &self.site_entities[site.index()];
+                    // A truncated page yields a prefix of the site's
+                    // entity list (ceil, so a non-empty page always
+                    // yields at least one entity).
+                    let keep = truncated.map_or(list.len(), |frac| {
+                        ((frac * list.len() as f64).ceil() as usize).min(list.len())
+                    });
+                    for &e in &list[..keep] {
+                        if !self.entity_known[e.index()] {
+                            self.entity_known[e.index()] = true;
+                            self.query_queue.push(e);
+                        }
+                    }
+                }
+                FetchOutcome::Failed(_) => {
+                    if sim.retry_later(site.index()) {
+                        let size_hint = self.site_entities[site.index()].len();
+                        self.policy.offer(site, size_hint);
+                    }
                 }
             }
-            trace.push((fetched, self.count_known()));
+            if used > 0 {
+                trace.push((spent, self.count_known()));
+            }
         }
         let exhausted = self.query_queue.is_empty() && self.policy.is_empty();
         CrawlResult {
             entities_found: self.count_known(),
-            sites_fetched: fetched,
+            sites_fetched: spent,
             queries_issued: self.index.queries_served(),
             exhausted,
+            seeds_dropped: self.seeds_dropped,
+            fetch: sim.into_stats(),
             trace,
         }
     }

@@ -6,10 +6,11 @@
 //! > component; thus we are all but surely guaranteed to discover and
 //! > extract most of the entities from random seed sets."
 
-use crate::crawler::crawl;
+use crate::crawler::{crawl, CrawlResult, Crawler};
 use crate::frontier::{Fifo, LargestFirst, RandomOrder, SmallestFirst};
 use crate::index::SearchIndex;
 use webstruct_graph::{component_stats, BipartiteGraph};
+use webstruct_util::fault::{BreakerConfig, FaultConfig, FaultPlan, RetryPolicy};
 use webstruct_util::ids::EntityId;
 use webstruct_util::report::{Figure, Series};
 use webstruct_util::rng::{Seed, Xoshiro256};
@@ -106,6 +107,53 @@ pub fn seed_robustness(
         },
         largest_component_fraction: largest_fraction,
     }
+}
+
+/// One point of a [`failure_sweep`]: a full crawl at one failure rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailurePoint {
+    /// Headline per-attempt failure probability
+    /// ([`FaultConfig::flaky`]'s knob).
+    pub failure_rate: f64,
+    /// The crawl outcome, including fetch-layer counters.
+    pub result: CrawlResult,
+}
+
+/// Sweep failure rates: re-run the same largest-first budgeted crawl
+/// under [`FaultConfig::flaky`] plans of increasing severity. Rate 0
+/// reproduces the fault-free crawl bit-for-bit (the plan is inactive).
+/// Each rate gets an independently derived plan seed, so curves differ
+/// only through fault severity, not through stream reuse.
+#[must_use]
+pub fn failure_sweep(
+    n_entities: usize,
+    site_entities: &[Vec<EntityId>],
+    seeds: &[EntityId],
+    fetch_budget: usize,
+    rates: &[f64],
+    seed: Seed,
+) -> Vec<FailurePoint> {
+    let index = SearchIndex::build(n_entities, site_entities, None);
+    let plan_seed = seed.derive("fault-plan");
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let plan = FaultPlan::new(FaultConfig::flaky(rate), plan_seed.derive_u64(i as u64));
+            let crawler = Crawler::new(&index, site_entities, LargestFirst::default(), seeds);
+            let result = crawler.run_with_faults(
+                fetch_budget,
+                u64::MAX,
+                &plan,
+                RetryPolicy::default(),
+                BreakerConfig::default(),
+            );
+            FailurePoint {
+                failure_rate: rate,
+                result,
+            }
+        })
+        .collect()
 }
 
 /// Result of [`seed_robustness`].
@@ -213,6 +261,40 @@ mod tests {
         let r = seed_robustness(100, &sites, 10, 0.9, Seed(13));
         assert_eq!(r.successes, 0);
         assert!((r.mean_recall - 0.5).abs() < 0.05, "mean {}", r.mean_recall);
+    }
+
+    #[test]
+    fn failure_sweep_zero_rate_matches_clean_crawl() {
+        let w = world(200, Seed(21));
+        let index = SearchIndex::build(200, &w, None);
+        let clean = crawl(&index, &w, LargestFirst::default(), &[e(0)], 80);
+        let sweep = failure_sweep(200, &w, &[e(0)], 80, &[0.0], Seed(22));
+        assert_eq!(sweep.len(), 1);
+        assert_eq!(sweep[0].result, clean, "rate 0 must be bit-identical");
+    }
+
+    #[test]
+    fn failure_sweep_degrades_discovery_monotonically_enough() {
+        let w = world(300, Seed(23));
+        let sweep = failure_sweep(300, &w, &[e(0)], 120, &[0.0, 0.1, 0.3], Seed(24));
+        assert_eq!(sweep.len(), 3);
+        let found: Vec<usize> = sweep.iter().map(|p| p.result.entities_found).collect();
+        // Faults burn budget on retries, so severe rates discover no more
+        // than the clean run (usually strictly less).
+        assert!(found[1] <= found[0], "10% ({}) vs clean ({})", found[1], found[0]);
+        assert!(found[2] <= found[0], "30% ({}) vs clean ({})", found[2], found[0]);
+        // The faulty runs actually exercised the fault machinery.
+        assert!(sweep[2].result.fetch.retries > 0);
+        assert!(sweep[2].result.fetch.failed_rounds > 0);
+        assert_eq!(sweep[0].result.fetch.retries, 0);
+    }
+
+    #[test]
+    fn failure_sweep_is_deterministic() {
+        let w = world(150, Seed(25));
+        let a = failure_sweep(150, &w, &[e(0), e(5)], 60, &[0.1, 0.3], Seed(26));
+        let b = failure_sweep(150, &w, &[e(0), e(5)], 60, &[0.1, 0.3], Seed(26));
+        assert_eq!(a, b);
     }
 
     #[test]

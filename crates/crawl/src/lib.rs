@@ -10,8 +10,11 @@
 //! * [`frontier`] — fetch-ordering policies (FIFO, largest-first, random,
 //!   smallest-first);
 //! * [`crawler`] — the budgeted bootstrap crawler with discovery traces;
-//! * [`experiment`] — policy comparison and the paper's random-seed
-//!   robustness claim.
+//! * [`fetch`] — typed fetch outcomes and the fault-aware fetch
+//!   simulator (retries, backoff, per-site circuit breakers over a
+//!   simulated clock);
+//! * [`experiment`] — policy comparison, the paper's random-seed
+//!   robustness claim, and the failure-rate sweep.
 
 //!
 //! ## Example
@@ -34,10 +37,14 @@
 
 pub mod crawler;
 pub mod experiment;
+pub mod fetch;
 pub mod frontier;
 pub mod index;
 
 pub use crawler::{crawl, CrawlResult, Crawler};
-pub use experiment::{policy_comparison, seed_robustness, SeedRobustness};
+pub use experiment::{
+    failure_sweep, policy_comparison, seed_robustness, FailurePoint, SeedRobustness,
+};
+pub use fetch::{FetchError, FetchOutcome, FetchStats};
 pub use frontier::{Fifo, FrontierPolicy, LargestFirst, RandomOrder, SmallestFirst};
 pub use index::SearchIndex;

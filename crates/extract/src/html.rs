@@ -141,6 +141,22 @@ pub fn url_host(url: &str) -> Option<String> {
     }
 }
 
+/// The longest prefix of `text` that fits in `keep_bytes` without
+/// splitting a UTF-8 character — what a connection cut mid-transfer
+/// leaves behind, minus the dangling partial code point. `keep_bytes`
+/// past the end returns the whole text.
+#[must_use]
+pub fn truncate_at_char_boundary(text: &str, keep_bytes: usize) -> &str {
+    if keep_bytes >= text.len() {
+        return text;
+    }
+    let mut end = keep_bytes;
+    while end > 0 && !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    &text[..end]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +231,22 @@ mod tests {
         assert_eq!(url_host("http:///nohost"), None);
         assert_eq!(url_host("http://nodots/"), None);
         assert_eq!(url_host("not a url"), None);
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let text = "caf\u{e9} r\u{e9}sum\u{e9}"; // multi-byte é's
+        for keep in 0..=text.len() + 2 {
+            let cut = truncate_at_char_boundary(text, keep);
+            assert!(cut.len() <= keep.min(text.len()));
+            assert!(text.starts_with(cut));
+            // The result is valid UTF-8 by construction (it's a &str);
+            // re-walking it must not panic.
+            assert_eq!(cut.chars().count(), cut.chars().count());
+        }
+        assert_eq!(truncate_at_char_boundary(text, text.len()), text);
+        assert_eq!(truncate_at_char_boundary("", 5), "");
+        // Cutting inside the 2-byte é backs off to before it.
+        assert_eq!(truncate_at_char_boundary("caf\u{e9}", 4), "caf");
     }
 }

@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn finds_marked_isbn13() {
-        let isbn = Isbn::new(30_640_615).unwrap();
+        let isbn = Isbn::new(30_640_615).expect("literal fits the 9-digit ISBN core range");
         let text = format!("Available now. ISBN: {}", isbn.to_isbn13_hyphenated());
         assert_eq!(cores(&text), vec![isbn.core()]);
     }
@@ -100,29 +100,29 @@ mod tests {
     fn finds_marked_isbn10_including_x_check() {
         let core = (0..500u32)
             .find(|&c| webstruct_corpus::isbn::isbn10_check_char(c) == 'X')
-            .unwrap();
-        let isbn = Isbn::new(u64::from(core)).unwrap();
+            .expect("check digit 10 ('X') occurs once per 11 consecutive cores");
+        let isbn = Isbn::new(u64::from(core)).expect("core < 500 fits the 9-digit ISBN core range");
         let text = format!("ISBN {}", isbn.to_isbn10());
         assert_eq!(cores(&text), vec![isbn.core()]);
     }
 
     #[test]
     fn marker_may_follow_the_number() {
-        let isbn = Isbn::new(123_456_789).unwrap();
+        let isbn = Isbn::new(123_456_789).expect("literal fits the 9-digit ISBN core range");
         let text = format!("{} (ISBN)", isbn.to_isbn13());
         assert_eq!(cores(&text), vec![isbn.core()]);
     }
 
     #[test]
     fn rejects_unmarked_isbn_shaped_numbers() {
-        let isbn = Isbn::new(123_456_789).unwrap();
+        let isbn = Isbn::new(123_456_789).expect("literal fits the 9-digit ISBN core range");
         let text = format!("Catalog number {} in stock", isbn.to_isbn13());
         assert!(cores(&text).is_empty());
     }
 
     #[test]
     fn rejects_marker_outside_window() {
-        let isbn = Isbn::new(123_456_789).unwrap();
+        let isbn = Isbn::new(123_456_789).expect("literal fits the 9-digit ISBN core range");
         let padding = "x".repeat(MARKER_WINDOW + 10);
         let text = format!("ISBN {padding} {}", isbn.to_isbn13());
         assert!(cores(&text).is_empty());
@@ -130,9 +130,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_check_digit_even_with_marker() {
-        let isbn = Isbn::new(123_456_789).unwrap();
+        let isbn = Isbn::new(123_456_789).expect("literal fits the 9-digit ISBN core range");
         let mut s = isbn.to_isbn13();
-        let last = s.pop().unwrap();
+        let last = s.pop().expect("a rendered ISBN-13 is never empty");
         s.push(if last == '0' { '1' } else { '0' });
         let text = format!("ISBN {s}");
         assert!(cores(&text).is_empty());
@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn match_offsets_cover_token() {
-        let isbn = Isbn::new(55_555_555).unwrap();
+        let isbn = Isbn::new(55_555_555).expect("literal fits the 9-digit ISBN core range");
         let rendered = isbn.to_isbn13_hyphenated();
         let text = format!("ISBN {rendered}.");
         let m = scan_isbns(&text)[0];
@@ -149,8 +149,8 @@ mod tests {
 
     #[test]
     fn multiple_isbns_on_one_page() {
-        let a = Isbn::new(111_111_111).unwrap();
-        let b = Isbn::new(222_222_222).unwrap();
+        let a = Isbn::new(111_111_111).expect("literal fits the 9-digit ISBN core range");
+        let b = Isbn::new(222_222_222).expect("literal fits the 9-digit ISBN core range");
         let text = format!(
             "First ISBN {} and second ISBN {}",
             a.to_isbn13(),
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn handles_unicode_neighbourhoods() {
-        let isbn = Isbn::new(777_777_777).unwrap();
+        let isbn = Isbn::new(777_777_777).expect("literal fits the 9-digit ISBN core range");
         let text = format!("Crème brûlée — ISBN {} — è", isbn.to_isbn13_hyphenated());
         assert_eq!(cores(&text), vec![isbn.core()]);
     }

@@ -36,6 +36,8 @@ pub struct PageExtraction {
     pub unmatched_hrefs: u32,
     /// Review-classifier verdict (false when no classifier is installed).
     pub is_review: bool,
+    /// Whether this extraction ran on a truncated page (partial yield).
+    pub truncated: bool,
 }
 
 /// The extractor: catalog indexes plus an optional review classifier.
@@ -113,6 +115,24 @@ impl<'a> Extractor<'a> {
         out
     }
 
+    /// Extract from a page of which only the leading `frac` of the body
+    /// arrived — what a truncated fetch leaves the pipeline. The cut is
+    /// backed off to a UTF-8 character boundary, so partial pages never
+    /// panic the scanners; whatever matches survive the cut are yielded
+    /// as a partial extraction with [`PageExtraction::truncated`] set.
+    #[must_use]
+    pub fn extract_page_prefix(&self, page: &Page, frac: f64) -> PageExtraction {
+        let keep = (page.text.len() as f64 * frac.clamp(0.0, 1.0)) as usize;
+        let cut = html::truncate_at_char_boundary(&page.text, keep);
+        let partial = Page {
+            text: cut.to_string(),
+            ..page.clone()
+        };
+        let mut out = self.extract_page(&partial);
+        out.truncated = true;
+        out
+    }
+
     /// Run the full pipeline over a page stream.
     #[must_use]
     pub fn extract_all<I>(&self, n_sites: usize, pages: I) -> ExtractedWeb
@@ -123,6 +143,45 @@ impl<'a> Extractor<'a> {
         for page in pages {
             let ex = self.extract_page(&page);
             acc.ingest(page.site, &ex);
+        }
+        acc
+    }
+
+    /// Run the pipeline over a page stream served by a faulty web. The
+    /// fault coordinate for a page is its per-site ordinal, so the
+    /// decision stream is independent of how sites interleave in the
+    /// input. Pages from dead sites and pages whose fetch failed are
+    /// skipped (counted in [`ExtractedWeb::skipped_pages`]); truncated
+    /// pages yield partial extractions via
+    /// [`Extractor::extract_page_prefix`].
+    #[must_use]
+    pub fn extract_all_faulty<I>(
+        &self,
+        n_sites: usize,
+        pages: I,
+        plan: &webstruct_util::fault::FaultPlan,
+    ) -> ExtractedWeb
+    where
+        I: IntoIterator<Item = Page>,
+    {
+        use webstruct_util::fault::Fault;
+        let mut acc = ExtractedWeb::new(n_sites, self.catalog.len());
+        let mut ordinal = vec![0u32; n_sites];
+        for page in pages {
+            let s = page.site.index();
+            let attempt = ordinal[s];
+            ordinal[s] += 1;
+            match plan.fault(s, attempt) {
+                None => {
+                    let ex = self.extract_page(&page);
+                    acc.ingest(page.site, &ex);
+                }
+                Some(Fault::Truncated(frac)) => {
+                    let ex = self.extract_page_prefix(&page, frac);
+                    acc.ingest(page.site, &ex);
+                }
+                Some(_) => acc.skipped_pages += 1,
+            }
         }
         acc
     }
@@ -215,6 +274,10 @@ pub struct ExtractedWeb {
     pub unmatched_isbns: u64,
     /// Anchors pointing outside the catalog.
     pub unmatched_hrefs: u64,
+    /// Pages ingested from truncated fetches (partial yield).
+    pub truncated_pages: u64,
+    /// Pages dropped entirely (dead site or failed fetch).
+    pub skipped_pages: u64,
 }
 
 impl ExtractedWeb {
@@ -231,6 +294,8 @@ impl ExtractedWeb {
             unmatched_phones: 0,
             unmatched_isbns: 0,
             unmatched_hrefs: 0,
+            truncated_pages: 0,
+            skipped_pages: 0,
         }
     }
 
@@ -241,6 +306,9 @@ impl ExtractedWeb {
     pub fn ingest(&mut self, site: SiteId, ex: &PageExtraction) {
         let s = site.index();
         self.pages_processed += 1;
+        if ex.truncated {
+            self.truncated_pages += 1;
+        }
         self.unmatched_phones += u64::from(ex.unmatched_phones);
         self.unmatched_isbns += u64::from(ex.unmatched_isbns);
         self.unmatched_hrefs += u64::from(ex.unmatched_hrefs);
@@ -335,6 +403,8 @@ impl ExtractedWeb {
         self.unmatched_phones += other.unmatched_phones;
         self.unmatched_isbns += other.unmatched_isbns;
         self.unmatched_hrefs += other.unmatched_hrefs;
+        self.truncated_pages += other.truncated_pages;
+        self.skipped_pages += other.skipped_pages;
         for (dst, src) in self.phone.iter_mut().zip(other.phone) {
             merge_set(dst, src);
         }
@@ -560,6 +630,130 @@ mod tests {
                 .sum();
             assert_eq!(extracted.total_occurrences(attr), listed, "{attr:?}");
         }
+    }
+
+    #[test]
+    fn faulty_extraction_under_none_plan_is_identical() {
+        let (catalog, web) = restaurant_fixture();
+        let extractor = Extractor::new(&catalog);
+        let pages: Vec<_> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(32)).collect();
+        let clean = extractor.extract_all(web.n_sites(), pages.clone());
+        let faulty = extractor.extract_all_faulty(
+            web.n_sites(),
+            pages,
+            &webstruct_util::fault::FaultPlan::none(),
+        );
+        assert_eq!(
+            faulty.occurrence_lists(Attribute::Phone),
+            clean.occurrence_lists(Attribute::Phone)
+        );
+        assert_eq!(faulty.pages_processed, clean.pages_processed);
+        assert_eq!(faulty.truncated_pages, 0);
+        assert_eq!(faulty.skipped_pages, 0);
+    }
+
+    #[test]
+    fn truncated_pages_yield_partial_extractions() {
+        use webstruct_util::fault::{FaultConfig, FaultPlan};
+        let (catalog, web) = restaurant_fixture();
+        let extractor = Extractor::new(&catalog);
+        let pages: Vec<_> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(32)).collect();
+        let clean = extractor.extract_all(web.n_sites(), pages.clone());
+        let plan = FaultPlan::new(
+            FaultConfig {
+                truncation_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            Seed(40),
+        );
+        let faulty = extractor.extract_all_faulty(web.n_sites(), pages, &plan);
+        assert_eq!(faulty.pages_processed, clean.pages_processed);
+        assert_eq!(faulty.truncated_pages, faulty.pages_processed);
+        // Partial pages can only lose matches, never invent them.
+        assert!(
+            faulty.total_occurrences(Attribute::Phone)
+                <= clean.total_occurrences(Attribute::Phone)
+        );
+        for (partial, full) in faulty
+            .occurrence_lists(Attribute::Phone)
+            .iter()
+            .zip(clean.occurrence_lists(Attribute::Phone))
+        {
+            for e in partial {
+                assert!(full.contains(e), "truncation invented entity {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_sites_drop_their_pages() {
+        use webstruct_util::fault::{FaultConfig, FaultPlan};
+        let (catalog, web) = restaurant_fixture();
+        let extractor = Extractor::new(&catalog);
+        let pages: Vec<_> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(32)).collect();
+        let n_pages = pages.len() as u64;
+        let plan = FaultPlan::new(
+            FaultConfig {
+                dead_site_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            Seed(41),
+        );
+        let faulty = extractor.extract_all_faulty(web.n_sites(), pages, &plan);
+        assert_eq!(faulty.pages_processed, 0);
+        assert_eq!(faulty.skipped_pages, n_pages);
+        assert_eq!(faulty.total_occurrences(Attribute::Phone), 0);
+    }
+
+    #[test]
+    fn faulty_extraction_is_order_independent() {
+        use webstruct_util::fault::{FaultConfig, FaultPlan};
+        let (catalog, web) = restaurant_fixture();
+        let extractor = Extractor::new(&catalog);
+        let pages: Vec<_> =
+            PageStream::new(&web, &catalog, PageConfig::default(), Seed(32)).collect();
+        let plan = FaultPlan::new(FaultConfig::flaky(0.4), Seed(42));
+        let forward = extractor.extract_all_faulty(web.n_sites(), pages.clone(), &plan);
+        // Reorder pages across sites (stable by site would be the shard
+        // order; full reversal also permutes within sites, which per-site
+        // ordinals must absorb only across-site — so keep within-site
+        // order while interleaving sites differently).
+        let mut by_site: Vec<Vec<Page>> = vec![Vec::new(); web.n_sites()];
+        for p in pages {
+            by_site[p.site.index()].push(p);
+        }
+        let reordered: Vec<Page> = by_site.into_iter().rev().flatten().collect();
+        let shuffled = extractor.extract_all_faulty(web.n_sites(), reordered, &plan);
+        assert_eq!(
+            forward.occurrence_lists(Attribute::Phone),
+            shuffled.occurrence_lists(Attribute::Phone)
+        );
+        assert_eq!(forward.truncated_pages, shuffled.truncated_pages);
+        assert_eq!(forward.skipped_pages, shuffled.skipped_pages);
+    }
+
+    #[test]
+    fn prefix_extraction_never_panics_on_multibyte_text() {
+        let (catalog, _web) = restaurant_fixture();
+        let extractor = Extractor::new(&catalog);
+        let page = Page {
+            id: webstruct_util::ids::PageId::new(0),
+            site: SiteId::new(0),
+            url: "http://x.example.com/".into(),
+            kind: PageKind::Listing,
+            text: "caf\u{e9} \u{2603} 206-555-0100 \u{1F600} caf\u{e9}".repeat(3),
+        };
+        for i in 0..=20 {
+            let frac = f64::from(i) / 20.0;
+            let ex = extractor.extract_page_prefix(&page, frac);
+            assert!(ex.truncated);
+        }
+        // Out-of-range fractions clamp instead of slicing out of bounds.
+        let _ = extractor.extract_page_prefix(&page, -1.0);
+        let _ = extractor.extract_page_prefix(&page, 2.0);
     }
 
     #[test]

@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn two_islands() {
         // Component A: e0,e1 via s0; component B: e2 via s1.
-        let g = BipartiteGraph::from_occurrences(3, &[vec![e(0), e(1)], vec![e(2)]]).unwrap();
+        let g = BipartiteGraph::from_occurrences(3, &[vec![e(0), e(1)], vec![e(2)]]).expect("fixture ids lie inside the declared entity universe");
         let stats = component_stats(&g, &[]);
         assert_eq!(stats.n_components, 2);
         assert_eq!(stats.largest_entities, 2);
@@ -155,7 +155,7 @@ mod tests {
             3,
             &[vec![e(0), e(1)], vec![e(1), e(2)]],
         )
-        .unwrap();
+        .expect("fixture ids lie inside the declared entity universe");
         let stats = component_stats(&g, &[]);
         assert_eq!(stats.n_components, 1);
         assert_eq!(stats.largest_entities, 3);
@@ -172,7 +172,7 @@ mod tests {
                 vec![e(2)],
             ],
         )
-        .unwrap();
+        .expect("fixture ids lie inside the declared entity universe");
         let full = component_stats(&g, &[]);
         assert_eq!(full.n_components, 1);
         let removed = component_stats(&g, &[0]);
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn empty_graph_stats() {
-        let g = BipartiteGraph::from_occurrences(2, &[]).unwrap();
+        let g = BipartiteGraph::from_occurrences(2, &[]).expect("fixture ids lie inside the declared entity universe");
         let stats = component_stats(&g, &[]);
         assert_eq!(stats.n_components, 0);
         assert_eq!(stats.largest_fraction(), 0.0);
@@ -192,7 +192,7 @@ mod tests {
 
     #[test]
     fn removing_everything() {
-        let g = BipartiteGraph::from_occurrences(2, &[vec![e(0), e(1)]]).unwrap();
+        let g = BipartiteGraph::from_occurrences(2, &[vec![e(0), e(1)]]).expect("fixture ids lie inside the declared entity universe");
         let stats = component_stats(&g, &[0]);
         assert_eq!(stats.n_components, 0);
         assert_eq!(stats.entities_present, 0);

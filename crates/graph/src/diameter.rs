@@ -168,13 +168,13 @@ mod tests {
         let sites: Vec<Vec<EntityId>> = (0..n - 1)
             .map(|s| vec![e(s as u32), e(s as u32 + 1)])
             .collect();
-        BipartiteGraph::from_occurrences(n, &sites).unwrap()
+        BipartiteGraph::from_occurrences(n, &sites).expect("fixture ids lie inside the declared entity universe")
     }
 
     /// A star: one hub site covering all entities → diameter 2.
     fn star_graph(n: usize) -> BipartiteGraph {
         let all: Vec<EntityId> = (0..n as u32).map(e).collect();
-        BipartiteGraph::from_occurrences(n, &[all]).unwrap()
+        BipartiteGraph::from_occurrences(n, &[all]).expect("fixture ids lie inside the declared entity universe")
     }
 
     #[test]
@@ -218,7 +218,7 @@ mod tests {
         let mut a: Vec<EntityId> = (0..20).map(e).collect();
         let b: Vec<EntityId> = (19..40).map(e).collect();
         a.push(e(19));
-        let g = BipartiteGraph::from_occurrences(40, &[a, b]).unwrap();
+        let g = BipartiteGraph::from_occurrences(40, &[a, b]).expect("fixture ids lie inside the declared entity universe");
         let d = ifub_diameter(&g, 10_000);
         assert!(d.exact);
         assert_eq!(d.value, 4);
@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn empty_and_isolated_graphs() {
-        let g = BipartiteGraph::from_occurrences(3, &[]).unwrap();
+        let g = BipartiteGraph::from_occurrences(3, &[]).expect("the empty occurrence list is always valid");
         let d = ifub_diameter(&g, 100);
         assert!(d.exact);
         assert_eq!(d.value, 0);
@@ -246,7 +246,7 @@ mod tests {
         // Big component: star of 30; small: path of 2 entities (diam 2).
         let mut sites: Vec<Vec<EntityId>> = vec![(0..30).map(e).collect()];
         sites.push(vec![e(30), e(31)]);
-        let g = BipartiteGraph::from_occurrences(32, &sites).unwrap();
+        let g = BipartiteGraph::from_occurrences(32, &sites).expect("fixture ids lie inside the declared entity universe");
         let d = ifub_diameter(&g, 10_000);
         // Hub of the big star dominates: diameter of that component is 2.
         assert!(d.exact);

@@ -103,7 +103,7 @@ mod tests {
             4,
             &[vec![e(0), e(1), e(2), e(3)], vec![e(0), e(1)]],
         )
-        .unwrap();
+        .expect("fixture ids lie inside the declared entity universe");
         let sweep = robustness_sweep(&g, 2);
         assert_eq!(sweep.len(), 3);
         assert_eq!(sweep[0].fraction_of_original, 1.0);
@@ -123,7 +123,7 @@ mod tests {
             10,
             &[all.clone(), all.clone(), all],
         )
-        .unwrap();
+        .expect("fixture ids lie inside the declared entity universe");
         let sweep = robustness_sweep(&g, 2);
         assert_eq!(sweep[0].fraction_of_original, 1.0);
         assert_eq!(sweep[1].fraction_of_original, 1.0);
@@ -132,14 +132,14 @@ mod tests {
 
     #[test]
     fn max_k_clamped_to_site_count() {
-        let g = BipartiteGraph::from_occurrences(2, &[vec![e(0), e(1)]]).unwrap();
+        let g = BipartiteGraph::from_occurrences(2, &[vec![e(0), e(1)]]).expect("fixture ids lie inside the declared entity universe");
         let sweep = robustness_sweep(&g, 10);
         assert_eq!(sweep.len(), 2); // k = 0, 1
     }
 
     #[test]
     fn series_conversion() {
-        let g = BipartiteGraph::from_occurrences(2, &[vec![e(0), e(1)]]).unwrap();
+        let g = BipartiteGraph::from_occurrences(2, &[vec![e(0), e(1)]]).expect("fixture ids lie inside the declared entity universe");
         let sweep = robustness_sweep(&g, 1);
         let s = robustness_series("Banks", &sweep);
         assert_eq!(s.name, "Banks");
@@ -154,7 +154,7 @@ mod tests {
         for i in 0..40u32 {
             sites.push(vec![e(i), e((i + 1) % 40)]);
         }
-        let g = BipartiteGraph::from_occurrences(40, &sites).unwrap();
+        let g = BipartiteGraph::from_occurrences(40, &sites).expect("fixture ids lie inside the declared entity universe");
         let top = robustness_sweep(&g, 5);
         let random = random_removal_sweep(&g, 5, webstruct_util::Seed(3));
         assert_eq!(random.len(), 6);
@@ -169,7 +169,7 @@ mod tests {
 
     #[test]
     fn empty_graph_sweep() {
-        let g = BipartiteGraph::from_occurrences(2, &[]).unwrap();
+        let g = BipartiteGraph::from_occurrences(2, &[]).expect("fixture ids lie inside the declared entity universe");
         let sweep = robustness_sweep(&g, 3);
         assert_eq!(sweep.len(), 1);
         assert_eq!(sweep[0].fraction_of_original, 0.0);

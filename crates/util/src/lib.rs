@@ -18,12 +18,15 @@
 //!   Markdown and ASCII renderings;
 //! * [`svg`] — standalone SVG line charts for every figure;
 //! * [`par`] — deterministic std-only parallel map (`std::thread::scope`
-//!   chunking with a `WEBSTRUCT_THREADS` override).
+//!   chunking with a `WEBSTRUCT_THREADS` override);
+//! * [`fault`] — seeded fault injection: per-site failure plans, a
+//!   simulated clock, retry/backoff policies and circuit breakers.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod csv;
+pub mod fault;
 pub mod hash;
 pub mod ids;
 pub mod par;
@@ -34,6 +37,9 @@ pub mod sample;
 pub mod stats;
 pub mod svg;
 
+pub use fault::{
+    BreakerConfig, CircuitBreaker, Fault, FaultConfig, FaultPlan, RetryPolicy, SimClock,
+};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{EntityId, PageId, RegionId, SiteId, UserId};
 pub use report::{Figure, Series, Table};

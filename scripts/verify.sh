@@ -16,6 +16,9 @@ cargo test -q
 echo "==> determinism: parallel output must be byte-identical to sequential"
 cargo test -q --test determinism
 
+echo "==> faults: crawler edge cases + fault-injected determinism"
+cargo test -q --test faults
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> bench: pipeline stages across thread counts -> artifacts/BENCH_pipeline.json"
     mkdir -p artifacts
@@ -24,6 +27,14 @@ if [[ "${1:-}" != "--quick" ]]; then
         --out "$PWD/artifacts/BENCH_pipeline.json" \
         --scale "${BENCH_SCALE:-0.02}" \
         --threads "${BENCH_THREADS:-1,2,4}" \
+        --repeats "${BENCH_REPEATS:-2}"
+
+    echo "==> bench: crawl throughput under fault injection -> artifacts/BENCH_faults.json"
+    cargo bench -p webstruct-bench --bench faults -- \
+        --out "$PWD/artifacts/BENCH_faults.json" \
+        --scale "${BENCH_SCALE:-0.02}" \
+        --budget "${BENCH_FAULT_BUDGET:-2000}" \
+        --rates "${BENCH_FAULT_RATES:-0,0.1,0.3}" \
         --repeats "${BENCH_REPEATS:-2}"
 fi
 

@@ -14,7 +14,7 @@
 use webstruct::core::bootstrap::bootstrap_expansion;
 use webstruct::core::cache::Study;
 use webstruct::core::experiments::{ablations, connectivity, discovery, linkage, open_extraction, redundancy, stability, table1, tail_value};
-use webstruct::core::runner::{run_all, write_outputs};
+use webstruct::core::runner::{run_all, run_extensions, write_outputs};
 use webstruct::core::study::StudyConfig;
 use webstruct::corpus::domain::{Attribute, Domain};
 use webstruct::extract::phone_precision_study;
@@ -27,6 +27,8 @@ fn main() {
     match command {
         "list" => list(),
         "reproduce" => reproduce(&args[1..]),
+        "extensions" => extensions(&args[1..]),
+        "faults" => faults_cmd(&args[1..]),
         "figure" => figure(&args[1..]),
         "table" => table(&args[1..]),
         "bootstrap" => bootstrap(&args[1..]),
@@ -54,6 +56,8 @@ fn help() {
          USAGE:\n\
          \twebstruct list\n\
          \twebstruct reproduce [SCALE] [OUTDIR]\n\
+         \twebstruct extensions [SCALE] [OUTDIR] extension figures/tables (incl. discovery under failure)\n\
+         \twebstruct faults [DOMAIN] [SCALE]     discovery under injected failure rates\n\
          \twebstruct figure <ID> [SCALE]      e.g. fig1a, fig4b, fig6-cdf-search, fig8-imdb\n\
          \twebstruct table <1|2> [SCALE]\n\
          \twebstruct bootstrap [DOMAIN] [SCALE]\n\
@@ -105,7 +109,7 @@ fn list() {
     }
     println!("tables:\n  table1             {}", out.tables[0].title);
     println!("  table2             {}", out.tables[1].title);
-    println!("extensions: redundancy, tail-users, precision, bootstrap, discover, dedup, open-extract, ablations, stability");
+    println!("extensions: redundancy, tail-users, precision, bootstrap, discover, faults, dedup, open-extract, ablations, stability");
 }
 
 fn reproduce(args: &[String]) {
@@ -120,8 +124,53 @@ fn reproduce(args: &[String]) {
         out.tables.len(),
         t0.elapsed()
     );
+    for failure in &out.failures {
+        eprintln!("DEGRADED: family '{}' failed: {}", failure.family, failure.error);
+    }
     write_outputs(std::path::Path::new(&outdir), &out).expect("write artifacts");
     println!("written to {outdir}/");
+    if !out.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn extensions(args: &[String]) {
+    let scale = parse_scale(args, 0, 1.0);
+    let outdir = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "artifacts/extensions".into());
+    let config = StudyConfig::default().with_scale(scale);
+    let t0 = std::time::Instant::now();
+    let out = run_extensions(&config);
+    println!(
+        "generated {} figures, {} tables in {:.1?}",
+        out.figures.len(),
+        out.tables.len(),
+        t0.elapsed()
+    );
+    for failure in &out.failures {
+        eprintln!("DEGRADED: family '{}' failed: {}", failure.family, failure.error);
+    }
+    write_outputs(std::path::Path::new(&outdir), &out).expect("write artifacts");
+    println!("written to {outdir}/");
+    if !out.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn faults_cmd(args: &[String]) {
+    let domain = parse_domain(args, 0);
+    let scale = parse_scale(args, 1, 0.25);
+    let study = Study::new(StudyConfig::default().with_scale(scale));
+    let (fig, table) = discovery::discovery_under_failure(&study, domain, 2_000);
+    println!("{}", fig.ascii_plot(76, 16));
+    println!("{}", table.to_text());
+    println!(
+        "(every retry and timeout charges the fetch budget; breakers stop\n\
+         spend on dead sites — the dynamic counterpart of Figure 9's\n\
+         site-removal sweep)"
+    );
 }
 
 fn figure(args: &[String]) {

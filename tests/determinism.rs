@@ -9,6 +9,7 @@
 //! scheduling changes.
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
+use webstruct::core::experiments::discovery::discovery_under_failure;
 use webstruct::core::runner::run_all;
 use webstruct::core::study::{DataSource, DomainStudy, StudyConfig};
 use webstruct::corpus::domain::{Attribute, Domain};
@@ -53,6 +54,33 @@ fn run_all_is_identical_across_thread_counts() {
         assert_eq!(
             parallel.tables, baseline.tables,
             "tables diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fault_injected_run_is_identical_across_thread_counts() {
+    // The fault layer's retry loops, backoff clocks and circuit breakers
+    // must not leak scheduling into results: a faulty sweep is as
+    // deterministic as a clean run.
+    use webstruct::core::cache::Study;
+    use webstruct::corpus::domain::Domain;
+    let baseline = with_threads(1, || {
+        let study = Study::new(StudyConfig::quick());
+        discovery_under_failure(&study, Domain::Restaurants, 400)
+    });
+    for threads in [2, 8] {
+        let parallel = with_threads(threads, || {
+            let study = Study::new(StudyConfig::quick());
+            discovery_under_failure(&study, Domain::Restaurants, 400)
+        });
+        assert_eq!(
+            parallel.0, baseline.0,
+            "failure figure diverged at {threads} threads"
+        );
+        assert_eq!(
+            parallel.1, baseline.1,
+            "counter table diverged at {threads} threads"
         );
     }
 }
