@@ -9,6 +9,12 @@
 
 use webstruct_bench::run_pipeline_bench;
 
+/// Count heap traffic for the whole binary: the harness reads deltas
+/// around each instrumented stage, so the per-page allocation numbers in
+/// the report are real measurements, not estimates.
+#[global_allocator]
+static ALLOC: webstruct_bench::alloc::CountingAlloc = webstruct_bench::alloc::CountingAlloc;
+
 fn main() {
     let mut out_path = String::from("artifacts/BENCH_pipeline.json");
     let mut scale = 0.02f64;
@@ -51,9 +57,15 @@ fn main() {
         let speedup = report
             .speedup(&m.stage, m.threads)
             .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x"));
+        let hot = m.hot.as_ref().map_or_else(String::new, |h| {
+            format!(
+                "  {:.0} pages/s  {:.2} MB/s  {:.1} allocs/page  {:.0} B alloc/page",
+                h.pages_per_sec, h.mb_per_sec, h.allocs_per_page, h.bytes_alloc_per_page
+            )
+        });
         eprintln!(
-            "  {:<20} threads={:<3} {:>10.4}s  speedup {}",
-            m.stage, m.threads, m.secs, speedup
+            "  {:<20} threads={:<3} {:>10.4}s  speedup {}{}",
+            m.stage, m.threads, m.secs, speedup, hot
         );
     }
     if let Some(parent) = std::path::Path::new(&out_path).parent() {

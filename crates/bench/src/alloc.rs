@@ -1,0 +1,91 @@
+//! A counting global allocator: wraps [`std::alloc::System`] and keeps
+//! atomic totals of allocation calls and bytes requested. Installed as
+//! the `#[global_allocator]` by the bench binaries and the
+//! allocation-budget regression test; the counters make per-page heap
+//! traffic on the hot path a measurable, regression-testable quantity.
+//!
+//! Counting is process-global and thread-safe (relaxed atomics — exact
+//! totals, no ordering requirements). When the allocator is *not*
+//! installed, [`AllocSnapshot::delta`] reports zeros; callers that need
+//! real numbers must install it in their binary:
+//!
+//! ```text
+//! #[global_allocator]
+//! static ALLOC: webstruct_bench::alloc::CountingAlloc = webstruct_bench::alloc::CountingAlloc;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocation calls and bytes.
+/// Deallocations are not tracked: the hot-path metric of interest is
+/// how much new heap traffic each page costs, not peak usage.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A point-in-time reading of the allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Total allocation calls (alloc + alloc_zeroed + realloc) so far.
+    pub calls: u64,
+    /// Total bytes requested by those calls so far.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Read the current counter totals.
+    #[must_use]
+    pub fn now() -> Self {
+        AllocSnapshot {
+            calls: ALLOC_CALLS.load(Ordering::Relaxed),
+            bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counters accumulated since `earlier` (saturating, in case the
+    /// snapshots are passed out of order).
+    #[must_use]
+    pub fn delta(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            calls: self.calls.saturating_sub(earlier.calls),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Measure the allocation traffic of one closure run: snapshot, run,
+/// snapshot, delta. Only meaningful in binaries that installed
+/// [`CountingAlloc`] as the global allocator.
+pub fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, AllocSnapshot) {
+    let before = AllocSnapshot::now();
+    let out = f();
+    let after = AllocSnapshot::now();
+    (out, after.delta(&before))
+}

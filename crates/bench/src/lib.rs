@@ -22,13 +22,16 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod alloc;
+
+use crate::alloc::count_allocs;
 use std::time::Instant;
 use webstruct_core::cache::Study;
 use webstruct_core::runner::run_all;
 use webstruct_core::study::{DataSource, StudyConfig};
 use webstruct_corpus::domain::{Attribute, Domain};
-use webstruct_corpus::page::PageConfig;
-use webstruct_extract::{train_review_classifier, Extractor};
+use webstruct_corpus::page::{PageConfig, PageStream};
+use webstruct_extract::{train_review_classifier, ExtractedWeb, Extractor};
 use webstruct_util::par;
 
 /// The scale every benchmark runs at: small enough for stable timings,
@@ -41,16 +44,70 @@ pub fn bench_study() -> Study {
     Study::new(StudyConfig::default().with_scale(BENCH_SCALE))
 }
 
+/// Throughput and heap-traffic statistics for a hot-path stage,
+/// gathered from one instrumented (allocation-counted) run plus the
+/// best-of timing of the same deterministic workload.
+#[derive(Debug, Clone, Copy)]
+pub struct HotPathStats {
+    /// Pages processed by the stage.
+    pub pages: u64,
+    /// Bytes of page text that entered extraction.
+    pub bytes: u64,
+    /// Heap allocation calls during the instrumented run (0 unless the
+    /// binary installed [`alloc::CountingAlloc`]).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Pages per best-of wall-clock second.
+    pub pages_per_sec: f64,
+    /// Megabytes of page text per best-of wall-clock second.
+    pub mb_per_sec: f64,
+    /// Allocation calls per page.
+    pub allocs_per_page: f64,
+    /// Allocated bytes per page.
+    pub bytes_alloc_per_page: f64,
+}
+
+impl HotPathStats {
+    /// Assemble the stats from a timed run (`secs`), the extraction
+    /// totals, and the allocation delta of one instrumented run.
+    #[must_use]
+    pub fn from_run(secs: f64, extracted: &ExtractedWeb, delta: alloc::AllocSnapshot) -> Self {
+        let pages = extracted.pages_processed;
+        let bytes = extracted.bytes_rendered;
+        let per_sec = |x: f64| if secs > 0.0 { x / secs } else { 0.0 };
+        let per_page = |x: u64| {
+            if pages > 0 {
+                x as f64 / pages as f64
+            } else {
+                0.0
+            }
+        };
+        HotPathStats {
+            pages,
+            bytes,
+            allocs: delta.calls,
+            alloc_bytes: delta.bytes,
+            pages_per_sec: per_sec(pages as f64),
+            mb_per_sec: per_sec(bytes as f64 / 1e6),
+            allocs_per_page: per_page(delta.calls),
+            bytes_alloc_per_page: per_page(delta.bytes),
+        }
+    }
+}
+
 /// One timed measurement: a named stage at a worker-thread count.
 #[derive(Debug, Clone)]
 pub struct Measurement {
-    /// Stage name (`generate`, `render_extract`, `analyze_oracle`,
-    /// `pipeline_extracted`).
+    /// Stage name (`generate`, `render_extract`, `render_extract_owned`,
+    /// `analyze_oracle`, `pipeline_extracted`).
     pub stage: String,
     /// Worker threads the stage was configured with.
     pub threads: usize,
     /// Best-of-`repeats` wall-clock seconds.
     pub secs: f64,
+    /// Hot-path throughput/allocation stats (render+extract stages only).
+    pub hot: Option<HotPathStats>,
 }
 
 /// A full benchmark report, serialisable to JSON by hand (no serde in
@@ -101,12 +158,26 @@ impl BenchReport {
             let speedup = self
                 .speedup(&m.stage, m.threads)
                 .map_or_else(|| "null".to_string(), |s| format!("{s:.3}"));
+            let hot = m.hot.as_ref().map_or_else(String::new, |h| {
+                format!(
+                    ", \"pages\": {}, \"pages_per_sec\": {:.1}, \"mb_per_sec\": {:.3}, \
+                     \"allocs\": {}, \"allocs_per_page\": {:.2}, \
+                     \"bytes_alloc_per_page\": {:.1}",
+                    h.pages,
+                    h.pages_per_sec,
+                    h.mb_per_sec,
+                    h.allocs,
+                    h.allocs_per_page,
+                    h.bytes_alloc_per_page,
+                )
+            });
             out.push_str(&format!(
-                "    {{\"stage\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \"speedup_vs_1\": {}}}{}\n",
+                "    {{\"stage\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \"speedup_vs_1\": {}{}}}{}\n",
                 m.stage,
                 m.threads,
                 m.secs,
                 speedup,
+                hot,
                 if i + 1 < self.measurements.len() { "," } else { "" }
             ));
         }
@@ -115,7 +186,7 @@ impl BenchReport {
     }
 }
 
-fn best_of<F: FnMut() -> ()>(repeats: usize, mut f: F) -> f64 {
+fn best_of<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..repeats.max(1) {
         let t = Instant::now();
@@ -164,6 +235,7 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
             stage: "generate".into(),
             threads,
             secs,
+            hot: None,
         });
 
         let secs = best_of(repeats, || {
@@ -175,11 +247,55 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
             );
             std::hint::black_box(extracted.total_occurrences(Attribute::Phone));
         });
+        // One extra instrumented run of the identical deterministic
+        // workload measures its heap traffic (zero delta unless the
+        // binary installed the counting allocator).
+        let (extracted, delta) = count_allocs(|| {
+            extractor.extract_web(
+                &study.web,
+                &PageConfig::default(),
+                config.seed.derive("render"),
+                threads,
+            )
+        });
         report.measurements.push(Measurement {
             stage: "render_extract".into(),
             threads,
             secs,
+            hot: Some(HotPathStats::from_run(secs, &extracted, delta)),
         });
+
+        if threads == 1 {
+            // The pre-scratch baseline: owned `Page` values off the
+            // iterator, a fresh extraction per page. Recording it next to
+            // the fused stage keeps the before/after allocation numbers
+            // in one artifact.
+            let run_owned = || {
+                let pages = PageStream::new(
+                    &study.web,
+                    &study.catalog,
+                    PageConfig::default(),
+                    config.seed.derive("render"),
+                );
+                let mut acc = ExtractedWeb::new(study.web.n_sites(), study.catalog.len());
+                for page in pages {
+                    let ex = extractor.extract_page(&page);
+                    acc.bytes_rendered += page.text.len() as u64;
+                    acc.ingest(page.site, &ex);
+                }
+                acc
+            };
+            let secs = best_of(repeats, || {
+                std::hint::black_box(run_owned().pages_processed);
+            });
+            let (extracted, delta) = count_allocs(run_owned);
+            report.measurements.push(Measurement {
+                stage: "render_extract_owned".into(),
+                threads: 1,
+                secs,
+                hot: Some(HotPathStats::from_run(secs, &extracted, delta)),
+            });
+        }
 
         std::env::set_var(par::THREADS_ENV, threads.to_string());
         let secs = best_of(repeats, || {
@@ -190,6 +306,7 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
             stage: "analyze_oracle".into(),
             threads,
             secs,
+            hot: None,
         });
 
         let secs = best_of(repeats, || {
@@ -201,6 +318,7 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
             stage: "pipeline_extracted".into(),
             threads,
             secs,
+            hot: None,
         });
         std::env::remove_var(par::THREADS_ENV);
     }
@@ -383,17 +501,32 @@ mod tests {
                     stage: "render_extract".into(),
                     threads: 1,
                     secs: 2.0,
+                    hot: Some(HotPathStats {
+                        pages: 1000,
+                        bytes: 4_000_000,
+                        allocs: 500,
+                        alloc_bytes: 64_000,
+                        pages_per_sec: 500.0,
+                        mb_per_sec: 2.0,
+                        allocs_per_page: 0.5,
+                        bytes_alloc_per_page: 64.0,
+                    }),
                 },
                 Measurement {
                     stage: "render_extract".into(),
                     threads: 4,
                     secs: 0.5,
+                    hot: None,
                 },
             ],
         };
         let json = report.to_json();
         assert!(json.contains("\"hardware_threads\": 4"));
         assert!(json.contains("\"speedup_vs_1\": 4.000"));
+        assert!(json.contains("\"pages_per_sec\": 500.0"));
+        assert!(json.contains("\"mb_per_sec\": 2.000"));
+        assert!(json.contains("\"allocs_per_page\": 0.50"));
+        assert!(json.contains("\"bytes_alloc_per_page\": 64.0"));
         assert_eq!(report.speedup("render_extract", 4), Some(4.0));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -101,35 +101,93 @@ impl Isbn {
     /// Render as a plain 10-character ISBN-10.
     #[must_use]
     pub fn to_isbn10(self) -> String {
-        format!("{:09}{}", self.0, isbn10_check_char(self.0))
+        let mut out = String::with_capacity(10);
+        self.isbn10_into(&mut out);
+        out
+    }
+
+    /// Append the plain ISBN-10 rendering to `out` without allocating.
+    pub fn isbn10_into(self, out: &mut String) {
+        use std::fmt::Write;
+        write!(out, "{:09}{}", self.0, isbn10_check_char(self.0))
+            .expect("writing to a String cannot fail");
     }
 
     /// Render as a hyphenated ISBN-10 (`0-306-40615-2`-style grouping; we
     /// use a fixed 1-3-5 grouping, which extractors must not depend on).
     #[must_use]
     pub fn to_isbn10_hyphenated(self) -> String {
-        let s = self.to_isbn10();
-        format!("{}-{}-{}-{}", &s[0..1], &s[1..4], &s[4..9], &s[9..10])
+        let mut out = String::with_capacity(13);
+        self.isbn10_hyphenated_into(&mut out);
+        out
+    }
+
+    /// Append the hyphenated ISBN-10 rendering to `out` without allocating.
+    pub fn isbn10_hyphenated_into(self, out: &mut String) {
+        let mut digits = [0u8; 10];
+        self.isbn10_ascii(&mut digits);
+        let s = std::str::from_utf8(&digits).expect("ASCII by construction");
+        out.push_str(&s[0..1]);
+        out.push('-');
+        out.push_str(&s[1..4]);
+        out.push('-');
+        out.push_str(&s[4..9]);
+        out.push('-');
+        out.push_str(&s[9..10]);
     }
 
     /// Render as a plain 13-digit ISBN-13 (978 prefix).
     #[must_use]
     pub fn to_isbn13(self) -> String {
-        format!("978{:09}{}", self.0, isbn13_check_digit(self.0))
+        let mut out = String::with_capacity(13);
+        self.isbn13_into(&mut out);
+        out
+    }
+
+    /// Append the plain ISBN-13 rendering to `out` without allocating.
+    pub fn isbn13_into(self, out: &mut String) {
+        use std::fmt::Write;
+        write!(out, "978{:09}{}", self.0, isbn13_check_digit(self.0))
+            .expect("writing to a String cannot fail");
     }
 
     /// Render as a hyphenated ISBN-13.
     #[must_use]
     pub fn to_isbn13_hyphenated(self) -> String {
-        let s = self.to_isbn13();
-        format!(
-            "{}-{}-{}-{}-{}",
-            &s[0..3],
-            &s[3..4],
-            &s[4..7],
-            &s[7..12],
-            &s[12..13]
-        )
+        let mut out = String::with_capacity(17);
+        self.isbn13_hyphenated_into(&mut out);
+        out
+    }
+
+    /// Append the hyphenated ISBN-13 rendering to `out` without allocating.
+    pub fn isbn13_hyphenated_into(self, out: &mut String) {
+        let mut digits = [0u8; 13];
+        digits[0] = b'9';
+        digits[1] = b'7';
+        digits[2] = b'8';
+        for (slot, d) in digits[3..12].iter_mut().zip(core_digits(self.0)) {
+            *slot = b'0' + d;
+        }
+        digits[12] = b'0' + isbn13_check_digit(self.0);
+        let s = std::str::from_utf8(&digits).expect("ASCII by construction");
+        out.push_str(&s[0..3]);
+        out.push('-');
+        out.push_str(&s[3..4]);
+        out.push('-');
+        out.push_str(&s[4..7]);
+        out.push('-');
+        out.push_str(&s[7..12]);
+        out.push('-');
+        out.push_str(&s[12..13]);
+    }
+
+    /// The ten ASCII characters of the plain ISBN-10 form, into a stack
+    /// buffer (digits plus a possible trailing `X`).
+    fn isbn10_ascii(self, out: &mut [u8; 10]) {
+        for (slot, d) in out[..9].iter_mut().zip(core_digits(self.0)) {
+            *slot = b'0' + d;
+        }
+        out[9] = isbn10_check_char(self.0) as u8;
     }
 
     /// Parse any of the four renderings back to the core, verifying the
@@ -140,10 +198,21 @@ impl Isbn {
     /// spaces) is not 10 or 13, the 13-digit prefix is not 978, or the
     /// check digit fails.
     pub fn parse(text: &str) -> Result<Self, IsbnError> {
-        let cleaned: Vec<char> = text
-            .chars()
-            .filter(|c| !matches!(c, '-' | ' '))
-            .collect();
+        // Collect up to 13 significant characters into a stack buffer —
+        // parsing runs per candidate token on the extraction hot path, so
+        // it must not allocate.
+        let mut buf = ['\0'; 13];
+        let mut len = 0usize;
+        for c in text.chars().filter(|c| !matches!(c, '-' | ' ')) {
+            if len < buf.len() {
+                buf[len] = c;
+            }
+            len += 1;
+        }
+        if len > buf.len() {
+            return Err(IsbnError::WrongLength(len));
+        }
+        let cleaned = &buf[..len];
         match cleaned.len() {
             10 => {
                 let mut sum = 0u32;
@@ -194,11 +263,19 @@ impl Isbn {
     /// that dominates modern book pages.
     #[must_use]
     pub fn render_random(self, rng: &mut Xoshiro256) -> String {
+        let mut out = String::with_capacity(17);
+        self.render_random_into(rng, &mut out);
+        out
+    }
+
+    /// Append a random rendering to `out` without allocating. Draws from
+    /// the RNG exactly as [`Isbn::render_random`] does.
+    pub fn render_random_into(self, rng: &mut Xoshiro256, out: &mut String) {
         match rng.u64_below(5) {
-            0 => self.to_isbn10(),
-            1 => self.to_isbn10_hyphenated(),
-            2 => self.to_isbn13(),
-            _ => self.to_isbn13_hyphenated(),
+            0 => self.isbn10_into(out),
+            1 => self.isbn10_hyphenated_into(out),
+            2 => self.isbn13_into(out),
+            _ => self.isbn13_hyphenated_into(out),
         }
     }
 }

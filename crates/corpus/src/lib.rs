@@ -50,7 +50,7 @@ pub mod web;
 pub use domain::{AttrMask, Attribute, Domain};
 pub use entity::{CatalogConfig, Entity, EntityCatalog};
 pub use isbn::Isbn;
-pub use page::{Page, PageConfig, PageKind, PageStream};
+pub use page::{Page, PageConfig, PageKind, PageScratch, PageStream};
 pub use phone::{PhoneFormat, PhoneNumber};
 pub use site::{Site, SiteKind};
 pub use web::{Mention, Web, WebConfig};

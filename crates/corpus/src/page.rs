@@ -39,6 +39,112 @@ pub struct Page {
     pub text: String,
 }
 
+/// How a page's URL is derived from its identity — enough to render the
+/// URL string on demand, so extraction-only streams (which never read the
+/// URL) skip building it entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UrlTail {
+    /// `http://{host}/list/{page_id}`.
+    Listing,
+    /// `http://{host}/reviews/{entity}/{page_no}`.
+    Review {
+        /// Raw entity id in the URL path.
+        entity: u32,
+        /// Review page ordinal in the URL path.
+        page_no: u32,
+    },
+}
+
+/// Reusable per-worker rendering target: [`PageStream::render_into`]
+/// writes each page's text into the same buffers, so steady-state
+/// rendering performs no heap allocation. The URL is *not* materialised —
+/// [`PageScratch::url`] renders it on demand for the few consumers
+/// (crawl, index, tests) that need one.
+#[derive(Debug, Clone)]
+pub struct PageScratch {
+    id: PageId,
+    site: SiteId,
+    kind: PageKind,
+    /// Host of the owning site, copied into a reused buffer.
+    host: String,
+    url_tail: UrlTail,
+    /// Rendered text (HTML-lite), in a reused buffer.
+    text: String,
+}
+
+impl Default for PageScratch {
+    fn default() -> Self {
+        PageScratch {
+            id: PageId::new(0),
+            site: SiteId::new(0),
+            kind: PageKind::Listing,
+            host: String::new(),
+            url_tail: UrlTail::Listing,
+            text: String::new(),
+        }
+    }
+}
+
+impl PageScratch {
+    /// Global page id of the most recently rendered page.
+    #[must_use]
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// Site hosting the most recently rendered page.
+    #[must_use]
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Class of the most recently rendered page.
+    #[must_use]
+    pub fn kind(&self) -> PageKind {
+        self.kind
+    }
+
+    /// Rendered text of the most recently rendered page.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Render the page URL on demand (allocates — off the hot path).
+    #[must_use]
+    pub fn url(&self) -> String {
+        let mut out = String::with_capacity(self.host.len() + 24);
+        self.url_into(&mut out);
+        out
+    }
+
+    /// Append the page URL to `out` without allocating.
+    pub fn url_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self.url_tail {
+            UrlTail::Listing => write!(out, "http://{}/list/{}", self.host, self.id.raw()),
+            UrlTail::Review { entity, page_no } => {
+                write!(out, "http://{}/reviews/{entity}/{page_no}", self.host)
+            }
+        }
+        .expect("write to String");
+    }
+
+    /// Convert into an owned [`Page`] (materialises the URL). This is the
+    /// compatibility bridge for consumers that keep pages around.
+    #[must_use]
+    pub fn into_page(self) -> Page {
+        let url = self.url();
+        Page {
+            id: self.id,
+            site: self.site,
+            url,
+            kind: self.kind,
+            text: self.text,
+        }
+    }
+}
+
 /// Rendering parameters.
 #[derive(Debug, Clone)]
 pub struct PageConfig {
@@ -214,91 +320,113 @@ impl<'a> PageStream<'a> {
         }
     }
 
-    fn render(&self, site_idx: usize, plan: PagePlan, page_id: PageId) -> Page {
+    /// Render the next page of the stream into `out`'s reused buffers.
+    /// Returns `false` when the stream is exhausted. Steady-state calls
+    /// perform no heap allocation (buffers only grow toward the largest
+    /// page seen), and the bytes written are identical to the
+    /// corresponding [`Page`] of the iterator path.
+    pub fn render_into(&mut self, out: &mut PageScratch) -> bool {
+        loop {
+            if let Some(plan) = self.plans.pop_front() {
+                // The plan belongs to the site we most recently planned.
+                let site_idx = self.site_cursor - 1;
+                self.render_plan_into(site_idx, plan, PageId::new(self.next_page), out);
+                self.next_page += 1;
+                return true;
+            }
+            if self.site_cursor >= self.site_end {
+                return false;
+            }
+            let idx = self.site_cursor;
+            self.site_cursor += 1;
+            self.plan_site(idx);
+        }
+    }
+
+    fn render_plan_into(
+        &self,
+        site_idx: usize,
+        plan: PagePlan,
+        page_id: PageId,
+        scratch: &mut PageScratch,
+    ) {
+        use std::fmt::Write;
         let site = &self.web.sites[site_idx];
         let mentions = self.web.mentions_of(site.id);
         let mut rng = Xoshiro256::from_seed(self.seed.derive_u64(u64::from(page_id.raw())));
-        let mut out = String::with_capacity(1024);
+        scratch.id = page_id;
+        scratch.site = site.id;
+        scratch.host.clear();
+        scratch.host.push_str(&site.host);
+        let out = &mut scratch.text;
+        out.clear();
         match plan {
             PagePlan::Listing { start, end } => {
-                out.push_str(&format!(
-                    "<html><title>{} — local listings</title>\n",
-                    site.host
-                ));
+                writeln!(out, "<html><title>{} — local listings</title>", site.host)
+                    .expect("write to String");
                 // Site-wide navigation chrome: identical on every page of
                 // the site, which is exactly what wrapper induction learns
                 // to discard.
-                out.push_str(&format!(
-                    "Home | Categories | Contact — {}\n",
-                    site.host
-                ));
+                writeln!(out, "Home | Categories | Contact — {}", site.host)
+                    .expect("write to String");
                 let nb = rng.range_u64(
                     self.config.boilerplate_min as u64,
                     self.config.boilerplate_max as u64 + 1,
                 ) as usize;
-                out.push_str(&text::boilerplate_block(&mut rng, nb));
+                text::boilerplate_block_into(&mut rng, nb, out);
                 out.push('\n');
                 for m in &mentions[start as usize..end as usize] {
                     let entity = self.catalog.entity(m.entity);
-                    out.push_str(&format!("<h2>{}</h2>\n", entity.name));
+                    writeln!(out, "<h2>{}</h2>", entity.name).expect("write to String");
                     if m.attrs.contains(Attribute::Phone) {
                         let phone = entity.phone.expect("phone attr implies phone");
-                        out.push_str(&format!(
-                            "Call {}.\n",
-                            phone.format(PhoneFormat::random(&mut rng))
-                        ));
+                        out.push_str("Call ");
+                        phone.format_into(PhoneFormat::random(&mut rng), out);
+                        out.push_str(".\n");
                     }
                     if m.attrs.contains(Attribute::Isbn) {
                         let isbn = entity.isbn.expect("isbn attr implies isbn");
                         let sep = if rng.bool_with(0.5) { ": " } else { " " };
-                        out.push_str(&format!("ISBN{sep}{}\n", isbn.render_random(&mut rng)));
+                        out.push_str("ISBN");
+                        out.push_str(sep);
+                        isbn.render_random_into(&mut rng, out);
+                        out.push('\n');
                     }
                     if m.attrs.contains(Attribute::Homepage) {
                         let host = entity.homepage.as_ref().expect("homepage attr implies url");
-                        out.push_str(&format!(
-                            "<a href=\"http://{host}/\">{} website</a>\n",
-                            entity.name
-                        ));
+                        writeln!(out, "<a href=\"http://{host}/\">{} website</a>", entity.name)
+                            .expect("write to String");
                     }
                     if rng.bool_with(0.2) {
-                        out.push_str(&text::boilerplate_sentence(&mut rng));
+                        out.push_str(text::boilerplate_pick(&mut rng));
                         out.push('\n');
                     }
                 }
                 let n_valid_noise = rng.poisson(self.config.noise_valid_phone_rate);
                 for _ in 0..n_valid_noise {
-                    out.push_str(&format!(
-                        "Customer service line {}.\n",
-                        crate::phone::PhoneNumber::random(&mut rng)
-                            .format(crate::phone::PhoneFormat::random(&mut rng))
-                    ));
+                    out.push_str("Customer service line ");
+                    let phone = crate::phone::PhoneNumber::random(&mut rng);
+                    phone.format_into(crate::phone::PhoneFormat::random(&mut rng), out);
+                    out.push_str(".\n");
                 }
                 if rng.bool_with(self.config.noise_phone_rate) {
-                    out.push_str(&format!(
-                        "Reference code {}.\n",
-                        text::invalid_phone_lookalike(&mut rng)
-                    ));
+                    out.push_str("Reference code ");
+                    text::invalid_phone_lookalike_into(&mut rng, out);
+                    out.push_str(".\n");
                 }
                 if rng.bool_with(self.config.noise_tracking_rate) {
-                    out.push_str(&text::tracking_number(&mut rng));
+                    text::tracking_number_into(&mut rng, out);
                     out.push('\n');
                 }
                 if rng.bool_with(self.config.noise_anchor_rate) {
-                    out.push_str(&text::noise_anchor(&mut rng));
+                    text::noise_anchor_into(&mut rng, out);
                     out.push('\n');
                 }
-                out.push_str(&format!(
-                    "(c) {} — all listings are user submitted\n",
-                    site.host
-                ));
+                writeln!(out, "(c) {} — all listings are user submitted", site.host)
+                    .expect("write to String");
                 out.push_str("</html>");
-                Page {
-                    id: page_id,
-                    site: site.id,
-                    url: format!("http://{}/list/{}", site.host, page_id.raw()),
-                    kind: PageKind::Listing,
-                    text: out,
-                }
+                scratch.kind = PageKind::Listing;
+                scratch.url_tail = UrlTail::Listing;
             }
             PagePlan::Review { mention, page_no } => {
                 let m = &mentions[mention as usize];
@@ -306,33 +434,27 @@ impl<'a> PageStream<'a> {
                 let rpp = self.web.reviews_per_page() as u32;
                 let remaining = u32::from(m.reviews) - page_no * rpp;
                 let on_page = remaining.min(rpp);
-                out.push_str(&format!(
-                    "<html><title>Reviews of {} — {}</title>\n",
+                writeln!(
+                    out,
+                    "<html><title>Reviews of {} — {}</title>",
                     entity.name, site.host
-                ));
+                )
+                .expect("write to String");
                 if let Some(phone) = entity.phone {
-                    out.push_str(&format!(
-                        "Contact: {}\n",
-                        phone.format(PhoneFormat::random(&mut rng))
-                    ));
+                    out.push_str("Contact: ");
+                    phone.format_into(PhoneFormat::random(&mut rng), out);
+                    out.push('\n');
                 }
                 for _ in 0..on_page {
-                    out.push_str(&text::review_paragraph(&mut rng, &entity.name));
+                    text::review_paragraph_into(&mut rng, &entity.name, out);
                     out.push('\n');
                 }
                 out.push_str("</html>");
-                Page {
-                    id: page_id,
-                    site: site.id,
-                    url: format!(
-                        "http://{}/reviews/{}/{}",
-                        site.host,
-                        m.entity.raw(),
-                        page_no
-                    ),
-                    kind: PageKind::Review,
-                    text: out,
-                }
+                scratch.kind = PageKind::Review;
+                scratch.url_tail = UrlTail::Review {
+                    entity: m.entity.raw(),
+                    page_no,
+                };
             }
         }
     }
@@ -341,21 +463,15 @@ impl<'a> PageStream<'a> {
 impl Iterator for PageStream<'_> {
     type Item = Page;
 
+    /// Owned-`Page` compatibility path: renders through a fresh
+    /// [`PageScratch`] and materialises the URL. Hot loops should use
+    /// [`PageStream::render_into`] instead.
     fn next(&mut self) -> Option<Page> {
-        loop {
-            if let Some(plan) = self.plans.pop_front() {
-                // The plan belongs to the site we most recently planned.
-                let site_idx = self.site_cursor - 1;
-                let page = self.render(site_idx, plan, PageId::new(self.next_page));
-                self.next_page += 1;
-                return Some(page);
-            }
-            if self.site_cursor >= self.site_end {
-                return None;
-            }
-            let idx = self.site_cursor;
-            self.site_cursor += 1;
-            self.plan_site(idx);
+        let mut scratch = PageScratch::default();
+        if self.render_into(&mut scratch) {
+            Some(scratch.into_page())
+        } else {
+            None
         }
     }
 }
@@ -522,6 +638,29 @@ mod tests {
             assert_eq!(a.url, b.url);
             assert_eq!(a.text, b.text, "page {} diverged", a.id.raw());
         }
+    }
+
+    #[test]
+    fn render_into_matches_owned_iterator_bytes() {
+        let (catalog, web) = tiny_setup(Domain::Books);
+        let cfg = PageConfig::default();
+        let owned: Vec<Page> = PageStream::new(&web, &catalog, cfg.clone(), Seed(3)).collect();
+        let mut stream = PageStream::new(&web, &catalog, cfg, Seed(3));
+        let mut scratch = PageScratch::default();
+        let mut n = 0usize;
+        while stream.render_into(&mut scratch) {
+            let p = &owned[n];
+            assert_eq!(scratch.id(), p.id);
+            assert_eq!(scratch.site(), p.site);
+            assert_eq!(scratch.kind(), p.kind);
+            assert_eq!(scratch.text(), p.text, "page {n} text diverged");
+            assert_eq!(scratch.url(), p.url, "page {n} url diverged");
+            let mut url = String::new();
+            scratch.url_into(&mut url);
+            assert_eq!(url, p.url);
+            n += 1;
+        }
+        assert_eq!(n, owned.len());
     }
 
     #[test]

@@ -104,15 +104,27 @@ impl PhoneNumber {
     /// Render in the given textual format.
     #[must_use]
     pub fn format(self, fmt: PhoneFormat) -> String {
+        let mut out = String::with_capacity(16);
+        self.format_into(fmt, &mut out);
+        out
+    }
+
+    /// Append the textual rendering to `out` without allocating.
+    ///
+    /// This is the hot-path variant used by page rendering: the bytes
+    /// appended are exactly those [`PhoneNumber::format`] would return.
+    pub fn format_into(self, fmt: PhoneFormat, out: &mut String) {
+        use std::fmt::Write;
         let (a, e, l) = (self.area(), self.exchange(), self.line());
         match fmt {
-            PhoneFormat::Paren => format!("({a:03}) {e:03}-{l:04}"),
-            PhoneFormat::Dashes => format!("{a:03}-{e:03}-{l:04}"),
-            PhoneFormat::Dots => format!("{a:03}.{e:03}.{l:04}"),
-            PhoneFormat::Plain => format!("{a:03}{e:03}{l:04}"),
-            PhoneFormat::CountryCode => format!("+1 {a:03} {e:03} {l:04}"),
-            PhoneFormat::OneDash => format!("1-{a:03}-{e:03}-{l:04}"),
+            PhoneFormat::Paren => write!(out, "({a:03}) {e:03}-{l:04}"),
+            PhoneFormat::Dashes => write!(out, "{a:03}-{e:03}-{l:04}"),
+            PhoneFormat::Dots => write!(out, "{a:03}.{e:03}.{l:04}"),
+            PhoneFormat::Plain => write!(out, "{a:03}{e:03}{l:04}"),
+            PhoneFormat::CountryCode => write!(out, "+1 {a:03} {e:03} {l:04}"),
+            PhoneFormat::OneDash => write!(out, "1-{a:03}-{e:03}-{l:04}"),
         }
+        .expect("writing to a String cannot fail");
     }
 
     /// Generate a random valid phone number. Line numbers are drawn from

@@ -72,44 +72,63 @@ pub const BOILERPLATE: &[&str] = &[
 /// online review corpora.
 #[must_use]
 pub fn review_paragraph(rng: &mut Xoshiro256, entity_name: &str) -> String {
+    let mut out = String::new();
+    review_paragraph_into(rng, entity_name, &mut out);
+    out
+}
+
+/// Append one review paragraph to `out` without allocating. RNG draw
+/// order is identical to [`review_paragraph`], so the bytes match too.
+pub fn review_paragraph_into(rng: &mut Xoshiro256, entity_name: &str, out: &mut String) {
+    use std::fmt::Write;
     let opener = REVIEW_OPENERS[rng.usize_below(REVIEW_OPENERS.len())];
     let positive = rng.bool_with(0.7);
     let bank = if positive { SENTIMENT_POS } else { SENTIMENT_NEG };
-    let mut out = format!("{opener} {entity_name} last month.");
+    write!(out, "{opener} {entity_name} last month.").expect("write to String");
     let n_sentences = 1 + rng.usize_below(3);
     for _ in 0..n_sentences {
         let adj = bank[rng.usize_below(bank.len())];
         let aspect = REVIEW_ASPECTS[rng.usize_below(REVIEW_ASPECTS.len())];
-        out.push_str(&format!(" The {aspect} was {adj}."));
+        write!(out, " The {aspect} was {adj}.").expect("write to String");
     }
     let rating = if positive {
         4 + rng.usize_below(2)
     } else {
         1 + rng.usize_below(2)
     };
-    out.push_str(&format!(" Rated {rating} out of 5 stars."));
+    write!(out, " Rated {rating} out of 5 stars.").expect("write to String");
     out.push(' ');
     out.push_str(REVIEW_CLOSERS[rng.usize_below(REVIEW_CLOSERS.len())]);
-    out
 }
 
 /// Generate one boilerplate sentence.
 #[must_use]
 pub fn boilerplate_sentence(rng: &mut Xoshiro256) -> String {
-    BOILERPLATE[rng.usize_below(BOILERPLATE.len())].to_string()
+    boilerplate_pick(rng).to_string()
+}
+
+/// Draw one boilerplate sentence without allocating.
+#[must_use]
+pub fn boilerplate_pick(rng: &mut Xoshiro256) -> &'static str {
+    BOILERPLATE[rng.usize_below(BOILERPLATE.len())]
 }
 
 /// Generate a block of `n` boilerplate sentences.
 #[must_use]
 pub fn boilerplate_block(rng: &mut Xoshiro256, n: usize) -> String {
     let mut out = String::new();
+    boilerplate_block_into(rng, n, &mut out);
+    out
+}
+
+/// Append a block of `n` boilerplate sentences to `out` without allocating.
+pub fn boilerplate_block_into(rng: &mut Xoshiro256, n: usize, out: &mut String) {
     for i in 0..n {
         if i > 0 {
             out.push(' ');
         }
-        out.push_str(&boilerplate_sentence(rng));
+        out.push_str(boilerplate_pick(rng));
     }
-    out
 }
 
 /// A 10-digit number formatted like a phone but guaranteed **not** to be a
@@ -117,29 +136,55 @@ pub fn boilerplate_block(rng: &mut Xoshiro256, n: usize) -> String {
 /// precision: these must be rejected.
 #[must_use]
 pub fn invalid_phone_lookalike(rng: &mut Xoshiro256) -> String {
+    let mut out = String::with_capacity(12);
+    invalid_phone_lookalike_into(rng, &mut out);
+    out
+}
+
+/// Append an invalid phone lookalike to `out` without allocating.
+pub fn invalid_phone_lookalike_into(rng: &mut Xoshiro256, out: &mut String) {
+    use std::fmt::Write;
     let area = rng.u64_below(200); // 000..199: invalid NANP area codes
     let exchange = rng.range_u64(200, 1000);
     let line = rng.u64_below(10_000);
-    format!("{area:03}-{exchange:03}-{line:04}")
+    write!(out, "{area:03}-{exchange:03}-{line:04}").expect("write to String");
 }
 
 /// A random order/tracking-style long digit string, the classic source of
 /// accidental phone-shaped false matches discussed in §3.5 of the paper.
 #[must_use]
 pub fn tracking_number(rng: &mut Xoshiro256) -> String {
-    let mut out = String::from("Order #");
+    let mut out = String::with_capacity(19);
+    tracking_number_into(rng, &mut out);
+    out
+}
+
+/// Append a tracking number to `out` without allocating.
+pub fn tracking_number_into(rng: &mut Xoshiro256, out: &mut String) {
+    out.push_str("Order #");
     for _ in 0..12 {
         out.push(char::from_digit(rng.u64_below(10) as u32, 10).expect("digit"));
     }
-    out
 }
 
 /// An anchor tag linking somewhere unrelated (never an entity homepage —
 /// the `.example-partner.com` suffix is reserved for noise).
 #[must_use]
 pub fn noise_anchor(rng: &mut Xoshiro256) -> String {
+    let mut out = String::new();
+    noise_anchor_into(rng, &mut out);
+    out
+}
+
+/// Append a noise anchor to `out` without allocating.
+pub fn noise_anchor_into(rng: &mut Xoshiro256, out: &mut String) {
+    use std::fmt::Write;
     let n = rng.u64_below(100_000);
-    format!("<a href=\"http://partner-{n}.example-partner.com/offers\">See offers</a>")
+    write!(
+        out,
+        "<a href=\"http://partner-{n}.example-partner.com/offers\">See offers</a>"
+    )
+    .expect("write to String");
 }
 
 #[cfg(test)]

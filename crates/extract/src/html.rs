@@ -23,8 +23,22 @@ pub struct Anchor {
 /// attribute matching is case-insensitive.
 #[must_use]
 pub fn anchor_hrefs(html: &str) -> Vec<Anchor> {
-    let bytes = html.as_bytes();
     let mut out = Vec::new();
+    for_each_anchor_href(html, |href, offset| {
+        out.push(Anchor {
+            href: href.to_string(),
+            offset,
+        });
+    });
+    out
+}
+
+/// Visit the `href` value of every `<a ...>` tag as a borrowed slice of
+/// `html`, with the tag's byte offset. The allocation-free core of
+/// [`anchor_hrefs`]: the hot extraction path resolves each href against
+/// the catalog without ever owning the string.
+pub fn for_each_anchor_href(html: &str, mut f: impl FnMut(&str, usize)) {
+    let bytes = html.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         if bytes[i] != b'<' {
@@ -50,48 +64,50 @@ pub fn anchor_hrefs(html: &str) -> Vec<Anchor> {
             _ => {}
         }
         if let Some(href) = find_attr(tag, "href") {
-            out.push(Anchor {
-                href,
-                offset: tag_start,
-            });
+            f(href, tag_start);
         }
     }
-    out
 }
 
-/// Find the value of `attr` within a tag body (case-insensitive name).
-fn find_attr(tag: &str, attr: &str) -> Option<String> {
-    let lower = tag.to_ascii_lowercase();
-    let mut search_from = 0;
-    while let Some(rel) = lower[search_from..].find(attr) {
-        let pos = search_from + rel;
+/// Find the value of `attr` within a tag body (case-insensitive name),
+/// returned as a borrowed slice of the tag. No allocation: the name is
+/// matched with `eq_ignore_ascii_case` instead of lowercasing the tag.
+fn find_attr<'t>(tag: &'t str, attr: &str) -> Option<&'t str> {
+    let bytes = tag.as_bytes();
+    let name = attr.as_bytes();
+    let mut pos = 0;
+    while pos + name.len() <= bytes.len() {
+        if !bytes[pos..pos + name.len()].eq_ignore_ascii_case(name) {
+            pos += 1;
+            continue;
+        }
         // Must be preceded by whitespace and followed (possibly after
         // spaces) by '='.
-        let before_ok = pos > 0
-            && lower[..pos]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_ascii_whitespace());
-        let after = lower[pos + attr.len()..].trim_start();
+        let before_ok = pos > 0 && bytes[pos - 1].is_ascii_whitespace();
+        let after = tag[pos + name.len()..].trim_start();
         if before_ok && after.starts_with('=') {
-            let value_region = &tag[tag.len() - after.len()..]; // same offsets as lower
-            let value = value_region[1..].trim_start();
+            let value = after[1..].trim_start();
             return Some(parse_attr_value(value));
         }
-        search_from = pos + attr.len();
+        pos += name.len();
     }
     None
 }
 
-fn parse_attr_value(value: &str) -> String {
+fn parse_attr_value(value: &str) -> &str {
     let mut chars = value.chars();
     match chars.next() {
-        Some(q @ ('"' | '\'')) => chars.take_while(|&c| c != q).collect(),
-        Some(_) => value
-            .chars()
-            .take_while(|c| !c.is_ascii_whitespace())
-            .collect(),
-        None => String::new(),
+        Some(q @ ('"' | '\'')) => {
+            let body = &value[1..];
+            &body[..body.find(q).unwrap_or(body.len())]
+        }
+        Some(_) => {
+            let end = value
+                .find(|c: char| c.is_ascii_whitespace())
+                .unwrap_or(value.len());
+            &value[..end]
+        }
+        None => "",
     }
 }
 
@@ -100,6 +116,16 @@ fn parse_attr_value(value: &str) -> String {
 #[must_use]
 pub fn strip_tags(html: &str) -> String {
     let mut out = String::with_capacity(html.len());
+    strip_tags_into(html, &mut out);
+    out
+}
+
+/// Strip tags into a reused buffer (cleared first). The hot-path variant
+/// of [`strip_tags`]: steady-state calls allocate nothing once the buffer
+/// has grown to the largest page seen.
+pub fn strip_tags_into(html: &str, out: &mut String) {
+    out.clear();
+    out.reserve(html.len());
     let mut in_tag = false;
     for c in html.chars() {
         match c {
@@ -112,7 +138,6 @@ pub fn strip_tags(html: &str) -> String {
             _ => {}
         }
     }
-    out
 }
 
 /// Parse the host out of an absolute URL (`http://` / `https://`),
@@ -120,25 +145,42 @@ pub fn strip_tags(html: &str) -> String {
 /// schemes or malformed input.
 #[must_use]
 pub fn url_host(url: &str) -> Option<String> {
-    let rest = url
+    let mut out = String::new();
+    url_host_into(url, &mut out).then_some(out)
+}
+
+/// Write the normalised host of `url` into a reused buffer (cleared
+/// first), returning `false` for non-http(s) schemes or malformed input.
+/// The allocation-free core of [`url_host`].
+pub fn url_host_into(url: &str, out: &mut String) -> bool {
+    out.clear();
+    let Some(rest) = url
         .strip_prefix("http://")
         .or_else(|| url.strip_prefix("https://"))
         .or_else(|| url.strip_prefix("HTTP://"))
-        .or_else(|| url.strip_prefix("HTTPS://"))?;
+        .or_else(|| url.strip_prefix("HTTPS://"))
+    else {
+        return false;
+    };
     let host_end = rest
         .find(['/', '?', '#', ':'])
         .unwrap_or(rest.len());
     let host = &rest[..host_end];
     if host.is_empty() || !host.contains('.') {
-        return None;
+        return false;
     }
-    let host = host.to_ascii_lowercase();
-    let host = host.strip_prefix("www.").unwrap_or(&host).to_string();
-    if host.is_empty() {
-        None
+    // Lowercase while copying; strip a `www.` prefix (case-insensitively,
+    // matching `to_ascii_lowercase` + `strip_prefix` semantics).
+    let host = if host.len() >= 4 && host.as_bytes()[..4].eq_ignore_ascii_case(b"www.") {
+        &host[4..]
     } else {
-        Some(host)
+        host
+    };
+    if host.is_empty() {
+        return false;
     }
+    out.extend(host.chars().map(|c| c.to_ascii_lowercase()));
+    true
 }
 
 /// The longest prefix of `text` that fits in `keep_bytes` without

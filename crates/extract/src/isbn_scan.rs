@@ -22,9 +22,24 @@ pub struct IsbnMatch {
 /// Scan `text` for ISBNs with a nearby `ISBN` marker (case-insensitive).
 #[must_use]
 pub fn scan_isbns(text: &str) -> Vec<IsbnMatch> {
-    let bytes = text.as_bytes();
-    let lower = text.to_ascii_lowercase();
+    let mut lower = String::new();
     let mut out = Vec::new();
+    for_each_isbn(text, &mut lower, |m| out.push(m));
+    out
+}
+
+/// Visit every marked ISBN in `text` in document order. `lower_buf` is a
+/// caller-owned scratch buffer for the lowercased text (cleared and
+/// refilled here) — reusing it across pages is what makes the hot
+/// extraction path allocation-free; [`scan_isbns`] wraps this with a
+/// fresh buffer and a `Vec`.
+pub fn for_each_isbn(text: &str, lower_buf: &mut String, mut f: impl FnMut(IsbnMatch)) {
+    let bytes = text.as_bytes();
+    lower_buf.clear();
+    lower_buf.reserve(text.len());
+    // ASCII-only lowercasing (same as `str::to_ascii_lowercase`) keeps
+    // byte offsets aligned with `text`.
+    lower_buf.extend(text.chars().map(|c| c.to_ascii_lowercase()));
     let mut i = 0;
     while i < bytes.len() {
         if !bytes[i].is_ascii_digit() || (i > 0 && is_token_byte(bytes[i - 1])) {
@@ -44,13 +59,12 @@ pub fn scan_isbns(text: &str) -> Vec<IsbnMatch> {
         }
         let token = &text[start..end];
         if let Ok(isbn) = Isbn::parse(token) {
-            if has_marker_nearby(&lower, start, end) {
-                out.push(IsbnMatch { isbn, start, end });
+            if has_marker_nearby(lower_buf, start, end) {
+                f(IsbnMatch { isbn, start, end });
             }
         }
         i = j.max(i + 1);
     }
-    out
 }
 
 fn is_token_byte(b: u8) -> bool {

@@ -40,7 +40,7 @@ pub mod training;
 pub mod wrapper;
 
 pub use nb::NaiveBayes;
-pub use pipeline::{ExtractedWeb, Extractor, PageExtraction};
+pub use pipeline::{ExtractScratch, ExtractedWeb, Extractor, PageExtraction};
 pub use precision::{phone_precision_study, PrecisionReport};
 pub use training::train_review_classifier;
 pub use wrapper::{learn_wrapper, RawRecord, Wrapper};

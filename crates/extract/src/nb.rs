@@ -2,7 +2,7 @@
 //! paper ("used a Naïve-Bayes classifier over the textual content to
 //! determine if a page has review content").
 
-use crate::tokenize::tokenize;
+use crate::tokenize::for_each_token;
 use webstruct_util::hash::FxHashMap;
 
 /// A vocabulary token with its review-vs-boilerplate log-likelihood ratio.
@@ -54,18 +54,26 @@ impl NaiveBayes {
         let mut token_counts: FxHashMap<String, (u32, u32)> = FxHashMap::default();
         let mut total_tokens = [0u64; 2];
         let mut doc_counts = [0u64; 2];
+        let mut buf = String::new();
         for (text, label) in docs {
             let class = usize::from(label);
             doc_counts[class] += 1;
-            for token in tokenize(text) {
-                let entry = token_counts.entry(token).or_insert((0, 0));
+            for_each_token(text, &mut buf, |token| {
+                // Look up by &str first: a token String is only allocated
+                // the first time a word enters the vocabulary.
+                if !token_counts.contains_key(token) {
+                    token_counts.insert(token.to_string(), (0, 0));
+                }
+                let entry = token_counts
+                    .get_mut(token)
+                    .expect("token present: just inserted if missing");
                 if label {
                     entry.0 += 1;
                 } else {
                     entry.1 += 1;
                 }
                 total_tokens[class] += 1;
-            }
+            });
         }
         if doc_counts[1] == 0 {
             return Err(TrainError::MissingClass("review"));
@@ -91,24 +99,29 @@ impl NaiveBayes {
     /// Positive values favour the review class.
     #[must_use]
     pub fn log_odds(&self, text: &str) -> f64 {
+        let mut buf = String::new();
+        self.log_odds_with(text, &mut buf)
+    }
+
+    /// [`Self::log_odds`] scoring through a caller-owned token scratch
+    /// buffer: tokens are borrowed `&str` slices looked up directly in the
+    /// vocabulary, so steady-state scoring allocates nothing.
+    #[must_use]
+    pub fn log_odds_with(&self, text: &str, token_buf: &mut String) -> f64 {
         let v = self.token_counts.len() as f64;
         let prior_pos = self.doc_counts[1] as f64;
         let prior_neg = self.doc_counts[0] as f64;
         let mut score = prior_pos.ln() - prior_neg.ln();
         let denom_pos = self.total_tokens[1] as f64 + self.alpha * v;
         let denom_neg = self.total_tokens[0] as f64 + self.alpha * v;
-        for token in tokenize(text) {
-            let (pos, neg) = self
-                .token_counts
-                .get(&token)
-                .copied()
-                .unwrap_or((0, 0));
+        for_each_token(text, token_buf, |token| {
+            let (pos, neg) = self.token_counts.get(token).copied().unwrap_or((0, 0));
             // Unknown tokens contribute the same smoothed mass to both
             // classes; include them anyway for a consistent definition.
             let lp = (f64::from(pos) + self.alpha).ln() - denom_pos.ln();
             let ln = (f64::from(neg) + self.alpha).ln() - denom_neg.ln();
             score += lp - ln;
-        }
+        });
         score
     }
 
@@ -116,6 +129,12 @@ impl NaiveBayes {
     #[must_use]
     pub fn is_review(&self, text: &str) -> bool {
         self.log_odds(text) > 0.0
+    }
+
+    /// [`Self::is_review`] through a caller-owned token scratch buffer.
+    #[must_use]
+    pub fn is_review_with(&self, text: &str, token_buf: &mut String) -> bool {
+        self.log_odds_with(text, token_buf) > 0.0
     }
 
     /// The `n` most review-indicative and most boilerplate-indicative

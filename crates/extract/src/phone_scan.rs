@@ -31,8 +31,16 @@ pub struct PhoneMatch {
 /// Scan `text` for US phone numbers.
 #[must_use]
 pub fn scan_phones(text: &str) -> Vec<PhoneMatch> {
-    let bytes = text.as_bytes();
     let mut out = Vec::new();
+    for_each_phone(text, |m| out.push(m));
+    out
+}
+
+/// Visit every US phone number in `text` in document order. The
+/// allocation-free core of [`scan_phones`]: the hot extraction path
+/// resolves matches against the catalog without materialising a `Vec`.
+pub fn for_each_phone(text: &str, mut f: impl FnMut(PhoneMatch)) {
+    let bytes = text.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         // A candidate never starts immediately after a digit: that would
@@ -43,7 +51,7 @@ pub fn scan_phones(text: &str) -> Vec<PhoneMatch> {
         }
         if let Some((digits, end)) = match_candidate(bytes, i) {
             if let Ok(phone) = PhoneNumber::from_digits(digits) {
-                out.push(PhoneMatch {
+                f(PhoneMatch {
                     phone,
                     start: i,
                     end,
@@ -54,7 +62,6 @@ pub fn scan_phones(text: &str) -> Vec<PhoneMatch> {
         }
         i += 1;
     }
-    out
 }
 
 /// Try to match one phone candidate starting exactly at `start`.

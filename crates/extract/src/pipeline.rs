@@ -7,12 +7,12 @@
 //! aggregate the set of entities found on all the pages in that host."
 
 use crate::html;
-use crate::isbn_scan::scan_isbns;
+use crate::isbn_scan::for_each_isbn;
 use crate::nb::NaiveBayes;
-use crate::phone_scan::scan_phones;
+use crate::phone_scan::for_each_phone;
 use webstruct_corpus::domain::Attribute;
 use webstruct_corpus::entity::EntityCatalog;
-use webstruct_corpus::page::{Page, PageConfig, PageStream};
+use webstruct_corpus::page::{Page, PageConfig, PageScratch, PageStream};
 use webstruct_corpus::web::Web;
 use webstruct_util::hash::{FxHashMap, FxHashSet};
 use webstruct_util::ids::{EntityId, SiteId};
@@ -20,7 +20,7 @@ use webstruct_util::par;
 use webstruct_util::rng::Seed;
 
 /// What one page yielded.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PageExtraction {
     /// Entities matched via phone numbers.
     pub phone_entities: Vec<EntityId>,
@@ -38,6 +38,70 @@ pub struct PageExtraction {
     pub is_review: bool,
     /// Whether this extraction ran on a truncated page (partial yield).
     pub truncated: bool,
+}
+
+impl PageExtraction {
+    /// Reset to the empty extraction, keeping the entity `Vec` capacities —
+    /// the hot path reuses one `PageExtraction` across every page.
+    pub fn clear(&mut self) {
+        self.phone_entities.clear();
+        self.isbn_entities.clear();
+        self.homepage_entities.clear();
+        self.unmatched_phones = 0;
+        self.unmatched_isbns = 0;
+        self.unmatched_hrefs = 0;
+        self.is_review = false;
+        self.truncated = false;
+    }
+}
+
+/// Every buffer the per-page extraction work needs, allocated once and
+/// reused across pages. Steady state (after the buffers have grown to the
+/// largest page seen) the render→extract hot path allocates nothing.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    /// The rendered page, written in place by the fused stream.
+    page: PageScratch,
+    bufs: PageBuffers,
+}
+
+impl ExtractScratch {
+    /// Fresh scratch with empty buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recent per-page extraction result.
+    #[must_use]
+    pub fn extraction(&self) -> &PageExtraction {
+        &self.bufs.extraction
+    }
+
+    /// The most recently rendered page (fused stream path only).
+    #[must_use]
+    pub fn page(&self) -> &PageScratch {
+        &self.page
+    }
+}
+
+/// The reusable per-page working buffers, separate from [`PageScratch`] so
+/// the fused loop can borrow the rendered page text and the buffers
+/// disjointly.
+#[derive(Debug, Default)]
+struct PageBuffers {
+    /// Tag-stripped visible text.
+    text: String,
+    /// Lowercased text for the ISBN marker-window search.
+    lower: String,
+    /// Token assembly buffer for the review classifier.
+    tokens: String,
+    /// Normalised anchor host.
+    host: String,
+    seen_phones: FxHashSet<EntityId>,
+    seen_isbns: FxHashSet<EntityId>,
+    seen_homepages: FxHashSet<EntityId>,
+    extraction: PageExtraction,
 }
 
 /// The extractor: catalog indexes plus an optional review classifier.
@@ -63,56 +127,95 @@ impl<'a> Extractor<'a> {
         self
     }
 
-    /// Extract everything from one page.
-    #[must_use]
-    pub fn extract_page(&self, page: &Page) -> PageExtraction {
-        let mut out = PageExtraction::default();
-        let text = html::strip_tags(&page.text);
+    /// The allocation-free core: extract everything from one page body
+    /// into the reused buffers. Result lands in `bufs.extraction`.
+    fn extract_html_into(&self, html: &str, bufs: &mut PageBuffers) {
+        let PageBuffers {
+            text,
+            lower,
+            tokens,
+            host,
+            seen_phones,
+            seen_isbns,
+            seen_homepages,
+            extraction,
+        } = bufs;
+        extraction.clear();
+        seen_phones.clear();
+        seen_isbns.clear();
+        seen_homepages.clear();
+        html::strip_tags_into(html, text);
 
-        let mut seen_phone: FxHashSet<EntityId> = FxHashSet::default();
-        for m in scan_phones(&text) {
-            match self.catalog.by_phone(m.phone.digits()) {
+        for_each_phone(text, |m| match self.catalog.by_phone(m.phone.digits()) {
+            Some(e) => {
+                if seen_phones.insert(e) {
+                    extraction.phone_entities.push(e);
+                }
+            }
+            None => extraction.unmatched_phones += 1,
+        });
+
+        for_each_isbn(text, lower, |m| match self.catalog.by_isbn(m.isbn.core()) {
+            Some(e) => {
+                if seen_isbns.insert(e) {
+                    extraction.isbn_entities.push(e);
+                }
+            }
+            None => extraction.unmatched_isbns += 1,
+        });
+
+        html::for_each_anchor_href(html, |href, _offset| {
+            if !html::url_host_into(href, host) {
+                extraction.unmatched_hrefs += 1;
+                return;
+            }
+            match self.catalog.by_homepage(host) {
                 Some(e) => {
-                    if seen_phone.insert(e) {
-                        out.phone_entities.push(e);
+                    if seen_homepages.insert(e) {
+                        extraction.homepage_entities.push(e);
                     }
                 }
-                None => out.unmatched_phones += 1,
+                None => extraction.unmatched_hrefs += 1,
             }
-        }
-
-        let mut seen_isbn: FxHashSet<EntityId> = FxHashSet::default();
-        for m in scan_isbns(&text) {
-            match self.catalog.by_isbn(m.isbn.core()) {
-                Some(e) => {
-                    if seen_isbn.insert(e) {
-                        out.isbn_entities.push(e);
-                    }
-                }
-                None => out.unmatched_isbns += 1,
-            }
-        }
-
-        let mut seen_hp: FxHashSet<EntityId> = FxHashSet::default();
-        for anchor in html::anchor_hrefs(&page.text) {
-            let Some(host) = html::url_host(&anchor.href) else {
-                out.unmatched_hrefs += 1;
-                continue;
-            };
-            match self.catalog.by_homepage(&host) {
-                Some(e) => {
-                    if seen_hp.insert(e) {
-                        out.homepage_entities.push(e);
-                    }
-                }
-                None => out.unmatched_hrefs += 1,
-            }
-        }
+        });
 
         if let Some(clf) = &self.review_clf {
-            out.is_review = clf.is_review(&text);
+            extraction.is_review = clf.is_review_with(text, tokens);
         }
-        out
+    }
+
+    /// Truncate `full_text` to the leading `frac` (backed off to a UTF-8
+    /// character boundary) and extract the partial page. Returns the
+    /// number of bytes that actually entered extraction.
+    fn extract_prefix_parts(&self, full_text: &str, frac: f64, bufs: &mut PageBuffers) -> usize {
+        let keep = (full_text.len() as f64 * frac.clamp(0.0, 1.0)) as usize;
+        let cut = html::truncate_at_char_boundary(full_text, keep);
+        self.extract_html_into(cut, bufs);
+        bufs.extraction.truncated = true;
+        cut.len()
+    }
+
+    /// Extract everything from one page.
+    ///
+    /// Owned-result convenience over [`Extractor::extract_page_into`]:
+    /// allocates fresh working buffers per call. Loops should reuse an
+    /// [`ExtractScratch`] instead.
+    #[must_use]
+    pub fn extract_page(&self, page: &Page) -> PageExtraction {
+        let mut bufs = PageBuffers::default();
+        self.extract_html_into(&page.text, &mut bufs);
+        bufs.extraction
+    }
+
+    /// Extract everything from one page through reused scratch buffers.
+    /// Steady state this allocates nothing beyond entity-set growth.
+    pub fn extract_page_into<'s>(
+        &self,
+        page: &Page,
+        scratch: &'s mut ExtractScratch,
+    ) -> &'s PageExtraction {
+        self.extract_html_into(&page.text, &mut scratch.bufs);
+        &scratch.bufs.extraction
     }
 
     /// Extract from a page of which only the leading `frac` of the body
@@ -122,27 +225,61 @@ impl<'a> Extractor<'a> {
     /// as a partial extraction with [`PageExtraction::truncated`] set.
     #[must_use]
     pub fn extract_page_prefix(&self, page: &Page, frac: f64) -> PageExtraction {
-        let keep = (page.text.len() as f64 * frac.clamp(0.0, 1.0)) as usize;
-        let cut = html::truncate_at_char_boundary(&page.text, keep);
-        let partial = Page {
-            text: cut.to_string(),
-            ..page.clone()
-        };
-        let mut out = self.extract_page(&partial);
-        out.truncated = true;
-        out
+        let mut bufs = PageBuffers::default();
+        self.extract_prefix_parts(&page.text, frac, &mut bufs);
+        bufs.extraction
     }
 
-    /// Run the full pipeline over a page stream.
+    /// [`Extractor::extract_page_prefix`] through reused scratch buffers —
+    /// the truncation path no longer clones the page.
+    pub fn extract_prefix_into<'s>(
+        &self,
+        page: &Page,
+        frac: f64,
+        scratch: &'s mut ExtractScratch,
+    ) -> &'s PageExtraction {
+        self.extract_prefix_parts(&page.text, frac, &mut scratch.bufs);
+        &scratch.bufs.extraction
+    }
+
+    /// Run the full pipeline over a stream of owned pages.
+    ///
+    /// The compatibility path for callers that already hold `Page` values
+    /// (tests, the crawler): working buffers are reused across pages, but
+    /// each page body was still allocated by whoever built the iterator.
+    /// The fused [`Extractor::extract_stream`] renders and extracts
+    /// through one scratch without materialising pages at all.
     #[must_use]
     pub fn extract_all<I>(&self, n_sites: usize, pages: I) -> ExtractedWeb
     where
         I: IntoIterator<Item = Page>,
     {
         let mut acc = ExtractedWeb::new(n_sites, self.catalog.len());
+        let mut bufs = PageBuffers::default();
         for page in pages {
-            let ex = self.extract_page(&page);
-            acc.ingest(page.site, &ex);
+            self.extract_html_into(&page.text, &mut bufs);
+            acc.bytes_rendered += page.text.len() as u64;
+            acc.ingest(page.site, &bufs.extraction);
+        }
+        acc
+    }
+
+    /// Run the fused render→extract loop: each page is rendered into
+    /// `scratch` and extracted in place, so steady state the whole hot
+    /// path performs zero heap allocations per page.
+    #[must_use]
+    pub fn extract_stream(
+        &self,
+        n_sites: usize,
+        pages: &mut PageStream<'_>,
+        scratch: &mut ExtractScratch,
+    ) -> ExtractedWeb {
+        let mut acc = ExtractedWeb::new(n_sites, self.catalog.len());
+        let ExtractScratch { page, bufs } = scratch;
+        while pages.render_into(page) {
+            self.extract_html_into(page.text(), bufs);
+            acc.bytes_rendered += page.text().len() as u64;
+            acc.ingest(page.site(), &bufs.extraction);
         }
         acc
     }
@@ -167,18 +304,21 @@ impl<'a> Extractor<'a> {
         use webstruct_util::fault::Fault;
         let mut acc = ExtractedWeb::new(n_sites, self.catalog.len());
         let mut ordinal = vec![0u32; n_sites];
+        let mut bufs = PageBuffers::default();
         for page in pages {
             let s = page.site.index();
             let attempt = ordinal[s];
             ordinal[s] += 1;
             match plan.fault(s, attempt) {
                 None => {
-                    let ex = self.extract_page(&page);
-                    acc.ingest(page.site, &ex);
+                    self.extract_html_into(&page.text, &mut bufs);
+                    acc.bytes_rendered += page.text.len() as u64;
+                    acc.ingest(page.site, &bufs.extraction);
                 }
                 Some(Fault::Truncated(frac)) => {
-                    let ex = self.extract_page_prefix(&page, frac);
-                    acc.ingest(page.site, &ex);
+                    let kept = self.extract_prefix_parts(&page.text, frac, &mut bufs);
+                    acc.bytes_rendered += kept as u64;
+                    acc.ingest(page.site, &bufs.extraction);
                 }
                 Some(_) => acc.skipped_pages += 1,
             }
@@ -206,8 +346,9 @@ impl<'a> Extractor<'a> {
     ) -> ExtractedWeb {
         let n_sites = web.n_sites();
         if threads <= 1 || n_sites <= 1 {
-            let pages = PageStream::new(web, self.catalog, config.clone(), seed);
-            return self.extract_all(n_sites, pages);
+            let mut pages = PageStream::new(web, self.catalog, config.clone(), seed);
+            let mut scratch = ExtractScratch::new();
+            return self.extract_stream(n_sites, &mut pages, &mut scratch);
         }
         // First global page id of every site, by prefix sum.
         let mut first_page = vec![0u32; n_sites + 1];
@@ -235,7 +376,7 @@ impl<'a> Extractor<'a> {
         }
         let merged = par::par_map_threads(threads, shards, |sites| {
             let lo = sites.start;
-            let pages = PageStream::for_site_range(
+            let mut pages = PageStream::for_site_range(
                 web,
                 self.catalog,
                 config.clone(),
@@ -243,7 +384,9 @@ impl<'a> Extractor<'a> {
                 sites,
                 first_page[lo],
             );
-            self.extract_all(n_sites, pages)
+            // One scratch per shard: workers never share buffers.
+            let mut scratch = ExtractScratch::new();
+            self.extract_stream(n_sites, &mut pages, &mut scratch)
         })
         .into_iter()
         .fold(
@@ -268,6 +411,10 @@ pub struct ExtractedWeb {
     review_pages: Vec<FxHashMap<EntityId, u32>>,
     /// Diagnostics.
     pub pages_processed: u64,
+    /// Total bytes of page text that entered extraction (truncated pages
+    /// count only the bytes that survived the cut). Drives MB/sec
+    /// throughput reporting in the bench.
+    pub bytes_rendered: u64,
     /// Phone matches not in the catalog (noise hits).
     pub unmatched_phones: u64,
     /// ISBN matches not in the catalog.
@@ -291,6 +438,7 @@ impl ExtractedWeb {
             homepage: vec![FxHashSet::default(); n_sites],
             review_pages: vec![FxHashMap::default(); n_sites],
             pages_processed: 0,
+            bytes_rendered: 0,
             unmatched_phones: 0,
             unmatched_isbns: 0,
             unmatched_hrefs: 0,
@@ -400,6 +548,7 @@ impl ExtractedWeb {
         assert_eq!(self.n_sites(), other.n_sites(), "site universe mismatch");
         assert_eq!(self.n_entities, other.n_entities, "entity universe mismatch");
         self.pages_processed += other.pages_processed;
+        self.bytes_rendered += other.bytes_rendered;
         self.unmatched_phones += other.unmatched_phones;
         self.unmatched_isbns += other.unmatched_isbns;
         self.unmatched_hrefs += other.unmatched_hrefs;

@@ -3,25 +3,46 @@
 /// Lowercased alphabetic tokens of length >= 2. Digits and punctuation are
 /// separators: phone numbers and ids carry no signal for the review
 /// classifier and would bloat the vocabulary.
+///
+/// Owned-output convenience over [`for_each_token`]; sub-2-char tokens
+/// never allocate an output `String`.
 #[must_use]
 pub fn tokenize(text: &str) -> Vec<String> {
     let mut out = Vec::new();
-    let mut current = String::new();
+    let mut buf = String::new();
+    for_each_token(text, &mut buf, |t| out.push(t.to_string()));
+    out
+}
+
+/// Visit each token of `text` as a borrowed `&str`, assembled in `buf` (a
+/// caller-owned scratch buffer, reused across tokens and across calls).
+/// The allocation-free core of [`tokenize`]: Naïve-Bayes scoring looks
+/// each slice up in its vocabulary without owning it.
+///
+/// Token length is tracked incrementally while lowercasing — the
+/// original implementation re-counted `chars()` twice per token, an
+/// O(len) pass repeated for every token on the hot path.
+pub fn for_each_token(text: &str, buf: &mut String, mut f: impl FnMut(&str)) {
+    buf.clear();
+    // Count of lowercased chars in `buf` (a char may lowercase to several).
+    let mut len = 0usize;
     for c in text.chars() {
         if c.is_alphabetic() {
-            current.extend(c.to_lowercase());
-        } else if !current.is_empty() {
-            if current.chars().count() >= 2 {
-                out.push(std::mem::take(&mut current));
-            } else {
-                current.clear();
+            for lc in c.to_lowercase() {
+                buf.push(lc);
+                len += 1;
             }
+        } else if len > 0 {
+            if len >= 2 {
+                f(buf.as_str());
+            }
+            buf.clear();
+            len = 0;
         }
     }
-    if current.chars().count() >= 2 {
-        out.push(current);
+    if len >= 2 {
+        f(buf.as_str());
     }
-    out
 }
 
 #[cfg(test)]

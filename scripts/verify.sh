@@ -13,8 +13,21 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> lint: clippy perf pass (hot-path regressions surface as warnings)"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --quiet -- -W clippy::perf
+else
+    echo "    (clippy not installed; skipped)"
+fi
+
 echo "==> determinism: parallel output must be byte-identical to sequential"
 cargo test -q --test determinism
+
+echo "==> golden: scratch hot path must be byte-identical to the owned path"
+cargo test -q --test golden
+
+echo "==> allocs: fused hot path must stay within its per-page budget"
+cargo test -q -p webstruct-bench --test alloc_budget
 
 echo "==> faults: crawler edge cases + fault-injected determinism"
 cargo test -q --test faults
@@ -22,12 +35,40 @@ cargo test -q --test faults
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> bench: pipeline stages across thread counts -> artifacts/BENCH_pipeline.json"
     mkdir -p artifacts
+    # Keep the previous artifact so the new run can be compared against it.
+    PREV_BENCH=""
+    if [[ -f artifacts/BENCH_pipeline.json ]]; then
+        PREV_BENCH="$(mktemp)"
+        cp artifacts/BENCH_pipeline.json "$PREV_BENCH"
+    fi
     # Absolute path: cargo runs bench binaries with cwd at the package root.
     cargo bench -p webstruct-bench --bench pipeline -- \
         --out "$PWD/artifacts/BENCH_pipeline.json" \
         --scale "${BENCH_SCALE:-0.02}" \
         --threads "${BENCH_THREADS:-1,2,4}" \
         --repeats "${BENCH_REPEATS:-2}"
+
+    if [[ -n "$PREV_BENCH" ]]; then
+        echo "==> bench: before/after vs previous artifact (render_extract hot path)"
+        extract_hot() {
+            # Pull "field": value for the render_extract measurement lines.
+            grep '"stage": "render_extract"' "$1" \
+                | sed -E 's/.*"threads": ([0-9]+).*"secs": ([0-9.]+).*/threads=\1 secs=\2/' \
+                || true
+        }
+        echo "  previous:"
+        extract_hot "$PREV_BENCH" | sed 's/^/    /'
+        echo "  current:"
+        extract_hot artifacts/BENCH_pipeline.json | sed 's/^/    /'
+        for metric in pages_per_sec mb_per_sec allocs_per_page bytes_alloc_per_page; do
+            prev_v="$(grep -o "\"$metric\": [0-9.]*" "$PREV_BENCH" | head -1 | cut -d' ' -f2 || true)"
+            cur_v="$(grep -o "\"$metric\": [0-9.]*" artifacts/BENCH_pipeline.json | head -1 | cut -d' ' -f2 || true)"
+            if [[ -n "$cur_v" ]]; then
+                echo "  $metric: ${prev_v:-n/a} -> $cur_v"
+            fi
+        done
+        rm -f "$PREV_BENCH"
+    fi
 
     echo "==> bench: crawl throughput under fault injection -> artifacts/BENCH_faults.json"
     cargo bench -p webstruct-bench --bench faults -- \

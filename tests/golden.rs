@@ -1,0 +1,138 @@
+//! Golden equivalence for the zero-allocation hot path: the fused
+//! scratch-buffer pipeline ([`Extractor::extract_web`], which renders
+//! into a reused [`ExtractScratch`]) must produce byte-identical results
+//! to the owned-`Page` path (`PageStream` iterator + `extract_all`)
+//! across every domain and thread count, and the scratch truncation path
+//! must match the owned one on multibyte boundaries.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use webstruct::corpus::domain::Domain;
+use webstruct::corpus::entity::{CatalogConfig, EntityCatalog};
+use webstruct::corpus::page::{Page, PageConfig, PageKind, PageStream};
+use webstruct::corpus::web::{Web, WebConfig};
+use webstruct::extract::pipeline::ExtractScratch;
+use webstruct::extract::{train_review_classifier, ExtractedWeb, Extractor};
+use webstruct::util::ids::{PageId, SiteId};
+use webstruct::util::par;
+use webstruct::util::rng::Seed;
+
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("env lock poisoned")
+}
+
+/// Run `f` with `WEBSTRUCT_THREADS` pinned to `threads` — the operator
+/// knob, so the test drives the same path a deployment would.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = env_lock();
+    std::env::set_var(par::THREADS_ENV, threads.to_string());
+    let out = f();
+    std::env::remove_var(par::THREADS_ENV);
+    out
+}
+
+fn fixture(domain: Domain, entities: usize, scale: f64) -> (EntityCatalog, Web) {
+    let catalog = EntityCatalog::generate(&CatalogConfig::new(domain, entities), Seed(91));
+    let web = Web::generate(&catalog, &WebConfig::preset(domain).scaled(scale), Seed(91));
+    (catalog, web)
+}
+
+fn assert_same(scratch_path: &ExtractedWeb, owned_path: &ExtractedWeb, label: &str) {
+    for attr in [
+        webstruct::corpus::domain::Attribute::Phone,
+        webstruct::corpus::domain::Attribute::Isbn,
+        webstruct::corpus::domain::Attribute::Homepage,
+        webstruct::corpus::domain::Attribute::Review,
+    ] {
+        assert_eq!(
+            scratch_path.occurrence_lists(attr),
+            owned_path.occurrence_lists(attr),
+            "{label}: {attr:?} occurrence lists diverged"
+        );
+    }
+    assert_eq!(
+        scratch_path.review_page_lists(),
+        owned_path.review_page_lists(),
+        "{label}: review page lists diverged"
+    );
+    assert_eq!(scratch_path.pages_processed, owned_path.pages_processed, "{label}");
+    assert_eq!(scratch_path.bytes_rendered, owned_path.bytes_rendered, "{label}");
+    assert_eq!(scratch_path.unmatched_phones, owned_path.unmatched_phones, "{label}");
+    assert_eq!(scratch_path.unmatched_isbns, owned_path.unmatched_isbns, "{label}");
+    assert_eq!(scratch_path.unmatched_hrefs, owned_path.unmatched_hrefs, "{label}");
+}
+
+#[test]
+fn scratch_path_matches_owned_path_across_domains_and_threads() {
+    for (domain, entities, scale) in [
+        (Domain::Restaurants, 300, 0.01),
+        (Domain::Books, 300, 0.01),
+        (Domain::Banks, 300, 0.01),
+    ] {
+        let (catalog, web) = fixture(domain, entities, scale);
+        let mut extractor = Extractor::new(&catalog);
+        if domain == Domain::Restaurants {
+            let clf = train_review_classifier(Seed(92), 150).expect("balanced training set");
+            extractor = extractor.with_review_classifier(clf);
+        }
+        let seed = Seed(93);
+        let config = PageConfig::default();
+        // Owned path: materialised pages through the compatibility API.
+        let pages: Vec<Page> = PageStream::new(&web, &catalog, config.clone(), seed).collect();
+        let owned = extractor.extract_all(web.n_sites(), pages);
+        for threads in [1usize, 2, 8] {
+            let scratch = with_threads(threads, || {
+                extractor.extract_web(&web, &config, seed, par::num_threads())
+            });
+            assert_same(&scratch, &owned, &format!("{domain:?} at {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn scratch_truncation_matches_owned_truncation_on_multibyte_text() {
+    let (catalog, _web) = fixture(Domain::Restaurants, 100, 0.01);
+    let clf = train_review_classifier(Seed(92), 150).expect("balanced training set");
+    let extractor = Extractor::new(&catalog).with_review_classifier(clf);
+    let page = Page {
+        id: PageId::new(0),
+        site: SiteId::new(0),
+        url: "http://x.example.com/".into(),
+        kind: PageKind::Listing,
+        text: "caf\u{e9} \u{2603} 206-555-0100 \u{1F600} ISBN 978-0-306-40615-7 caf\u{e9}"
+            .repeat(5),
+    };
+    // One scratch reused across every fraction: stale buffer contents
+    // from a longer prefix must never leak into a shorter one.
+    let mut scratch = ExtractScratch::new();
+    for i in 0..=40 {
+        let frac = f64::from(i) / 40.0;
+        let owned = extractor.extract_page_prefix(&page, frac);
+        let via_scratch = extractor.extract_prefix_into(&page, frac, &mut scratch);
+        assert_eq!(*via_scratch, owned, "frac {frac} diverged");
+        assert!(via_scratch.truncated);
+    }
+    // Clamping behaviour is preserved too.
+    for frac in [-1.0, 2.0] {
+        let owned = extractor.extract_page_prefix(&page, frac);
+        let via_scratch = extractor.extract_prefix_into(&page, frac, &mut scratch);
+        assert_eq!(*via_scratch, owned, "frac {frac} diverged");
+    }
+}
+
+#[test]
+fn per_page_scratch_reuse_matches_fresh_extraction() {
+    let (catalog, web) = fixture(Domain::Restaurants, 300, 0.01);
+    let clf = train_review_classifier(Seed(92), 150).expect("balanced training set");
+    let extractor = Extractor::new(&catalog).with_review_classifier(clf);
+    let pages: Vec<Page> =
+        PageStream::new(&web, &catalog, PageConfig::default(), Seed(93)).collect();
+    let mut scratch = ExtractScratch::new();
+    for page in &pages {
+        let fresh = extractor.extract_page(page);
+        let reused = extractor.extract_page_into(page, &mut scratch);
+        assert_eq!(*reused, fresh, "page {:?} diverged under buffer reuse", page.id);
+    }
+}
