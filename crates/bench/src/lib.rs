@@ -83,7 +83,7 @@ impl HotPathStats {
                 0.0
             }
         };
-        HotPathStats {
+        let stats = HotPathStats {
             pages,
             bytes,
             allocs: delta.calls,
@@ -92,7 +92,17 @@ impl HotPathStats {
             mb_per_sec: per_sec(bytes as f64 / 1e6),
             allocs_per_page: per_page(delta.calls),
             bytes_alloc_per_page: per_page(delta.bytes),
-        }
+        };
+        // Mirror the headline measurements into the obs registry as
+        // gauges (latest wins), so a traced bench run carries its own
+        // throughput/allocation numbers in RUN_REPORT.json. Gauges are
+        // timing-derived, so they deliberately live outside the
+        // determinism-checked counter space.
+        let m = webstruct_util::obs::metrics();
+        m.set_gauge("bench.pages_per_sec", stats.pages_per_sec);
+        m.set_gauge("bench.allocs_per_page", stats.allocs_per_page);
+        m.set_gauge("bench.bytes_alloc_per_page", stats.bytes_alloc_per_page);
+        stats
     }
 }
 

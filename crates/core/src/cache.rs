@@ -39,13 +39,22 @@ impl Study {
     /// # Panics
     /// Panics if the cache mutex was poisoned by a panicking generator.
     pub fn domain(&self, domain: Domain) -> Arc<DomainStudy> {
+        // Requests and builds are both pure functions of the experiment
+        // set, so the counters stay snapshot-deterministic; *which* caller
+        // builds the cell races, so cache "hits" are deliberately derived
+        // (requests − builds) rather than counted.
+        webstruct_util::obs::metrics().add("cache.domain_requests", 1);
         let cell = {
             let mut map = self.domains.lock().expect("domain cache poisoned");
             Arc::clone(map.entry(domain).or_default())
         };
         // Generate outside the map lock: distinct domains proceed
         // concurrently, same-domain callers block on this cell only.
-        Arc::clone(cell.get_or_init(|| Arc::new(DomainStudy::generate(domain, &self.config))))
+        Arc::clone(cell.get_or_init(|| {
+            webstruct_util::obs::metrics().add("cache.domain_builds", 1);
+            let _span = webstruct_util::span!("generate_domain", domain);
+            Arc::new(DomainStudy::generate(domain, &self.config))
+        }))
     }
 
     /// The simulated traffic study for a site (generated on first use).
@@ -53,11 +62,14 @@ impl Study {
     /// # Panics
     /// Panics if the cache mutex was poisoned by a panicking generator.
     pub fn traffic(&self, site: StudySite) -> Arc<TrafficStudy> {
+        webstruct_util::obs::metrics().add("cache.traffic_requests", 1);
         let cell = {
             let mut map = self.traffic.lock().expect("traffic cache poisoned");
             Arc::clone(map.entry(site).or_default())
         };
         Arc::clone(cell.get_or_init(|| {
+            webstruct_util::obs::metrics().add("cache.traffic_builds", 1);
+            let _span = webstruct_util::span!("simulate_traffic", site);
             let cfg = TrafficConfig::preset(site).scaled(self.config.scale);
             Arc::new(TrafficStudy::simulate(&cfg, self.config.seed))
         }))

@@ -36,5 +36,5 @@ pub mod study;
 pub use bootstrap::{bootstrap_expansion, BootstrapResult};
 pub use cache::Study;
 pub use milestones::{compute_milestones, milestones_table, Milestone};
-pub use runner::{run_all, run_extensions, write_outputs, RunOutput};
+pub use runner::{run_all, run_extensions, write_outputs, FamilyTiming, RunOutput};
 pub use study::{DataSource, DomainStudy, StudyConfig};

@@ -210,6 +210,7 @@ mod tests {
             figures: vec![],
             tables: vec![],
             failures: vec![],
+            timings: vec![],
         };
         let ms = compute_milestones(&empty);
         assert!(ms.iter().all(|m| m.measured.is_none()));

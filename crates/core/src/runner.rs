@@ -38,6 +38,16 @@ pub struct FamilyFailure {
     pub error: String,
 }
 
+/// Wall-clock timing of one figure family (observability only — never
+/// part of the deterministic metric snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyTiming {
+    /// Family name (e.g. `"spread"`).
+    pub family: String,
+    /// Wall-clock seconds the family took (including a failed attempt).
+    pub secs: f64,
+}
+
 /// The complete output of a reproduction run.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -48,6 +58,9 @@ pub struct RunOutput {
     /// Families that panicked instead of producing artifacts. Empty on a
     /// healthy run.
     pub failures: Vec<FamilyFailure>,
+    /// Per-family wall-clock timings, in fixed family order regardless of
+    /// scheduling.
+    pub timings: Vec<FamilyTiming>,
 }
 
 impl RunOutput {
@@ -84,16 +97,31 @@ fn run_family<T>(
     name: &str,
     chaos: Option<&str>,
     f: impl FnOnce() -> T,
-) -> Result<T, FamilyFailure> {
+) -> (Result<T, FamilyFailure>, FamilyTiming) {
     let inject = chaos == Some(name);
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let _span = webstruct_util::obs::span_with(|| format!("family:{name}"));
+    let start = std::time::Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         assert!(!inject, "chaos drill: injected failure into the '{name}' family");
         f()
     }))
     .map_err(|payload| FamilyFailure {
         family: name.to_string(),
         error: panic_message(payload.as_ref()),
-    })
+    });
+    let timing = FamilyTiming {
+        family: name.to_string(),
+        secs: start.elapsed().as_secs_f64(),
+    };
+    webstruct_util::obs::metrics().add(
+        if result.is_ok() {
+            "runner.families_ok"
+        } else {
+            "runner.families_failed"
+        },
+        1,
+    );
+    (result, timing)
 }
 
 /// The chaos target from [`FAIL_FAMILY_ENV`], if set.
@@ -147,30 +175,33 @@ pub fn run_all(config: &StudyConfig) -> RunOutput {
 /// on entry and the run degrades around it.
 #[must_use]
 pub fn run_all_chaos(config: &StudyConfig, fail_family: Option<&str>) -> RunOutput {
+    let _span = webstruct_util::span!("run_all");
     let study = Study::new(config.clone());
     let chaos = fail_family;
-    let (spread_res, tail_res, conn_res) = if par::num_threads() == 1 {
-        (
-            run_family("spread", chaos, || spread_family(&study)),
-            run_family("tail-value", chaos, || tail_family(&study)),
-            run_family("connectivity", chaos, || connectivity_family(&study)),
-        )
-    } else {
-        std::thread::scope(|s| {
-            // Panics are caught inside each spawned closure, so `join`
-            // only fails if a thread dies outside the backstop (it
-            // cannot, short of an abort).
-            let tail = s.spawn(|| run_family("tail-value", chaos, || tail_family(&study)));
-            let conn = s.spawn(|| run_family("connectivity", chaos, || connectivity_family(&study)));
-            // The heaviest family runs on the current thread.
-            let spread = run_family("spread", chaos, || spread_family(&study));
+    let ((spread_res, spread_t), (tail_res, tail_t), (conn_res, conn_t)) =
+        if par::num_threads() == 1 {
             (
-                spread,
-                tail.join().expect("tail-value worker died outside the backstop"),
-                conn.join().expect("connectivity worker died outside the backstop"),
+                run_family("spread", chaos, || spread_family(&study)),
+                run_family("tail-value", chaos, || tail_family(&study)),
+                run_family("connectivity", chaos, || connectivity_family(&study)),
             )
-        })
-    };
+        } else {
+            std::thread::scope(|s| {
+                // Panics are caught inside each spawned closure, so `join`
+                // only fails if a thread dies outside the backstop (it
+                // cannot, short of an abort).
+                let tail = s.spawn(|| run_family("tail-value", chaos, || tail_family(&study)));
+                let conn =
+                    s.spawn(|| run_family("connectivity", chaos, || connectivity_family(&study)));
+                // The heaviest family runs on the current thread.
+                let spread = run_family("spread", chaos, || spread_family(&study));
+                (
+                    spread,
+                    tail.join().expect("tail-value worker died outside the backstop"),
+                    conn.join().expect("connectivity worker died outside the backstop"),
+                )
+            })
+        };
     let mut figures = Vec::new();
     let mut tables = vec![table1()];
     let mut failures = Vec::new();
@@ -189,10 +220,14 @@ pub fn run_all_chaos(config: &StudyConfig, fail_family: Option<&str>) -> RunOutp
         }
         Err(failure) => failures.push(failure),
     }
+    let m = webstruct_util::obs::metrics();
+    m.add("runner.figures", figures.len() as u64);
+    m.add("runner.tables", tables.len() as u64);
     RunOutput {
         figures,
         tables,
         failures,
+        timings: vec![spread_t, tail_t, conn_t],
     }
 }
 
@@ -209,6 +244,7 @@ pub fn run_extensions(config: &StudyConfig) -> RunOutput {
 /// `ext-redundancy`, `ext-user-tail`, `ext-linkage`, `ext-failure`).
 #[must_use]
 pub fn run_extensions_chaos(config: &StudyConfig, fail_family: Option<&str>) -> RunOutput {
+    let _span = webstruct_util::span!("run_extensions");
     let study = Study::new(config.clone());
     let chaos = fail_family;
     let run_disc = || discovery::discovery_policies(&study, Domain::Restaurants, 2_000);
@@ -216,30 +252,31 @@ pub fn run_extensions_chaos(config: &StudyConfig, fail_family: Option<&str>) -> 
     let run_tail = || tail_value::user_tail_table(&study);
     let run_link = || linkage::linkage_table(&study, Domain::Restaurants);
     let run_fail = || discovery::discovery_under_failure(&study, Domain::Restaurants, 2_000);
-    let (disc, red, tail, link, fail) = if par::num_threads() == 1 {
-        (
-            run_family("ext-discovery", chaos, run_disc),
-            run_family("ext-redundancy", chaos, run_red),
-            run_family("ext-user-tail", chaos, run_tail),
-            run_family("ext-linkage", chaos, run_link),
-            run_family("ext-failure", chaos, run_fail),
-        )
-    } else {
-        std::thread::scope(|s| {
-            let disc = s.spawn(|| run_family("ext-discovery", chaos, run_disc));
-            let red = s.spawn(|| run_family("ext-redundancy", chaos, run_red));
-            let tail = s.spawn(|| run_family("ext-user-tail", chaos, run_tail));
-            let fail = s.spawn(|| run_family("ext-failure", chaos, run_fail));
-            let link = run_family("ext-linkage", chaos, run_link);
+    let ((disc, disc_t), (red, red_t), (tail, tail_t), (link, link_t), (fail, fail_t)) =
+        if par::num_threads() == 1 {
             (
-                disc.join().expect("discovery worker died outside the backstop"),
-                red.join().expect("redundancy worker died outside the backstop"),
-                tail.join().expect("user-tail worker died outside the backstop"),
-                link,
-                fail.join().expect("failure-sweep worker died outside the backstop"),
+                run_family("ext-discovery", chaos, run_disc),
+                run_family("ext-redundancy", chaos, run_red),
+                run_family("ext-user-tail", chaos, run_tail),
+                run_family("ext-linkage", chaos, run_link),
+                run_family("ext-failure", chaos, run_fail),
             )
-        })
-    };
+        } else {
+            std::thread::scope(|s| {
+                let disc = s.spawn(|| run_family("ext-discovery", chaos, run_disc));
+                let red = s.spawn(|| run_family("ext-redundancy", chaos, run_red));
+                let tail = s.spawn(|| run_family("ext-user-tail", chaos, run_tail));
+                let fail = s.spawn(|| run_family("ext-failure", chaos, run_fail));
+                let link = run_family("ext-linkage", chaos, run_link);
+                (
+                    disc.join().expect("discovery worker died outside the backstop"),
+                    red.join().expect("redundancy worker died outside the backstop"),
+                    tail.join().expect("user-tail worker died outside the backstop"),
+                    link,
+                    fail.join().expect("failure-sweep worker died outside the backstop"),
+                )
+            })
+        };
     let mut figures = Vec::new();
     let mut tables = Vec::new();
     let mut failures = Vec::new();
@@ -266,10 +303,14 @@ pub fn run_extensions_chaos(config: &StudyConfig, fail_family: Option<&str>) -> 
         }
         Err(failure) => failures.push(failure),
     }
+    let m = webstruct_util::obs::metrics();
+    m.add("runner.figures", figures.len() as u64);
+    m.add("runner.tables", tables.len() as u64);
     RunOutput {
         figures,
         tables,
         failures,
+        timings: vec![disc_t, red_t, tail_t, link_t, fail_t],
     }
 }
 
@@ -338,6 +379,12 @@ pub fn write_outputs(dir: &Path, output: &RunOutput) -> std::io::Result<()> {
             report.push_str("\n## Failed artifact writes\n\n");
             for (name, e) in &write_errors {
                 report.push_str(&format!("- `{name}` — {e}\n"));
+            }
+        }
+        if !output.timings.is_empty() {
+            report.push_str("\n## Family timings\n\n");
+            for t in &output.timings {
+                report.push_str(&format!("- `{}` — {:.2}s\n", t.family, t.secs));
             }
         }
         let mut f = std::fs::File::create(dir.join("DEGRADED.md"))?;

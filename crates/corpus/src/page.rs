@@ -202,6 +202,10 @@ pub struct PageStream<'a> {
     site_end: usize,
     plans: VecDeque<PagePlan>,
     next_page: u32,
+    /// Scratch-local render counters — plain integers on the hot path,
+    /// published to the global `corpus.*` metrics once, on drop.
+    pages_rendered: u64,
+    bytes_rendered: u64,
 }
 
 impl<'a> PageStream<'a> {
@@ -218,6 +222,8 @@ impl<'a> PageStream<'a> {
             site_end,
             plans: VecDeque::new(),
             next_page: 0,
+            pages_rendered: 0,
+            bytes_rendered: 0,
         }
     }
 
@@ -256,6 +262,8 @@ impl<'a> PageStream<'a> {
             site_end: sites.end,
             plans: VecDeque::new(),
             next_page: first_page,
+            pages_rendered: 0,
+            bytes_rendered: 0,
         }
     }
 
@@ -332,6 +340,8 @@ impl<'a> PageStream<'a> {
                 let site_idx = self.site_cursor - 1;
                 self.render_plan_into(site_idx, plan, PageId::new(self.next_page), out);
                 self.next_page += 1;
+                self.pages_rendered += 1;
+                self.bytes_rendered += out.text.len() as u64;
                 return true;
             }
             if self.site_cursor >= self.site_end {
@@ -456,6 +466,20 @@ impl<'a> PageStream<'a> {
                     page_no,
                 };
             }
+        }
+    }
+}
+
+impl Drop for PageStream<'_> {
+    /// Publish this stream's render totals to the global metrics. A
+    /// shard stream publishes its own totals, and counter addition is
+    /// commutative, so the registry ends at the same values for any
+    /// shard count or join order.
+    fn drop(&mut self) {
+        if self.pages_rendered > 0 {
+            let m = webstruct_util::obs::metrics();
+            m.add("corpus.pages_rendered", self.pages_rendered);
+            m.add("corpus.bytes_streamed", self.bytes_rendered);
         }
     }
 }

@@ -140,7 +140,9 @@ impl<'a, P: FrontierPolicy> Crawler<'a, P> {
         breaker: BreakerConfig,
     ) -> CrawlResult {
         self.index.reset_meter();
-        let mut sim = FetchSim::new(plan, retry, breaker, self.site_entities.len());
+        let n_sites = self.site_entities.len();
+        let mut span = webstruct_util::span!("crawl", fetch_budget, n_sites);
+        let mut sim = FetchSim::new(plan, retry, breaker, n_sites);
         let mut spent = 0usize;
         let mut trace = Vec::new();
         loop {
@@ -203,13 +205,18 @@ impl<'a, P: FrontierPolicy> Crawler<'a, P> {
             }
         }
         let exhausted = self.query_queue.is_empty() && self.policy.is_empty();
+        let fetch = sim.into_stats();
+        span.set_sim_ticks(fetch.sim_ticks);
+        let m = webstruct_util::obs::metrics();
+        m.add("crawl.rounds", trace.len() as u64);
+        m.add("crawl.queries_issued", self.index.queries_served());
         CrawlResult {
             entities_found: self.count_known(),
             sites_fetched: spent,
             queries_issued: self.index.queries_served(),
             exhausted,
             seeds_dropped: self.seeds_dropped,
-            fetch: sim.into_stats(),
+            fetch,
             trace,
         }
     }

@@ -12,6 +12,7 @@
 use webstruct_util::fault::{
     BreakerConfig, CircuitBreaker, Fault, FaultPlan, RetryPolicy, SimClock,
 };
+use webstruct_util::obs::{self, Counter};
 
 /// Simulated cost of one fetch attempt, in [`SimClock`] ticks.
 pub const FETCH_COST_TICKS: u64 = 10;
@@ -85,7 +86,66 @@ pub enum FetchOutcome {
     Failed(FetchError),
 }
 
-/// Counters accumulated by a [`FetchSim`] over a crawl.
+/// Live registry-backed counters a [`FetchSim`] increments as it runs.
+///
+/// These are the source of truth; the public [`FetchStats`] struct is a
+/// point-in-time snapshot view built by [`FetchSim::stats`] /
+/// [`FetchSim::into_stats`]. Keeping them as [`obs::Counter`] atomics
+/// means the same handles can be read mid-crawl without `&mut` access.
+#[derive(Debug, Default)]
+pub struct FetchCounters {
+    /// Fetch attempts issued.
+    pub attempts: Counter,
+    /// Rounds that ended in success.
+    pub ok: Counter,
+    /// Retries issued.
+    pub retries: Counter,
+    /// Rounds that ended in failure.
+    pub failed_rounds: Counter,
+    /// Successful rounds that returned a truncated page.
+    pub truncated: Counter,
+    /// Attempts that timed out.
+    pub timeouts: Counter,
+    /// Attempts that failed transiently.
+    pub transients: Counter,
+    /// Attempts rejected by a rate limiter.
+    pub rate_limited: Counter,
+    /// Attempts against permanently dead sites.
+    pub dead_attempts: Counter,
+    /// Breaker trips.
+    pub breaker_opens: Counter,
+    /// Sites dropped because their breaker was open.
+    pub breaker_skips: Counter,
+}
+
+impl FetchCounters {
+    /// Snapshot the counters into the public stats view.
+    #[must_use]
+    fn snapshot(&self, sim_ticks: u64) -> FetchStats {
+        let stats = FetchStats {
+            attempts: self.attempts.get() as usize,
+            ok: self.ok.get() as usize,
+            retries: self.retries.get() as usize,
+            failed_rounds: self.failed_rounds.get() as usize,
+            truncated: self.truncated.get() as usize,
+            timeouts: self.timeouts.get() as usize,
+            transients: self.transients.get() as usize,
+            rate_limited: self.rate_limited.get() as usize,
+            dead_attempts: self.dead_attempts.get() as usize,
+            breaker_opens: self.breaker_opens.get() as usize,
+            breaker_skips: self.breaker_skips.get() as usize,
+            sim_ticks,
+        };
+        debug_assert!(
+            stats.is_consistent(),
+            "fetch counter invariant violated: {stats:?}"
+        );
+        stats
+    }
+}
+
+/// Counters accumulated by a [`FetchSim`] over a crawl — a snapshot view
+/// of the live [`FetchCounters`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FetchStats {
     /// Fetch attempts issued (each one charges the fetch budget).
@@ -115,6 +175,19 @@ pub struct FetchStats {
     pub sim_ticks: u64,
 }
 
+impl FetchStats {
+    /// The attempt-accounting invariant: every issued attempt is either
+    /// the success that ended its round or a classified failure, so
+    /// `attempts == ok + timeouts + transients + rate_limited +
+    /// dead_attempts`. Checked with `debug_assert!` every time a
+    /// snapshot is taken.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.attempts
+            == self.ok + self.timeouts + self.transients + self.rate_limited + self.dead_attempts
+    }
+}
+
 /// The fault-aware fetch engine: one per crawl, shared by all its rounds.
 pub struct FetchSim<'p> {
     plan: &'p FaultPlan,
@@ -124,7 +197,7 @@ pub struct FetchSim<'p> {
     /// Per-site attempt ordinals — the `attempt` coordinate fed to the
     /// plan, so fault streams don't depend on global interleaving.
     attempts_by_site: Vec<u32>,
-    stats: FetchStats,
+    counters: FetchCounters,
 }
 
 impl<'p> FetchSim<'p> {
@@ -142,8 +215,20 @@ impl<'p> FetchSim<'p> {
             clock: SimClock::new(),
             breakers: vec![CircuitBreaker::new(breaker); n_sites],
             attempts_by_site: vec![0; n_sites],
-            stats: FetchStats::default(),
+            counters: FetchCounters::default(),
         }
+    }
+
+    /// The live counters (readable mid-crawl).
+    #[must_use]
+    pub fn counters(&self) -> &FetchCounters {
+        &self.counters
+    }
+
+    /// A point-in-time snapshot of the counters (clock included).
+    #[must_use]
+    pub fn stats(&self) -> FetchStats {
+        self.counters.snapshot(self.clock.now())
     }
 
     /// Whether the crawler may fetch `site` now. A denial (breaker open,
@@ -153,7 +238,7 @@ impl<'p> FetchSim<'p> {
         if self.breakers[site].allow(self.clock.now()) {
             true
         } else {
-            self.stats.breaker_skips += 1;
+            self.counters.breaker_skips.inc();
             false
         }
     }
@@ -165,7 +250,7 @@ impl<'p> FetchSim<'p> {
     pub fn retry_later(&mut self, site: usize) -> bool {
         use webstruct_util::fault::BreakerState;
         if self.breakers[site].state() == BreakerState::Open {
-            self.stats.breaker_skips += 1;
+            self.counters.breaker_skips.inc();
             false
         } else {
             true
@@ -188,7 +273,7 @@ impl<'p> FetchSim<'p> {
             }
             let attempt = self.attempts_by_site[site];
             self.attempts_by_site[site] += 1;
-            self.stats.attempts += 1;
+            self.counters.attempts.inc();
             used += 1;
             self.clock.advance(FETCH_COST_TICKS);
             match self.plan.fault(site, attempt) {
@@ -197,7 +282,7 @@ impl<'p> FetchSim<'p> {
                     return (FetchOutcome::Success { truncated: None }, used);
                 }
                 Some(Fault::Truncated(frac)) => {
-                    self.stats.truncated += 1;
+                    self.counters.truncated.inc();
                     self.round_ok(site);
                     return (
                         FetchOutcome::Success {
@@ -209,12 +294,12 @@ impl<'p> FetchSim<'p> {
                 Some(fault) => {
                     match fault {
                         Fault::Timeout => {
-                            self.stats.timeouts += 1;
+                            self.counters.timeouts.inc();
                             self.clock.advance(TIMEOUT_COST_TICKS);
                         }
-                        Fault::Transient => self.stats.transients += 1,
-                        Fault::RateLimited => self.stats.rate_limited += 1,
-                        Fault::Dead => self.stats.dead_attempts += 1,
+                        Fault::Transient => self.counters.transients.inc(),
+                        Fault::RateLimited => self.counters.rate_limited.inc(),
+                        Fault::Dead => self.counters.dead_attempts.inc(),
                         Fault::Truncated(_) => unreachable!("handled above"),
                     }
                     last_error = FetchError::from_fault(fault);
@@ -223,7 +308,7 @@ impl<'p> FetchSim<'p> {
                         self.round_failed(site);
                         return (FetchOutcome::Failed(last_error), used);
                     }
-                    self.stats.retries += 1;
+                    self.counters.retries.inc();
                     self.clock
                         .advance(self.retry.backoff_ticks(retry, site as u64));
                 }
@@ -232,22 +317,39 @@ impl<'p> FetchSim<'p> {
     }
 
     fn round_ok(&mut self, site: usize) {
-        self.stats.ok += 1;
+        self.counters.ok.inc();
         self.breakers[site].record_success();
     }
 
     fn round_failed(&mut self, site: usize) {
-        self.stats.failed_rounds += 1;
+        self.counters.failed_rounds.inc();
         if self.breakers[site].record_failure(self.clock.now()) {
-            self.stats.breaker_opens += 1;
+            self.counters.breaker_opens.inc();
         }
     }
 
-    /// Finalise: stamp the clock reading into the stats and return them.
+    /// Finalise: snapshot the counters (clock reading included), publish
+    /// the crawl's totals to the global `fetch.*` metrics, and return the
+    /// snapshot. Publication happens once per crawl with value-
+    /// deterministic totals, so the global registry snapshot stays
+    /// byte-identical across thread counts.
     #[must_use]
-    pub fn into_stats(mut self) -> FetchStats {
-        self.stats.sim_ticks = self.clock.now();
-        self.stats
+    pub fn into_stats(self) -> FetchStats {
+        let stats = self.stats();
+        let m = obs::metrics();
+        m.add("fetch.attempts", stats.attempts as u64);
+        m.add("fetch.ok", stats.ok as u64);
+        m.add("fetch.retries", stats.retries as u64);
+        m.add("fetch.failed_rounds", stats.failed_rounds as u64);
+        m.add("fetch.truncated", stats.truncated as u64);
+        m.add("fetch.timeouts", stats.timeouts as u64);
+        m.add("fetch.transients", stats.transients as u64);
+        m.add("fetch.rate_limited", stats.rate_limited as u64);
+        m.add("fetch.dead_attempts", stats.dead_attempts as u64);
+        m.add("fetch.breaker_opens", stats.breaker_opens as u64);
+        m.add("fetch.breaker_skips", stats.breaker_skips as u64);
+        m.add("fetch.sim_ticks", stats.sim_ticks);
+        stats
     }
 }
 
@@ -382,6 +484,34 @@ mod tests {
         let stats = sim.into_stats();
         assert_eq!(stats.timeouts, 1);
         assert_eq!(stats.sim_ticks, FETCH_COST_TICKS + TIMEOUT_COST_TICKS);
+    }
+
+    #[test]
+    fn stats_snapshots_satisfy_the_attempt_invariant() {
+        let plan = FaultPlan::new(FaultConfig::flaky(0.3), Seed(7));
+        let mut sim = FetchSim::new(&plan, RetryPolicy::default(), BreakerConfig::default(), 16);
+        for round in 0..64 {
+            let site = round % 16;
+            if sim.allow(site) {
+                let _ = sim.fetch_round(site, 4);
+            }
+            let mid = sim.stats();
+            assert!(mid.is_consistent(), "mid-crawl snapshot: {mid:?}");
+        }
+        let stats = sim.into_stats();
+        assert!(stats.is_consistent(), "final snapshot: {stats:?}");
+        assert!(stats.attempts > 0);
+    }
+
+    #[test]
+    fn inconsistent_stats_are_detected() {
+        let bad = FetchStats {
+            attempts: 5,
+            ok: 1,
+            timeouts: 1,
+            ..FetchStats::default()
+        };
+        assert!(!bad.is_consistent());
     }
 
     #[test]

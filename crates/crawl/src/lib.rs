@@ -45,6 +45,6 @@ pub use crawler::{crawl, CrawlResult, Crawler};
 pub use experiment::{
     failure_sweep, policy_comparison, seed_robustness, FailurePoint, SeedRobustness,
 };
-pub use fetch::{FetchError, FetchOutcome, FetchStats};
+pub use fetch::{FetchCounters, FetchError, FetchOutcome, FetchStats};
 pub use frontier::{Fifo, FrontierPolicy, LargestFirst, RandomOrder, SmallestFirst};
 pub use index::SearchIndex;

@@ -16,6 +16,7 @@ use webstruct_corpus::page::{Page, PageConfig, PageScratch, PageStream};
 use webstruct_corpus::web::Web;
 use webstruct_util::hash::{FxHashMap, FxHashSet};
 use webstruct_util::ids::{EntityId, SiteId};
+use webstruct_util::obs::{self, LocalHistogram};
 use webstruct_util::par;
 use webstruct_util::rng::Seed;
 
@@ -259,6 +260,7 @@ impl<'a> Extractor<'a> {
         for page in pages {
             self.extract_html_into(&page.text, &mut bufs);
             acc.bytes_rendered += page.text.len() as u64;
+            acc.page_bytes.record(page.text.len() as u64);
             acc.ingest(page.site, &bufs.extraction);
         }
         acc
@@ -279,6 +281,7 @@ impl<'a> Extractor<'a> {
         while pages.render_into(page) {
             self.extract_html_into(page.text(), bufs);
             acc.bytes_rendered += page.text().len() as u64;
+            acc.page_bytes.record(page.text().len() as u64);
             acc.ingest(page.site(), &bufs.extraction);
         }
         acc
@@ -313,11 +316,13 @@ impl<'a> Extractor<'a> {
                 None => {
                     self.extract_html_into(&page.text, &mut bufs);
                     acc.bytes_rendered += page.text.len() as u64;
+                    acc.page_bytes.record(page.text.len() as u64);
                     acc.ingest(page.site, &bufs.extraction);
                 }
                 Some(Fault::Truncated(frac)) => {
                     let kept = self.extract_prefix_parts(&page.text, frac, &mut bufs);
                     acc.bytes_rendered += kept as u64;
+                    acc.page_bytes.record(kept as u64);
                     acc.ingest(page.site, &bufs.extraction);
                 }
                 Some(_) => acc.skipped_pages += 1,
@@ -345,10 +350,13 @@ impl<'a> Extractor<'a> {
         threads: usize,
     ) -> ExtractedWeb {
         let n_sites = web.n_sites();
+        let _span = webstruct_util::span!("extract_web", n_sites, threads);
         if threads <= 1 || n_sites <= 1 {
             let mut pages = PageStream::new(web, self.catalog, config.clone(), seed);
             let mut scratch = ExtractScratch::new();
-            return self.extract_stream(n_sites, &mut pages, &mut scratch);
+            let acc = self.extract_stream(n_sites, &mut pages, &mut scratch);
+            acc.publish_metrics();
+            return acc;
         }
         // First global page id of every site, by prefix sum.
         let mut first_page = vec![0u32; n_sites + 1];
@@ -376,6 +384,8 @@ impl<'a> Extractor<'a> {
         }
         let merged = par::par_map_threads(threads, shards, |sites| {
             let lo = sites.start;
+            let hi = sites.end;
+            let _shard_span = webstruct_util::span!("extract_shard", lo, hi);
             let mut pages = PageStream::for_site_range(
                 web,
                 self.catalog,
@@ -396,6 +406,7 @@ impl<'a> Extractor<'a> {
                 acc
             },
         );
+        merged.publish_metrics();
         merged
     }
 }
@@ -425,6 +436,11 @@ pub struct ExtractedWeb {
     pub truncated_pages: u64,
     /// Pages dropped entirely (dead site or failed fetch).
     pub skipped_pages: u64,
+    /// Log₂-bucketed distribution of per-page text sizes — scratch-local
+    /// (plain array increments on the hot path), merged shard-wise with
+    /// the rest of the accumulator and published once per
+    /// [`Extractor::extract_web`] run.
+    pub page_bytes: LocalHistogram,
 }
 
 impl ExtractedWeb {
@@ -444,7 +460,24 @@ impl ExtractedWeb {
             unmatched_hrefs: 0,
             truncated_pages: 0,
             skipped_pages: 0,
+            page_bytes: LocalHistogram::new(),
         }
+    }
+
+    /// Publish this accumulation's totals to the global `extract.*`
+    /// metrics. Every value is a pure function of the workload (counter
+    /// addition and histogram merge are commutative), so the registry
+    /// snapshot is identical for any shard count.
+    pub fn publish_metrics(&self) {
+        let m = obs::metrics();
+        m.add("extract.pages", self.pages_processed);
+        m.add("extract.bytes", self.bytes_rendered);
+        m.add("extract.truncated_pages", self.truncated_pages);
+        m.add("extract.skipped_pages", self.skipped_pages);
+        m.add("extract.unmatched_phones", self.unmatched_phones);
+        m.add("extract.unmatched_isbns", self.unmatched_isbns);
+        m.add("extract.unmatched_hrefs", self.unmatched_hrefs);
+        m.merge_histogram("extract.page_bytes", &self.page_bytes);
     }
 
     /// Fold one page's extraction into the per-site aggregates.
@@ -554,6 +587,7 @@ impl ExtractedWeb {
         self.unmatched_hrefs += other.unmatched_hrefs;
         self.truncated_pages += other.truncated_pages;
         self.skipped_pages += other.skipped_pages;
+        self.page_bytes.merge(&other.page_bytes);
         for (dst, src) in self.phone.iter_mut().zip(other.phone) {
             merge_set(dst, src);
         }

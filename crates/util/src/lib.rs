@@ -20,7 +20,10 @@
 //! * [`par`] — deterministic std-only parallel map (`std::thread::scope`
 //!   chunking with a `WEBSTRUCT_THREADS` override);
 //! * [`fault`] — seeded fault injection: per-site failure plans, a
-//!   simulated clock, retry/backoff policies and circuit breakers.
+//!   simulated clock, retry/backoff policies and circuit breakers;
+//! * [`obs`] — structured observability: hierarchical spans, deterministic
+//!   counter/gauge/histogram registries and per-run trace reports;
+//! * [`sha`] — std-only SHA-256 for golden artifact manifests.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -29,11 +32,13 @@ pub mod csv;
 pub mod fault;
 pub mod hash;
 pub mod ids;
+pub mod obs;
 pub mod par;
 pub mod powerlaw;
 pub mod report;
 pub mod rng;
 pub mod sample;
+pub mod sha;
 pub mod stats;
 pub mod svg;
 
@@ -42,5 +47,6 @@ pub use fault::{
 };
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{EntityId, PageId, RegionId, SiteId, UserId};
+pub use obs::{LocalHistogram, Metrics, MetricsSnapshot, Obs, Trace, TraceMode};
 pub use report::{Figure, Series, Table};
 pub use rng::{Seed, Xoshiro256};

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Re-bless the golden artifact manifests after an INTENTIONAL output
+# change. This rewrites:
+#
+#   tests/MANIFEST.sha256        — hashes of committed artifacts/*.csv
+#   tests/MANIFEST_quick.sha256  — hashes of quick-scale in-process CSVs
+#
+# If the full-scale committed artifacts themselves changed, regenerate
+# them first (`cargo run --release --bin webstruct -- reproduce`) and
+# commit the new CSVs together with the new manifests, so reviewers see
+# exactly which artifacts moved.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WEBSTRUCT_BLESS=1 cargo test -q --test manifest
+
+echo
+echo "Manifests re-blessed. Review the diff before committing:"
+git --no-pager diff --stat -- tests/MANIFEST.sha256 tests/MANIFEST_quick.sha256 || true

@@ -32,6 +32,37 @@ cargo test -q -p webstruct-bench --test alloc_budget
 echo "==> faults: crawler edge cases + fault-injected determinism"
 cargo test -q --test faults
 
+echo "==> fault-unit: breaker FSM, retry jitter bounds, clock monotonicity"
+cargo test -q --test fault_unit
+
+echo "==> manifest: golden artifact hashes (committed + quick-scale regen)"
+cargo test -q --test manifest
+
+echo "==> trace: RUN_REPORT.json smoke — metrics tail identical across thread counts"
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+for t in 1 2 8; do
+    WEBSTRUCT_TRACE=json WEBSTRUCT_THREADS=$t \
+        ./target/release/webstruct trace run 0.05 "$TRACE_TMP/t$t" >/dev/null
+    [[ -f "$TRACE_TMP/t$t/RUN_REPORT.json" ]] || {
+        echo "    FAIL: no RUN_REPORT.json at $t threads"; exit 1; }
+    [[ -f "$TRACE_TMP/t$t/trace.json" ]] || {
+        echo "    FAIL: no trace.json at $t threads"; exit 1; }
+    # "metrics" is by contract the final key of RUN_REPORT.json, so the
+    # deterministic tail can be split off with a single sed.
+    sed -n '/"metrics":/,$p' "$TRACE_TMP/t$t/RUN_REPORT.json" > "$TRACE_TMP/metrics-$t"
+    grep -q '"runner.figures"' "$TRACE_TMP/metrics-$t" || {
+        echo "    FAIL: runner counters missing from metrics tail"; exit 1; }
+done
+for t in 2 8; do
+    diff -u "$TRACE_TMP/metrics-1" "$TRACE_TMP/metrics-$t" >/dev/null || {
+        echo "    FAIL: metrics tail diverged between 1 and $t threads"
+        diff -u "$TRACE_TMP/metrics-1" "$TRACE_TMP/metrics-$t" | head -20
+        exit 1
+    }
+done
+echo "    trace smoke OK (metrics byte-identical across threads 1/2/8)"
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> bench: pipeline stages across thread counts -> artifacts/BENCH_pipeline.json"
     mkdir -p artifacts

@@ -19,33 +19,101 @@ use webstruct::core::study::StudyConfig;
 use webstruct::corpus::domain::{Attribute, Domain};
 use webstruct::extract::phone_precision_study;
 use webstruct::util::ids::EntityId;
+use webstruct::util::obs::{self, TraceMode};
 use webstruct::util::rng::{Seed, Xoshiro256};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `webstruct trace <cmd> ...` wraps any command with JSON tracing;
+    // `WEBSTRUCT_TRACE=json|pretty|off` picks the sink either way.
+    let forced_trace = args.first().map(String::as_str) == Some("trace");
+    if forced_trace {
+        args.remove(0);
+    }
+    let mut mode = obs::init_trace_from_env();
+    if forced_trace && mode == TraceMode::Off {
+        mode = TraceMode::Json;
+        obs::trace().set_enabled(true);
+    }
     let command = args.first().map(String::as_str).unwrap_or("help");
-    match command {
-        "list" => list(),
-        "reproduce" => reproduce(&args[1..]),
+    let command_line = args.join(" ");
+    let code = match command {
+        "list" => cmd(list),
+        "reproduce" | "run" => reproduce(&args[1..]),
         "extensions" => extensions(&args[1..]),
-        "faults" => faults_cmd(&args[1..]),
-        "figure" => figure(&args[1..]),
-        "table" => table(&args[1..]),
-        "bootstrap" => bootstrap(&args[1..]),
-        "discover" => discover(&args[1..]),
-        "dedup" => dedup_cmd(&args[1..]),
-        "open-extract" => open_extract_cmd(&args[1..]),
-        "ablations" => ablations_cmd(&args[1..]),
-        "stability" => stability_cmd(&args[1..]),
-        "redundancy" => redundancy_cmd(&args[1..]),
-        "tail-users" => tail_users(&args[1..]),
-        "precision" => precision(&args[1..]),
-        "help" | "--help" | "-h" => help(),
+        "faults" => cmd(|| faults_cmd(&args[1..])),
+        "figure" => cmd(|| figure(&args[1..])),
+        "table" => cmd(|| table(&args[1..])),
+        "bootstrap" => cmd(|| bootstrap(&args[1..])),
+        "discover" => cmd(|| discover(&args[1..])),
+        "dedup" => cmd(|| dedup_cmd(&args[1..])),
+        "open-extract" => cmd(|| open_extract_cmd(&args[1..])),
+        "ablations" => cmd(|| ablations_cmd(&args[1..])),
+        "stability" => cmd(|| stability_cmd(&args[1..])),
+        "redundancy" => cmd(|| redundancy_cmd(&args[1..])),
+        "tail-users" => cmd(|| tail_users(&args[1..])),
+        "precision" => cmd(|| precision(&args[1..])),
+        "help" | "--help" | "-h" => cmd(help),
         other => {
             eprintln!("unknown command '{other}'\n");
             help();
             std::process::exit(2);
         }
+    };
+    if mode.is_on() {
+        emit_trace_report(mode, &command_line, &report_dir(&args));
+    }
+    if code != 0 {
+        std::process::exit(code);
+    }
+}
+
+/// Run a plain command that always succeeds at the process level.
+fn cmd(f: impl FnOnce()) -> i32 {
+    f();
+    0
+}
+
+/// Where a traced run's `RUN_REPORT.json` belongs: the command's own
+/// output directory when it has one, `artifacts/` otherwise.
+fn report_dir(args: &[String]) -> String {
+    match args.first().map(String::as_str) {
+        Some("reproduce" | "run") => args.get(2).cloned().unwrap_or_else(|| "artifacts".into()),
+        Some("extensions") => args
+            .get(2)
+            .cloned()
+            .unwrap_or_else(|| "artifacts/extensions".into()),
+        _ => "artifacts".into(),
+    }
+}
+
+/// Write `RUN_REPORT.json` (always) plus the mode-specific sink: a
+/// chrome-trace `trace.json` for `json`, a span tree on stderr for
+/// `pretty`. Reporting is best-effort — a failed write never fails the
+/// run it describes.
+fn emit_trace_report(mode: TraceMode, command: &str, dir: &str) {
+    let dir = std::path::Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("trace: could not create {}: {e}", dir.display());
+        return;
+    }
+    let obs = obs::global();
+    let report = obs::run_report_json(command, webstruct::util::par::num_threads(), obs);
+    let report_path = dir.join("RUN_REPORT.json");
+    match std::fs::write(&report_path, report) {
+        Ok(()) => eprintln!("trace: wrote {}", report_path.display()),
+        Err(e) => eprintln!("trace: could not write {}: {e}", report_path.display()),
+    }
+    match mode {
+        TraceMode::Json => {
+            let trace_path = dir.join("trace.json");
+            match std::fs::write(&trace_path, obs.trace.to_chrome_json()) {
+                Ok(()) => eprintln!("trace: wrote {} (chrome://tracing)", trace_path.display()),
+                Err(e) => eprintln!("trace: could not write {}: {e}", trace_path.display()),
+            }
+        }
+        TraceMode::Pretty => eprint!("{}", obs.trace.to_pretty()),
+        TraceMode::Off => {}
     }
 }
 
@@ -55,7 +123,10 @@ fn help() {
          \n\
          USAGE:\n\
          \twebstruct list\n\
-         \twebstruct reproduce [SCALE] [OUTDIR]\n\
+         \twebstruct reproduce [SCALE] [OUTDIR]   (alias: run)\n\
+         \twebstruct trace <CMD> [ARGS...]        run any command with tracing on\n\
+         \t                                       (WEBSTRUCT_TRACE=json|pretty|off;\n\
+         \t                                       emits RUN_REPORT.json + trace.json)\n\
          \twebstruct extensions [SCALE] [OUTDIR] extension figures/tables (incl. discovery under failure)\n\
          \twebstruct faults [DOMAIN] [SCALE]     discovery under injected failure rates\n\
          \twebstruct figure <ID> [SCALE]      e.g. fig1a, fig4b, fig6-cdf-search, fig8-imdb\n\
@@ -112,7 +183,7 @@ fn list() {
     println!("extensions: redundancy, tail-users, precision, bootstrap, discover, faults, dedup, open-extract, ablations, stability");
 }
 
-fn reproduce(args: &[String]) {
+fn reproduce(args: &[String]) -> i32 {
     let scale = parse_scale(args, 0, 1.0);
     let outdir = args.get(1).cloned().unwrap_or_else(|| "artifacts".into());
     let config = StudyConfig::default().with_scale(scale);
@@ -129,12 +200,10 @@ fn reproduce(args: &[String]) {
     }
     write_outputs(std::path::Path::new(&outdir), &out).expect("write artifacts");
     println!("written to {outdir}/");
-    if !out.failures.is_empty() {
-        std::process::exit(1);
-    }
+    i32::from(!out.failures.is_empty())
 }
 
-fn extensions(args: &[String]) {
+fn extensions(args: &[String]) -> i32 {
     let scale = parse_scale(args, 0, 1.0);
     let outdir = args
         .get(1)
@@ -154,9 +223,7 @@ fn extensions(args: &[String]) {
     }
     write_outputs(std::path::Path::new(&outdir), &out).expect("write artifacts");
     println!("written to {outdir}/");
-    if !out.failures.is_empty() {
-        std::process::exit(1);
-    }
+    i32::from(!out.failures.is_empty())
 }
 
 fn faults_cmd(args: &[String]) {

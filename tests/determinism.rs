@@ -15,6 +15,7 @@ use webstruct::core::study::{DataSource, DomainStudy, StudyConfig};
 use webstruct::corpus::domain::{Attribute, Domain};
 use webstruct::corpus::page::PageConfig;
 use webstruct::extract::Extractor;
+use webstruct::util::obs;
 use webstruct::util::par;
 use webstruct::util::rng::Seed;
 
@@ -32,6 +33,18 @@ fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
     let out = f();
     std::env::remove_var(par::THREADS_ENV);
     out
+}
+
+/// Reset the global metric registries, run `f` at `threads`, and return
+/// the resulting snapshot's JSON rendering. The whole measurement runs
+/// under the env lock, which every metrics-publishing test in this
+/// binary also holds — so nothing pollutes the registry mid-measurement.
+fn metrics_snapshot_at(threads: usize, f: impl FnOnce()) -> String {
+    with_threads(threads, || {
+        obs::metrics().reset();
+        f();
+        obs::metrics().snapshot().to_json()
+    })
 }
 
 #[test]
@@ -98,7 +111,74 @@ fn extracted_source_run_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn metrics_snapshot_is_identical_across_thread_counts() {
+    // The observability contract: the full counter/gauge/histogram
+    // snapshot — not just the figure bytes — is byte-identical for any
+    // WEBSTRUCT_THREADS. Wall-clock data lives only in spans, which are
+    // deliberately outside the snapshot.
+    let cfg = StudyConfig::quick();
+    let baseline = metrics_snapshot_at(1, || {
+        let _ = run_all(&cfg);
+    });
+    assert!(baseline.contains("cache.domain_requests"), "snapshot: {baseline}");
+    assert!(baseline.contains("runner.figures"), "snapshot: {baseline}");
+    for threads in [2, 8] {
+        let snap = metrics_snapshot_at(threads, || {
+            let _ = run_all(&cfg);
+        });
+        assert_eq!(snap, baseline, "metrics snapshot diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn metrics_snapshot_identical_across_threads_under_fault_injection() {
+    // Same contract with the fault layer live: the failure sweep runs
+    // 10% and 30% FaultPlans through retries, backoff and breakers, and
+    // the fetch.* counters must still not depend on scheduling.
+    use webstruct::core::cache::Study;
+    let snapshot_for = |threads: usize| {
+        metrics_snapshot_at(threads, || {
+            let study = Study::new(StudyConfig::quick());
+            let _ = discovery_under_failure(&study, Domain::Restaurants, 400);
+        })
+    };
+    let baseline = snapshot_for(1);
+    assert!(baseline.contains("fetch.attempts"), "snapshot: {baseline}");
+    assert!(baseline.contains("fetch.retries"), "snapshot: {baseline}");
+    for threads in [2, 8] {
+        let snap = snapshot_for(threads);
+        assert_eq!(snap, baseline, "fault-run snapshot diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn extracted_metrics_snapshot_identical_across_thread_counts() {
+    // The sharded render→extract path: per-shard scratch-local counters
+    // merged at join must equal the sequential totals, including the
+    // page-size histogram.
+    let cfg = StudyConfig::quick().with_scale(0.02);
+    let study = DomainStudy::generate(Domain::Restaurants, &cfg);
+    let extractor = Extractor::new(&study.catalog);
+    let snapshot_for = |threads: usize| {
+        metrics_snapshot_at(threads, || {
+            let _ = extractor.extract_web(&study.web, &PageConfig::default(), Seed(77), threads);
+        })
+    };
+    let baseline = snapshot_for(1);
+    assert!(baseline.contains("extract.pages"), "snapshot: {baseline}");
+    assert!(baseline.contains("extract.page_bytes"), "snapshot: {baseline}");
+    assert!(baseline.contains("corpus.pages_rendered"), "snapshot: {baseline}");
+    for threads in [2, 8] {
+        let snap = snapshot_for(threads);
+        assert_eq!(snap, baseline, "extract snapshot diverged at {threads} threads");
+    }
+}
+
+#[test]
 fn extract_all_occurrences_identical_across_thread_counts() {
+    // Holds the env lock (without touching the env) so its metric
+    // publications never land inside another test's measurement window.
+    let _guard = env_lock();
     let cfg = StudyConfig::quick().with_scale(0.02);
     let study = DomainStudy::generate(Domain::Restaurants, &cfg);
     let extractor = Extractor::new(&study.catalog);
