@@ -63,9 +63,12 @@ fn main() {
                 h.pages_per_sec, h.mb_per_sec, h.allocs_per_page, h.bytes_alloc_per_page
             )
         });
+        let scan = m
+            .scan_mb_per_sec
+            .map_or_else(String::new, |s| format!("  {s:.1} MB/s scanned"));
         eprintln!(
-            "  {:<20} threads={:<3} {:>10.4}s  speedup {}{}",
-            m.stage, m.threads, m.secs, speedup, hot
+            "  {:<20} threads={:<3} {:>10.4}s  speedup {}{}{}",
+            m.stage, m.threads, m.secs, speedup, hot, scan
         );
     }
     if let Some(parent) = std::path::Path::new(&out_path).parent() {

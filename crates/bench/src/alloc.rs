@@ -15,27 +15,36 @@
 //! ```
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Counting is off until a measured window opens: warmup passes (scratch
+/// growth, pool setup, classifier training) run before [`count_allocs`]
+/// enables the counters, so snapshots report steady state only.
+static ENABLED: AtomicBool = AtomicBool::new(false);
 
-/// System allocator wrapper that counts allocation calls and bytes.
-/// Deallocations are not tracked: the hot-path metric of interest is
-/// how much new heap traffic each page costs, not peak usage.
+/// System allocator wrapper that counts allocation calls and bytes while
+/// a [`count_allocs`] window is open. Deallocations are not tracked: the
+/// hot-path metric of interest is how much new heap traffic each page
+/// costs, not peak usage.
 pub struct CountingAlloc;
 
 // SAFETY: defers entirely to `System`; the counters are side effects.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
         System.alloc_zeroed(layout)
     }
 
@@ -44,8 +53,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -80,12 +91,16 @@ impl AllocSnapshot {
     }
 }
 
-/// Measure the allocation traffic of one closure run: snapshot, run,
-/// snapshot, delta. Only meaningful in binaries that installed
+/// Measure the allocation traffic of one closure run: enable counting,
+/// snapshot, run, snapshot, delta, restore. Counting is disabled outside
+/// these windows, so warmup passes never leak one-time setup traffic into
+/// a measurement. Only meaningful in binaries that installed
 /// [`CountingAlloc`] as the global allocator.
 pub fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, AllocSnapshot) {
+    let was_enabled = ENABLED.swap(true, Ordering::Relaxed);
     let before = AllocSnapshot::now();
     let out = f();
     let after = AllocSnapshot::now();
+    ENABLED.store(was_enabled, Ordering::Relaxed);
     (out, after.delta(&before))
 }

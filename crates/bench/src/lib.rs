@@ -31,7 +31,7 @@ use webstruct_core::runner::run_all;
 use webstruct_core::study::{DataSource, StudyConfig};
 use webstruct_corpus::domain::{Attribute, Domain};
 use webstruct_corpus::page::{PageConfig, PageStream};
-use webstruct_extract::{train_review_classifier, ExtractedWeb, Extractor};
+use webstruct_extract::{train_review_classifier, ExtractPool, ExtractedWeb, Extractor};
 use webstruct_util::par;
 
 /// The scale every benchmark runs at: small enough for stable timings,
@@ -69,12 +69,10 @@ pub struct HotPathStats {
 }
 
 impl HotPathStats {
-    /// Assemble the stats from a timed run (`secs`), the extraction
-    /// totals, and the allocation delta of one instrumented run.
+    /// Assemble the stats from a timed run (`secs`), the page/byte totals
+    /// of the workload, and the allocation delta of one instrumented run.
     #[must_use]
-    pub fn from_run(secs: f64, extracted: &ExtractedWeb, delta: alloc::AllocSnapshot) -> Self {
-        let pages = extracted.pages_processed;
-        let bytes = extracted.bytes_rendered;
+    pub fn from_run(secs: f64, pages: u64, bytes: u64, delta: alloc::AllocSnapshot) -> Self {
         let per_sec = |x: f64| if secs > 0.0 { x / secs } else { 0.0 };
         let per_page = |x: u64| {
             if pages > 0 {
@@ -110,7 +108,8 @@ impl HotPathStats {
 #[derive(Debug, Clone)]
 pub struct Measurement {
     /// Stage name (`generate`, `render_extract`, `render_extract_owned`,
-    /// `analyze_oracle`, `pipeline_extracted`).
+    /// `analyze_oracle`, `pipeline_extracted`, or a per-kernel `scan_*`
+    /// stage).
     pub stage: String,
     /// Worker threads the stage was configured with.
     pub threads: usize,
@@ -118,6 +117,9 @@ pub struct Measurement {
     pub secs: f64,
     /// Hot-path throughput/allocation stats (render+extract stages only).
     pub hot: Option<HotPathStats>,
+    /// Scanner throughput for the `scan_*` kernel stages: megabytes of
+    /// input handed to that one kernel per best-of second.
+    pub scan_mb_per_sec: Option<f64>,
 }
 
 /// A full benchmark report, serialisable to JSON by hand (no serde in
@@ -181,13 +183,17 @@ impl BenchReport {
                     h.bytes_alloc_per_page,
                 )
             });
+            let scan = m
+                .scan_mb_per_sec
+                .map_or_else(String::new, |s| format!(", \"scan_mb_per_sec\": {s:.3}"));
             out.push_str(&format!(
-                "    {{\"stage\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \"speedup_vs_1\": {}{}}}{}\n",
+                "    {{\"stage\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \"speedup_vs_1\": {}{}{}}}{}\n",
                 m.stage,
                 m.threads,
                 m.secs,
                 speedup,
                 hot,
+                scan,
                 if i + 1 < self.measurements.len() { "," } else { "" }
             ));
         }
@@ -246,33 +252,52 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
             threads,
             secs,
             hot: None,
+            scan_mb_per_sec: None,
         });
 
+        // Warmup pass before enabling `CountingAlloc`: grows the pool's
+        // shard scratches and accumulator sets to the workload, so the
+        // instrumented run below measures true steady state at every
+        // thread count instead of charging one-time per-shard setup to
+        // the window.
+        let mut pool = ExtractPool::new();
+        let warm = extractor.extract_web_pooled(
+            &study.web,
+            &PageConfig::default(),
+            config.seed.derive("render"),
+            threads,
+            &mut pool,
+        );
+        std::hint::black_box(warm.pages_processed);
         let secs = best_of(repeats, || {
-            let extracted = extractor.extract_web(
+            let extracted = extractor.extract_web_pooled(
                 &study.web,
                 &PageConfig::default(),
                 config.seed.derive("render"),
                 threads,
+                &mut pool,
             );
             std::hint::black_box(extracted.total_occurrences(Attribute::Phone));
         });
         // One extra instrumented run of the identical deterministic
         // workload measures its heap traffic (zero delta unless the
         // binary installed the counting allocator).
-        let (extracted, delta) = count_allocs(|| {
-            extractor.extract_web(
+        let ((pages, bytes), delta) = count_allocs(|| {
+            let extracted = extractor.extract_web_pooled(
                 &study.web,
                 &PageConfig::default(),
                 config.seed.derive("render"),
                 threads,
-            )
+                &mut pool,
+            );
+            (extracted.pages_processed, extracted.bytes_rendered)
         });
         report.measurements.push(Measurement {
             stage: "render_extract".into(),
             threads,
             secs,
-            hot: Some(HotPathStats::from_run(secs, &extracted, delta)),
+            hot: Some(HotPathStats::from_run(secs, pages, bytes, delta)),
+            scan_mb_per_sec: None,
         });
 
         if threads == 1 {
@@ -303,8 +328,20 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
                 stage: "render_extract_owned".into(),
                 threads: 1,
                 secs,
-                hot: Some(HotPathStats::from_run(secs, &extracted, delta)),
+                hot: Some(HotPathStats::from_run(
+                    secs,
+                    extracted.pages_processed,
+                    extracted.bytes_rendered,
+                    delta,
+                )),
+                scan_mb_per_sec: None,
             });
+
+            // Per-kernel scanner throughput: each extraction kernel timed
+            // alone over the same rendered corpus.
+            report
+                .measurements
+                .extend(run_scan_kernel_bench(&study, &config, repeats));
         }
 
         std::env::set_var(par::THREADS_ENV, threads.to_string());
@@ -317,6 +354,7 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
             threads,
             secs,
             hot: None,
+            scan_mb_per_sec: None,
         });
 
         let secs = best_of(repeats, || {
@@ -329,10 +367,103 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
             threads,
             secs,
             hot: None,
+            scan_mb_per_sec: None,
         });
         std::env::remove_var(par::THREADS_ENV);
     }
     report
+}
+
+/// Time each extraction kernel in isolation over the full rendered
+/// corpus: pages (and their tag-stripped texts) are materialised outside
+/// the timed windows, so each `scan_*` stage measures exactly one
+/// scanner's throughput over its real input. The HTML-facing kernels
+/// (`strip_tags`, `anchor_href`) are fed page HTML; the text-facing ones
+/// (`phone`, `isbn`, `token`) the visible text, mirroring the pipeline.
+fn run_scan_kernel_bench(
+    study: &webstruct_core::study::DomainStudy,
+    config: &StudyConfig,
+    repeats: usize,
+) -> Vec<Measurement> {
+    use webstruct_corpus::page::Page;
+    use webstruct_extract::{html, isbn_scan, phone_scan, tokenize};
+
+    let pages: Vec<Page> = PageStream::new(
+        &study.web,
+        &study.catalog,
+        PageConfig::default(),
+        config.seed.derive("render"),
+    )
+    .collect();
+    let html_bytes: u64 = pages.iter().map(|p| p.text.len() as u64).sum();
+    let mut texts: Vec<String> = Vec::with_capacity(pages.len());
+    let mut buf = String::new();
+    for p in &pages {
+        html::strip_tags_into(&p.text, &mut buf);
+        texts.push(buf.clone());
+    }
+    let text_bytes: u64 = texts.iter().map(|t| t.len() as u64).sum();
+
+    let mut out = Vec::new();
+    let mut push = |stage: &str, bytes: u64, secs: f64| {
+        out.push(Measurement {
+            stage: stage.into(),
+            threads: 1,
+            secs,
+            hot: None,
+            scan_mb_per_sec: (secs > 0.0).then(|| bytes as f64 / 1e6 / secs),
+        });
+    };
+
+    let mut strip = String::new();
+    let secs = best_of(repeats, || {
+        let mut n = 0usize;
+        for p in &pages {
+            html::strip_tags_into(&p.text, &mut strip);
+            n += strip.len();
+        }
+        std::hint::black_box(n);
+    });
+    push("scan_strip_tags", html_bytes, secs);
+
+    let secs = best_of(repeats, || {
+        let mut n = 0usize;
+        for p in &pages {
+            html::for_each_anchor_href(&p.text, |href, _| n += href.len());
+        }
+        std::hint::black_box(n);
+    });
+    push("scan_anchor_href", html_bytes, secs);
+
+    let secs = best_of(repeats, || {
+        let mut n = 0u64;
+        for t in &texts {
+            phone_scan::for_each_phone(t, |m| n += m.phone.digits());
+        }
+        std::hint::black_box(n);
+    });
+    push("scan_phone", text_bytes, secs);
+
+    let secs = best_of(repeats, || {
+        let mut n = 0u64;
+        for t in &texts {
+            isbn_scan::for_each_isbn(t, |m| n += u64::from(m.isbn.core()));
+        }
+        std::hint::black_box(n);
+    });
+    push("scan_isbn", text_bytes, secs);
+
+    let mut token_buf = String::new();
+    let secs = best_of(repeats, || {
+        let mut n = 0usize;
+        for t in &texts {
+            tokenize::for_each_token(t, &mut token_buf, |tok| n += tok.len());
+        }
+        std::hint::black_box(n);
+    });
+    push("scan_token", text_bytes, secs);
+
+    out
 }
 
 /// One timed crawl under a fault plan of the given severity.
@@ -521,12 +652,21 @@ mod tests {
                         allocs_per_page: 0.5,
                         bytes_alloc_per_page: 64.0,
                     }),
+                    scan_mb_per_sec: None,
                 },
                 Measurement {
                     stage: "render_extract".into(),
                     threads: 4,
                     secs: 0.5,
                     hot: None,
+                    scan_mb_per_sec: None,
+                },
+                Measurement {
+                    stage: "scan_token".into(),
+                    threads: 1,
+                    secs: 0.25,
+                    hot: None,
+                    scan_mb_per_sec: Some(123.456),
                 },
             ],
         };
@@ -537,6 +677,7 @@ mod tests {
         assert!(json.contains("\"mb_per_sec\": 2.000"));
         assert!(json.contains("\"allocs_per_page\": 0.50"));
         assert!(json.contains("\"bytes_alloc_per_page\": 64.0"));
+        assert!(json.contains("\"scan_mb_per_sec\": 123.456"));
         assert_eq!(report.speedup("render_extract", 4), Some(4.0));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -16,7 +16,7 @@ use webstruct_corpus::domain::Domain;
 use webstruct_corpus::entity::{CatalogConfig, EntityCatalog};
 use webstruct_corpus::page::{PageConfig, PageStream};
 use webstruct_corpus::web::{Web, WebConfig};
-use webstruct_extract::{train_review_classifier, ExtractedWeb, Extractor};
+use webstruct_extract::{train_review_classifier, ExtractPool, ExtractedWeb, Extractor};
 use webstruct_util::rng::Seed;
 
 #[global_allocator]
@@ -32,6 +32,11 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// magnitude below the old behaviour, so any reintroduced per-page
 /// allocation (which costs at least +1.0) trips the guard.
 const ALLOCS_PER_PAGE_BUDGET: f64 = 2.0;
+
+/// The pooled path's budget: with every accumulator and scratch reused
+/// across runs (see [`ExtractPool`]), steady state should be within a
+/// fraction of an allocation per page at any thread count.
+const POOLED_ALLOCS_PER_PAGE_BUDGET: f64 = 0.5;
 
 #[test]
 fn fused_hot_path_stays_within_alloc_budget() {
@@ -78,4 +83,26 @@ fn fused_hot_path_stays_within_alloc_budget() {
         fused_per_page * 2.0 <= owned_per_page,
         "fused path ({fused_per_page:.2}/page) is not >=2x below owned ({owned_per_page:.2}/page)"
     );
+
+    // The pooled path: after one warmup call the per-run state (shard
+    // scratches, accumulators, sharding vectors) is fully reused, so the
+    // counted window holds true steady state — at 1 worker and at a
+    // parallel worker count alike.
+    for threads in [1usize, 4] {
+        let mut pool = ExtractPool::new();
+        let warm = extractor.extract_web_pooled(&web, &config, Seed(73), threads, &mut pool);
+        assert_eq!(warm.pages_processed, pages, "pooled warmup diverged");
+        let (pooled_pages, pooled) = count_allocs(|| {
+            extractor
+                .extract_web_pooled(&web, &config, Seed(73), threads, &mut pool)
+                .pages_processed
+        });
+        assert_eq!(pooled_pages, pages, "pooled rerun diverged");
+        let pooled_per_page = pooled.calls as f64 / pages as f64;
+        assert!(
+            pooled_per_page <= POOLED_ALLOCS_PER_PAGE_BUDGET,
+            "pooled steady state allocates {pooled_per_page:.3}/page at {threads} threads \
+             (budget {POOLED_ALLOCS_PER_PAGE_BUDGET}); per-run setup is leaking into the window"
+        );
+    }
 }

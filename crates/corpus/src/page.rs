@@ -86,6 +86,22 @@ impl Default for PageScratch {
 }
 
 impl PageScratch {
+    /// Scratch whose text buffer starts at `text_bytes` capacity. A
+    /// default scratch reaches the same steady state by doubling, but
+    /// pays one reallocation-and-copy per doubling step on the way up;
+    /// callers that know the expected page size (e.g. from a previously
+    /// rendered page) skip that ladder entirely.
+    #[must_use]
+    pub fn with_capacity(text_bytes: usize) -> Self {
+        PageScratch {
+            // Hosts are short ("pages.example-word.com"); 48 bytes covers
+            // every generated host without a resize.
+            host: String::with_capacity(48),
+            text: String::with_capacity(text_bytes),
+            ..PageScratch::default()
+        }
+    }
+
     /// Global page id of the most recently rendered page.
     #[must_use]
     pub fn id(&self) -> PageId {
@@ -206,6 +222,9 @@ pub struct PageStream<'a> {
     /// published to the global `corpus.*` metrics once, on drop.
     pages_rendered: u64,
     bytes_rendered: u64,
+    /// Largest page rendered so far; sizes the fresh scratch the owned
+    /// iterator path allocates per page (see [`PageScratch::with_capacity`]).
+    text_high_water: usize,
 }
 
 impl<'a> PageStream<'a> {
@@ -224,6 +243,7 @@ impl<'a> PageStream<'a> {
             next_page: 0,
             pages_rendered: 0,
             bytes_rendered: 0,
+            text_high_water: 0,
         }
     }
 
@@ -264,6 +284,7 @@ impl<'a> PageStream<'a> {
             next_page: first_page,
             pages_rendered: 0,
             bytes_rendered: 0,
+            text_high_water: 0,
         }
     }
 
@@ -342,6 +363,7 @@ impl<'a> PageStream<'a> {
                 self.next_page += 1;
                 self.pages_rendered += 1;
                 self.bytes_rendered += out.text.len() as u64;
+                self.text_high_water = self.text_high_water.max(out.text.len());
                 return true;
             }
             if self.site_cursor >= self.site_end {
@@ -490,8 +512,12 @@ impl Iterator for PageStream<'_> {
     /// Owned-`Page` compatibility path: renders through a fresh
     /// [`PageScratch`] and materialises the URL. Hot loops should use
     /// [`PageStream::render_into`] instead.
+    ///
+    /// The fresh scratch is sized to the largest page rendered so far, so
+    /// only the first page (and each new high-water page) pays the
+    /// grow-by-doubling reallocation ladder.
     fn next(&mut self) -> Option<Page> {
-        let mut scratch = PageScratch::default();
+        let mut scratch = PageScratch::with_capacity(self.text_high_water);
         if self.render_into(&mut scratch) {
             Some(scratch.into_page())
         } else {
@@ -531,6 +557,24 @@ mod tests {
         let c: Vec<Page> =
             PageStream::new(&web, &catalog, PageConfig::default(), Seed(4)).collect();
         assert!(a.iter().zip(&c).any(|(x, y)| x.text != y.text));
+    }
+
+    #[test]
+    fn presized_scratch_renders_identically() {
+        let (catalog, web) = tiny_setup(Domain::Restaurants);
+        let mut a = PageStream::new(&web, &catalog, PageConfig::default(), Seed(3));
+        let mut b = PageStream::new(&web, &catalog, PageConfig::default(), Seed(3));
+        let mut cold = PageScratch::default();
+        let mut warm = PageScratch::with_capacity(16 * 1024);
+        let mut pages = 0usize;
+        while a.render_into(&mut cold) {
+            assert!(b.render_into(&mut warm));
+            assert_eq!(cold.text(), warm.text());
+            assert_eq!(cold.url(), warm.url());
+            pages += 1;
+        }
+        assert!(!b.render_into(&mut warm));
+        assert!(pages > 100, "fixture too small: {pages} pages");
     }
 
     #[test]

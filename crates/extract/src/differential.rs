@@ -1,0 +1,150 @@
+//! Differential tests: every `bytescan`-based scanner against its retained
+//! scalar reference implementation, over real rendered corpora (three
+//! domains at quick scale — the same fixtures the golden tests render) and
+//! over adversarial literals the corpus does not produce.
+//!
+//! The perf rewrite must be observably invisible; these tests pin that
+//! down scanner by scanner rather than only end to end.
+
+use crate::{html, isbn_scan, phone_scan, tokenize};
+use webstruct_corpus::domain::Domain;
+use webstruct_corpus::entity::{CatalogConfig, EntityCatalog};
+use webstruct_corpus::page::{PageConfig, PageStream};
+use webstruct_corpus::web::{Web, WebConfig};
+use webstruct_util::rng::Seed;
+
+/// Visit `(html, visible_text)` for every rendered page of three domains
+/// at quick scale.
+fn for_each_corpus_page(mut f: impl FnMut(&str, &str)) {
+    for (domain, entities, seed) in [
+        (Domain::Restaurants, 300, 61),
+        (Domain::Books, 300, 62),
+        (Domain::Banks, 300, 63),
+    ] {
+        let catalog = EntityCatalog::generate(&CatalogConfig::new(domain, entities), Seed(seed));
+        let web = Web::generate(&catalog, &WebConfig::preset(domain).scaled(0.01), Seed(seed));
+        let pages = PageStream::new(&web, &catalog, PageConfig::default(), Seed(seed + 1));
+        let mut text = String::new();
+        for page in pages {
+            html::strip_tags_into(&page.text, &mut text);
+            f(&page.text, &text);
+        }
+    }
+}
+
+/// Inputs no rendered page contains: malformed markup, digit runs at
+/// word boundaries, multibyte neighbourhoods, empty strings.
+const ADVERSARIAL: &[&str] = &[
+    "",
+    "<",
+    ">",
+    "<a",
+    "<a href=x",
+    "<<a href='y'>><a  HREF=\"z\">",
+    "a < b > c <a href=>",
+    "<A HREF='http://x.test/'>x</a><ahref='no'>",
+    "tags <i>nested <a href=q></i>",
+    "café <a href='é.test'>é</a> — ISBN 978-0-306-40615-7 —",
+    "isbn9780306406157 ISBN: 9780306406157.",
+    "x978-0-306-40615-7 (415) 555-0134 5(415) 555-0134",
+    "1-415-555-0134+1 415 555 0134 415.555.0134415-555-0134",
+    "Crème brûlée ☃ 9 lives of é1é2é3 ABCdef-GHI",
+    "ISBN \u{e9}\u{e9}\u{e9} 978-0-306-40615-7",
+];
+
+#[test]
+fn anchor_scanner_matches_scalar_on_corpus_and_adversarial() {
+    let mut checked = 0usize;
+    let mut check = |html_src: &str| {
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        html::for_each_anchor_href(html_src, |href, at| fast.push((href.to_string(), at)));
+        html::scalar::for_each_anchor_href(html_src, |href, at| slow.push((href.to_string(), at)));
+        assert_eq!(fast, slow, "anchors diverged on {html_src:?}");
+        checked += 1;
+    };
+    for_each_corpus_page(|html_src, _| check(html_src));
+    ADVERSARIAL.iter().for_each(|s| check(s));
+    assert!(checked > 1000, "corpus fixture rendered only {checked} pages");
+}
+
+#[test]
+fn find_attr_matches_scalar() {
+    let tags = [
+        "a href='x'",
+        "a  HREF=\"y\" href='z'",
+        "a xhref='n' href = v",
+        "a href",
+        "a href=",
+        "div href='no-anchor'",
+        "a hrefhref='overlap' href='real'",
+        "a é href='after-multibyte'",
+    ];
+    for tag in tags {
+        for attr in ["href", "HREF", "src"] {
+            assert_eq!(
+                html::find_attr(tag, attr),
+                html::scalar::find_attr(tag, attr),
+                "find_attr diverged on {tag:?} / {attr:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn strip_tags_matches_scalar_on_corpus_and_adversarial() {
+    let mut fast = String::new();
+    let mut slow = String::new();
+    let mut check = |html_src: &str| {
+        html::strip_tags_into(html_src, &mut fast);
+        html::scalar::strip_tags_into(html_src, &mut slow);
+        assert_eq!(fast, slow, "strip_tags diverged on {html_src:?}");
+    };
+    for_each_corpus_page(|html_src, _| check(html_src));
+    ADVERSARIAL.iter().for_each(|s| check(s));
+}
+
+#[test]
+fn phone_scanner_matches_scalar_on_corpus_and_adversarial() {
+    let check = |text: &str| {
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        phone_scan::for_each_phone(text, |m| fast.push(m));
+        phone_scan::scalar::for_each_phone(text, |m| slow.push(m));
+        assert_eq!(fast, slow, "phones diverged on {text:?}");
+    };
+    for_each_corpus_page(|_, text| check(text));
+    ADVERSARIAL.iter().for_each(|s| check(s));
+}
+
+#[test]
+fn isbn_scanner_matches_scalar_on_corpus_and_adversarial() {
+    let mut lower = String::new();
+    let mut check = |text: &str| {
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        isbn_scan::for_each_isbn(text, |m| fast.push(m));
+        isbn_scan::scalar::for_each_isbn(text, &mut lower, |m| slow.push(m));
+        assert_eq!(fast, slow, "isbns diverged on {text:?}");
+    };
+    for_each_corpus_page(|_, text| check(text));
+    ADVERSARIAL.iter().for_each(|s| check(s));
+}
+
+#[test]
+fn tokenizer_matches_scalar_on_corpus_and_adversarial() {
+    let mut fast_buf = String::new();
+    let mut slow_buf = String::new();
+    let mut check = |text: &str| {
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        tokenize::for_each_token(text, &mut fast_buf, |t| fast.push(t.to_string()));
+        tokenize::scalar::for_each_token(text, &mut slow_buf, |t| slow.push(t.to_string()));
+        assert_eq!(fast, slow, "tokens diverged on {text:?}");
+    };
+    for_each_corpus_page(|_, text| check(text));
+    ADVERSARIAL.iter().for_each(|s| check(s));
+    // Non-ASCII alphabetics whose lowercase expands, plus separators that
+    // are multibyte themselves.
+    check("İstanbul ΣΣΣ ǅungla — İİ");
+}

@@ -7,6 +7,13 @@
 //! renders a constrained HTML subset, and the parser is robust to the
 //! malformed fragments the noise models emit (unterminated tags, stray
 //! angle brackets).
+//!
+//! The scanners skip straight to `<` / `>` / attribute-name candidates
+//! with the word-at-a-time kernels in [`webstruct_util::bytescan`]
+//! instead of walking every character; `#[cfg(test)] mod scalar` retains
+//! the original per-char implementations as differential references.
+
+use webstruct_util::bytescan;
 
 /// An extracted anchor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,28 +47,22 @@ pub fn anchor_hrefs(html: &str) -> Vec<Anchor> {
 pub fn for_each_anchor_href(html: &str, mut f: impl FnMut(&str, usize)) {
     let bytes = html.as_bytes();
     let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] != b'<' {
-            i += 1;
-            continue;
-        }
-        let tag_start = i;
+    // `<` and `>` are ASCII, so every offset the skip scans return is a
+    // UTF-8 character boundary (see `bytescan`'s module docs) and the
+    // `&str` slices below never split a code point.
+    while let Some(tag_start) = bytescan::memchr(b'<', &bytes[i..]).map(|p| i + p) {
         // Find the end of the tag (or give up at EOF for unterminated tags).
-        let Some(rel_end) = html[i..].find('>') else {
+        let Some(tag_end) = bytescan::memchr(b'>', &bytes[tag_start..]).map(|p| tag_start + p)
+        else {
             break;
         };
-        let tag = &html[i + 1..i + rel_end];
-        i += rel_end + 1;
-        let mut chars = tag.chars();
-        let first = chars.next();
-        if !matches!(first, Some('a' | 'A')) {
+        let tag = &html[tag_start + 1..tag_end];
+        i = tag_end + 1;
+        // Must be exactly "a" followed by ASCII whitespace (not <abbr>
+        // etc.); a bare <a> has no href.
+        let t = tag.as_bytes();
+        if t.len() < 2 || !matches!(t[0], b'a' | b'A') || !t[1].is_ascii_whitespace() {
             continue;
-        }
-        // Must be exactly "a" followed by whitespace (not <abbr> etc.).
-        match chars.next() {
-            Some(c) if !c.is_ascii_whitespace() => continue,
-            None => continue, // bare <a> has no href
-            _ => {}
         }
         if let Some(href) = find_attr(tag, "href") {
             f(href, tag_start);
@@ -70,26 +71,24 @@ pub fn for_each_anchor_href(html: &str, mut f: impl FnMut(&str, usize)) {
 }
 
 /// Find the value of `attr` within a tag body (case-insensitive name),
-/// returned as a borrowed slice of the tag. No allocation: the name is
-/// matched with `eq_ignore_ascii_case` instead of lowercasing the tag.
-fn find_attr<'t>(tag: &'t str, attr: &str) -> Option<&'t str> {
+/// returned as a borrowed slice of the tag. No allocation: candidate
+/// positions come from [`bytescan::find_ascii_ci`] rather than a
+/// byte-at-a-time walk, and the name never needs a lowercased copy.
+pub(crate) fn find_attr<'t>(tag: &'t str, attr: &str) -> Option<&'t str> {
     let bytes = tag.as_bytes();
     let name = attr.as_bytes();
     let mut pos = 0;
     while pos + name.len() <= bytes.len() {
-        if !bytes[pos..pos + name.len()].eq_ignore_ascii_case(name) {
-            pos += 1;
-            continue;
-        }
+        let hit = pos + bytescan::find_ascii_ci(&bytes[pos..], name)?;
         // Must be preceded by whitespace and followed (possibly after
         // spaces) by '='.
-        let before_ok = pos > 0 && bytes[pos - 1].is_ascii_whitespace();
-        let after = tag[pos + name.len()..].trim_start();
+        let before_ok = hit > 0 && bytes[hit - 1].is_ascii_whitespace();
+        let after = tag[hit + name.len()..].trim_start();
         if before_ok && after.starts_with('=') {
             let value = after[1..].trim_start();
             return Some(parse_attr_value(value));
         }
-        pos += name.len();
+        pos = hit + name.len();
     }
     None
 }
@@ -126,17 +125,29 @@ pub fn strip_tags(html: &str) -> String {
 pub fn strip_tags_into(html: &str, out: &mut String) {
     out.clear();
     out.reserve(html.len());
+    let bytes = html.as_bytes();
+    let mut i = 0;
     let mut in_tag = false;
-    for c in html.chars() {
-        match c {
-            '<' => {
-                in_tag = true;
-                out.push(' ');
-            }
-            '>' => in_tag = false,
-            _ if !in_tag => out.push(c),
-            _ => {}
+    // Jump between `<`/`>` delimiters and copy (or drop) whole spans at
+    // once. Both delimiters are ASCII, so every span edge is a UTF-8
+    // character boundary and the visible spans copy byte-exactly. The
+    // state machine is the same as the old per-char loop: `<` always
+    // emits one space (even nested inside a tag), `>` closes without
+    // emitting, text inside tags is dropped.
+    while let Some(p) = bytescan::memchr2(b'<', b'>', &bytes[i..]).map(|p| i + p) {
+        if !in_tag {
+            out.push_str(&html[i..p]);
         }
+        if bytes[p] == b'<' {
+            in_tag = true;
+            out.push(' ');
+        } else {
+            in_tag = false;
+        }
+        i = p + 1;
+    }
+    if !in_tag {
+        out.push_str(&html[i..]);
     }
 }
 
@@ -197,6 +208,80 @@ pub fn truncate_at_char_boundary(text: &str, keep_bytes: usize) -> &str {
         end -= 1;
     }
     &text[..end]
+}
+
+/// The original per-character scanners, kept verbatim as reference
+/// implementations: the differential tests (here and in
+/// `crate::differential`) assert the `bytescan`-based rewrites above are
+/// observably identical on every input.
+#[cfg(test)]
+pub(crate) mod scalar {
+    pub fn for_each_anchor_href(html: &str, mut f: impl FnMut(&str, usize)) {
+        let bytes = html.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] != b'<' {
+                i += 1;
+                continue;
+            }
+            let tag_start = i;
+            let Some(rel_end) = html[i..].find('>') else {
+                break;
+            };
+            let tag = &html[i + 1..i + rel_end];
+            i += rel_end + 1;
+            let mut chars = tag.chars();
+            let first = chars.next();
+            if !matches!(first, Some('a' | 'A')) {
+                continue;
+            }
+            match chars.next() {
+                Some(c) if !c.is_ascii_whitespace() => continue,
+                None => continue,
+                _ => {}
+            }
+            if let Some(href) = find_attr(tag, "href") {
+                f(href, tag_start);
+            }
+        }
+    }
+
+    pub fn find_attr<'t>(tag: &'t str, attr: &str) -> Option<&'t str> {
+        let bytes = tag.as_bytes();
+        let name = attr.as_bytes();
+        let mut pos = 0;
+        while pos + name.len() <= bytes.len() {
+            if !bytes[pos..pos + name.len()].eq_ignore_ascii_case(name) {
+                pos += 1;
+                continue;
+            }
+            let before_ok = pos > 0 && bytes[pos - 1].is_ascii_whitespace();
+            let after = tag[pos + name.len()..].trim_start();
+            if before_ok && after.starts_with('=') {
+                let value = after[1..].trim_start();
+                return Some(super::parse_attr_value(value));
+            }
+            pos += name.len();
+        }
+        None
+    }
+
+    pub fn strip_tags_into(html: &str, out: &mut String) {
+        out.clear();
+        out.reserve(html.len());
+        let mut in_tag = false;
+        for c in html.chars() {
+            match c {
+                '<' => {
+                    in_tag = true;
+                    out.push(' ');
+                }
+                '>' => in_tag = false,
+                _ if !in_tag => out.push(c),
+                _ => {}
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -282,9 +367,13 @@ mod tests {
             let cut = truncate_at_char_boundary(text, keep);
             assert!(cut.len() <= keep.min(text.len()));
             assert!(text.starts_with(cut));
-            // The result is valid UTF-8 by construction (it's a &str);
-            // re-walking it must not panic.
-            assert_eq!(cut.chars().count(), cut.chars().count());
+            // The cut keeps exactly the characters that fit wholly within
+            // `keep` bytes — derived independently from the original text.
+            let expected_chars = text
+                .char_indices()
+                .take_while(|&(at, c)| at + c.len_utf8() <= keep)
+                .count();
+            assert_eq!(cut.chars().count(), expected_chars, "keep {keep}");
         }
         assert_eq!(truncate_at_char_boundary(text, text.len()), text);
         assert_eq!(truncate_at_char_boundary("", 5), "");

@@ -4,6 +4,7 @@
 //! of the paper.
 
 use webstruct_corpus::isbn::Isbn;
+use webstruct_util::bytescan;
 
 /// Marker window, in bytes, searched on each side of a candidate.
 pub const MARKER_WINDOW: usize = 24;
@@ -22,28 +23,26 @@ pub struct IsbnMatch {
 /// Scan `text` for ISBNs with a nearby `ISBN` marker (case-insensitive).
 #[must_use]
 pub fn scan_isbns(text: &str) -> Vec<IsbnMatch> {
-    let mut lower = String::new();
     let mut out = Vec::new();
-    for_each_isbn(text, &mut lower, |m| out.push(m));
+    for_each_isbn(text, |m| out.push(m));
     out
 }
 
-/// Visit every marked ISBN in `text` in document order. `lower_buf` is a
-/// caller-owned scratch buffer for the lowercased text (cleared and
-/// refilled here) — reusing it across pages is what makes the hot
-/// extraction path allocation-free; [`scan_isbns`] wraps this with a
-/// fresh buffer and a `Vec`.
-pub fn for_each_isbn(text: &str, lower_buf: &mut String, mut f: impl FnMut(IsbnMatch)) {
+/// Visit every marked ISBN in `text` in document order. Allocation-free:
+/// candidates are found by jumping straight to digit-run starts and the
+/// `ISBN` marker is matched case-insensitively in place, so no lowercased
+/// copy of the page is ever built.
+pub fn for_each_isbn(text: &str, mut f: impl FnMut(IsbnMatch)) {
     let bytes = text.as_bytes();
-    lower_buf.clear();
-    lower_buf.reserve(text.len());
-    // ASCII-only lowercasing (same as `str::to_ascii_lowercase`) keeps
-    // byte offsets aligned with `text`.
-    lower_buf.extend(text.chars().map(|c| c.to_ascii_lowercase()));
     let mut i = 0;
-    while i < bytes.len() {
-        if !bytes[i].is_ascii_digit() || (i > 0 && is_token_byte(bytes[i - 1])) {
-            i += 1;
+    while let Some(p) = bytescan::find_ascii_digit(bytes, i) {
+        i = p;
+        if i > 0 && is_token_byte(bytes[i - 1]) {
+            // Mid-token digit: every later digit in this token is also
+            // preceded by a token byte, so skip the whole token at once.
+            while i < bytes.len() && is_token_byte(bytes[i]) {
+                i += 1;
+            }
             continue;
         }
         // Collect the maximal token of digits/hyphens/X.
@@ -59,7 +58,7 @@ pub fn for_each_isbn(text: &str, lower_buf: &mut String, mut f: impl FnMut(IsbnM
         }
         let token = &text[start..end];
         if let Ok(isbn) = Isbn::parse(token) {
-            if has_marker_nearby(lower_buf, start, end) {
+            if has_marker_nearby(text, start, end) {
                 f(IsbnMatch { isbn, start, end });
             }
         }
@@ -71,14 +70,16 @@ fn is_token_byte(b: u8) -> bool {
     b.is_ascii_digit() || b == b'-' || b == b'X' || b == b'x'
 }
 
-fn has_marker_nearby(lower: &str, start: usize, end: usize) -> bool {
+fn has_marker_nearby(text: &str, start: usize, end: usize) -> bool {
     let lo = start.saturating_sub(MARKER_WINDOW);
-    let hi = (end + MARKER_WINDOW).min(lower.len());
-    // The slice bounds are byte offsets that may split UTF-8 sequences in
-    // pathological inputs; fall back to a widened char boundary.
-    let lo = floor_char_boundary(lower, lo);
-    let hi = ceil_char_boundary(lower, hi);
-    lower[lo..hi].contains("isbn")
+    let hi = (end + MARKER_WINDOW).min(text.len());
+    // The window bounds are byte offsets that may split UTF-8 sequences in
+    // pathological inputs; widen to char boundaries exactly as the old
+    // lowercased-copy implementation did, then match `isbn` ignoring ASCII
+    // case — identical to `lowered_window.contains("isbn")`.
+    let lo = floor_char_boundary(text, lo);
+    let hi = ceil_char_boundary(text, hi);
+    bytescan::find_ascii_ci(&text.as_bytes()[lo..hi], b"isbn").is_some()
 }
 
 fn floor_char_boundary(s: &str, mut i: usize) -> usize {
@@ -93,6 +94,53 @@ fn ceil_char_boundary(s: &str, mut i: usize) -> usize {
         i += 1;
     }
     i
+}
+
+/// The original scanner — every-byte walk over a full lowercased copy —
+/// kept as the differential reference for the in-place rewrite above.
+#[cfg(test)]
+pub(crate) mod scalar {
+    use super::{
+        ceil_char_boundary, floor_char_boundary, is_token_byte, Isbn, IsbnMatch, MARKER_WINDOW,
+    };
+
+    pub fn for_each_isbn(text: &str, lower_buf: &mut String, mut f: impl FnMut(IsbnMatch)) {
+        let bytes = text.as_bytes();
+        lower_buf.clear();
+        lower_buf.reserve(text.len());
+        lower_buf.extend(text.chars().map(|c| c.to_ascii_lowercase()));
+        let mut i = 0;
+        while i < bytes.len() {
+            if !bytes[i].is_ascii_digit() || (i > 0 && is_token_byte(bytes[i - 1])) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut j = i;
+            while j < bytes.len() && is_token_byte(bytes[j]) {
+                j += 1;
+            }
+            let mut end = j;
+            while end > start && bytes[end - 1] == b'-' {
+                end -= 1;
+            }
+            let token = &text[start..end];
+            if let Ok(isbn) = Isbn::parse(token) {
+                if has_marker_nearby(lower_buf, start, end) {
+                    f(IsbnMatch { isbn, start, end });
+                }
+            }
+            i = j.max(i + 1);
+        }
+    }
+
+    fn has_marker_nearby(lower: &str, start: usize, end: usize) -> bool {
+        let lo = start.saturating_sub(MARKER_WINDOW);
+        let hi = (end + MARKER_WINDOW).min(lower.len());
+        let lo = floor_char_boundary(lower, lo);
+        let hi = ceil_char_boundary(lower, hi);
+        lower[lo..hi].contains("isbn")
+    }
 }
 
 #[cfg(test)]

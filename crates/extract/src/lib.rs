@@ -29,6 +29,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+#[cfg(test)]
+mod differential;
 pub mod html;
 pub mod isbn_scan;
 pub mod nb;
@@ -40,7 +42,7 @@ pub mod training;
 pub mod wrapper;
 
 pub use nb::NaiveBayes;
-pub use pipeline::{ExtractScratch, ExtractedWeb, Extractor, PageExtraction};
+pub use pipeline::{ExtractPool, ExtractScratch, ExtractedWeb, Extractor, PageExtraction};
 pub use precision::{phone_precision_study, PrecisionReport};
 pub use training::train_review_classifier;
 pub use wrapper::{learn_wrapper, RawRecord, Wrapper};

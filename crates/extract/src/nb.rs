@@ -34,6 +34,13 @@ impl std::error::Error for TrainError {}
 pub struct NaiveBayes {
     /// token -> (count in positive docs, count in negative docs)
     token_counts: FxHashMap<String, (u32, u32)>,
+    /// token -> precomputed per-occurrence log-odds contribution. Each
+    /// value is built with exactly the float operations (and operation
+    /// order) the scoring loop used to perform inline, so summing table
+    /// entries is bitwise identical to the original per-token math.
+    contrib: FxHashMap<String, f64>,
+    /// Contribution of any out-of-vocabulary token (pos = neg = 0).
+    oov_contrib: f64,
     /// Total token occurrences per class.
     total_tokens: [u64; 2],
     /// Document counts per class.
@@ -81,11 +88,15 @@ impl NaiveBayes {
         if doc_counts[0] == 0 {
             return Err(TrainError::MissingClass("non-review"));
         }
+        let alpha = 1.0;
+        let (contrib, oov_contrib) = contributions(&token_counts, total_tokens, alpha);
         Ok(NaiveBayes {
             token_counts,
+            contrib,
+            oov_contrib,
             total_tokens,
             doc_counts,
-            alpha: 1.0,
+            alpha,
         })
     }
 
@@ -108,19 +119,18 @@ impl NaiveBayes {
     /// vocabulary, so steady-state scoring allocates nothing.
     #[must_use]
     pub fn log_odds_with(&self, text: &str, token_buf: &mut String) -> f64 {
-        let v = self.token_counts.len() as f64;
         let prior_pos = self.doc_counts[1] as f64;
         let prior_neg = self.doc_counts[0] as f64;
         let mut score = prior_pos.ln() - prior_neg.ln();
-        let denom_pos = self.total_tokens[1] as f64 + self.alpha * v;
-        let denom_neg = self.total_tokens[0] as f64 + self.alpha * v;
         for_each_token(text, token_buf, |token| {
-            let (pos, neg) = self.token_counts.get(token).copied().unwrap_or((0, 0));
+            // One table lookup per token instead of four `ln()` calls.
             // Unknown tokens contribute the same smoothed mass to both
             // classes; include them anyway for a consistent definition.
-            let lp = (f64::from(pos) + self.alpha).ln() - denom_pos.ln();
-            let ln = (f64::from(neg) + self.alpha).ln() - denom_neg.ln();
-            score += lp - ln;
+            score += self
+                .contrib
+                .get(token)
+                .copied()
+                .unwrap_or(self.oov_contrib);
         });
         score
     }
@@ -179,6 +189,32 @@ impl NaiveBayes {
         }
         correct as f64 / total as f64
     }
+}
+
+/// Per-token log-odds contribution table plus the out-of-vocabulary
+/// constant. The arithmetic here replays, operation for operation, what
+/// the scoring loop used to compute inline per token occurrence —
+/// `((pos + α).ln() − denom₊.ln()) − ((neg + α).ln() − denom₋.ln())` —
+/// so replacing the inline math with a table lookup leaves every score
+/// bitwise unchanged.
+fn contributions(
+    token_counts: &FxHashMap<String, (u32, u32)>,
+    total_tokens: [u64; 2],
+    alpha: f64,
+) -> (FxHashMap<String, f64>, f64) {
+    let v = token_counts.len() as f64;
+    let denom_pos = total_tokens[1] as f64 + alpha * v;
+    let denom_neg = total_tokens[0] as f64 + alpha * v;
+    let one = |pos: u32, neg: u32| {
+        let lp = (f64::from(pos) + alpha).ln() - denom_pos.ln();
+        let ln = (f64::from(neg) + alpha).ln() - denom_neg.ln();
+        lp - ln
+    };
+    let contrib = token_counts
+        .iter()
+        .map(|(token, &(pos, neg))| (token.clone(), one(pos, neg)))
+        .collect();
+    (contrib, one(0, 0))
 }
 
 #[cfg(test)]
@@ -258,6 +294,34 @@ mod tests {
             review_tokens.iter().any(|t| ["amazing", "delicious", "stars", "wonderful"].contains(t)),
             "review features {review_tokens:?}"
         );
+    }
+
+    #[test]
+    fn contribution_table_is_bitwise_identical_to_inline_scoring() {
+        let clf = toy_classifier();
+        let texts = [
+            "the food was amazing",
+            "claim this listing to update details and directions",
+            "zzzz unknown tokens only qqqq",
+            "mixed: amazing zzzz listing delicious",
+            "",
+        ];
+        for text in texts {
+            // The pre-table scoring loop, replayed inline.
+            let v = clf.token_counts.len() as f64;
+            let denom_pos = clf.total_tokens[1] as f64 + clf.alpha * v;
+            let denom_neg = clf.total_tokens[0] as f64 + clf.alpha * v;
+            let mut expected = (clf.doc_counts[1] as f64).ln() - (clf.doc_counts[0] as f64).ln();
+            let mut buf = String::new();
+            for_each_token(text, &mut buf, |token| {
+                let (pos, neg) = clf.token_counts.get(token).copied().unwrap_or((0, 0));
+                let lp = (f64::from(pos) + clf.alpha).ln() - denom_pos.ln();
+                let ln = (f64::from(neg) + clf.alpha).ln() - denom_neg.ln();
+                expected += lp - ln;
+            });
+            let got = clf.log_odds(text);
+            assert_eq!(got.to_bits(), expected.to_bits(), "score drifted on {text:?}");
+        }
     }
 
     #[test]

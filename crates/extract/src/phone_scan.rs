@@ -16,6 +16,11 @@
 //! pages (§3.5 of the paper).
 
 use webstruct_corpus::phone::PhoneNumber;
+use webstruct_util::bytescan::ByteTable;
+
+/// Bytes a phone candidate can start with: `(`, `+`, or any digit
+/// (`match_candidate` dispatches on exactly these).
+static PHONE_START: ByteTable = ByteTable::new(b"(+").with_range(b'0', b'9');
 
 /// One phone match in a document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,11 +47,20 @@ pub fn scan_phones(text: &str) -> Vec<PhoneMatch> {
 pub fn for_each_phone(text: &str, mut f: impl FnMut(PhoneMatch)) {
     let bytes = text.as_bytes();
     let mut i = 0;
-    while i < bytes.len() {
+    while let Some(p) = PHONE_START.find_in(bytes, i) {
+        i = p;
         // A candidate never starts immediately after a digit: that would
         // mean we are inside a longer digit run (tracking numbers etc.).
         if i > 0 && bytes[i - 1].is_ascii_digit() {
-            i += 1;
+            if bytes[i].is_ascii_digit() {
+                // Inside a digit run: no position in the rest of the run
+                // can start a candidate, so jump past it wholesale.
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
             continue;
         }
         if let Some((digits, end)) = match_candidate(bytes, i) {
@@ -169,6 +183,36 @@ fn boundary(bytes: &[u8], i: usize) -> Option<()> {
         None
     } else {
         Some(())
+    }
+}
+
+/// The original every-byte scanner, kept as the differential reference
+/// for the skip-table rewrite above.
+#[cfg(test)]
+pub(crate) mod scalar {
+    use super::{match_candidate, PhoneMatch, PhoneNumber};
+
+    pub fn for_each_phone(text: &str, mut f: impl FnMut(PhoneMatch)) {
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if i > 0 && bytes[i - 1].is_ascii_digit() {
+                i += 1;
+                continue;
+            }
+            if let Some((digits, end)) = match_candidate(bytes, i) {
+                if let Ok(phone) = PhoneNumber::from_digits(digits) {
+                    f(PhoneMatch {
+                        phone,
+                        start: i,
+                        end,
+                    });
+                    i = end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
     }
 }
 

@@ -1,0 +1,509 @@
+//! Word-at-a-time byte-scanning primitives for the extraction hot path.
+//!
+//! Every scanner in `webstruct-extract` used to walk page text `char` by
+//! `char` through a per-character FSM — 1–2 orders of magnitude below what
+//! byte-level skipping achieves on the same hardware. This module provides
+//! the std-only, dependency-free kernels those scanners now skip with:
+//!
+//! * [`memchr`] / [`memchr2`] / [`memchr3`] — first occurrence of one of
+//!   up to three bytes, processing a word (or a 16-byte SSE2 vector on
+//!   x86_64, where SSE2 is part of the architecture baseline) per step;
+//! * [`find_ascii_ci`] — ASCII case-insensitive substring search, built on
+//!   [`memchr2`] candidate skipping;
+//! * [`ByteTable`] — a 256-entry byte-class membership table with a
+//!   skip-scan ([`ByteTable::find_in`]) that jumps straight to the next
+//!   interesting byte (digit-run starts, token starts, tag opens);
+//! * [`find_ascii_digit`] — SWAR range scan for `b'0'..=b'9'`, the
+//!   digit-run entry point of the phone and ISBN scanners.
+//!
+//! ## UTF-8 safety argument
+//!
+//! Every kernel here searches for **ASCII** bytes (`< 0x80`). UTF-8
+//! guarantees that bytes of multibyte sequences are all `>= 0x80`, so an
+//! ASCII byte found at offset `i` of a valid UTF-8 string is always a
+//! whole character and `i` is always a character boundary. Callers may
+//! therefore slice `&str` at any offset these functions return without
+//! re-validating boundaries. Tables that deliberately include `0x80..`
+//! (e.g. the tokenizer's "token start" class) land on the *leading* byte
+//! of a multibyte character for the same reason: continuation bytes are
+//! only reached by starting inside a sequence, which the scanners never
+//! do because they always advance by whole matches.
+//!
+//! Correctness is locked down by seeded differential property tests at
+//! the bottom of this file: every primitive is compared against a naive
+//! scalar reference on adversarial inputs (needles at word boundaries,
+//! needles straddling the 8/16-byte steps, multibyte neighbourhoods).
+
+/// Lowest byte of every lane set: `0x0101…01`.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// Highest bit of every lane set: `0x8080…80`.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Broadcast a byte into all eight lanes of a word.
+#[inline(always)]
+const fn splat(b: u8) -> u64 {
+    LO * b as u64
+}
+
+/// Per-lane zero detector: the high bit of each lane of the result is set
+/// if that lane of `x` is zero. False positives can only occur in lanes
+/// *above* (more significant than) a true zero lane, so the lowest set
+/// bit always marks a real zero — exactly what little-endian
+/// `trailing_zeros` consumes.
+#[inline(always)]
+const fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Per-lane ASCII-digit detector (`0x30..=0x39`), the bit-twiddling
+/// "byte between m and n" range test. Exact for this range: all masks
+/// stay within their lanes (no inter-lane carries), so every lane's high
+/// bit is set iff that byte is a digit.
+#[inline(always)]
+const fn digit_lanes(x: u64) -> u64 {
+    // m < b < n with m = 0x2F, n = 0x3A  ⇔  b'0' <= b <= b'9'.
+    const N: u64 = splat(127 + 0x3A);
+    const M: u64 = splat(127 - 0x2F);
+    N.wrapping_sub(x & !HI) & !x & (x & !HI).wrapping_add(M) & HI
+}
+
+/// Lane index (0..8) of the lowest set high-bit in a detector mask.
+#[inline(always)]
+const fn first_lane(mask: u64) -> usize {
+    (mask.trailing_zeros() / 8) as usize
+}
+
+/// First occurrence of `n1` in `hay`, scanning a word (or SSE2 vector)
+/// at a time.
+#[must_use]
+pub fn memchr(n1: u8, hay: &[u8]) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        memchr_sse2(n1, hay)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        memchr_swar(n1, hay)
+    }
+}
+
+/// First occurrence of `n1` or `n2` in `hay`.
+#[must_use]
+pub fn memchr2(n1: u8, n2: u8, hay: &[u8]) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        memchr2_sse2(n1, n2, hay)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        memchr2_swar(n1, n2, hay)
+    }
+}
+
+/// First occurrence of `n1`, `n2` or `n3` in `hay`.
+#[must_use]
+pub fn memchr3(n1: u8, n2: u8, n3: u8, hay: &[u8]) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        memchr3_sse2(n1, n2, n3, hay)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        memchr3_swar(n1, n2, n3, hay)
+    }
+}
+
+/// First ASCII digit (`b'0'..=b'9'`) at or after `from`.
+#[must_use]
+pub fn find_ascii_digit(hay: &[u8], from: usize) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    let hay = &hay[from..];
+    let mut chunks = hay.chunks_exact(8);
+    let mut base = 0usize;
+    for chunk in chunks.by_ref() {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+        let m = digit_lanes(w);
+        if m != 0 {
+            return Some(from + base + first_lane(m));
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(u8::is_ascii_digit)
+        .map(|p| from + base + p)
+}
+
+macro_rules! swar_memchr {
+    ($name:ident, $($n:ident),+) => {
+        #[allow(dead_code)]
+        fn $name($($n: u8,)+ hay: &[u8]) -> Option<usize> {
+            $(let $n = splat($n);)+
+            let mut chunks = hay.chunks_exact(8);
+            let mut base = 0usize;
+            for chunk in chunks.by_ref() {
+                let w = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+                let m = $(zero_lanes(w ^ $n))|+;
+                if m != 0 {
+                    return Some(base + first_lane(m));
+                }
+                base += 8;
+            }
+            let tail = chunks.remainder();
+            tail.iter()
+                .position(|&b| { let b = splat(b); false $(|| b == $n)+ })
+                .map(|p| base + p)
+        }
+    };
+}
+
+swar_memchr!(memchr_swar, n1);
+swar_memchr!(memchr2_swar, n1, n2);
+swar_memchr!(memchr3_swar, n1, n2, n3);
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    //! 16-bytes-at-a-time variants. SSE2 is part of the x86_64 baseline,
+    //! so these need no runtime feature detection.
+    use std::arch::x86_64::{
+        __m128i, _mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_or_si128, _mm_set1_epi8,
+    };
+
+    /// Match mask of `chunk` (16 bytes) against up to three needles; bit
+    /// `i` of the result is set iff byte `i` equals one of them.
+    ///
+    /// SAFETY contract (callers): `chunk` must point at 16 readable bytes.
+    #[inline(always)]
+    unsafe fn mask3(chunk: *const u8, n1: u8, n2: u8, n3: Option<u8>) -> u32 {
+        // SAFETY: caller guarantees 16 readable bytes; loadu has no
+        // alignment requirement.
+        let v = unsafe { _mm_loadu_si128(chunk.cast::<__m128i>()) };
+        let m1 = _mm_cmpeq_epi8(v, _mm_set1_epi8(n1 as i8));
+        let m2 = _mm_cmpeq_epi8(v, _mm_set1_epi8(n2 as i8));
+        let mut m = _mm_or_si128(m1, m2);
+        if let Some(n3) = n3 {
+            m = _mm_or_si128(m, _mm_cmpeq_epi8(v, _mm_set1_epi8(n3 as i8)));
+        }
+        _mm_movemask_epi8(m) as u32
+    }
+
+    pub(super) fn find(hay: &[u8], n1: u8, n2: u8, n3: Option<u8>) -> Option<usize> {
+        let mut i = 0usize;
+        while i + 16 <= hay.len() {
+            // SAFETY: `i + 16 <= hay.len()` guarantees 16 readable bytes.
+            let m = unsafe { mask3(hay.as_ptr().add(i), n1, n2, n3) };
+            if m != 0 {
+                return Some(i + m.trailing_zeros() as usize);
+            }
+            i += 16;
+        }
+        hay[i..]
+            .iter()
+            .position(|&b| b == n1 || b == n2 || n3 == Some(b))
+            .map(|p| i + p)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn memchr_sse2(n1: u8, hay: &[u8]) -> Option<usize> {
+    sse2::find(hay, n1, n1, None)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn memchr2_sse2(n1: u8, n2: u8, hay: &[u8]) -> Option<usize> {
+    sse2::find(hay, n1, n2, None)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn memchr3_sse2(n1: u8, n2: u8, n3: u8, hay: &[u8]) -> Option<usize> {
+    sse2::find(hay, n1, n2, Some(n3))
+}
+
+/// First occurrence of `needle` in `hay`, matching ASCII letters
+/// case-insensitively. The needle must be pure ASCII (checked by
+/// `debug_assert`); an empty needle matches at offset 0.
+///
+/// The scan skips to candidate positions with [`memchr2`] on the two
+/// cases of the needle's first byte, then verifies the remainder with
+/// `eq_ignore_ascii_case` — so haystack bytes that cannot start a match
+/// are never touched one at a time.
+#[must_use]
+pub fn find_ascii_ci(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    debug_assert!(needle.is_ascii(), "find_ascii_ci needle must be ASCII");
+    let Some((&first, rest)) = needle.split_first() else {
+        return Some(0);
+    };
+    if needle.len() > hay.len() {
+        return None;
+    }
+    let (lo, up) = (first.to_ascii_lowercase(), first.to_ascii_uppercase());
+    let mut i = 0usize;
+    let last_start = hay.len() - needle.len();
+    while i <= last_start {
+        // Candidate starts past `last_start` cannot fit the needle, so
+        // the skip scan is bounded to the viable window.
+        let p = i + memchr2(lo, up, &hay[i..=last_start])?;
+        if hay[p + 1..p + needle.len()].eq_ignore_ascii_case(rest) {
+            return Some(p);
+        }
+        i = p + 1;
+    }
+    None
+}
+
+/// A 256-entry byte-class membership table: the skip tables the scanners
+/// jump with. Built in `const` context so every class the workspace uses
+/// is a `static` with zero startup cost.
+#[derive(Debug, Clone)]
+pub struct ByteTable {
+    member: [bool; 256],
+}
+
+impl ByteTable {
+    /// Table containing exactly the bytes of `members`.
+    #[must_use]
+    pub const fn new(members: &[u8]) -> Self {
+        let mut member = [false; 256];
+        let mut i = 0;
+        while i < members.len() {
+            member[members[i] as usize] = true;
+            i += 1;
+        }
+        ByteTable { member }
+    }
+
+    /// Add the inclusive byte range `lo..=hi` to the class.
+    #[must_use]
+    pub const fn with_range(mut self, lo: u8, hi: u8) -> Self {
+        let mut b = lo as usize;
+        while b <= hi as usize {
+            self.member[b] = true;
+            b += 1;
+        }
+        ByteTable {
+            member: self.member,
+        }
+    }
+
+    /// Whether `b` is in the class.
+    #[inline(always)]
+    #[must_use]
+    pub fn contains(&self, b: u8) -> bool {
+        self.member[b as usize]
+    }
+
+    /// Index of the first class member at or after `from`, skipping
+    /// non-members four at a time.
+    #[must_use]
+    pub fn find_in(&self, hay: &[u8], from: usize) -> Option<usize> {
+        if from >= hay.len() {
+            return None;
+        }
+        let mut i = from;
+        // Unrolled by four: one predictable branch per four loads keeps
+        // the skip loop at ~1 byte/cycle without any per-class SIMD.
+        while i + 4 <= hay.len() {
+            if self.member[hay[i] as usize] {
+                return Some(i);
+            }
+            if self.member[hay[i + 1] as usize] {
+                return Some(i + 1);
+            }
+            if self.member[hay[i + 2] as usize] {
+                return Some(i + 2);
+            }
+            if self.member[hay[i + 3] as usize] {
+                return Some(i + 3);
+            }
+            i += 4;
+        }
+        while i < hay.len() {
+            if self.member[hay[i] as usize] {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Seed, Xoshiro256};
+
+    // ---- naive scalar references -------------------------------------
+
+    fn ref_memchr3(n: &[u8], hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|b| n.contains(b))
+    }
+
+    fn ref_find_ci(hay: &[u8], needle: &[u8]) -> Option<usize> {
+        if needle.is_empty() {
+            return Some(0);
+        }
+        if needle.len() > hay.len() {
+            return None;
+        }
+        (0..=hay.len() - needle.len())
+            .find(|&i| hay[i..i + needle.len()].eq_ignore_ascii_case(needle))
+    }
+
+    fn ref_find_digit(hay: &[u8], from: usize) -> Option<usize> {
+        hay.iter()
+            .enumerate()
+            .skip(from)
+            .find(|(_, b)| b.is_ascii_digit())
+            .map(|(i, _)| i)
+    }
+
+    // ---- deterministic adversarial corpus ----------------------------
+
+    /// Random haystacks biased toward word-boundary adversaries: needles
+    /// planted at offsets 0, 7, 8, 15, 16 and len-1 so every match
+    /// position relative to the 8-byte SWAR / 16-byte SSE2 step occurs.
+    fn adversarial_haystacks() -> Vec<Vec<u8>> {
+        let mut rng = Xoshiro256::from_seed(Seed(0xB17E));
+        let mut out = Vec::new();
+        for len in [0usize, 1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 100, 257] {
+            for _ in 0..8 {
+                let mut hay: Vec<u8> = (0..len)
+                    .map(|_| (rng.u64_below(96) as u8) + b' ') // printable ASCII
+                    .collect();
+                // Sprinkle multibyte UTF-8 and high bytes.
+                if len >= 4 && rng.bool_with(0.5) {
+                    let at = rng.u64_below(len as u64 - 3) as usize;
+                    hay[at..at + 2].copy_from_slice("é".as_bytes());
+                }
+                // Plant the probe bytes at step-boundary offsets.
+                for &at in &[0usize, 7, 8, 15, 16, len.saturating_sub(1)] {
+                    if at < len && rng.bool_with(0.4) {
+                        hay[at] = *[b'<', b'>', b'0', b'9', b'x', 0x80, 0xFF]
+                            .get(rng.u64_below(7) as usize)
+                            .expect("index < 7");
+                    }
+                }
+                out.push(hay);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn memchr_family_matches_reference_on_adversarial_inputs() {
+        for hay in adversarial_haystacks() {
+            for &a in &[b'<', b'0', b'x', 0x80u8, 0xFFu8, b' '] {
+                assert_eq!(memchr(a, &hay), ref_memchr3(&[a], &hay), "memchr {a:#x} {hay:?}");
+                assert_eq!(
+                    memchr_swar(a, &hay),
+                    ref_memchr3(&[a], &hay),
+                    "swar memchr {a:#x} {hay:?}"
+                );
+                for &b in b">9+" {
+                    assert_eq!(
+                        memchr2(a, b, &hay),
+                        ref_memchr3(&[a, b], &hay),
+                        "memchr2 {a:#x},{b:#x} {hay:?}"
+                    );
+                    assert_eq!(memchr2_swar(a, b, &hay), ref_memchr3(&[a, b], &hay));
+                    for &c in b"(-" {
+                        assert_eq!(
+                            memchr3(a, b, c, &hay),
+                            ref_memchr3(&[a, b, c], &hay),
+                            "memchr3 {a:#x},{b:#x},{c:#x} {hay:?}"
+                        );
+                        assert_eq!(memchr3_swar(a, b, c, &hay), ref_memchr3(&[a, b, c], &hay));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn find_ascii_digit_matches_reference() {
+        for hay in adversarial_haystacks() {
+            for from in 0..=hay.len().min(20) {
+                assert_eq!(
+                    find_ascii_digit(&hay, from),
+                    ref_find_digit(&hay, from),
+                    "digits from {from} in {hay:?}"
+                );
+            }
+            // Out-of-range from is None, not a panic.
+            assert_eq!(find_ascii_digit(&hay, hay.len() + 1), None);
+        }
+        // Every byte value classifies correctly (range-trick exactness).
+        for b in 0u8..=255 {
+            let hay = [b; 9];
+            assert_eq!(
+                find_ascii_digit(&hay, 0).is_some(),
+                b.is_ascii_digit(),
+                "byte {b:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn find_ascii_ci_matches_reference() {
+        let needles: &[&[u8]] = &[b"isbn", b"href", b"a", b"", b"xyzzy", b"ISBN"];
+        for hay in adversarial_haystacks() {
+            for needle in needles {
+                assert_eq!(
+                    find_ascii_ci(&hay, needle),
+                    ref_find_ci(&hay, needle),
+                    "needle {needle:?} in {hay:?}"
+                );
+            }
+        }
+        // Explicit boundary cases: needle at start, end, straddling the
+        // 8- and 16-byte steps, and case-mixed.
+        let hay = b"IsBnxxxxxisbNxxxxxxxxxxxxxxxxxISBN";
+        assert_eq!(find_ascii_ci(hay, b"isbn"), Some(0));
+        assert_eq!(find_ascii_ci(&hay[1..], b"isbn"), Some(8));
+        assert_eq!(find_ascii_ci(&hay[14..], b"isbn"), Some(16));
+        assert_eq!(find_ascii_ci(b"isb", b"isbn"), None);
+        assert_eq!(find_ascii_ci(b"", b"isbn"), None);
+        assert_eq!(find_ascii_ci(b"", b""), Some(0));
+    }
+
+    #[test]
+    fn byte_table_find_matches_reference() {
+        static DIGITS: ByteTable = ByteTable::new(&[]).with_range(b'0', b'9');
+        static PHONE: ByteTable = ByteTable::new(b"(+").with_range(b'0', b'9');
+        for hay in adversarial_haystacks() {
+            for from in 0..=hay.len().min(20) {
+                assert_eq!(DIGITS.find_in(&hay, from), ref_find_digit(&hay, from));
+                assert_eq!(
+                    PHONE.find_in(&hay, from),
+                    hay.iter()
+                        .enumerate()
+                        .skip(from)
+                        .find(|(_, b)| b.is_ascii_digit() || **b == b'(' || **b == b'+')
+                        .map(|(i, _)| i),
+                    "phone class from {from} in {hay:?}"
+                );
+            }
+        }
+        assert!(DIGITS.contains(b'5'));
+        assert!(!DIGITS.contains(b'a'));
+        assert!(PHONE.contains(b'+'));
+    }
+
+    #[test]
+    fn high_byte_classes_land_on_leading_bytes() {
+        // A class that includes the non-ASCII range finds the *leading*
+        // byte of a multibyte char when scanning from a boundary.
+        static NON_ASCII: ByteTable = ByteTable::new(&[]).with_range(0x80, 0xFF);
+        let s = "ab\u{e9}cd\u{1F600}e"; // é = 2 bytes, emoji = 4 bytes
+        let bytes = s.as_bytes();
+        let first = NON_ASCII.find_in(bytes, 0).expect("é present");
+        assert!(s.is_char_boundary(first));
+        let second = NON_ASCII
+            .find_in(bytes, first + 2) // skip é wholly
+            .expect("emoji present");
+        assert!(s.is_char_boundary(second));
+    }
+}

@@ -6,6 +6,9 @@
 //!
 //! * [`rng`] — deterministic SplitMix64 / xoshiro256** generators and the
 //!   experiment [`rng::Seed`] type;
+//! * [`bytescan`] — word-at-a-time (SWAR / SSE2) byte-scanning kernels:
+//!   `memchr` family, ASCII case-insensitive substring search, byte-class
+//!   skip tables — the primitives under every extraction scanner;
 //! * [`hash`] — Fx hashing and fast map/set aliases for the integer-keyed
 //!   hot paths;
 //! * [`csv`] — CSV rendering of report artifacts;
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bytescan;
 pub mod csv;
 pub mod fault;
 pub mod hash;

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Throughput regression gate: compare a fresh BENCH_pipeline.json against
+# the committed baseline (scripts/bench_baseline.json) with a tolerance
+# band.
+#
+# The gate looks at the 1-thread render_extract measurement — the fused
+# hot path the SWAR kernels accelerate — and checks:
+#
+#   pages_per_sec >= (1 - tolerance) * baseline.pages_per_sec
+#   mb_per_sec    >= (1 - tolerance) * baseline.mb_per_sec
+#   allocs_per_page <= baseline.max_allocs_per_page   (hardware-independent)
+#
+# Modes:
+#   default                      warn-only: print verdicts, always exit 0.
+#                                This is the CI mode — shared runners have
+#                                noisy clocks and slower cores, so absolute
+#                                throughput is advisory there.
+#   WEBSTRUCT_BENCH_GATE=strict  hard-fail: exit 1 on any violation. Use
+#                                locally (same hardware as the baseline).
+#
+# Knobs:
+#   WEBSTRUCT_BENCH_TOL   fractional tolerance band, default 0.40
+#                         (fresh numbers may be up to 40% below baseline).
+#
+# Usage: scripts/bench_gate.sh [artifact.json] [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARTIFACT="${1:-artifacts/BENCH_pipeline.json}"
+BASELINE="${2:-scripts/bench_baseline.json}"
+TOL="${WEBSTRUCT_BENCH_TOL:-0.40}"
+MODE="${WEBSTRUCT_BENCH_GATE:-warn}"
+
+if [[ ! -f "$ARTIFACT" ]]; then
+    echo "bench_gate: no artifact at $ARTIFACT (run the pipeline bench first)" >&2
+    exit 1
+fi
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_gate: no baseline at $BASELINE" >&2
+    exit 1
+fi
+
+# Pull "key": <number> out of a one-measurement-per-line JSON file. The
+# repo's JSON is hand-rolled and stable, so grep/sed parsing is reliable
+# and keeps this script dependency-free (no jq on minimal runners).
+json_num() { # file key
+    grep -o "\"$2\": *-\{0,1\}[0-9.]*" "$1" | head -1 | sed 's/.*: *//'
+}
+
+base_stage="$(grep -o '"stage": *"[a-z_]*"' "$BASELINE" | head -1 | sed 's/.*"\([a-z_]*\)"$/\1/')"
+base_threads="$(json_num "$BASELINE" threads)"
+base_pps="$(json_num "$BASELINE" pages_per_sec)"
+base_mbs="$(json_num "$BASELINE" mb_per_sec)"
+base_app="$(json_num "$BASELINE" max_allocs_per_page)"
+
+# The fresh measurement line for the baseline's stage at its thread count.
+line="$(grep "\"stage\": \"$base_stage\"" "$ARTIFACT" | grep "\"threads\": $base_threads," | head -1 || true)"
+if [[ -z "$line" ]]; then
+    echo "bench_gate: artifact has no $base_stage measurement at $base_threads thread(s)" >&2
+    exit 1
+fi
+line_num() { # key
+    echo "$line" | grep -o "\"$1\": *-\{0,1\}[0-9.]*" | head -1 | sed 's/.*: *//'
+}
+cur_pps="$(line_num pages_per_sec)"
+cur_mbs="$(line_num mb_per_sec)"
+cur_app="$(line_num allocs_per_page)"
+
+fails=0
+check_floor() { # label current baseline
+    local floor ok
+    floor="$(awk -v b="$3" -v t="$TOL" 'BEGIN { printf "%.3f", b * (1 - t) }')"
+    ok="$(awk -v c="$2" -v f="$floor" 'BEGIN { print (c >= f) ? 1 : 0 }')"
+    if [[ "$ok" == "1" ]]; then
+        echo "  OK    $1: $2 >= $floor (baseline $3, tolerance $TOL)"
+    else
+        echo "  SLOW  $1: $2 < $floor (baseline $3, tolerance $TOL)"
+        fails=$((fails + 1))
+    fi
+}
+check_ceiling() { # label current max
+    local ok
+    ok="$(awk -v c="$2" -v m="$3" 'BEGIN { print (c <= m) ? 1 : 0 }')"
+    if [[ "$ok" == "1" ]]; then
+        echo "  OK    $1: $2 <= $3"
+    else
+        echo "  FAIL  $1: $2 > $3 (per-page allocations crept back in)"
+        fails=$((fails + 1))
+    fi
+}
+
+echo "bench_gate: $base_stage at $base_threads thread(s), $ARTIFACT vs $BASELINE"
+check_floor pages_per_sec "$cur_pps" "$base_pps"
+check_floor mb_per_sec "$cur_mbs" "$base_mbs"
+check_ceiling allocs_per_page "$cur_app" "$base_app"
+
+if [[ "$fails" -gt 0 ]]; then
+    if [[ "$MODE" == "strict" ]]; then
+        echo "bench_gate: FAIL ($fails violation(s); strict mode)"
+        exit 1
+    fi
+    echo "bench_gate: WARN ($fails violation(s); set WEBSTRUCT_BENCH_GATE=strict to enforce)"
+else
+    echo "bench_gate: OK"
+fi

@@ -101,6 +101,11 @@ if [[ "${1:-}" != "--quick" ]]; then
         rm -f "$PREV_BENCH"
     fi
 
+    echo "==> bench: throughput gate vs committed baseline (scripts/bench_baseline.json)"
+    # Warn-only unless WEBSTRUCT_BENCH_GATE=strict (local runs on the
+    # baseline hardware should export it; CI clocks are too noisy).
+    scripts/bench_gate.sh
+
     echo "==> bench: crawl throughput under fault injection -> artifacts/BENCH_faults.json"
     cargo bench -p webstruct-bench --bench faults -- \
         --out "$PWD/artifacts/BENCH_faults.json" \

@@ -92,6 +92,40 @@ fn scratch_path_matches_owned_path_across_domains_and_threads() {
 }
 
 #[test]
+fn pooled_path_matches_unpooled_path_across_domains_and_threads() {
+    use webstruct::extract::ExtractPool;
+    for (domain, entities, scale) in [
+        (Domain::Restaurants, 300, 0.01),
+        (Domain::Books, 300, 0.01),
+        (Domain::Banks, 300, 0.01),
+    ] {
+        let (catalog, web) = fixture(domain, entities, scale);
+        let mut extractor = Extractor::new(&catalog);
+        if domain == Domain::Restaurants {
+            let clf = train_review_classifier(Seed(92), 150).expect("balanced training set");
+            extractor = extractor.with_review_classifier(clf);
+        }
+        let seed = Seed(93);
+        let config = PageConfig::default();
+        let reference = extractor.extract_web(&web, &config, seed, 1);
+        // One pool carried across every thread count AND reused for a
+        // second run at each count: stale accumulator state from a prior
+        // run (or a different sharding) must never leak into the next.
+        let mut pool = ExtractPool::new();
+        for threads in [1usize, 2, 8] {
+            for run in 0..2 {
+                let pooled = extractor.extract_web_pooled(&web, &config, seed, threads, &mut pool);
+                assert_same(
+                    pooled,
+                    &reference,
+                    &format!("{domain:?} pooled at {threads} threads, run {run}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn scratch_truncation_matches_owned_truncation_on_multibyte_text() {
     let (catalog, _web) = fixture(Domain::Restaurants, 100, 0.01);
     let clf = train_review_classifier(Seed(92), 150).expect("balanced training set");
