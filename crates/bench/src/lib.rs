@@ -10,19 +10,24 @@
 //! * `benches/faults.rs` times budgeted crawls under increasing
 //!   fault-injection severity and writes crawl throughput (fetch
 //!   attempts per second, including retry/backoff bookkeeping) to
-//!   `BENCH_faults.json`.
+//!   `BENCH_faults.json`;
+//! * `benches/scale.rs` runs the out-of-core render+extract path at a
+//!   ladder of corpus scales — one child process per scale so each peak
+//!   RSS is clean — and writes `BENCH_scale.json` (see [`scale`]).
 //!
 //! Run them with:
 //!
 //! ```text
 //! cargo bench -p webstruct-bench --bench pipeline -- --out artifacts/BENCH_pipeline.json
 //! cargo bench -p webstruct-bench --bench faults -- --out artifacts/BENCH_faults.json
+//! cargo bench -p webstruct-bench --bench scale -- --out artifacts/BENCH_scale.json
 //! ```
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod alloc;
+pub mod scale;
 
 use crate::alloc::count_allocs;
 use std::time::Instant;
@@ -100,6 +105,10 @@ impl HotPathStats {
         m.set_gauge("bench.pages_per_sec", stats.pages_per_sec);
         m.set_gauge("bench.allocs_per_page", stats.allocs_per_page);
         m.set_gauge("bench.bytes_alloc_per_page", stats.bytes_alloc_per_page);
+        m.set_gauge(
+            "bench.peak_rss_bytes",
+            webstruct_util::obs::peak_rss_bytes() as f64,
+        );
         stats
     }
 }
@@ -202,7 +211,7 @@ impl BenchReport {
     }
 }
 
-fn best_of<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
+pub(crate) fn best_of<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..repeats.max(1) {
         let t = Instant::now();

@@ -42,6 +42,7 @@ pub mod entity;
 pub mod isbn;
 pub mod page;
 pub mod phone;
+pub mod shard;
 pub mod site;
 pub mod stats;
 pub mod text;
@@ -52,5 +53,9 @@ pub use entity::{CatalogConfig, Entity, EntityCatalog};
 pub use isbn::Isbn;
 pub use page::{Page, PageConfig, PageKind, PageScratch, PageStream};
 pub use phone::{PhoneFormat, PhoneNumber};
+pub use shard::{
+    plan_shards, PageShardReader, PageShardWriter, ShardError, ShardRecord, ShardSpec,
+    ShardStore, ShardedWeb,
+};
 pub use site::{Site, SiteKind};
 pub use web::{Mention, Web, WebConfig};

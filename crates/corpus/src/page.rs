@@ -318,6 +318,30 @@ impl<'a> PageStream<'a> {
         listings + reviews
     }
 
+    /// Estimated rendered byte-size of site `site_idx`'s pages, from the
+    /// same counts [`PageStream::site_page_count`] uses — no rendering.
+    ///
+    /// The coefficients are a coarse linear model of the renderer (page
+    /// chrome ≈ 300 B, each mention block ≈ 80 B, each review ≈ 130 B).
+    /// The estimate only has to *rank* sites for the size-aware scheduler
+    /// and shard planner, so being off by a constant factor is harmless;
+    /// being non-monotone in actual size is what would hurt.
+    ///
+    /// # Panics
+    /// Panics when `site_idx` is out of range.
+    #[must_use]
+    pub fn estimated_site_bytes(web: &Web, config: &PageConfig, site_idx: usize) -> u64 {
+        let site = &web.sites[site_idx];
+        let mentions = web.mentions_of(site.id);
+        if mentions.is_empty() {
+            return 0;
+        }
+        let pages = u64::from(Self::site_page_count(web, config, site_idx));
+        let mention_bytes = 80 * mentions.len() as u64;
+        let review_bytes: u64 = mentions.iter().map(|m| u64::from(m.reviews) * 130).sum();
+        pages * 300 + mention_bytes + review_bytes
+    }
+
     fn plan_site(&mut self, site_idx: usize) {
         let site = &self.web.sites[site_idx];
         let mentions = self.web.mentions_of(site.id);

@@ -1,0 +1,955 @@
+//! Out-of-core page shards: a compact length-prefixed binary format that
+//! lets full-scale corpora stream through the pipeline with peak memory
+//! bounded by the largest shard, not the corpus.
+//!
+//! ## On-disk layout
+//!
+//! Every shard file is a 64-byte header followed by a payload of
+//! length-prefixed page records (all integers little-endian):
+//!
+//! ```text
+//! header (64 bytes)
+//!   magic        [u8; 4]   = b"WSP1"
+//!   version      u32       = 1
+//!   page_count   u32         records in the payload
+//!   first_page   u32         global id of the first record
+//!   site_lo      u32         first site index covered (inclusive)
+//!   site_hi      u32         last site index covered (exclusive)
+//!   payload_len  u64         payload bytes after the header
+//!   sha256       [u8; 32]    SHA-256 of the payload bytes
+//! record
+//!   page_id      u32
+//!   site         u32
+//!   kind         u8        0 = listing, 1 = review
+//!   url_len      u16
+//!   text_len     u32
+//!   url          [u8; url_len]
+//!   text         [u8; text_len]
+//! ```
+//!
+//! The header checksum makes corruption loud: [`PageShardReader::open`]
+//! streams the whole payload once through SHA-256 (in small fixed-size
+//! chunks — the payload is never resident) and refuses to yield a single
+//! record from a shard whose bytes do not match, then seeks back and
+//! decodes records on a second buffered pass. Truncation is caught the
+//! same way (short payload reads are an error, not EOF).
+//!
+//! ## Streaming contract
+//!
+//! Page rendering is a pure function of `(seed, page id)` (see
+//! [`PageStream::for_site_range`]), so a shard written from a site range
+//! stores exactly the bytes the in-memory stream would have produced for
+//! those pages — and [`ShardedWeb`] can transparently *render* shards
+//! (never touching disk) or *read* them back from a [`ShardStore`] with
+//! byte-identical results either way.
+
+use crate::entity::EntityCatalog;
+use crate::page::{Page, PageConfig, PageKind, PageScratch, PageStream};
+use crate::web::Web;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use webstruct_util::ids::{PageId, SiteId};
+use webstruct_util::rng::Seed;
+use webstruct_util::sha::Sha256;
+
+/// Shard file magic: "WebStruct Pages v1".
+pub const SHARD_MAGIC: [u8; 4] = *b"WSP1";
+/// Current shard format version.
+pub const SHARD_VERSION: u32 = 1;
+/// Header size in bytes.
+pub const SHARD_HEADER_LEN: usize = 64;
+/// Default shard payload target: 32 MiB keeps peak reader RSS small while
+/// amortising per-shard overhead over tens of thousands of pages.
+pub const DEFAULT_SHARD_BYTES: u64 = 32 * 1024 * 1024;
+
+/// Everything that can go wrong writing or reading a shard.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`SHARD_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The file's version is not [`SHARD_VERSION`].
+    BadVersion(u32),
+    /// The file ended before the header or payload was complete.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// The payload's SHA-256 does not match the header stamp.
+    ChecksumMismatch,
+    /// A record inside the payload is malformed (lengths overrun the
+    /// payload, invalid page kind, non-UTF-8 text).
+    CorruptRecord(&'static str),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard i/o error: {e}"),
+            ShardError::BadMagic(m) => write!(f, "bad shard magic {m:?} (want WSP1)"),
+            ShardError::BadVersion(v) => write!(f, "unsupported shard version {v}"),
+            ShardError::Truncated { expected, got } => {
+                write!(f, "truncated shard: expected {expected} bytes, got {got}")
+            }
+            ShardError::ChecksumMismatch => write!(f, "shard payload checksum mismatch"),
+            ShardError::CorruptRecord(why) => write!(f, "corrupt shard record: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// Parsed shard header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHeader {
+    /// Records in the payload.
+    pub page_count: u32,
+    /// Global id of the first record.
+    pub first_page: u32,
+    /// First site index covered (inclusive).
+    pub site_lo: u32,
+    /// Last site index covered (exclusive).
+    pub site_hi: u32,
+    /// Payload bytes after the header.
+    pub payload_len: u64,
+    /// SHA-256 of the payload.
+    pub sha256: [u8; 32],
+}
+
+/// One shard's slice of the site axis, with the prefix-sum page numbering
+/// and byte estimate the scheduler balances on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Sites `[start, end)` rendered into this shard.
+    pub sites: std::ops::Range<usize>,
+    /// Global id of the shard's first page (prefix sum of earlier sites).
+    pub first_page: u32,
+    /// Pages the shard contributes.
+    pub page_count: u32,
+    /// Estimated rendered bytes ([`PageStream::estimated_site_bytes`]).
+    pub est_bytes: u64,
+}
+
+/// Cut the web's sites into contiguous shards of roughly `target_bytes`
+/// estimated rendered size each. Every site lands in exactly one shard; a
+/// single site larger than the target gets a shard to itself (shards never
+/// split a site, so each shard is independently renderable).
+#[must_use]
+pub fn plan_shards(web: &Web, config: &PageConfig, target_bytes: u64) -> Vec<ShardSpec> {
+    let target = target_bytes.max(1);
+    let mut specs = Vec::new();
+    let mut start = 0usize;
+    let mut first_page = 0u32;
+    let mut pages = 0u32;
+    let mut bytes = 0u64;
+    for i in 0..web.n_sites() {
+        bytes += PageStream::estimated_site_bytes(web, config, i);
+        pages += PageStream::site_page_count(web, config, i);
+        if bytes >= target {
+            specs.push(ShardSpec {
+                sites: start..i + 1,
+                first_page,
+                page_count: pages,
+                est_bytes: bytes,
+            });
+            start = i + 1;
+            first_page += pages;
+            pages = 0;
+            bytes = 0;
+        }
+    }
+    if start < web.n_sites() {
+        specs.push(ShardSpec {
+            sites: start..web.n_sites(),
+            first_page,
+            page_count: pages,
+            est_bytes: bytes,
+        });
+    }
+    specs
+}
+
+/// Streaming shard writer over any seekable [`Write`] sink (normally a
+/// `BufWriter<File>`). The SHA-256 stamp and payload length live in the
+/// *header*, which precedes the payload on disk — so the writer stamps a
+/// placeholder header first, streams each record straight to the sink
+/// while hashing it incrementally, and seeks back to patch the real
+/// header in [`finish`](PageShardWriter::finish). Memory is therefore
+/// O(one record) no matter how large the shard grows — a single
+/// Zipf-head site can render tens of megabytes, and none of it is ever
+/// resident here.
+#[derive(Debug)]
+pub struct PageShardWriter<W: Write + Seek> {
+    sink: W,
+    sha: Sha256,
+    record: Vec<u8>,
+    payload_len: u64,
+    page_count: u32,
+    first_page: Option<u32>,
+    site_lo: u32,
+    site_hi: u32,
+    header_written: bool,
+}
+
+fn encode_header(header: &ShardHeader) -> [u8; SHARD_HEADER_LEN] {
+    let mut head = [0u8; SHARD_HEADER_LEN];
+    head[0..4].copy_from_slice(&SHARD_MAGIC);
+    head[4..8].copy_from_slice(&SHARD_VERSION.to_le_bytes());
+    head[8..12].copy_from_slice(&header.page_count.to_le_bytes());
+    head[12..16].copy_from_slice(&header.first_page.to_le_bytes());
+    head[16..20].copy_from_slice(&header.site_lo.to_le_bytes());
+    head[20..24].copy_from_slice(&header.site_hi.to_le_bytes());
+    head[24..32].copy_from_slice(&header.payload_len.to_le_bytes());
+    head[32..64].copy_from_slice(&header.sha256);
+    head
+}
+
+impl<W: Write + Seek> PageShardWriter<W> {
+    /// Start a shard aimed at `sink` (positioned where the header goes).
+    #[must_use]
+    pub fn new(sink: W) -> Self {
+        PageShardWriter {
+            sink,
+            sha: Sha256::new(),
+            record: Vec::new(),
+            payload_len: 0,
+            page_count: 0,
+            first_page: None,
+            site_lo: u32::MAX,
+            site_hi: 0,
+            header_written: false,
+        }
+    }
+
+    /// Append one page record, streaming it straight to the sink.
+    ///
+    /// # Errors
+    /// Propagates sink I/O errors.
+    ///
+    /// # Panics
+    /// Panics when the URL exceeds `u16::MAX` bytes or the text exceeds
+    /// `u32::MAX` bytes — neither occurs for generated pages.
+    pub fn push(
+        &mut self,
+        id: PageId,
+        site: SiteId,
+        kind: PageKind,
+        url: &str,
+        text: &str,
+    ) -> Result<(), ShardError> {
+        if !self.header_written {
+            self.sink.write_all(&[0u8; SHARD_HEADER_LEN])?;
+            self.header_written = true;
+        }
+        let url_len = u16::try_from(url.len()).expect("url fits u16");
+        let text_len = u32::try_from(text.len()).expect("text fits u32");
+        self.record.clear();
+        self.record.extend_from_slice(&id.raw().to_le_bytes());
+        self.record.extend_from_slice(&site.raw().to_le_bytes());
+        self.record.push(match kind {
+            PageKind::Listing => 0,
+            PageKind::Review => 1,
+        });
+        self.record.extend_from_slice(&url_len.to_le_bytes());
+        self.record.extend_from_slice(&text_len.to_le_bytes());
+        self.record.extend_from_slice(url.as_bytes());
+        self.record.extend_from_slice(text.as_bytes());
+        self.sha.update(&self.record);
+        self.sink.write_all(&self.record)?;
+        self.payload_len += self.record.len() as u64;
+        self.page_count += 1;
+        self.first_page.get_or_insert(id.raw());
+        self.site_lo = self.site_lo.min(site.raw());
+        self.site_hi = self.site_hi.max(site.raw() + 1);
+        Ok(())
+    }
+
+    /// Seek back and stamp the real header over the placeholder, then
+    /// flush. Returns the header as written.
+    ///
+    /// # Errors
+    /// Propagates sink I/O errors.
+    pub fn finish(mut self) -> Result<ShardHeader, ShardError> {
+        if !self.header_written {
+            self.sink.write_all(&[0u8; SHARD_HEADER_LEN])?;
+        }
+        let header = ShardHeader {
+            page_count: self.page_count,
+            first_page: self.first_page.unwrap_or(0),
+            site_lo: if self.site_lo == u32::MAX { 0 } else { self.site_lo },
+            site_hi: self.site_hi,
+            payload_len: self.payload_len,
+            sha256: self.sha.finalize(),
+        };
+        self.sink.seek(SeekFrom::Current(-(self.payload_len as i64) - SHARD_HEADER_LEN as i64))?;
+        self.sink.write_all(&encode_header(&header))?;
+        self.sink.flush()?;
+        Ok(header)
+    }
+}
+
+/// Chunk size for the reader's streaming checksum pass. Large enough to
+/// amortise syscalls, small enough that validation memory is invisible
+/// next to the accumulators it feeds.
+const HASH_CHUNK: usize = 64 * 1024;
+
+/// Shard reader: validates header + checksum up front with a streaming
+/// hash pass (the payload is never resident), then seeks back and yields
+/// records into reused buffers (or owned [`Page`]s via the [`Iterator`]
+/// impl). Peak memory is O(one record), not O(shard) — the property that
+/// keeps full-scale extraction flat even when a Zipf-head site makes one
+/// shard tens of megabytes.
+#[derive(Debug)]
+pub struct PageShardReader<R: Read + Seek> {
+    reader: R,
+    header: ShardHeader,
+    remaining: u64,
+    body: Vec<u8>,
+}
+
+impl<R: Read + Seek> PageShardReader<R> {
+    /// Read and validate a whole shard from `reader` (normally a
+    /// `BufReader<File>`): magic, version, payload length, checksum. The
+    /// payload is hashed in [`HASH_CHUNK`]-sized chunks and the reader
+    /// then seeks back to the first record, so validation never holds
+    /// more than one chunk in memory.
+    ///
+    /// # Errors
+    /// Any [`ShardError`] variant; a shard that opens cleanly will not
+    /// fail checksum mid-iteration (records can still be rejected as
+    /// corrupt if lengths overrun — that indicates a writer bug, not
+    /// bitrot, since the checksum already passed).
+    pub fn open(mut reader: R) -> Result<Self, ShardError> {
+        let start = reader.stream_position()?;
+        let mut head = [0u8; SHARD_HEADER_LEN];
+        let mut filled = 0usize;
+        while filled < SHARD_HEADER_LEN {
+            let n = reader.read(&mut head[filled..])?;
+            if n == 0 {
+                return Err(ShardError::Truncated {
+                    expected: SHARD_HEADER_LEN as u64,
+                    got: filled as u64,
+                });
+            }
+            filled += n;
+        }
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&head[0..4]);
+        if magic != SHARD_MAGIC {
+            return Err(ShardError::BadMagic(magic));
+        }
+        let u32le = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4 bytes"));
+        let version = u32le(&head[4..8]);
+        if version != SHARD_VERSION {
+            return Err(ShardError::BadVersion(version));
+        }
+        let header = ShardHeader {
+            page_count: u32le(&head[8..12]),
+            first_page: u32le(&head[12..16]),
+            site_lo: u32le(&head[16..20]),
+            site_hi: u32le(&head[20..24]),
+            payload_len: u64::from_le_bytes(head[24..32].try_into().expect("8 bytes")),
+            sha256: head[32..64].try_into().expect("32 bytes"),
+        };
+        let mut sha = Sha256::new();
+        let mut chunk = vec![0u8; HASH_CHUNK.min(header.payload_len as usize).max(1)];
+        let mut hashed = 0u64;
+        while hashed < header.payload_len {
+            let want = chunk.len().min((header.payload_len - hashed) as usize);
+            let n = reader.read(&mut chunk[..want])?;
+            if n == 0 {
+                return Err(ShardError::Truncated {
+                    expected: header.payload_len,
+                    got: hashed,
+                });
+            }
+            sha.update(&chunk[..n]);
+            hashed += n as u64;
+        }
+        if sha.finalize() != header.sha256 {
+            return Err(ShardError::ChecksumMismatch);
+        }
+        reader.seek(SeekFrom::Start(start + SHARD_HEADER_LEN as u64))?;
+        Ok(PageShardReader {
+            reader,
+            remaining: header.payload_len,
+            header,
+            body: Vec::new(),
+        })
+    }
+
+    /// The validated header.
+    #[must_use]
+    pub fn header(&self) -> &ShardHeader {
+        &self.header
+    }
+
+    /// Decode the next record into `out`'s reused buffers. Returns
+    /// `Ok(false)` at end of shard. Steady-state calls allocate nothing
+    /// once the buffers reach the largest record.
+    ///
+    /// # Errors
+    /// [`ShardError::CorruptRecord`] when record framing is inconsistent.
+    pub fn read_into(&mut self, out: &mut ShardRecord) -> Result<bool, ShardError> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        if self.remaining < 15 {
+            return Err(ShardError::CorruptRecord("record prefix overruns payload"));
+        }
+        let mut prefix = [0u8; 15];
+        self.reader.read_exact(&mut prefix)?;
+        let u32le = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4 bytes"));
+        let id = u32le(&prefix[0..4]);
+        let site = u32le(&prefix[4..8]);
+        let kind = match prefix[8] {
+            0 => PageKind::Listing,
+            1 => PageKind::Review,
+            _ => return Err(ShardError::CorruptRecord("unknown page kind")),
+        };
+        let url_len = u16::from_le_bytes(prefix[9..11].try_into().expect("2 bytes")) as usize;
+        let text_len = u32le(&prefix[11..15]) as usize;
+        if self.remaining - 15 < (url_len + text_len) as u64 {
+            return Err(ShardError::CorruptRecord("record body overruns payload"));
+        }
+        self.body.resize(url_len + text_len, 0);
+        self.reader.read_exact(&mut self.body)?;
+        let url = std::str::from_utf8(&self.body[..url_len])
+            .map_err(|_| ShardError::CorruptRecord("url is not UTF-8"))?;
+        let text = std::str::from_utf8(&self.body[url_len..])
+            .map_err(|_| ShardError::CorruptRecord("text is not UTF-8"))?;
+        out.id = PageId::new(id);
+        out.site = SiteId::new(site);
+        out.kind = kind;
+        out.url.clear();
+        out.url.push_str(url);
+        out.text.clear();
+        out.text.push_str(text);
+        self.remaining -= 15 + (url_len + text_len) as u64;
+        Ok(true)
+    }
+}
+
+impl PageShardReader<BufReader<File>> {
+    /// Open the shard file at `path` through a `BufReader`.
+    ///
+    /// # Errors
+    /// See [`PageShardReader::open`].
+    pub fn open_path(path: &Path) -> Result<Self, ShardError> {
+        Self::open(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read + Seek> Iterator for PageShardReader<R> {
+    type Item = Result<Page, ShardError>;
+
+    /// Owned-`Page` compatibility path; hot loops should reuse a
+    /// [`ShardRecord`] via [`PageShardReader::read_into`].
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut rec = ShardRecord::default();
+        match self.read_into(&mut rec) {
+            Ok(true) => Some(Ok(Page {
+                id: rec.id,
+                site: rec.site,
+                url: rec.url,
+                kind: rec.kind,
+                text: rec.text,
+            })),
+            Ok(false) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Reused decode target for [`PageShardReader::read_into`].
+#[derive(Debug, Clone)]
+pub struct ShardRecord {
+    /// Global page id.
+    pub id: PageId,
+    /// Hosting site.
+    pub site: SiteId,
+    /// Page class.
+    pub kind: PageKind,
+    /// Page URL, in a reused buffer.
+    pub url: String,
+    /// Page text, in a reused buffer.
+    pub text: String,
+}
+
+impl Default for ShardRecord {
+    fn default() -> Self {
+        ShardRecord {
+            id: PageId::new(0),
+            site: SiteId::new(0),
+            kind: PageKind::Listing,
+            url: String::new(),
+            text: String::new(),
+        }
+    }
+}
+
+/// A directory of shard files (`shard-00000.wsp`, `shard-00001.wsp`, …)
+/// covering a whole web in site order.
+#[derive(Debug, Clone)]
+pub struct ShardStore {
+    dir: PathBuf,
+    shards: Vec<PathBuf>,
+}
+
+impl ShardStore {
+    fn shard_path(dir: &Path, i: usize) -> PathBuf {
+        dir.join(format!("shard-{i:05}.wsp"))
+    }
+
+    /// Render every page of `web` into shard files under `dir` (created
+    /// if missing), cutting shards per [`plan_shards`] with
+    /// `target_bytes` estimated payload each. Peak memory is one page of
+    /// scratch — records stream straight to disk.
+    ///
+    /// # Errors
+    /// Propagates file-system errors.
+    pub fn write(
+        dir: &Path,
+        web: &Web,
+        catalog: &EntityCatalog,
+        config: &PageConfig,
+        seed: Seed,
+        target_bytes: u64,
+    ) -> Result<ShardStore, ShardError> {
+        std::fs::create_dir_all(dir)?;
+        let specs = plan_shards(web, config, target_bytes);
+        let mut shards = Vec::with_capacity(specs.len());
+        let mut scratch = PageScratch::default();
+        let mut url = String::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let path = Self::shard_path(dir, i);
+            let mut writer = PageShardWriter::new(BufWriter::new(File::create(&path)?));
+            let mut stream = PageStream::for_site_range(
+                web,
+                catalog,
+                config.clone(),
+                seed,
+                spec.sites.clone(),
+                spec.first_page,
+            );
+            while stream.render_into(&mut scratch) {
+                url.clear();
+                scratch.url_into(&mut url);
+                writer.push(scratch.id(), scratch.site(), scratch.kind(), &url, scratch.text())?;
+            }
+            writer.finish()?;
+            shards.push(path);
+        }
+        Ok(ShardStore {
+            dir: dir.to_path_buf(),
+            shards,
+        })
+    }
+
+    /// Open an existing store: every `shard-*.wsp` under `dir`, in name
+    /// (= site) order. Headers are *not* validated here — each shard is
+    /// checked when opened for reading.
+    ///
+    /// # Errors
+    /// Propagates directory-listing errors.
+    pub fn open(dir: &Path) -> Result<ShardStore, ShardError> {
+        let mut shards = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("shard-") && name.ends_with(".wsp") {
+                shards.push(path);
+            }
+        }
+        shards.sort();
+        Ok(ShardStore {
+            dir: dir.to_path_buf(),
+            shards,
+        })
+    }
+
+    /// Directory the store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shard files.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the store has no shards.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Paths of the shard files, in site order.
+    #[must_use]
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.shards
+    }
+
+    /// Open shard `i` for reading (validates header + checksum).
+    ///
+    /// # Errors
+    /// See [`PageShardReader::open`].
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn reader(&self, i: usize) -> Result<PageShardReader<BufReader<File>>, ShardError> {
+        PageShardReader::open_path(&self.shards[i])
+    }
+}
+
+/// A web that arrives shard-by-shard: either rendered on the fly from a
+/// [`Web`] (no disk at all — peak memory is one page) or read back from a
+/// [`ShardStore`] (peak memory is one record). Both sources yield the same
+/// page bytes in the same order, which is what makes the streamed
+/// pipeline's output byte-identical to the in-memory path.
+pub enum ShardedWeb<'a> {
+    /// Render pages directly from the generative model.
+    Rendered {
+        /// The site→mention relation.
+        web: &'a Web,
+        /// Entity catalog pages render against.
+        catalog: &'a EntityCatalog,
+        /// Rendering parameters.
+        config: PageConfig,
+        /// Corpus seed.
+        seed: Seed,
+        /// Shard cuts (from [`plan_shards`]).
+        specs: Vec<ShardSpec>,
+    },
+    /// Read pages back from shard files.
+    Stored(&'a ShardStore),
+}
+
+impl<'a> ShardedWeb<'a> {
+    /// Sharded view of `web` rendered on the fly with default-size shards.
+    #[must_use]
+    pub fn rendered(
+        web: &'a Web,
+        catalog: &'a EntityCatalog,
+        config: PageConfig,
+        seed: Seed,
+    ) -> Self {
+        let specs = plan_shards(web, &config, DEFAULT_SHARD_BYTES);
+        ShardedWeb::Rendered {
+            web,
+            catalog,
+            config,
+            seed,
+            specs,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        match self {
+            ShardedWeb::Rendered { specs, .. } => specs.len(),
+            ShardedWeb::Stored(store) => store.len(),
+        }
+    }
+
+    /// Stream every page of shard `i` through `f`, reusing one scratch
+    /// record. This is the out-of-core workhorse: callers fold pages into
+    /// an accumulator and never see more than one page in memory.
+    ///
+    /// # Errors
+    /// Disk-backed shards can fail validation; rendered shards cannot.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn for_each_page(
+        &self,
+        i: usize,
+        mut f: impl FnMut(PageId, SiteId, PageKind, &str),
+    ) -> Result<u64, ShardError> {
+        let mut bytes = 0u64;
+        match self {
+            ShardedWeb::Rendered {
+                web,
+                catalog,
+                config,
+                seed,
+                specs,
+            } => {
+                let spec = &specs[i];
+                let mut stream = PageStream::for_site_range(
+                    web,
+                    catalog,
+                    config.clone(),
+                    *seed,
+                    spec.sites.clone(),
+                    spec.first_page,
+                );
+                let mut scratch = PageScratch::default();
+                while stream.render_into(&mut scratch) {
+                    bytes += scratch.text().len() as u64;
+                    f(scratch.id(), scratch.site(), scratch.kind(), scratch.text());
+                }
+            }
+            ShardedWeb::Stored(store) => {
+                let mut reader = store.reader(i)?;
+                let mut rec = ShardRecord::default();
+                while reader.read_into(&mut rec)? {
+                    bytes += rec.text.len() as u64;
+                    f(rec.id, rec.site, rec.kind, &rec.text);
+                }
+            }
+        }
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::entity::CatalogConfig;
+    use crate::web::WebConfig;
+    use std::io::Cursor;
+
+    fn tiny_setup() -> (EntityCatalog, Web) {
+        let catalog =
+            EntityCatalog::generate(&CatalogConfig::new(Domain::Restaurants, 300), Seed(21));
+        let config = WebConfig::preset(Domain::Restaurants).scaled(0.01);
+        let web = Web::generate(&catalog, &config, Seed(21));
+        (catalog, web)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "webstruct-shard-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    #[test]
+    fn plan_covers_every_site_once_with_prefix_page_ids() {
+        let (_, web) = tiny_setup();
+        let cfg = PageConfig::default();
+        for target in [1u64, 50_000, u64::MAX] {
+            let specs = plan_shards(&web, &cfg, target);
+            assert!(!specs.is_empty());
+            let mut next_site = 0usize;
+            let mut next_page = 0u32;
+            for s in &specs {
+                assert_eq!(s.sites.start, next_site);
+                assert_eq!(s.first_page, next_page);
+                let pages: u32 = s
+                    .sites
+                    .clone()
+                    .map(|i| PageStream::site_page_count(&web, &cfg, i))
+                    .sum();
+                assert_eq!(s.page_count, pages);
+                next_site = s.sites.end;
+                next_page += pages;
+            }
+            assert_eq!(next_site, web.n_sites());
+        }
+        // target=MAX puts everything in one shard.
+        assert_eq!(plan_shards(&web, &cfg, u64::MAX).len(), 1);
+    }
+
+    #[test]
+    fn estimated_bytes_rank_sites_like_rendered_bytes() {
+        let (catalog, web) = tiny_setup();
+        let cfg = PageConfig::default();
+        // Actual rendered bytes per site.
+        let mut actual = vec![0u64; web.n_sites()];
+        for p in PageStream::new(&web, &catalog, cfg.clone(), Seed(3)) {
+            actual[p.site.index()] += p.text.len() as u64;
+        }
+        let est: Vec<u64> = (0..web.n_sites())
+            .map(|i| PageStream::estimated_site_bytes(&web, &cfg, i))
+            .collect();
+        // The estimate must put the true largest site within its top 3.
+        let argmax = |v: &[u64]| (0..v.len()).max_by_key(|&i| v[i]).unwrap();
+        let mut est_rank: Vec<usize> = (0..est.len()).collect();
+        est_rank.sort_by_key(|&i| std::cmp::Reverse(est[i]));
+        assert!(
+            est_rank[..3].contains(&argmax(&actual)),
+            "largest real site not in top-3 estimates"
+        );
+        // And sites with zero mentions estimate to zero.
+        for i in 0..web.n_sites() {
+            if web.mentions_of(web.sites[i].id).is_empty() {
+                assert_eq!(est[i], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_roundtrip_is_byte_identical() {
+        let (catalog, web) = tiny_setup();
+        let cfg = PageConfig::default();
+        let dir = tmpdir("roundtrip");
+        let store = ShardStore::write(&dir, &web, &catalog, &cfg, Seed(3), 64 * 1024)
+            .expect("write shards");
+        assert!(store.len() > 1, "fixture should cut multiple shards");
+        let direct: Vec<Page> = PageStream::new(&web, &catalog, cfg, Seed(3)).collect();
+        let mut from_disk: Vec<Page> = Vec::new();
+        for i in 0..store.len() {
+            for page in store.reader(i).expect("open shard") {
+                from_disk.push(page.expect("read record"));
+            }
+        }
+        assert_eq!(direct.len(), from_disk.len());
+        for (a, b) in direct.iter().zip(&from_disk) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.url, b.url);
+            assert_eq!(a.text, b.text, "page {} text diverged", a.id.raw());
+        }
+        // Re-open via directory listing finds the same shards.
+        let reopened = ShardStore::open(&dir).expect("open store");
+        assert_eq!(reopened.paths(), store.paths());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_fields_describe_the_shard() {
+        let (catalog, web) = tiny_setup();
+        let cfg = PageConfig::default();
+        let dir = tmpdir("header");
+        let store =
+            ShardStore::write(&dir, &web, &catalog, &cfg, Seed(3), 64 * 1024).expect("write");
+        let specs = plan_shards(&web, &cfg, 64 * 1024);
+        assert_eq!(store.len(), specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let r = store.reader(i).expect("open");
+            let h = r.header();
+            assert_eq!(h.page_count, spec.page_count);
+            assert_eq!(h.first_page, spec.first_page);
+            assert!(h.site_lo as usize >= spec.sites.start);
+            assert!(h.site_hi as usize <= spec.sites.end);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_shards_are_rejected() {
+        let (catalog, web) = tiny_setup();
+        let cfg = PageConfig::default();
+        let dir = tmpdir("corrupt");
+        let store =
+            ShardStore::write(&dir, &web, &catalog, &cfg, Seed(3), u64::MAX).expect("write");
+        let path = &store.paths()[0];
+        let clean = std::fs::read(path).expect("read shard bytes");
+        assert!(clean.len() > SHARD_HEADER_LEN + 64);
+
+        // Bad magic.
+        let mut bad = clean.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            PageShardReader::open(Cursor::new(&bad[..])),
+            Err(ShardError::BadMagic(_))
+        ));
+        // Bad version.
+        let mut bad = clean.clone();
+        bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            PageShardReader::open(Cursor::new(&bad[..])),
+            Err(ShardError::BadVersion(99))
+        ));
+        // Flipped payload byte → checksum mismatch.
+        let mut bad = clean.clone();
+        let k = SHARD_HEADER_LEN + 40;
+        bad[k] ^= 0x5a;
+        assert!(matches!(
+            PageShardReader::open(Cursor::new(&bad[..])),
+            Err(ShardError::ChecksumMismatch)
+        ));
+        // Flipped checksum byte → also a mismatch.
+        let mut bad = clean.clone();
+        bad[33] ^= 0x5a;
+        assert!(matches!(
+            PageShardReader::open(Cursor::new(&bad[..])),
+            Err(ShardError::ChecksumMismatch)
+        ));
+        // Truncated payload.
+        let cut = &clean[..clean.len() - 17];
+        assert!(matches!(
+            PageShardReader::open(Cursor::new(cut)),
+            Err(ShardError::Truncated { .. })
+        ));
+        // Truncated header.
+        assert!(matches!(
+            PageShardReader::open(Cursor::new(&clean[..10])),
+            Err(ShardError::Truncated { .. })
+        ));
+        // The untouched file still opens.
+        assert!(PageShardReader::open(Cursor::new(&clean[..])).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_shard_roundtrips() {
+        let mut buf = Cursor::new(Vec::new());
+        let w = PageShardWriter::new(&mut buf);
+        let h = w.finish().expect("finish empty");
+        assert_eq!(h.page_count, 0);
+        assert_eq!(h.payload_len, 0);
+        let bytes = buf.into_inner();
+        let mut r = PageShardReader::open(Cursor::new(&bytes[..])).expect("open empty");
+        let mut rec = ShardRecord::default();
+        assert!(!r.read_into(&mut rec).expect("read"));
+    }
+
+    #[test]
+    fn sharded_web_rendered_and_stored_agree() {
+        let (catalog, web) = tiny_setup();
+        let cfg = PageConfig::default();
+        let dir = tmpdir("agree");
+        let store = ShardStore::write(&dir, &web, &catalog, &cfg, Seed(3), 64 * 1024)
+            .expect("write shards");
+        let rendered = {
+            let specs = plan_shards(&web, &cfg, 64 * 1024);
+            ShardedWeb::Rendered {
+                web: &web,
+                catalog: &catalog,
+                config: cfg.clone(),
+                seed: Seed(3),
+                specs,
+            }
+        };
+        let stored = ShardedWeb::Stored(&store);
+        assert_eq!(rendered.n_shards(), stored.n_shards());
+        for i in 0..rendered.n_shards() {
+            let mut a = Vec::new();
+            let ab = rendered
+                .for_each_page(i, |id, site, kind, text| {
+                    a.push((id, site, kind, text.to_owned()));
+                })
+                .expect("rendered shard");
+            let mut b = Vec::new();
+            let bb = stored
+                .for_each_page(i, |id, site, kind, text| {
+                    b.push((id, site, kind, text.to_owned()));
+                })
+                .expect("stored shard");
+            assert_eq!(a, b, "shard {i} diverged");
+            assert_eq!(ab, bb);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

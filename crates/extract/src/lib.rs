@@ -42,7 +42,9 @@ pub mod training;
 pub mod wrapper;
 
 pub use nb::NaiveBayes;
-pub use pipeline::{ExtractPool, ExtractScratch, ExtractedWeb, Extractor, PageExtraction};
+pub use pipeline::{
+    ExtractPool, ExtractScratch, ExtractedWeb, Extractor, PageExtraction, CHUNKS_PER_WORKER,
+};
 pub use precision::{phone_precision_study, PrecisionReport};
 pub use training::train_review_classifier;
 pub use wrapper::{learn_wrapper, RawRecord, Wrapper};

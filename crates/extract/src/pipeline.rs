@@ -13,8 +13,9 @@ use crate::phone_scan::for_each_phone;
 use webstruct_corpus::domain::Attribute;
 use webstruct_corpus::entity::EntityCatalog;
 use webstruct_corpus::page::{Page, PageConfig, PageScratch, PageStream};
+use webstruct_corpus::shard::{ShardError, ShardStore, ShardedWeb};
 use webstruct_corpus::web::Web;
-use webstruct_util::hash::{FxHashMap, FxHashSet};
+use webstruct_util::hash::FxHashSet;
 use webstruct_util::ids::{EntityId, SiteId};
 use webstruct_util::obs::{self, LocalHistogram};
 use webstruct_util::par;
@@ -342,15 +343,28 @@ impl<'a> Extractor<'a> {
     }
 
     /// Render and extract every page of `web`, sharding sites across
-    /// `threads` workers.
+    /// `threads` workers with the size-aware scheduler.
     ///
     /// Pages aggregate per host (§3.1), so partitioning *sites* across
-    /// workers keeps each site's accumulation local to one shard. Each
-    /// shard renders its own [`PageStream::for_site_range`] — page
-    /// rendering is a pure function of `(seed, page id)`, and every shard
-    /// is told its first global page id — so the merged result is
-    /// byte-identical to [`Extractor::extract_all`] over the full stream.
-    /// `threads == 1` takes the sequential path exactly.
+    /// workers keeps each site's accumulation local to one shard. Site
+    /// sizes are Zipfian — the old equal-page-count contiguous split left
+    /// the aggregator-bearing shard dominating the wall clock (the 2-thread
+    /// 0.53× cliff) — so the sites are first cut into
+    /// [`CHUNKS_PER_WORKER`]`×threads` contiguous chunks of roughly equal
+    /// *estimated rendered bytes* ([`PageStream::estimated_site_bytes`]),
+    /// and the chunks are then packed onto workers by deterministic LPT
+    /// ([`par::lpt_assign`]).
+    ///
+    /// Each chunk renders its own [`PageStream::for_site_range`] — page
+    /// rendering is a pure function of `(seed, page id)`, every chunk is
+    /// told its first global page id, and [`ExtractedWeb::merge`] is
+    /// commutative — so the merged result is byte-identical to
+    /// [`Extractor::extract_all`] over the full stream at any thread
+    /// count. `threads == 1` takes the sequential path exactly.
+    ///
+    /// Per-worker rendered-byte totals land in the `extract.worker_bytes.*`
+    /// gauges (plus `extract.shard_imbalance`, max/mean) so scheduling
+    /// imbalance is visible in `RUN_REPORT.json`.
     #[must_use]
     pub fn extract_web(
         &self,
@@ -368,48 +382,43 @@ impl<'a> Extractor<'a> {
             acc.publish_metrics();
             return acc;
         }
-        // First global page id of every site, by prefix sum.
-        let mut first_page = vec![0u32; n_sites + 1];
-        for i in 0..n_sites {
-            first_page[i + 1] = first_page[i] + PageStream::site_page_count(web, config, i);
-        }
-        let total_pages = first_page[n_sites];
-        // Cut sites into contiguous shards of roughly equal page counts
-        // (site sizes are heavy-tailed; balancing by site count alone
-        // leaves the aggregator-bearing shard dominating the wall clock).
-        let k = threads.min(n_sites);
-        let mut shards: Vec<std::ops::Range<usize>> = Vec::with_capacity(k);
-        let mut start = 0usize;
-        for s in 0..k {
-            let target = (u64::from(total_pages) * (s as u64 + 1) / k as u64) as u32;
-            let mut end = start;
-            while end < n_sites && (first_page[end + 1] <= target || end < start + 1) {
-                end += 1;
-            }
-            if s == k - 1 {
-                end = n_sites;
-            }
-            shards.push(start..end);
-            start = end;
-        }
-        let merged = par::par_map_threads(threads, shards, |sites| {
-            let lo = sites.start;
-            let hi = sites.end;
-            let _shard_span = webstruct_util::span!("extract_shard", lo, hi);
-            let mut pages = PageStream::for_site_range(
-                web,
-                self.catalog,
-                config.clone(),
-                seed,
-                sites,
-                first_page[lo],
-            );
-            // One scratch per shard: workers never share buffers.
+        let mut first_page = Vec::new();
+        let mut chunks = Vec::new();
+        let mut chunk_bytes = Vec::new();
+        plan_size_chunks(
+            web,
+            config,
+            threads,
+            &mut first_page,
+            &mut chunks,
+            &mut chunk_bytes,
+        );
+        let k = threads.min(chunks.len());
+        let assignment = par::lpt_assign(&chunk_bytes, k);
+        let chunks = &chunks;
+        let first_page = &first_page;
+        let workers = par::par_map_threads(k, assignment, |list| {
             let mut scratch = ExtractScratch::new();
-            self.extract_stream(n_sites, &mut pages, &mut scratch)
-        })
-        .into_iter()
-        .fold(
+            let mut acc = ExtractedWeb::new(n_sites, self.catalog.len());
+            for ci in list {
+                let sites = chunks[ci].clone();
+                let lo = sites.start;
+                let hi = sites.end;
+                let _shard_span = webstruct_util::span!("extract_shard", lo, hi);
+                let mut pages = PageStream::for_site_range(
+                    web,
+                    self.catalog,
+                    config.clone(),
+                    seed,
+                    sites,
+                    first_page[lo],
+                );
+                self.extract_stream_into(&mut pages, &mut scratch, &mut acc);
+            }
+            acc
+        });
+        publish_worker_gauges(workers.iter().map(|w| w.bytes_rendered));
+        let merged = workers.into_iter().fold(
             ExtractedWeb::new(n_sites, self.catalog.len()),
             |mut acc, shard| {
                 acc.merge(shard);
@@ -449,29 +458,17 @@ impl<'a> Extractor<'a> {
             acc.publish_metrics();
             return &pool.shards[0].1;
         }
-        // Identical shard computation to `extract_web`, into reused vectors.
-        pool.first_page.clear();
-        pool.first_page.resize(n_sites + 1, 0);
-        for i in 0..n_sites {
-            pool.first_page[i + 1] =
-                pool.first_page[i] + PageStream::site_page_count(web, config, i);
-        }
-        let total_pages = pool.first_page[n_sites];
-        let k = threads.min(n_sites);
-        pool.ranges.clear();
-        let mut start = 0usize;
-        for s in 0..k {
-            let target = (u64::from(total_pages) * (s as u64 + 1) / k as u64) as u32;
-            let mut end = start;
-            while end < n_sites && (pool.first_page[end + 1] <= target || end < start + 1) {
-                end += 1;
-            }
-            if s == k - 1 {
-                end = n_sites;
-            }
-            pool.ranges.push(start..end);
-            start = end;
-        }
+        // Identical size-aware plan to `extract_web`, into reused vectors.
+        plan_size_chunks(
+            web,
+            config,
+            threads,
+            &mut pool.first_page,
+            &mut pool.ranges,
+            &mut pool.chunk_bytes,
+        );
+        let k = threads.min(pool.ranges.len());
+        let assignment = par::lpt_assign(&pool.chunk_bytes, k);
         while pool.shards.len() < k {
             pool.shards
                 .push((ExtractScratch::new(), ExtractedWeb::new(n_sites, n_entities)));
@@ -480,33 +477,136 @@ impl<'a> Extractor<'a> {
             acc.reset_for(n_sites, n_entities);
         }
         let first_page = &pool.first_page;
-        let items: Vec<(std::ops::Range<usize>, &mut (ExtractScratch, ExtractedWeb))> = pool
-            .ranges
-            .iter()
-            .cloned()
+        let chunks = &pool.ranges;
+        let items: Vec<(Vec<usize>, &mut (ExtractScratch, ExtractedWeb))> = assignment
+            .into_iter()
             .zip(pool.shards[..k].iter_mut())
             .collect();
-        par::par_map_threads(threads, items, |(sites, shard)| {
-            let lo = sites.start;
-            let hi = sites.end;
-            let _shard_span = webstruct_util::span!("extract_shard", lo, hi);
-            let mut pages = PageStream::for_site_range(
-                web,
-                self.catalog,
-                config.clone(),
-                seed,
-                sites,
-                first_page[lo],
-            );
+        par::par_map_threads(k, items, |(list, shard)| {
             let (scratch, acc) = shard;
-            self.extract_stream_into(&mut pages, scratch, acc);
+            for ci in list {
+                let sites = chunks[ci].clone();
+                let lo = sites.start;
+                let hi = sites.end;
+                let _shard_span = webstruct_util::span!("extract_shard", lo, hi);
+                let mut pages = PageStream::for_site_range(
+                    web,
+                    self.catalog,
+                    config.clone(),
+                    seed,
+                    sites,
+                    first_page[lo],
+                );
+                self.extract_stream_into(&mut pages, scratch, acc);
+            }
         });
+        publish_worker_gauges(pool.shards[..k].iter().map(|(_, a)| a.bytes_rendered));
         pool.merged.reset_for(n_sites, n_entities);
         for (_, acc) in &pool.shards[..k] {
             pool.merged.merge_ref(acc);
         }
         pool.merged.publish_metrics();
         &pool.merged
+    }
+
+    /// Extract a sharded web — rendered on the fly or read back from a
+    /// [`ShardStore`] — folding per-shard pages into per-*worker*
+    /// accumulations. Shards are pulled by the work-stealing
+    /// [`par::par_fold_dynamic_threads`] (stored shards have unknown
+    /// cost until read: compression of the site axis into files hides
+    /// the size signal LPT would want). Each worker owns exactly one
+    /// accumulator for its whole run, so peak state is
+    /// O(workers × accumulator) + O(largest shard) — never
+    /// O(shards × accumulator), which at full scale is the corpus-sized
+    /// footprint this path exists to avoid.
+    ///
+    /// Which shards land in which worker is scheduling-dependent, but
+    /// every shard covers a *disjoint* site range, so the merge is
+    /// commutative (disjoint per-site sets/maps union, counters add,
+    /// histogram buckets add) and the result is byte-identical to the
+    /// in-memory path at any thread count.
+    ///
+    /// # Errors
+    /// Propagates shard validation/read failures ([`ShardError`]).
+    pub fn extract_sharded(
+        &self,
+        sharded: &ShardedWeb<'_>,
+        n_sites: usize,
+        threads: usize,
+    ) -> Result<ExtractedWeb, ShardError> {
+        let n_shards = sharded.n_shards();
+        let _span = webstruct_util::span!("extract_sharded", n_shards, threads);
+        struct ShardFold {
+            acc: ExtractedWeb,
+            bufs: PageBuffers,
+            err: Option<ShardError>,
+        }
+        let workers = par::par_fold_dynamic_threads(
+            threads,
+            n_shards,
+            || ShardFold {
+                acc: ExtractedWeb::new(n_sites, self.catalog.len()),
+                bufs: PageBuffers::default(),
+                err: None,
+            },
+            |w, i| {
+                let ShardFold { acc, bufs, err } = w;
+                let (mut lo, mut hi) = (u32::MAX, 0u32);
+                match sharded.for_each_page(i, |_id, site, _kind, text| {
+                    lo = lo.min(site.raw());
+                    hi = hi.max(site.raw());
+                    self.extract_html_into(text, bufs);
+                    acc.bytes_rendered += text.len() as u64;
+                    acc.page_bytes.record(text.len() as u64);
+                    acc.ingest(site, &bufs.extraction);
+                }) {
+                    Ok(_) => {
+                        // Shards partition sites, so this shard's lists are
+                        // final: drop their growth slack now instead of
+                        // carrying ~2x the data size to the end of the run.
+                        if lo <= hi {
+                            acc.seal_sites(lo, hi);
+                        }
+                        true
+                    }
+                    Err(e) => {
+                        *err = Some(e);
+                        false
+                    }
+                }
+            },
+        );
+        // Fold into the first worker's accumulator rather than a fresh
+        // one: a full-width ExtractedWeb carries 4 × n_sites table
+        // headers before a single entry lands, and at full scale a third
+        // instance is real memory.
+        let mut merged: Option<ExtractedWeb> = None;
+        for w in workers {
+            if let Some(e) = w.err {
+                return Err(e);
+            }
+            match &mut merged {
+                None => merged = Some(w.acc),
+                Some(m) => m.merge(w.acc),
+            }
+        }
+        let merged = merged.unwrap_or_else(|| ExtractedWeb::new(n_sites, self.catalog.len()));
+        merged.publish_metrics();
+        Ok(merged)
+    }
+
+    /// [`Extractor::extract_sharded`] over a [`ShardStore`] on disk — the
+    /// out-of-core entry point: no [`Web`] needs to be resident at all.
+    ///
+    /// # Errors
+    /// Propagates shard validation/read failures ([`ShardError`]).
+    pub fn extract_store(
+        &self,
+        store: &ShardStore,
+        n_sites: usize,
+        threads: usize,
+    ) -> Result<ExtractedWeb, ShardError> {
+        self.extract_sharded(&ShardedWeb::Stored(store), n_sites, threads)
     }
 }
 
@@ -523,6 +623,7 @@ pub struct ExtractPool {
     merged: ExtractedWeb,
     first_page: Vec<u32>,
     ranges: Vec<std::ops::Range<usize>>,
+    chunk_bytes: Vec<u64>,
 }
 
 impl ExtractPool {
@@ -533,15 +634,280 @@ impl ExtractPool {
     }
 }
 
+/// Contiguous site chunks per worker the size-aware scheduler cuts before
+/// LPT packing. Oversubscription is what lets LPT smooth the Zipfian head:
+/// with exactly one chunk per worker there is nothing to rebalance.
+pub const CHUNKS_PER_WORKER: usize = 8;
+
+/// Cut the web's sites into `CHUNKS_PER_WORKER × threads` contiguous
+/// chunks of roughly equal *estimated rendered bytes*, writing the
+/// per-site first-page prefix sums, the chunk ranges, and the per-chunk
+/// byte estimates into the reused output vectors. Every site lands in
+/// exactly one chunk; chunks never split a site, so each is independently
+/// renderable via [`PageStream::for_site_range`]. The plan is a pure
+/// function of `(web, config, threads)` — no timing feedback — which is
+/// half of the scheduler's determinism argument (the other half being
+/// that [`ExtractedWeb::merge`] is commutative).
+fn plan_size_chunks(
+    web: &Web,
+    config: &PageConfig,
+    threads: usize,
+    first_page: &mut Vec<u32>,
+    chunks: &mut Vec<std::ops::Range<usize>>,
+    chunk_bytes: &mut Vec<u64>,
+) {
+    let n_sites = web.n_sites();
+    first_page.clear();
+    first_page.resize(n_sites + 1, 0);
+    let mut cum_bytes = 0u64;
+    let mut site_cum: Vec<u64> = Vec::with_capacity(n_sites + 1);
+    site_cum.push(0);
+    for i in 0..n_sites {
+        first_page[i + 1] = first_page[i] + PageStream::site_page_count(web, config, i);
+        cum_bytes += PageStream::estimated_site_bytes(web, config, i);
+        site_cum.push(cum_bytes);
+    }
+    let m = (threads.max(1) * CHUNKS_PER_WORKER).min(n_sites).max(1);
+    chunks.clear();
+    chunk_bytes.clear();
+    let mut start = 0usize;
+    for c in 0..m {
+        // Integer-exact proportional targets: chunk c ends where the
+        // cumulative estimate first exceeds total * (c+1) / m.
+        let target = cum_bytes / m as u64 * (c as u64 + 1)
+            + cum_bytes % m as u64 * (c as u64 + 1) / m as u64;
+        let mut end = start;
+        while end < n_sites && (site_cum[end + 1] <= target || end < start + 1) {
+            end += 1;
+        }
+        if c == m - 1 {
+            end = n_sites;
+        }
+        if end > start {
+            chunks.push(start..end);
+            chunk_bytes.push(site_cum[end] - site_cum[start]);
+        }
+        start = end;
+    }
+}
+
+/// Publish per-worker rendered-byte totals and the max/mean imbalance
+/// ratio as gauges. Gauges are the *non-deterministic* metric space —
+/// worker count and packing vary with `WEBSTRUCT_THREADS` — so these feed
+/// `RUN_REPORT.json`'s `gauges` key, not the deterministic metrics tail.
+fn publish_worker_gauges(worker_bytes: impl Iterator<Item = u64>) {
+    let m = obs::metrics();
+    let mut max = 0u64;
+    let mut sum = 0u64;
+    let mut n = 0usize;
+    for (w, bytes) in worker_bytes.enumerate() {
+        m.set_gauge(&format!("extract.worker_bytes.w{w}"), bytes as f64);
+        max = max.max(bytes);
+        sum += bytes;
+        n += 1;
+    }
+    if n > 0 && sum > 0 {
+        let mean = sum as f64 / n as f64;
+        m.set_gauge("extract.shard_imbalance", max as f64 / mean);
+    }
+}
+
+/// A site's occurrence list may hold at most this many uncompacted
+/// (possibly duplicate) entries beyond its sorted prefix before it is
+/// sorted + folded in place — the same amortisation the graph
+/// accumulator uses, bounding per-site memory at distinct + slack no
+/// matter how many pages repeat the same entities.
+const COMPACT_SLACK: usize = 64;
+
+/// Attribute tags for packed occurrence entries (bits 62..64).
+const TAG_PHONE: u64 = 0;
+const TAG_ISBN: u64 = 1;
+const TAG_HOMEPAGE: u64 = 2;
+const TAG_REVIEW: u64 = 3;
+
+fn attr_tag(attr: Attribute) -> u64 {
+    match attr {
+        Attribute::Phone => TAG_PHONE,
+        Attribute::Isbn => TAG_ISBN,
+        Attribute::Homepage => TAG_HOMEPAGE,
+        Attribute::Review => TAG_REVIEW,
+    }
+}
+
+/// Pack one occurrence: `[tag:2][entity:30][page_count:32]`. Sorting the
+/// packed words sorts by (tag, entity) with the count in the low bits, so
+/// equal (tag, entity) entries land adjacent and fold by adding counts.
+fn pack(tag: u64, e: EntityId, pages: u32) -> u64 {
+    debug_assert!(u64::from(e.raw()) < (1 << 30), "entity id overflows pack");
+    (tag << 62) | (u64::from(e.raw()) << 32) | u64::from(pages)
+}
+
+fn packed_key(x: u64) -> u64 {
+    x >> 32
+}
+
+fn packed_entity(x: u64) -> EntityId {
+    EntityId::new(((x >> 32) & ((1 << 30) - 1)) as u32)
+}
+
+fn packed_pages(x: u64) -> u32 {
+    x as u32
+}
+
+/// Sort + fold a site's packed occurrences: duplicate (tag, entity) keys
+/// collapse to one entry whose page count is the sum.
+fn compact_packed(l: &mut Vec<u64>) {
+    l.sort_unstable();
+    let mut w = 0usize;
+    for r in 1..l.len() {
+        if packed_key(l[r]) == packed_key(l[w]) {
+            let pages = packed_pages(l[w]).saturating_add(packed_pages(l[r]));
+            l[w] = (l[w] & !0xFFFF_FFFF) | u64::from(pages);
+        } else {
+            w += 1;
+            l[w] = l[r];
+        }
+    }
+    l.truncate(w + usize::from(!l.is_empty()));
+}
+
+/// Per-site packed occurrence lists with amortised sort+fold — the
+/// spill-friendly storage behind [`ExtractedWeb`]. All four attributes
+/// share one sorted `Vec<u64>` per site (plus a 4-byte compaction mark):
+/// 28 bytes of per-site header against ~192 for four hash tables, and 8
+/// bytes per occurrence flat. With one accumulator per worker the
+/// per-site headers are most of a full-scale worker's footprint, so the
+/// cheap representation is what keeps the streamed pipeline's peak RSS
+/// flat across thread counts.
+#[derive(Debug, Clone, Default)]
+struct SiteOccurrences {
+    lists: Vec<Vec<u64>>,
+    /// Length of each site's sorted+folded prefix.
+    sorted: Vec<u32>,
+}
+
+impl SiteOccurrences {
+    fn new(n_sites: usize) -> Self {
+        SiteOccurrences {
+            lists: vec![Vec::new(); n_sites],
+            sorted: vec![0; n_sites],
+        }
+    }
+
+    fn n_sites(&self) -> usize {
+        self.lists.len()
+    }
+
+    fn clear(&mut self) {
+        for l in &mut self.lists {
+            l.clear();
+        }
+        self.sorted.fill(0);
+    }
+
+    fn maybe_compact(&mut self, s: usize) {
+        let l = &mut self.lists[s];
+        if l.len() >= self.sorted[s] as usize + COMPACT_SLACK {
+            compact_packed(l);
+            self.sorted[s] = l.len() as u32;
+        }
+    }
+
+    fn push(&mut self, s: usize, tag: u64, ids: &[EntityId], pages: u32) {
+        if ids.is_empty() {
+            return;
+        }
+        self.lists[s].extend(ids.iter().map(|&e| pack(tag, e, pages)));
+    }
+
+    /// The site's occurrences, sorted + folded — compacting a copy when a
+    /// slack tail is still buffered.
+    fn compacted(&self, s: usize) -> Vec<u64> {
+        let mut v = self.lists[s].clone();
+        if (self.sorted[s] as usize) < v.len() {
+            compact_packed(&mut v);
+        }
+        v
+    }
+
+    /// The site's distinct entities for `tag`, sorted ascending.
+    fn entities(&self, s: usize, tag: u64) -> Vec<EntityId> {
+        self.compacted(s)
+            .into_iter()
+            .filter(|&x| x >> 62 == tag)
+            .map(packed_entity)
+            .collect()
+    }
+
+    fn distinct_count(&self, s: usize, tag: u64) -> usize {
+        let exact = self.sorted[s] as usize == self.lists[s].len();
+        let v;
+        let entries: &[u64] = if exact {
+            &self.lists[s]
+        } else {
+            v = self.compacted(s);
+            &v
+        };
+        entries.iter().filter(|&&x| x >> 62 == tag).count()
+    }
+
+    /// Compact and shrink every list in `lo..=hi` to its exact final
+    /// size. Shard workers call this when a shard completes: shards never
+    /// split a site, so those lists will not grow again, and dropping the
+    /// `Vec` doubling slack roughly halves the accumulator's resident
+    /// footprint at full scale. Sealing is idempotent and safe even if a
+    /// site *were* pushed again — the list simply regrows.
+    fn seal(&mut self, lo: usize, hi: usize) {
+        if self.lists.is_empty() {
+            return;
+        }
+        for s in lo..=hi.min(self.lists.len() - 1) {
+            let l = &mut self.lists[s];
+            if (self.sorted[s] as usize) < l.len() {
+                compact_packed(l);
+            }
+            l.shrink_to_fit();
+            self.sorted[s] = l.len() as u32;
+        }
+    }
+
+    fn merge(&mut self, other: SiteOccurrences) {
+        for (s, (src, sm)) in other.lists.into_iter().zip(other.sorted).enumerate() {
+            if src.is_empty() {
+                continue;
+            }
+            let dst = &mut self.lists[s];
+            if dst.is_empty() {
+                *dst = src;
+                self.sorted[s] = sm;
+            } else {
+                dst.extend_from_slice(&src);
+                compact_packed(dst);
+                self.sorted[s] = dst.len() as u32;
+            }
+        }
+    }
+
+    fn merge_ref(&mut self, other: &SiteOccurrences) {
+        for (s, src) in other.lists.iter().enumerate() {
+            if src.is_empty() {
+                continue;
+            }
+            let dst = &mut self.lists[s];
+            dst.extend_from_slice(src);
+            compact_packed(dst);
+            self.sorted[s] = dst.len() as u32;
+        }
+    }
+}
+
 /// Aggregated extraction results, grouped by host as in the paper.
 #[derive(Debug, Clone)]
 pub struct ExtractedWeb {
     n_entities: usize,
-    phone: Vec<FxHashSet<EntityId>>,
-    isbn: Vec<FxHashSet<EntityId>>,
-    homepage: Vec<FxHashSet<EntityId>>,
-    /// Review *pages* per (site, entity): Figure 4(b) counts pages.
-    review_pages: Vec<FxHashMap<EntityId, u32>>,
+    /// Packed per-site (attribute, entity, review_page_count) occurrences;
+    /// Figure 4(b) counts review *pages*, so review entries carry counts.
+    occurrences: SiteOccurrences,
     /// Diagnostics.
     pub pages_processed: u64,
     /// Total bytes of page text that entered extraction (truncated pages
@@ -571,10 +937,7 @@ impl ExtractedWeb {
     pub fn new(n_sites: usize, n_entities: usize) -> Self {
         ExtractedWeb {
             n_entities,
-            phone: vec![FxHashSet::default(); n_sites],
-            isbn: vec![FxHashSet::default(); n_sites],
-            homepage: vec![FxHashSet::default(); n_sites],
-            review_pages: vec![FxHashMap::default(); n_sites],
+            occurrences: SiteOccurrences::new(n_sites),
             pages_processed: 0,
             bytes_rendered: 0,
             unmatched_phones: 0,
@@ -595,18 +958,7 @@ impl ExtractedWeb {
             *self = ExtractedWeb::new(n_sites, n_entities);
             return;
         }
-        for s in &mut self.phone {
-            s.clear();
-        }
-        for s in &mut self.isbn {
-            s.clear();
-        }
-        for s in &mut self.homepage {
-            s.clear();
-        }
-        for m in &mut self.review_pages {
-            m.clear();
-        }
+        self.occurrences.clear();
         self.pages_processed = 0;
         self.bytes_rendered = 0;
         self.unmatched_phones = 0;
@@ -646,22 +998,29 @@ impl ExtractedWeb {
         self.unmatched_phones += u64::from(ex.unmatched_phones);
         self.unmatched_isbns += u64::from(ex.unmatched_isbns);
         self.unmatched_hrefs += u64::from(ex.unmatched_hrefs);
-        self.phone[s].extend(ex.phone_entities.iter().copied());
-        self.isbn[s].extend(ex.isbn_entities.iter().copied());
-        self.homepage[s].extend(ex.homepage_entities.iter().copied());
+        self.occurrences.push(s, TAG_PHONE, &ex.phone_entities, 0);
+        self.occurrences.push(s, TAG_ISBN, &ex.isbn_entities, 0);
+        self.occurrences.push(s, TAG_HOMEPAGE, &ex.homepage_entities, 0);
         if ex.is_review {
             // The paper attributes a review page to every restaurant whose
             // phone appears on it (usually exactly one).
-            for &e in &ex.phone_entities {
-                *self.review_pages[s].entry(e).or_insert(0) += 1;
-            }
+            self.occurrences.push(s, TAG_REVIEW, &ex.phone_entities, 1);
         }
+        self.occurrences.maybe_compact(s);
     }
 
     /// Number of sites tracked.
     #[must_use]
     pub fn n_sites(&self) -> usize {
-        self.phone.len()
+        self.occurrences.n_sites()
+    }
+
+    /// Seal the sites in `lo..=hi`: compact their occurrence lists and
+    /// shrink them to exact-fit capacity. Called by the shard workers
+    /// after each finished shard (shards partition sites, so a finished
+    /// shard's lists are final).
+    pub fn seal_sites(&mut self, lo: u32, hi: u32) {
+        self.occurrences.seal(lo as usize, hi as usize);
     }
 
     /// Number of catalog entities.
@@ -678,48 +1037,37 @@ impl ExtractedWeb {
     /// Panics for attributes the pipeline does not extract (none today).
     #[must_use]
     pub fn occurrence_lists(&self, attr: Attribute) -> Vec<Vec<EntityId>> {
-        let source: Box<dyn Iterator<Item = Vec<EntityId>> + '_> = match attr {
-            Attribute::Phone => Box::new(self.phone.iter().map(set_to_sorted)),
-            Attribute::Isbn => Box::new(self.isbn.iter().map(set_to_sorted)),
-            Attribute::Homepage => Box::new(self.homepage.iter().map(set_to_sorted)),
-            Attribute::Review => Box::new(
-                self.review_pages
-                    .iter()
-                    .map(|m| {
-                        let mut v: Vec<EntityId> = m.keys().copied().collect();
-                        v.sort_unstable();
-                        v
-                    }),
-            ),
-        };
-        source.collect()
+        let tag = attr_tag(attr);
+        (0..self.n_sites())
+            .map(|s| self.occurrences.entities(s, tag))
+            .collect()
     }
 
     /// Per-site `(entity, review_page_count)` lists.
     #[must_use]
     pub fn review_page_lists(&self) -> Vec<Vec<(EntityId, u32)>> {
-        self.review_pages
-            .iter()
-            .map(|m| {
-                let mut v: Vec<(EntityId, u32)> = m.iter().map(|(&e, &c)| (e, c)).collect();
-                v.sort_unstable();
-                v
+        (0..self.n_sites())
+            .map(|s| {
+                self.occurrences
+                    .compacted(s)
+                    .into_iter()
+                    .filter(|&x| x >> 62 == TAG_REVIEW)
+                    .map(|x| (packed_entity(x), packed_pages(x)))
+                    .collect()
             })
             .collect()
     }
 
     /// Total (site, entity) pairs for an attribute.
     ///
-    /// Computed straight from the per-site set sizes — no sorting, no
-    /// per-site list materialisation.
+    /// Fully compacted sites (the steady state) are counted straight from
+    /// their lists; a site still buffering a slack tail compacts a copy.
     #[must_use]
     pub fn total_occurrences(&self, attr: Attribute) -> usize {
-        match attr {
-            Attribute::Phone => self.phone.iter().map(FxHashSet::len).sum(),
-            Attribute::Isbn => self.isbn.iter().map(FxHashSet::len).sum(),
-            Attribute::Homepage => self.homepage.iter().map(FxHashSet::len).sum(),
-            Attribute::Review => self.review_pages.iter().map(FxHashMap::len).sum(),
-        }
+        let tag = attr_tag(attr);
+        (0..self.n_sites())
+            .map(|s| self.occurrences.distinct_count(s, tag))
+            .sum()
     }
 
     /// Fold another accumulator over the same site/entity universe into
@@ -741,24 +1089,7 @@ impl ExtractedWeb {
         self.truncated_pages += other.truncated_pages;
         self.skipped_pages += other.skipped_pages;
         self.page_bytes.merge(&other.page_bytes);
-        for (dst, src) in self.phone.iter_mut().zip(other.phone) {
-            merge_set(dst, src);
-        }
-        for (dst, src) in self.isbn.iter_mut().zip(other.isbn) {
-            merge_set(dst, src);
-        }
-        for (dst, src) in self.homepage.iter_mut().zip(other.homepage) {
-            merge_set(dst, src);
-        }
-        for (dst, src) in self.review_pages.iter_mut().zip(other.review_pages) {
-            if dst.is_empty() {
-                *dst = src;
-            } else {
-                for (e, c) in src {
-                    *dst.entry(e).or_insert(0) += c;
-                }
-            }
-        }
+        self.occurrences.merge(other.occurrences);
     }
 
     /// [`ExtractedWeb::merge`] from a borrowed accumulator: entity ids are
@@ -779,20 +1110,7 @@ impl ExtractedWeb {
         self.truncated_pages += other.truncated_pages;
         self.skipped_pages += other.skipped_pages;
         self.page_bytes.merge(&other.page_bytes);
-        for (dst, src) in self.phone.iter_mut().zip(&other.phone) {
-            dst.extend(src.iter().copied());
-        }
-        for (dst, src) in self.isbn.iter_mut().zip(&other.isbn) {
-            dst.extend(src.iter().copied());
-        }
-        for (dst, src) in self.homepage.iter_mut().zip(&other.homepage) {
-            dst.extend(src.iter().copied());
-        }
-        for (dst, src) in self.review_pages.iter_mut().zip(&other.review_pages) {
-            for (&e, &c) in src {
-                *dst.entry(e).or_insert(0) += c;
-            }
-        }
+        self.occurrences.merge_ref(&other.occurrences);
     }
 }
 
@@ -802,20 +1120,6 @@ impl Default for ExtractedWeb {
     fn default() -> Self {
         ExtractedWeb::new(0, 0)
     }
-}
-
-fn merge_set(dst: &mut FxHashSet<EntityId>, src: FxHashSet<EntityId>) {
-    if dst.is_empty() {
-        *dst = src;
-    } else {
-        dst.extend(src);
-    }
-}
-
-fn set_to_sorted(set: &FxHashSet<EntityId>) -> Vec<EntityId> {
-    let mut v: Vec<EntityId> = set.iter().copied().collect();
-    v.sort_unstable();
-    v
 }
 
 #[cfg(test)]
@@ -945,6 +1249,133 @@ mod tests {
     }
 
     #[test]
+    fn size_chunks_cover_every_site_once_and_balance_bytes() {
+        let (_, web) = restaurant_fixture();
+        let cfg = PageConfig::default();
+        for threads in [1usize, 2, 3, 8] {
+            let mut first_page = Vec::new();
+            let mut chunks = Vec::new();
+            let mut chunk_bytes = Vec::new();
+            plan_size_chunks(&web, &cfg, threads, &mut first_page, &mut chunks, &mut chunk_bytes);
+            assert_eq!(chunks.len(), chunk_bytes.len());
+            // Contiguous, exhaustive, non-overlapping.
+            let mut next = 0usize;
+            for c in &chunks {
+                assert_eq!(c.start, next);
+                assert!(c.end > c.start);
+                next = c.end;
+            }
+            assert_eq!(next, web.n_sites());
+            // Byte estimates are consistent with the per-site model.
+            for (c, &b) in chunks.iter().zip(&chunk_bytes) {
+                let expect: u64 = c
+                    .clone()
+                    .map(|i| PageStream::estimated_site_bytes(&web, &cfg, i))
+                    .sum();
+                assert_eq!(b, expect);
+            }
+            // LPT over these chunks achieves the classic bound: max load
+            // at most mean + largest chunk. (An indivisible Zipfian-head
+            // site can exceed the mean on its own — no site-granular
+            // schedule beats that — but nothing may be stacked on top of
+            // a load already above the mean.)
+            if threads > 1 {
+                let assignment = webstruct_util::par::lpt_assign(&chunk_bytes, threads);
+                let loads: Vec<u64> = assignment
+                    .iter()
+                    .map(|l| l.iter().map(|&i| chunk_bytes[i]).sum())
+                    .collect();
+                let max = *loads.iter().max().unwrap();
+                let mean = loads.iter().sum::<u64>() / loads.len() as u64;
+                let largest = *chunk_bytes.iter().max().unwrap();
+                assert!(
+                    max <= mean + largest,
+                    "load {max} exceeds mean {mean} + largest chunk {largest} \
+                     at {threads} threads (loads {loads:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_extraction_is_bit_identical_to_in_memory() {
+        let (catalog, web) = restaurant_fixture();
+        let clf = train_review_classifier(Seed(35), 150).unwrap();
+        let extractor = Extractor::new(&catalog).with_review_classifier(clf);
+        let cfg = PageConfig::default();
+        let in_memory = extractor.extract_web(&web, &cfg, Seed(32), 1);
+
+        // Rendered shards (no disk), across thread counts.
+        let specs = webstruct_corpus::shard::plan_shards(&web, &cfg, 64 * 1024);
+        assert!(specs.len() > 2, "fixture should cut several shards");
+        let rendered = ShardedWeb::Rendered {
+            web: &web,
+            catalog: &catalog,
+            config: cfg.clone(),
+            seed: Seed(32),
+            specs,
+        };
+        for threads in [1usize, 2, 8] {
+            let streamed = extractor
+                .extract_sharded(&rendered, web.n_sites(), threads)
+                .expect("rendered shards");
+            for attr in [Attribute::Phone, Attribute::Homepage, Attribute::Review] {
+                assert_eq!(
+                    streamed.occurrence_lists(attr),
+                    in_memory.occurrence_lists(attr),
+                    "{attr:?} diverged at {threads} threads"
+                );
+            }
+            assert_eq!(streamed.pages_processed, in_memory.pages_processed);
+            assert_eq!(streamed.bytes_rendered, in_memory.bytes_rendered);
+            assert_eq!(streamed.page_bytes, in_memory.page_bytes);
+        }
+
+        // Stored shards (round-trip through disk).
+        let dir = std::env::temp_dir()
+            .join(format!("webstruct-extract-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ShardStore::write(&dir, &web, &catalog, &cfg, Seed(32), 64 * 1024)
+            .expect("write shards");
+        for threads in [1usize, 4] {
+            let from_disk = extractor
+                .extract_store(&store, web.n_sites(), threads)
+                .expect("read shards");
+            assert_eq!(
+                from_disk.occurrence_lists(Attribute::Phone),
+                in_memory.occurrence_lists(Attribute::Phone)
+            );
+            assert_eq!(from_disk.review_page_lists(), in_memory.review_page_lists());
+            assert_eq!(from_disk.pages_processed, in_memory.pages_processed);
+            assert_eq!(from_disk.bytes_rendered, in_memory.bytes_rendered);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn extract_store_surfaces_corruption() {
+        let (catalog, web) = restaurant_fixture();
+        let extractor = Extractor::new(&catalog);
+        let cfg = PageConfig::default();
+        let dir = std::env::temp_dir()
+            .join(format!("webstruct-extract-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ShardStore::write(&dir, &web, &catalog, &cfg, Seed(32), 64 * 1024)
+            .expect("write shards");
+        // Flip one payload byte in the first shard.
+        let path = &store.paths()[0];
+        let mut bytes = std::fs::read(path).expect("read shard");
+        let k = bytes.len() - 9;
+        bytes[k] ^= 0x40;
+        std::fs::write(path, &bytes).expect("rewrite shard");
+        let err = extractor
+            .extract_store(&store, web.n_sites(), 2)
+            .expect_err("corruption must surface");
+        assert!(matches!(err, ShardError::ChecksumMismatch), "got {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn extract_web_single_thread_matches_extract_all() {
         let (catalog, web) = restaurant_fixture();
         let extractor = Extractor::new(&catalog);
@@ -992,6 +1423,30 @@ mod tests {
         assert_eq!(a.unmatched_phones, 3);
         assert_eq!(a.total_occurrences(Attribute::Phone), 2);
         assert_eq!(a.review_page_lists()[0], vec![(e1, 2), (e2, 1)]);
+    }
+
+    #[test]
+    fn repeated_ingest_keeps_per_site_lists_compact() {
+        // 10k pages repeating the same two entities must not grow the
+        // site's buffers past distinct + slack — the property that keeps
+        // a worker's accumulator memory proportional to distinct
+        // occurrences, not page count.
+        let mut acc = ExtractedWeb::new(1, 10);
+        let ex = PageExtraction {
+            phone_entities: vec![EntityId::new(3), EntityId::new(7)],
+            is_review: true,
+            ..PageExtraction::default()
+        };
+        for _ in 0..10_000 {
+            acc.ingest(SiteId::new(0), &ex);
+        }
+        // 4 distinct (tag, entity) keys: 2 phone + 2 review.
+        assert!(acc.occurrences.lists[0].len() <= 4 + COMPACT_SLACK);
+        assert_eq!(acc.total_occurrences(Attribute::Phone), 2);
+        assert_eq!(
+            acc.review_page_lists()[0],
+            vec![(EntityId::new(3), 10_000), (EntityId::new(7), 10_000)]
+        );
     }
 
     #[test]

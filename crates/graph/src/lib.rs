@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod accumulate;
 pub mod bipartite;
 pub mod components;
 pub mod diameter;
 pub mod metrics;
 pub mod robustness;
 
+pub use accumulate::GraphAccumulator;
 pub use bipartite::{BipartiteGraph, GraphError};
 pub use components::{component_stats, ComponentStats, UnionFind};
 pub use diameter::{double_sweep, eccentricity, ifub_diameter, Diameter};

@@ -462,6 +462,61 @@ impl MetricsSnapshot {
         out
     }
 
+    /// The workload-deterministic half of [`MetricsSnapshot::to_json`]:
+    /// counters and histograms only. Gauges are *declared*
+    /// non-deterministic — they carry timing- and schedule-derived
+    /// readings (throughput, per-worker byte totals, peak RSS) whose
+    /// values legitimately vary with `WEBSTRUCT_THREADS` — so the
+    /// determinism suite and the cross-thread-count byte comparisons use
+    /// this rendering, while `RUN_REPORT.json` reports gauges under their
+    /// own (non-compared) key.
+    #[must_use]
+    pub fn to_deterministic_json(&self) -> String {
+        let mut out = String::from("{\n    \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str(&format!("      \"{}\": {v}", escape_json(k)));
+        }
+        out.push_str(if first { "},\n" } else { "\n    },\n" });
+        out.push_str("    \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let buckets = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(lo, c)| format!("\"{lo}\": {c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "      \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": {{{buckets}}}}}",
+                escape_json(k),
+                h.count(),
+                h.sum(),
+            ));
+        }
+        out.push_str(if first { "}\n  }" } else { "\n    }\n  }" });
+        out
+    }
+
+    /// Just the gauges, as one flat JSON object (the non-deterministic
+    /// complement of [`MetricsSnapshot::to_deterministic_json`]).
+    #[must_use]
+    pub fn gauges_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (k, v) in &self.gauges {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str(&format!("    \"{}\": {v}", escape_json(k)));
+        }
+        out.push_str(if first { "}" } else { "\n  }" });
+        out
+    }
+
     /// Deterministic `name value` lines (counters and gauges only).
     #[must_use]
     pub fn to_text(&self) -> String {
@@ -892,8 +947,33 @@ fn escape_json(s: &str) -> String {
     out
 }
 
+/// Best-effort peak resident-set size of the current process, in bytes:
+/// `VmHWM` from `/proc/self/status` on Linux, 0 anywhere that file does
+/// not exist. The kernel's high-water mark is monotone for the process
+/// lifetime, so per-stage peaks need a child process per stage.
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 /// Assemble `RUN_REPORT.json`: the command, every span and event of the
-/// run, and the deterministic metric snapshot as the **final** key (so
+/// run, the gauge readings (timing/schedule-derived, so *outside* the
+/// cross-thread-count comparison), and the deterministic metric snapshot
+/// (counters + histograms) as the **final** key (so
 /// `sed -n '/"metrics":/,$p'` splits the deterministic tail off for
 /// byte-comparison across thread counts).
 #[must_use]
@@ -931,7 +1011,9 @@ pub fn run_report_json(command: &str, threads: usize, obs: &Obs) -> String {
         ));
     }
     out.push_str("  ],\n");
-    out.push_str(&format!("  \"metrics\": {}\n}}\n", obs.metrics.snapshot().to_json()));
+    let snap = obs.metrics.snapshot();
+    out.push_str(&format!("  \"gauges\": {},\n", snap.gauges_json()));
+    out.push_str(&format!("  \"metrics\": {}\n}}\n", snap.to_deterministic_json()));
     out
 }
 
@@ -1185,6 +1267,47 @@ mod tests {
         assert!(report.contains("family:spread"));
         assert!(report.contains("\"pages\": 3"));
         assert_eq!(report.matches('{').count(), report.matches('}').count());
+    }
+
+    #[test]
+    fn deterministic_json_excludes_gauges() {
+        let m = Metrics::new();
+        m.add("pages", 7);
+        m.set_gauge("extract.worker_bytes.w0", 123.0);
+        m.record("bytes", 64);
+        let det = m.snapshot().to_deterministic_json();
+        assert!(det.contains("\"pages\": 7"));
+        assert!(det.contains("\"64\": 1"));
+        assert!(!det.contains("worker_bytes"), "gauges leaked: {det}");
+        assert_eq!(det.matches('{').count(), det.matches('}').count());
+        // The gauges render under their own object instead.
+        let gauges = m.snapshot().gauges_json();
+        assert!(gauges.contains("\"extract.worker_bytes.w0\": 123"));
+        assert_eq!(gauges.matches('{').count(), gauges.matches('}').count());
+    }
+
+    #[test]
+    fn run_report_keeps_metrics_tail_gauge_free() {
+        let obs = Obs::default();
+        obs.metrics.add("pages", 3);
+        obs.metrics.set_gauge("extract.shard_imbalance", 1.25);
+        let report = run_report_json("reproduce", 2, &obs);
+        let metrics_at = report.find("\"metrics\":").unwrap();
+        let tail = &report[metrics_at..];
+        assert!(!tail.contains("shard_imbalance"), "tail: {tail}");
+        assert!(tail.contains("\"pages\": 3"));
+        // The gauge is still reported, just before the deterministic tail.
+        assert!(report[..metrics_at].contains("\"extract.shard_imbalance\": 1.25"));
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should parse on Linux");
+            // A test process certainly peaks above 1 MiB and below 1 TiB.
+            assert!(rss > 1 << 20 && rss < 1 << 40, "implausible rss {rss}");
+        }
     }
 
     #[test]

@@ -12,11 +12,34 @@
 //! function of its input (every corpus/render path achieves this by
 //! deriving per-item seeds, never by sharing a generator).
 //!
+//! Beyond the static chunked map, two schedulers handle heavy-tailed
+//! workloads where equal-count chunks leave one worker holding most of
+//! the bytes:
+//!
+//! * [`lpt_assign`] — deterministic longest-processing-time assignment
+//!   when per-item cost estimates are *known*. Items go to the currently
+//!   least-loaded worker in descending size order; ties break toward the
+//!   lower worker index, so the assignment is a pure function of the
+//!   size vector. LPT's makespan is within 4/3 of optimal.
+//! * [`par_map_dynamic`] — an atomic-cursor work-stealing map when sizes
+//!   are *unknown*. Workers race to claim the next index, but each
+//!   result carries its item index and the output is reassembled in
+//!   input order, so the returned `Vec` (and therefore every downstream
+//!   byte) is identical at any thread count — only the wall-clock
+//!   schedule varies.
+//! * [`par_fold_dynamic_threads`] — the same work-stealing cursor with
+//!   one accumulator per *worker* instead of one result per item, for
+//!   commutative folds whose per-item results are too big to keep
+//!   around (sharded extraction holds O(workers) accumulators, not
+//!   O(shards)).
+//!
 //! Thread count resolution: the `WEBSTRUCT_THREADS` environment variable
 //! when set to a positive integer, else
 //! [`std::thread::available_parallelism`]. `WEBSTRUCT_THREADS=1` is the
 //! documented way to force every parallel path in the workspace onto the
 //! purely sequential code path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "WEBSTRUCT_THREADS";
@@ -128,6 +151,170 @@ where
     })
 }
 
+/// Deterministic LPT (longest-processing-time) assignment of `sizes.len()`
+/// items to `k` workers.
+///
+/// Items are considered in descending estimated size (ties broken by
+/// ascending index) and each goes to the worker with the smallest load so
+/// far (ties broken by ascending worker index) — a pure function of
+/// `sizes`, independent of thread scheduling. Every returned per-worker
+/// list is sorted ascending, so workers that process their items in list
+/// order visit them in global input order.
+///
+/// Classic bound: the resulting makespan is at most `4/3 − 1/(3k)` times
+/// optimal, which is what turns a Zipfian site-size distribution from a
+/// one-worker convoy into a balanced schedule.
+///
+/// `k == 0` is treated as 1. Workers may receive empty lists when
+/// `k > sizes.len()`.
+#[must_use]
+pub fn lpt_assign(sizes: &[u64], k: usize) -> Vec<Vec<usize>> {
+    let k = k.max(1);
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    // Descending size, ascending index on ties: deterministic.
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut loads = vec![0u64; k];
+    for i in order {
+        let w = loads
+            .iter()
+            .enumerate()
+            .min_by(|(wa, la), (wb, lb)| la.cmp(lb).then(wa.cmp(wb)))
+            .map(|(w, _)| w)
+            .expect("k >= 1");
+        loads[w] += sizes[i];
+        assignment[w].push(i);
+    }
+    for list in &mut assignment {
+        list.sort_unstable();
+    }
+    assignment
+}
+
+/// Order-preserving work-stealing parallel map using [`num_threads`]
+/// workers.
+///
+/// Unlike [`par_map`]'s static contiguous chunks, workers claim items one
+/// at a time from a shared atomic cursor, so a heavy-tailed workload
+/// whose per-item costs are unknown up front still balances: a worker
+/// stuck on one huge item never strands the rest of the queue. Each
+/// result carries its input index and the output is reassembled in input
+/// order, so the returned `Vec` equals
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` for every
+/// thread count.
+pub fn par_map_dynamic<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_dynamic_threads(num_threads(), items, f)
+}
+
+/// [`par_map_dynamic`] with an explicit worker count (1 forces the
+/// sequential path).
+pub fn par_map_dynamic_threads<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let k = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..k)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(n);
+        for h in handles {
+            all.extend(h.join().expect("par_map_dynamic worker panicked"));
+        }
+        all
+    });
+    // Reassemble in input order: scheduling raced, the output must not.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Work-stealing *fold*: like [`par_map_dynamic_threads`], but each
+/// worker folds the items it claims into one private accumulator, and
+/// the per-worker accumulators (at most `threads` of them, however many
+/// items there are) come back for the caller to combine. This is the
+/// memory-bounded shape for sharded pipelines: peak state is
+/// O(workers × accumulator), never O(items × accumulator).
+///
+/// Which items land in which accumulator is scheduling-dependent, so the
+/// combined result is deterministic **only when the fold is commutative**
+/// — counter addition, disjoint-key map union, histogram bucket adds.
+/// Callers owning non-commutative folds need [`par_map_dynamic_threads`]
+/// and its index-ordered results instead.
+///
+/// `step` returns `false` to make *its own* worker stop claiming items
+/// (e.g. after recording an error in the accumulator); other workers
+/// drain the remaining items normally. Every item is processed at most
+/// once, and exactly once when no worker stops early.
+pub fn par_fold_dynamic_threads<A, I, F>(threads: usize, n_items: usize, init: I, step: F) -> Vec<A>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize) -> bool + Sync,
+{
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let k = threads.max(1).min(n_items);
+    if k == 1 {
+        let mut acc = init();
+        for i in 0..n_items {
+            if !step(&mut acc, i) {
+                break;
+            }
+        }
+        return vec![acc];
+    }
+    let cursor = AtomicUsize::new(0);
+    let (init, step, cursor) = (&init, &step, &cursor);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..k)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut acc = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_items || !step(&mut acc, i) {
+                            break;
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_fold_dynamic worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,10 +353,163 @@ mod tests {
             i
         });
         assert_eq!(seen, (0..10).collect::<Vec<usize>>());
+        // k > n: every item still visited exactly once, extra workers idle.
+        let seen = par_map_indexed_threads(16, (0..3u32).collect(), |i, t| {
+            assert_eq!(i as u32, t);
+            i
+        });
+        assert_eq!(seen, (0..3).collect::<Vec<usize>>());
+        // n == 0: no chunks, no workers, empty output.
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_indexed_threads(4, empty, |_, t: u32| t).is_empty());
     }
 
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn lpt_assignment_is_exhaustive_and_deterministic() {
+        let sizes: Vec<u64> = vec![100, 1, 1, 1, 50, 1, 1, 49, 1, 1];
+        for k in [1, 2, 3, 4, 16] {
+            let a = lpt_assign(&sizes, k);
+            assert_eq!(a.len(), k);
+            let mut seen: Vec<usize> = a.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..sizes.len()).collect::<Vec<_>>(), "k={k}");
+            // Pure function of the size vector.
+            assert_eq!(a, lpt_assign(&sizes, k));
+            // Per-worker lists are sorted so processing preserves input order.
+            for list in &a {
+                assert!(list.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_balances_a_zipfian_head() {
+        // One dominant item (the aggregator shard) plus a long tail: the
+        // static contiguous split puts the head and half the tail on
+        // worker 0; LPT gives the head its own worker.
+        let mut sizes = vec![1000u64];
+        sizes.extend(std::iter::repeat(10).take(99));
+        let a = lpt_assign(&sizes, 2);
+        let load = |w: &Vec<usize>| w.iter().map(|&i| sizes[i]).sum::<u64>();
+        let (l0, l1) = (load(&a[0]), load(&a[1]));
+        let max = l0.max(l1) as f64;
+        let mean = (l0 + l1) as f64 / 2.0;
+        assert!(
+            max / mean < 1.05,
+            "LPT imbalance {:.3} (loads {l0}/{l1})",
+            max / mean
+        );
+    }
+
+    #[test]
+    fn lpt_edge_cases() {
+        // n == 0: k empty lists.
+        let a = lpt_assign(&[], 3);
+        assert_eq!(a, vec![Vec::<usize>::new(); 3]);
+        // k > n: the n largest-first items land on distinct workers.
+        let a = lpt_assign(&[5, 9, 1], 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.iter().filter(|l| !l.is_empty()).count(), 3);
+        assert!(a.iter().all(|l| l.len() <= 1));
+        // k == 0 behaves as one worker.
+        let a = lpt_assign(&[3, 2, 1], 0);
+        assert_eq!(a, vec![vec![0, 1, 2]]);
+        // All-zero sizes: ties broken deterministically, round-robin-ish.
+        let a = lpt_assign(&[0, 0, 0, 0], 2);
+        assert_eq!(a, lpt_assign(&[0, 0, 0, 0], 2));
+        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn par_map_dynamic_matches_sequential_for_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 97, 200] {
+            let got = par_map_dynamic_threads(threads, &items, |i, x| {
+                assert_eq!(items[i], *x);
+                x * 3 + 1
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_dynamic_edge_cases() {
+        // n == 0.
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_dynamic_threads(4, &empty, |_, x| *x).is_empty());
+        // n == 1.
+        assert_eq!(par_map_dynamic_threads(4, &[7u32], |_, x| x + 1), vec![8]);
+        // k > n: output order still matches input order.
+        let items = vec![3u32, 1, 2];
+        assert_eq!(
+            par_map_dynamic_threads(64, &items, |_, x| *x),
+            vec![3, 1, 2]
+        );
+    }
+
+    #[test]
+    fn par_fold_dynamic_commutative_fold_matches_sequential() {
+        // Sum of i² over 0..500 — commutative, so any work-stealing
+        // schedule must combine to the same total.
+        let expect: u64 = (0..500u64).map(|i| i * i).sum();
+        for threads in [1usize, 2, 3, 8, 500, 1000] {
+            let accs = par_fold_dynamic_threads(threads, 500, || 0u64, |acc, i| {
+                *acc += (i as u64) * (i as u64);
+                true
+            });
+            assert!(accs.len() <= threads.max(1), "{} accs at {threads} threads", accs.len());
+            assert_eq!(accs.iter().sum::<u64>(), expect, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_fold_dynamic_edge_cases() {
+        // n == 0: no workers, no accumulators.
+        assert!(par_fold_dynamic_threads(4, 0, || 0u64, |_, _| true).is_empty());
+        // threads == 0 behaves as 1.
+        let accs = par_fold_dynamic_threads(0, 3, || 0u64, |acc, i| {
+            *acc += i as u64 + 1;
+            true
+        });
+        assert_eq!(accs, vec![6]);
+        // Early stop: the sequential worker sees items 0..=2 only.
+        let accs = par_fold_dynamic_threads(1, 100, Vec::new, |acc: &mut Vec<usize>, i| {
+            acc.push(i);
+            i < 2
+        });
+        assert_eq!(accs, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn par_fold_dynamic_processes_every_item_exactly_once() {
+        for threads in [2usize, 8] {
+            let accs = par_fold_dynamic_threads(threads, 97, Vec::new, |acc: &mut Vec<usize>, i| {
+                acc.push(i);
+                true
+            });
+            let mut seen: Vec<usize> = accs.into_iter().flatten().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..97).collect::<Vec<_>>(), "at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_dynamic_is_order_preserving_under_skew() {
+        // Make early items slow so late items finish first; the output
+        // must still come back in input order.
+        let items: Vec<u64> = (0..40).collect();
+        let got = par_map_dynamic_threads(8, &items, |i, x| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            *x
+        });
+        assert_eq!(got, items);
     }
 }

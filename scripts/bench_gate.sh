@@ -10,6 +10,13 @@
 #   mb_per_sec    >= (1 - tolerance) * baseline.mb_per_sec
 #   allocs_per_page <= baseline.max_allocs_per_page   (hardware-independent)
 #
+# When a scale-sweep artifact (BENCH_scale.json) is present, it also
+# checks the out-of-core path's hardware-independent ratios, with no
+# tolerance band:
+#
+#   min_thread2_speedup      >= baseline.min_thread2_speedup
+#   rss_ratio_full_vs_tenth  <= baseline.max_rss_ratio_full_vs_tenth
+#
 # Modes:
 #   default                      warn-only: print verdicts, always exit 0.
 #                                This is the CI mode — shared runners have
@@ -22,12 +29,13 @@
 #   WEBSTRUCT_BENCH_TOL   fractional tolerance band, default 0.40
 #                         (fresh numbers may be up to 40% below baseline).
 #
-# Usage: scripts/bench_gate.sh [artifact.json] [baseline.json]
+# Usage: scripts/bench_gate.sh [artifact.json] [baseline.json] [scale_artifact.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ARTIFACT="${1:-artifacts/BENCH_pipeline.json}"
 BASELINE="${2:-scripts/bench_baseline.json}"
+SCALE_ARTIFACT="${3:-artifacts/BENCH_scale.json}"
 TOL="${WEBSTRUCT_BENCH_TOL:-0.40}"
 MODE="${WEBSTRUCT_BENCH_GATE:-warn}"
 
@@ -89,10 +97,44 @@ check_ceiling() { # label current max
     fi
 }
 
+# Absolute floor (no tolerance band): for hardware-independent ratios.
+check_floor_abs() { # label current floor
+    local ok
+    ok="$(awk -v c="$2" -v f="$3" 'BEGIN { print (c >= f) ? 1 : 0 }')"
+    if [[ "$ok" == "1" ]]; then
+        echo "  OK    $1: $2 >= $3"
+    else
+        echo "  FAIL  $1: $2 < $3 (scheduler regressed going parallel)"
+        fails=$((fails + 1))
+    fi
+}
+
 echo "bench_gate: $base_stage at $base_threads thread(s), $ARTIFACT vs $BASELINE"
 check_floor pages_per_sec "$cur_pps" "$base_pps"
 check_floor mb_per_sec "$cur_mbs" "$base_mbs"
 check_ceiling allocs_per_page "$cur_app" "$base_app"
+
+# Scale-sweep stage: only when both the artifact and the baseline keys
+# exist, so pipeline-only runs and older baselines keep working. A
+# "null" ratio in the artifact (scale not swept) parses to empty and
+# skips that check.
+base_t2_floor="$(json_num "$BASELINE" min_thread2_speedup || true)"
+base_rss_max="$(json_num "$BASELINE" max_rss_ratio_full_vs_tenth || true)"
+if [[ -f "$SCALE_ARTIFACT" && -n "$base_t2_floor" ]]; then
+    echo "bench_gate: out-of-core scale sweep, $SCALE_ARTIFACT vs $BASELINE"
+    cur_t2="$(json_num "$SCALE_ARTIFACT" min_thread2_speedup || true)"
+    cur_rss="$(json_num "$SCALE_ARTIFACT" rss_ratio_full_vs_tenth || true)"
+    if [[ -n "$cur_t2" ]]; then
+        check_floor_abs min_thread2_speedup "$cur_t2" "$base_t2_floor"
+    else
+        echo "  SKIP  min_thread2_speedup: not in artifact (single-thread sweep?)"
+    fi
+    if [[ -n "$cur_rss" && -n "$base_rss_max" ]]; then
+        check_ceiling rss_ratio_full_vs_tenth "$cur_rss" "$base_rss_max"
+    else
+        echo "  SKIP  rss_ratio_full_vs_tenth: sweep did not cover scales 0.1 and 1.0"
+    fi
+fi
 
 if [[ "$fails" -gt 0 ]]; then
     if [[ "$MODE" == "strict" ]]; then

@@ -63,6 +63,9 @@ for t in 2 8; do
 done
 echo "    trace smoke OK (metrics byte-identical across threads 1/2/8)"
 
+echo "==> stream: out-of-core render -> shards -> extract at scale 0.1"
+./target/release/webstruct stream 0.1 "$TRACE_TMP/shards" 4 | sed 's/^/    /'
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> bench: pipeline stages across thread counts -> artifacts/BENCH_pipeline.json"
     mkdir -p artifacts
@@ -101,11 +104,6 @@ if [[ "${1:-}" != "--quick" ]]; then
         rm -f "$PREV_BENCH"
     fi
 
-    echo "==> bench: throughput gate vs committed baseline (scripts/bench_baseline.json)"
-    # Warn-only unless WEBSTRUCT_BENCH_GATE=strict (local runs on the
-    # baseline hardware should export it; CI clocks are too noisy).
-    scripts/bench_gate.sh
-
     echo "==> bench: crawl throughput under fault injection -> artifacts/BENCH_faults.json"
     cargo bench -p webstruct-bench --bench faults -- \
         --out "$PWD/artifacts/BENCH_faults.json" \
@@ -113,6 +111,20 @@ if [[ "${1:-}" != "--quick" ]]; then
         --budget "${BENCH_FAULT_BUDGET:-2000}" \
         --rates "${BENCH_FAULT_RATES:-0,0.1,0.3}" \
         --repeats "${BENCH_REPEATS:-2}"
+
+    echo "==> bench: out-of-core scale sweep (child process per scale) -> artifacts/BENCH_scale.json"
+    cargo bench -p webstruct-bench --bench scale -- \
+        --out "$PWD/artifacts/BENCH_scale.json" \
+        --scales "${BENCH_SCALES:-0.02,0.1,0.5,1.0}" \
+        --threads "${BENCH_SCALE_THREADS:-1,2}" \
+        --repeats "${BENCH_REPEATS:-2}"
+
+    echo "==> bench: throughput gate vs committed baseline (scripts/bench_baseline.json)"
+    # Warn-only unless WEBSTRUCT_BENCH_GATE=strict (local runs on the
+    # baseline hardware should export it; CI clocks are too noisy). Runs
+    # after both benches so it gates the pipeline artifact and the fresh
+    # scale sweep in one pass.
+    scripts/bench_gate.sh
 fi
 
 echo "==> verify OK"

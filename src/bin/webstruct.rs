@@ -5,6 +5,7 @@
 //! webstruct reproduce [SCALE] [OUTDIR]   regenerate all tables & figures
 //! webstruct figure <ID> [SCALE]          print one figure (ASCII + .dat)
 //! webstruct table <1|2> [SCALE]          print one table
+//! webstruct stream [SCALE] [DIR] [MB]    out-of-core render → shards → extract
 //! webstruct bootstrap [DOMAIN] [SCALE]   run the set-expansion crawler
 //! webstruct redundancy [DOMAIN] [SCALE]  fusion accuracy vs. redundancy
 //! webstruct tail-users [SCALE]           user-level tail analysis
@@ -44,6 +45,7 @@ fn main() {
         "faults" => cmd(|| faults_cmd(&args[1..])),
         "figure" => cmd(|| figure(&args[1..])),
         "table" => cmd(|| table(&args[1..])),
+        "stream" => stream_cmd(&args[1..]),
         "bootstrap" => cmd(|| bootstrap(&args[1..])),
         "discover" => cmd(|| discover(&args[1..])),
         "dedup" => cmd(|| dedup_cmd(&args[1..])),
@@ -131,6 +133,7 @@ fn help() {
          \twebstruct faults [DOMAIN] [SCALE]     discovery under injected failure rates\n\
          \twebstruct figure <ID> [SCALE]      e.g. fig1a, fig4b, fig6-cdf-search, fig8-imdb\n\
          \twebstruct table <1|2> [SCALE]\n\
+         \twebstruct stream [SCALE] [DIR] [SHARD_MB]  render to page shards, extract out-of-core\n\
          \twebstruct bootstrap [DOMAIN] [SCALE]\n\
          \twebstruct discover [DOMAIN] [SCALE]   compare frontier policies + seed robustness\n\
          \twebstruct dedup [DOMAIN] [SCALE]      deduplicate noisy listing records\n\
@@ -273,6 +276,76 @@ fn table(args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// The out-of-core pipeline end to end: render the corpus into
+/// length-prefixed page shards on disk, then extract straight off the
+/// shard files — no rendered page ever resident beyond the shard being
+/// read. Prints the same headline occurrence counts the in-memory path
+/// would, so the two are easy to eyeball against each other.
+fn stream_cmd(args: &[String]) -> i32 {
+    use webstruct::corpus::page::PageConfig;
+    use webstruct::corpus::ShardStore;
+    use webstruct::core::study::DomainStudy;
+    use webstruct::extract::{train_review_classifier, Extractor};
+
+    let scale = parse_scale(args, 0, 0.1);
+    let dir = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "artifacts/shards".into());
+    let shard_mb: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let config = StudyConfig::default().with_scale(scale);
+    let study = DomainStudy::generate(Domain::Restaurants, &config);
+    let clf = train_review_classifier(config.seed.derive("nb"), 300)
+        .expect("training set is balanced by construction");
+    let extractor = Extractor::new(&study.catalog).with_review_classifier(clf);
+
+    let t0 = std::time::Instant::now();
+    let store = match ShardStore::write(
+        std::path::Path::new(&dir),
+        &study.web,
+        &study.catalog,
+        &PageConfig::default(),
+        config.seed.derive("render"),
+        shard_mb.max(1) * 1024 * 1024,
+    ) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("stream: could not write shards under {dir}: {e}");
+            return 1;
+        }
+    };
+    let write_secs = t0.elapsed().as_secs_f64();
+
+    let threads = webstruct::util::par::num_threads();
+    let t1 = std::time::Instant::now();
+    let extracted = match extractor.extract_store(&store, study.web.n_sites(), threads) {
+        Ok(extracted) => extracted,
+        Err(e) => {
+            eprintln!("stream: shard extraction failed: {e}");
+            return 1;
+        }
+    };
+    let extract_secs = t1.elapsed().as_secs_f64();
+    let mb = extracted.bytes_rendered as f64 / 1e6;
+    println!(
+        "streamed scale {scale} through {} shards under {dir}/:\n\
+         \trendered  {} pages / {:.1} MB in {:.2}s ({:.1} MB/s)\n\
+         \textracted {} phone and {} review occurrences with {threads} worker(s)\n\
+         \t          in {:.2}s ({:.1} MB/s); peak RSS {:.1} MB",
+        store.len(),
+        extracted.pages_processed,
+        mb,
+        write_secs,
+        if write_secs > 0.0 { mb / write_secs } else { 0.0 },
+        extracted.total_occurrences(Attribute::Phone),
+        extracted.total_occurrences(Attribute::Review),
+        extract_secs,
+        if extract_secs > 0.0 { mb / extract_secs } else { 0.0 },
+        webstruct::util::obs::peak_rss_bytes() as f64 / 1e6,
+    );
+    0
 }
 
 fn bootstrap(args: &[String]) {

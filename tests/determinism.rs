@@ -36,14 +36,18 @@ fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
 }
 
 /// Reset the global metric registries, run `f` at `threads`, and return
-/// the resulting snapshot's JSON rendering. The whole measurement runs
-/// under the env lock, which every metrics-publishing test in this
-/// binary also holds — so nothing pollutes the registry mid-measurement.
+/// the resulting snapshot's deterministic JSON rendering — counters and
+/// histograms, the space the determinism contract covers. Gauges are
+/// deliberately outside it: per-worker load gauges (`extract.worker_bytes.*`)
+/// and timing-derived bench gauges legitimately vary with the thread
+/// count. The whole measurement runs under the env lock, which every
+/// metrics-publishing test in this binary also holds — so nothing
+/// pollutes the registry mid-measurement.
 fn metrics_snapshot_at(threads: usize, f: impl FnOnce()) -> String {
     with_threads(threads, || {
         obs::metrics().reset();
         f();
-        obs::metrics().snapshot().to_json()
+        obs::metrics().snapshot().to_deterministic_json()
     })
 }
 
@@ -112,10 +116,10 @@ fn extracted_source_run_is_identical_across_thread_counts() {
 
 #[test]
 fn metrics_snapshot_is_identical_across_thread_counts() {
-    // The observability contract: the full counter/gauge/histogram
-    // snapshot — not just the figure bytes — is byte-identical for any
-    // WEBSTRUCT_THREADS. Wall-clock data lives only in spans, which are
-    // deliberately outside the snapshot.
+    // The observability contract: the full counter/histogram snapshot —
+    // not just the figure bytes — is byte-identical for any
+    // WEBSTRUCT_THREADS. Wall-clock data lives in spans and per-worker
+    // load data in gauges; both are deliberately outside the snapshot.
     let cfg = StudyConfig::quick();
     let baseline = metrics_snapshot_at(1, || {
         let _ = run_all(&cfg);
