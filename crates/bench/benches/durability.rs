@@ -1,0 +1,80 @@
+//! Std-only durability benchmark: crash-point torture sweep, flaky-I/O
+//! corruption trials, and the resume-after-kill cost measurement. Writes
+//! `BENCH_durability.json` for `bench_gate.sh` to gate (resume cost
+//! fraction < 0.5, zero sweep/corruption failures).
+//!
+//! ```text
+//! cargo bench -p webstruct-bench --bench durability -- \
+//!     --out artifacts/BENCH_durability.json --scale 0.1 --shard-mb 4 \
+//!     --sweep-stride 3 --trials 10
+//! ```
+
+use webstruct_bench::durability::run_durability_bench;
+
+fn main() {
+    let mut out_path = String::from("artifacts/BENCH_durability.json");
+    let mut scale = 0.1f64;
+    let mut shard_mb = 4u64;
+    let mut sweep_stride = 3u64;
+    let mut trials = 10usize;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--shard-mb" if i + 1 < args.len() => {
+                shard_mb = args[i + 1].parse().expect("--shard-mb takes an integer");
+                i += 2;
+            }
+            "--sweep-stride" if i + 1 < args.len() => {
+                sweep_stride = args[i + 1].parse().expect("--sweep-stride takes an integer");
+                i += 2;
+            }
+            "--trials" if i + 1 < args.len() => {
+                trials = args[i + 1].parse().expect("--trials takes an integer");
+                i += 2;
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench); skip them.
+            _ => i += 1,
+        }
+    }
+
+    eprintln!(
+        "durability bench: scale={scale} shard_mb={shard_mb} sweep_stride={sweep_stride} \
+         trials={trials} -> {out_path}"
+    );
+    let report = run_durability_bench(scale, shard_mb.max(1) * 1024 * 1024, sweep_stride, trials);
+    eprintln!(
+        "  cold write {:.3}s ({} ops); resume after 70%-kill {:.3}s \
+         ({:.0}% of cold, {} reused / {} re-rendered, manifest identical: {})",
+        report.cold_write_secs,
+        report.ops_per_cold_write,
+        report.resume_secs,
+        100.0 * report.resume_cost_fraction,
+        report.resume_reused_shards,
+        report.resume_rendered_shards,
+        report.resume_manifest_identical,
+    );
+    eprintln!(
+        "  crash sweep: {} points, {} failures; corruption trials: {}, {} failures",
+        report.sweep_points,
+        report.sweep_failures,
+        report.corruption_trials,
+        report.corruption_failures,
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH_durability.json");
+    eprintln!("wrote {out_path}");
+}

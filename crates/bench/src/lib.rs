@@ -13,7 +13,10 @@
 //!   `BENCH_faults.json`;
 //! * `benches/scale.rs` runs the out-of-core render+extract path at a
 //!   ladder of corpus scales — one child process per scale so each peak
-//!   RSS is clean — and writes `BENCH_scale.json` (see [`scale`]).
+//!   RSS is clean — and writes `BENCH_scale.json` (see [`scale`]);
+//! * `benches/durability.rs` runs the crash-point torture sweep and the
+//!   resume-after-kill cost measurement and writes
+//!   `BENCH_durability.json` (see [`durability`]).
 //!
 //! Run them with:
 //!
@@ -27,6 +30,7 @@
 #![warn(clippy::all)]
 
 pub mod alloc;
+pub mod durability;
 pub mod scale;
 
 use crate::alloc::count_allocs;

@@ -13,7 +13,11 @@
 //! * [`stats`] — checkable heavy-tail diagnostics of generated webs;
 //! * [`text`] — review vs. boilerplate language models;
 //! * [`page`] — lazy deterministic page rendering, so the extraction
-//!   pipeline in `webstruct-extract` runs over real text.
+//!   pipeline in `webstruct-extract` runs over real text;
+//! * [`shard`] — out-of-core page shards with crash-safe writes,
+//!   resume-after-kill and quarantine-and-repair recovery;
+//! * [`manifest`] — the store-level `MANIFEST.wsm` commit record
+//!   (per-shard digests, site coverage, config/seed fingerprint).
 
 //!
 //! ## Example
@@ -40,6 +44,7 @@
 pub mod domain;
 pub mod entity;
 pub mod isbn;
+pub mod manifest;
 pub mod page;
 pub mod phone;
 pub mod shard;
@@ -53,9 +58,11 @@ pub use entity::{CatalogConfig, Entity, EntityCatalog};
 pub use isbn::Isbn;
 pub use page::{Page, PageConfig, PageKind, PageScratch, PageStream};
 pub use phone::{PhoneFormat, PhoneNumber};
+pub use manifest::{ManifestEntry, StoreManifest, MANIFEST_NAME};
 pub use shard::{
-    plan_shards, PageShardReader, PageShardWriter, ShardError, ShardRecord, ShardSpec,
-    ShardStore, ShardedWeb,
+    plan_shards, read_header_path, PageShardReader, PageShardWriter, RecoveryReport, ScrubFinding,
+    ScrubReport, ScrubStatus, ShardError, ShardRecord, ShardSpec, ShardStore, ShardedWeb,
+    TempFileGuard,
 };
 pub use site::{Site, SiteKind};
 pub use web::{Mention, Web, WebConfig};

@@ -1,0 +1,456 @@
+//! The store-level manifest (`MANIFEST.wsm`): the single source of truth
+//! for what a [`ShardStore`](crate::shard::ShardStore) contains.
+//!
+//! Before this file existed, `ShardStore::open` trusted the directory
+//! listing — a torn shard silently joined the store and a deleted one
+//! silently shrank the web. The manifest inverts that trust: it is
+//! written atomically (tmp → fsync → rename → dir fsync), strictly
+//! **after** the shards it lists, and recommitted after every rendered
+//! shard — so the manifest on disk always vouches for a complete,
+//! fsynced prefix of the plan, and `open` validates coverage and digests
+//! against it instead of globbing.
+//!
+//! ## Format
+//!
+//! A line-oriented text file, fully deterministic, self-checksummed:
+//!
+//! ```text
+//! WSM1
+//! fingerprint <64 hex>                 config/seed fingerprint of the run
+//! sites <n_sites>                      site axis the shards must cover
+//! shards <n>
+//! shard <idx> <file> <site_start> <site_end> <first_page> <page_count> <payload_len> <sha256 hex>
+//! ...                                  one line per shard, in site order
+//! checksum <64 hex>                    SHA-256 of every byte above
+//! ```
+//!
+//! The per-shard `site_start..site_end` is the **planned** range (from
+//! [`plan_shards`](crate::shard::plan_shards)), not the observed one in
+//! the shard header — sites with no pages still belong to exactly one
+//! shard, so planned ranges tile the site axis with no gaps and coverage
+//! can be checked without opening a single shard file.
+
+use crate::shard::{ShardError, ShardHeader, ShardSpec};
+use std::path::{Path, PathBuf};
+use webstruct_util::iofault::FaultSession;
+use webstruct_util::sha::Sha256;
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.wsm";
+/// Manifest format magic (first line).
+pub const MANIFEST_MAGIC: &str = "WSM1";
+
+/// One shard's line in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Shard file name (relative to the store directory).
+    pub file: String,
+    /// Planned site range `[start, end)` this shard covers.
+    pub sites: std::ops::Range<u32>,
+    /// Global id of the shard's first page.
+    pub first_page: u32,
+    /// Records in the shard payload.
+    pub page_count: u32,
+    /// Payload bytes after the shard header.
+    pub payload_len: u64,
+    /// SHA-256 of the shard payload (as stamped in the shard header).
+    pub sha256: [u8; 32],
+}
+
+impl ManifestEntry {
+    /// Build an entry from a planned spec and the header the writer
+    /// actually stamped.
+    #[must_use]
+    pub fn from_parts(file: String, spec: &ShardSpec, header: &ShardHeader) -> Self {
+        ManifestEntry {
+            file,
+            sites: spec.sites.start as u32..spec.sites.end as u32,
+            first_page: spec.first_page,
+            page_count: spec.page_count,
+            payload_len: header.payload_len,
+            sha256: header.sha256,
+        }
+    }
+
+    /// Check a shard header against this entry. Returns the name of the
+    /// first mismatching field, or `None` when they agree. Empty shards
+    /// skip the `first_page` comparison (the writer stamps 0 when it
+    /// never saw a record).
+    #[must_use]
+    pub fn header_mismatch(&self, header: &ShardHeader) -> Option<&'static str> {
+        if header.sha256 != self.sha256 {
+            return Some("sha256");
+        }
+        if header.payload_len != self.payload_len {
+            return Some("payload_len");
+        }
+        if header.page_count != self.page_count {
+            return Some("page_count");
+        }
+        if self.page_count > 0 && header.first_page != self.first_page {
+            return Some("first_page");
+        }
+        if self.page_count > 0
+            && (header.site_lo < self.sites.start || header.site_hi > self.sites.end)
+        {
+            return Some("site_range");
+        }
+        None
+    }
+}
+
+/// The parsed (or to-be-written) store manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// Fingerprint of the `(web, page config, seed, shard target)` the
+    /// store was written from; resume refuses to reuse shards across a
+    /// fingerprint change.
+    pub fingerprint: [u8; 32],
+    /// Sites the store must tile, `0..n_sites`.
+    pub n_sites: u32,
+    /// Per-shard entries, in site order.
+    pub shards: Vec<ManifestEntry>,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex32(s: &str) -> Option<[u8; 32]> {
+    if s.len() != 64 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+        let hi = (chunk[0] as char).to_digit(16)?;
+        let lo = (chunk[1] as char).to_digit(16)?;
+        out[i] = ((hi << 4) | lo) as u8;
+    }
+    Some(out)
+}
+
+impl StoreManifest {
+    /// Render the manifest, checksum line included.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut body = String::new();
+        body.push_str(MANIFEST_MAGIC);
+        body.push('\n');
+        body.push_str(&format!("fingerprint {}\n", hex(&self.fingerprint)));
+        body.push_str(&format!("sites {}\n", self.n_sites));
+        body.push_str(&format!("shards {}\n", self.shards.len()));
+        for (i, e) in self.shards.iter().enumerate() {
+            body.push_str(&format!(
+                "shard {i} {} {} {} {} {} {} {}\n",
+                e.file,
+                e.sites.start,
+                e.sites.end,
+                e.first_page,
+                e.page_count,
+                e.payload_len,
+                hex(&e.sha256),
+            ));
+        }
+        let mut sha = Sha256::new();
+        sha.update(body.as_bytes());
+        body.push_str(&format!("checksum {}\n", hex(&sha.finalize())));
+        body
+    }
+
+    /// Parse a manifest, verifying the trailing checksum.
+    ///
+    /// # Errors
+    /// [`ShardError::ManifestCorrupt`] naming the first malformed piece.
+    pub fn parse(text: &str) -> Result<StoreManifest, ShardError> {
+        let corrupt = |why: &'static str| ShardError::ManifestCorrupt(why);
+        // Split off the checksum line and verify it covers the body.
+        let body_end = text
+            .rfind("checksum ")
+            .ok_or(corrupt("missing checksum line"))?;
+        let (body, tail) = text.split_at(body_end);
+        let stamp = tail
+            .strip_prefix("checksum ")
+            .and_then(|s| unhex32(s.trim_end()))
+            .ok_or(corrupt("malformed checksum line"))?;
+        let mut sha = Sha256::new();
+        sha.update(body.as_bytes());
+        if sha.finalize() != stamp {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(MANIFEST_MAGIC) {
+            return Err(corrupt("bad magic (want WSM1)"));
+        }
+        let fingerprint = lines
+            .next()
+            .and_then(|l| l.strip_prefix("fingerprint "))
+            .and_then(unhex32)
+            .ok_or(corrupt("malformed fingerprint line"))?;
+        let n_sites: u32 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("sites "))
+            .and_then(|s| s.parse().ok())
+            .ok_or(corrupt("malformed sites line"))?;
+        let n_shards: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("shards "))
+            .and_then(|s| s.parse().ok())
+            .ok_or(corrupt("malformed shards line"))?;
+        let mut shards = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            let line = lines.next().ok_or(corrupt("missing shard line"))?;
+            let mut parts = line.split(' ');
+            if parts.next() != Some("shard") {
+                return Err(corrupt("shard line missing prefix"));
+            }
+            let idx: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(corrupt("shard line bad index"))?;
+            if idx != i {
+                return Err(corrupt("shard lines out of order"));
+            }
+            let file = parts
+                .next()
+                .ok_or(corrupt("shard line missing file"))?
+                .to_string();
+            let mut num = |why: &'static str| -> Result<u64, ShardError> {
+                parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ShardError::ManifestCorrupt(why))
+            };
+            let site_start = num("shard line bad site_start")? as u32;
+            let site_end = num("shard line bad site_end")? as u32;
+            let first_page = num("shard line bad first_page")? as u32;
+            let page_count = num("shard line bad page_count")? as u32;
+            let payload_len = num("shard line bad payload_len")?;
+            let sha256 = parts
+                .next()
+                .and_then(unhex32)
+                .ok_or(corrupt("shard line bad sha256"))?;
+            if parts.next().is_some() {
+                return Err(corrupt("shard line trailing fields"));
+            }
+            shards.push(ManifestEntry {
+                file,
+                sites: site_start..site_end,
+                first_page,
+                page_count,
+                payload_len,
+                sha256,
+            });
+        }
+        if lines.next().is_some() {
+            return Err(corrupt("trailing lines after shard list"));
+        }
+        Ok(StoreManifest {
+            fingerprint,
+            n_sites,
+            shards,
+        })
+    }
+
+    /// Path of the manifest inside `dir`.
+    #[must_use]
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_NAME)
+    }
+
+    /// Load and parse `dir`'s manifest.
+    ///
+    /// # Errors
+    /// [`ShardError::ManifestMissing`] when the file does not exist;
+    /// parse errors otherwise.
+    pub fn load(dir: &Path) -> Result<StoreManifest, ShardError> {
+        let path = Self::path_in(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(ShardError::ManifestMissing)
+            }
+            Err(e) => return Err(ShardError::Io(e)),
+        };
+        Self::parse(&text)
+    }
+
+    /// Write the manifest crash-safely under `dir`: stream to
+    /// `MANIFEST.wsm.tmp`, fsync, rename over the final name, fsync the
+    /// directory. All four steps go through `session` so the torture
+    /// sweep can crash inside any of them.
+    ///
+    /// # Errors
+    /// Propagates injected or real I/O failures (the temp file is
+    /// removed on the error path).
+    pub fn write_atomic(&self, dir: &Path, session: &FaultSession) -> Result<(), ShardError> {
+        use std::io::Write as _;
+        let final_path = Self::path_in(dir);
+        let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+        let guard = crate::shard::TempFileGuard::new(tmp.clone());
+        let mut file = session.create(&tmp)?;
+        file.write_all(self.render().as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        session.rename(&tmp, &final_path)?;
+        guard.disarm();
+        session.sync_dir(dir)?;
+        Ok(())
+    }
+
+    /// Validate that the shard entries tile `0..n_sites` contiguously.
+    ///
+    /// # Errors
+    /// [`ShardError::Gap`] at the first discontinuity (a store that
+    /// starts late, skips sites between shards, or ends early).
+    pub fn validate_coverage(&self) -> Result<(), ShardError> {
+        let mut expected = 0u32;
+        for e in &self.shards {
+            if e.sites.start != expected {
+                return Err(ShardError::Gap {
+                    expected_site: expected,
+                    found_site: e.sites.start,
+                });
+            }
+            if e.sites.end < e.sites.start {
+                return Err(ShardError::ManifestCorrupt("shard site range inverted"));
+            }
+            expected = e.sites.end;
+        }
+        if expected != self.n_sites {
+            return Err(ShardError::Gap {
+                expected_site: self.n_sites,
+                found_site: expected,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StoreManifest {
+        StoreManifest {
+            fingerprint: [7u8; 32],
+            n_sites: 10,
+            shards: vec![
+                ManifestEntry {
+                    file: "shard-00000.wsp".into(),
+                    sites: 0..4,
+                    first_page: 0,
+                    page_count: 120,
+                    payload_len: 4096,
+                    sha256: [1u8; 32],
+                },
+                ManifestEntry {
+                    file: "shard-00001.wsp".into(),
+                    sites: 4..10,
+                    first_page: 120,
+                    page_count: 80,
+                    payload_len: 2048,
+                    sha256: [2u8; 32],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let m = sample();
+        let text = m.render();
+        let back = StoreManifest::parse(&text).expect("parse");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn any_flipped_byte_fails_the_checksum_or_parse() {
+        let text = sample().render();
+        let bytes = text.as_bytes();
+        // Flip a byte in every line (not exhaustive over offsets to keep
+        // the test fast, but covering each structural region).
+        for pos in [0usize, 6, 40, 80, bytes.len() / 2, bytes.len() - 10] {
+            let mut bad = bytes.to_vec();
+            bad[pos] ^= 0x01;
+            if let Ok(s) = String::from_utf8(bad) {
+                assert!(
+                    StoreManifest::parse(&s).is_err(),
+                    "flip at {pos} went unnoticed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_manifest_is_rejected() {
+        let text = sample().render();
+        for cut in [5, 40, text.len() - 5] {
+            assert!(StoreManifest::parse(&text[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn coverage_gaps_are_named() {
+        let mut m = sample();
+        m.shards[1].sites = 5..10; // hole: site 4 unowned
+        match m.validate_coverage() {
+            Err(ShardError::Gap {
+                expected_site: 4,
+                found_site: 5,
+            }) => {}
+            other => panic!("want Gap(4,5), got {other:?}"),
+        }
+        let mut m = sample();
+        m.shards[0].sites = 1..4; // starts late
+        assert!(matches!(
+            m.validate_coverage(),
+            Err(ShardError::Gap {
+                expected_site: 0,
+                found_site: 1
+            })
+        ));
+        let mut m = sample();
+        m.n_sites = 12; // ends early
+        assert!(matches!(
+            m.validate_coverage(),
+            Err(ShardError::Gap {
+                expected_site: 12,
+                found_site: 10
+            })
+        ));
+        assert!(sample().validate_coverage().is_ok());
+    }
+
+    #[test]
+    fn header_mismatch_names_the_field() {
+        let e = &sample().shards[0];
+        let good = ShardHeader {
+            page_count: 120,
+            first_page: 0,
+            site_lo: 0,
+            site_hi: 4,
+            payload_len: 4096,
+            sha256: [1u8; 32],
+        };
+        assert_eq!(e.header_mismatch(&good), None);
+        let mut h = good;
+        h.sha256[0] ^= 1;
+        assert_eq!(e.header_mismatch(&h), Some("sha256"));
+        let mut h = good;
+        h.page_count += 1;
+        assert_eq!(e.header_mismatch(&h), Some("page_count"));
+        let mut h = good;
+        h.first_page = 99;
+        assert_eq!(e.header_mismatch(&h), Some("first_page"));
+        let mut h = good;
+        h.site_hi = 7;
+        assert_eq!(e.header_mismatch(&h), Some("site_range"));
+        let mut h = good;
+        h.payload_len = 1;
+        assert_eq!(e.header_mismatch(&h), Some("payload_len"));
+    }
+}

@@ -44,12 +44,14 @@
 //! byte-identical results either way.
 
 use crate::entity::EntityCatalog;
+use crate::manifest::{ManifestEntry, StoreManifest};
 use crate::page::{Page, PageConfig, PageKind, PageScratch, PageStream};
 use crate::web::Web;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use webstruct_util::ids::{PageId, SiteId};
+use webstruct_util::iofault::FaultSession;
 use webstruct_util::rng::Seed;
 use webstruct_util::sha::Sha256;
 
@@ -84,6 +86,35 @@ pub enum ShardError {
     /// A record inside the payload is malformed (lengths overrun the
     /// payload, invalid page kind, non-UTF-8 text).
     CorruptRecord(&'static str),
+    /// The store directory has no `MANIFEST.wsm` — either it never
+    /// finished a write, or it predates the durable format.
+    ManifestMissing,
+    /// The manifest exists but is malformed or fails its own checksum.
+    ManifestCorrupt(&'static str),
+    /// A shard the manifest lists is not on disk.
+    MissingShard {
+        /// Index of the missing shard.
+        index: usize,
+    },
+    /// The manifest's shard ranges do not tile the site axis: sites
+    /// `expected_site..found_site` (or the reverse) belong to no shard.
+    Gap {
+        /// First site the next shard was expected to start at.
+        expected_site: u32,
+        /// Site the next shard actually starts at (or where coverage
+        /// ended, for a store that stops early).
+        found_site: u32,
+    },
+    /// A shard's header disagrees with its manifest entry.
+    HeaderMismatch {
+        /// Index of the offending shard.
+        index: usize,
+        /// First field that disagreed (`sha256`, `page_count`, …).
+        field: &'static str,
+    },
+    /// The store was written under a different `(web, config, seed,
+    /// shard target)` than the one offered for resume.
+    ConfigMismatch,
 }
 
 impl std::fmt::Display for ShardError {
@@ -97,6 +128,26 @@ impl std::fmt::Display for ShardError {
             }
             ShardError::ChecksumMismatch => write!(f, "shard payload checksum mismatch"),
             ShardError::CorruptRecord(why) => write!(f, "corrupt shard record: {why}"),
+            ShardError::ManifestMissing => write!(f, "store has no MANIFEST.wsm"),
+            ShardError::ManifestCorrupt(why) => write!(f, "corrupt manifest: {why}"),
+            ShardError::MissingShard { index } => {
+                write!(f, "shard {index} listed in manifest but missing on disk")
+            }
+            ShardError::Gap {
+                expected_site,
+                found_site,
+            } => write!(
+                f,
+                "store does not tile the site axis: expected coverage at site \
+                 {expected_site}, found {found_site}"
+            ),
+            ShardError::HeaderMismatch { index, field } => {
+                write!(f, "shard {index} header disagrees with manifest on {field}")
+            }
+            ShardError::ConfigMismatch => write!(
+                f,
+                "store fingerprint does not match this (web, config, seed, shard target)"
+            ),
         }
     }
 }
@@ -179,6 +230,38 @@ pub fn plan_shards(web: &Web, config: &PageConfig, target_bytes: u64) -> Vec<Sha
     specs
 }
 
+/// Removes a temp file on drop unless [`disarm`](TempFileGuard::disarm)ed
+/// — the leak-proofing for every `*.tmp` the store writes: a shard (or
+/// manifest) write that errors out part-way never leaves its temp file
+/// behind, and a [`PageShardWriter`] carrying one cleans up even when it
+/// is simply dropped mid-shard.
+#[derive(Debug)]
+pub struct TempFileGuard {
+    path: Option<PathBuf>,
+}
+
+impl TempFileGuard {
+    /// Guard `path` for removal on drop.
+    #[must_use]
+    pub fn new(path: PathBuf) -> Self {
+        TempFileGuard { path: Some(path) }
+    }
+
+    /// The write completed (the file was renamed away): stop guarding.
+    pub fn disarm(mut self) {
+        self.path = None;
+    }
+}
+
+impl Drop for TempFileGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            // Best-effort: the file may already have been renamed away.
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
 /// Streaming shard writer over any seekable [`Write`] sink (normally a
 /// `BufWriter<File>`). The SHA-256 stamp and payload length live in the
 /// *header*, which precedes the payload on disk — so the writer stamps a
@@ -199,6 +282,9 @@ pub struct PageShardWriter<W: Write + Seek> {
     site_lo: u32,
     site_hi: u32,
     header_written: bool,
+    /// Temp-file guard: dropped (removing the file) when the writer is
+    /// abandoned before [`finish`](PageShardWriter::finish) completes.
+    guard: Option<TempFileGuard>,
 }
 
 fn encode_header(header: &ShardHeader) -> [u8; SHARD_HEADER_LEN] {
@@ -228,7 +314,19 @@ impl<W: Write + Seek> PageShardWriter<W> {
             site_lo: u32::MAX,
             site_hi: 0,
             header_written: false,
+            guard: None,
         }
+    }
+
+    /// Attach a [`TempFileGuard`]: if this writer is dropped (or errors)
+    /// before a successful finish, the guarded temp file is removed.
+    /// [`finish`](PageShardWriter::finish) disarms it;
+    /// [`finish_parts`](PageShardWriter::finish_parts) hands it back so
+    /// the caller can disarm after the rename commit.
+    #[must_use]
+    pub fn with_cleanup(mut self, guard: TempFileGuard) -> Self {
+        self.guard = Some(guard);
+        self
     }
 
     /// Append one page record, streaming it straight to the sink.
@@ -275,11 +373,27 @@ impl<W: Write + Seek> PageShardWriter<W> {
     }
 
     /// Seek back and stamp the real header over the placeholder, then
-    /// flush. Returns the header as written.
+    /// flush. Returns the header as written. Any attached temp-file
+    /// guard is disarmed on success (and fires on failure).
     ///
     /// # Errors
     /// Propagates sink I/O errors.
-    pub fn finish(mut self) -> Result<ShardHeader, ShardError> {
+    pub fn finish(self) -> Result<ShardHeader, ShardError> {
+        let (header, _sink, guard) = self.finish_parts()?;
+        if let Some(g) = guard {
+            g.disarm();
+        }
+        Ok(header)
+    }
+
+    /// [`finish`](PageShardWriter::finish), but hand back the sink (so
+    /// the caller can fsync the underlying file) and the still-armed
+    /// temp-file guard (so it can be disarmed only after the atomic
+    /// rename commits). This is the crash-safe write path's entry point.
+    ///
+    /// # Errors
+    /// Propagates sink I/O errors; the guard fires on the error path.
+    pub fn finish_parts(mut self) -> Result<(ShardHeader, W, Option<TempFileGuard>), ShardError> {
         if !self.header_written {
             self.sink.write_all(&[0u8; SHARD_HEADER_LEN])?;
         }
@@ -294,7 +408,7 @@ impl<W: Write + Seek> PageShardWriter<W> {
         self.sink.seek(SeekFrom::Current(-(self.payload_len as i64) - SHARD_HEADER_LEN as i64))?;
         self.sink.write_all(&encode_header(&header))?;
         self.sink.flush()?;
-        Ok(header)
+        Ok((header, self.sink, self.guard))
     }
 }
 
@@ -302,6 +416,54 @@ impl<W: Write + Seek> PageShardWriter<W> {
 /// amortise syscalls, small enough that validation memory is invisible
 /// next to the accumulators it feeds.
 const HASH_CHUNK: usize = 64 * 1024;
+
+/// Read and decode a shard header from the reader's current position:
+/// magic, version and truncation checks, no payload validation.
+///
+/// # Errors
+/// [`ShardError::Truncated`] / [`ShardError::BadMagic`] /
+/// [`ShardError::BadVersion`].
+pub fn read_header<R: Read>(reader: &mut R) -> Result<ShardHeader, ShardError> {
+    let mut head = [0u8; SHARD_HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < SHARD_HEADER_LEN {
+        let n = reader.read(&mut head[filled..])?;
+        if n == 0 {
+            return Err(ShardError::Truncated {
+                expected: SHARD_HEADER_LEN as u64,
+                got: filled as u64,
+            });
+        }
+        filled += n;
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&head[0..4]);
+    if magic != SHARD_MAGIC {
+        return Err(ShardError::BadMagic(magic));
+    }
+    let u32le = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4 bytes"));
+    let version = u32le(&head[4..8]);
+    if version != SHARD_VERSION {
+        return Err(ShardError::BadVersion(version));
+    }
+    Ok(ShardHeader {
+        page_count: u32le(&head[8..12]),
+        first_page: u32le(&head[12..16]),
+        site_lo: u32le(&head[16..20]),
+        site_hi: u32le(&head[20..24]),
+        payload_len: u64::from_le_bytes(head[24..32].try_into().expect("8 bytes")),
+        sha256: head[32..64].try_into().expect("32 bytes"),
+    })
+}
+
+/// Read just the header of the shard file at `path` (64 bytes of I/O —
+/// the cheap validation [`ShardStore::open`] performs per shard).
+///
+/// # Errors
+/// See [`read_header`]; plus file-open errors.
+pub fn read_header_path(path: &Path) -> Result<ShardHeader, ShardError> {
+    read_header(&mut File::open(path)?)
+}
 
 /// Shard reader: validates header + checksum up front with a streaming
 /// hash pass (the payload is never resident), then seeks back and yields
@@ -331,36 +493,7 @@ impl<R: Read + Seek> PageShardReader<R> {
     /// bitrot, since the checksum already passed).
     pub fn open(mut reader: R) -> Result<Self, ShardError> {
         let start = reader.stream_position()?;
-        let mut head = [0u8; SHARD_HEADER_LEN];
-        let mut filled = 0usize;
-        while filled < SHARD_HEADER_LEN {
-            let n = reader.read(&mut head[filled..])?;
-            if n == 0 {
-                return Err(ShardError::Truncated {
-                    expected: SHARD_HEADER_LEN as u64,
-                    got: filled as u64,
-                });
-            }
-            filled += n;
-        }
-        let mut magic = [0u8; 4];
-        magic.copy_from_slice(&head[0..4]);
-        if magic != SHARD_MAGIC {
-            return Err(ShardError::BadMagic(magic));
-        }
-        let u32le = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4 bytes"));
-        let version = u32le(&head[4..8]);
-        if version != SHARD_VERSION {
-            return Err(ShardError::BadVersion(version));
-        }
-        let header = ShardHeader {
-            page_count: u32le(&head[8..12]),
-            first_page: u32le(&head[12..16]),
-            site_lo: u32le(&head[16..20]),
-            site_hi: u32le(&head[20..24]),
-            payload_len: u64::from_le_bytes(head[24..32].try_into().expect("8 bytes")),
-            sha256: head[32..64].try_into().expect("32 bytes"),
-        };
+        let header = read_header(&mut reader)?;
         let mut sha = Sha256::new();
         let mut chunk = vec![0u8; HASH_CHUNK.min(header.payload_len as usize).max(1)];
         let mut hashed = 0u64;
@@ -498,26 +631,208 @@ impl Default for ShardRecord {
     }
 }
 
+/// What recovery does with shard files already on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecoverMode {
+    /// Render everything from scratch (existing files are replaced; the
+    /// write is still crash-safe).
+    Cold,
+    /// Reuse shards the manifest vouches for (header check only — a
+    /// shard at its final name was fsynced before the rename, so the
+    /// manifest digest plus a 64-byte header read is proof enough).
+    /// Shards without a trusted manifest entry are never reused.
+    Resume,
+    /// Reuse only manifest-vouched shards whose payload also re-hashes
+    /// clean — the quarantine-everything-sus mode behind
+    /// `webstruct repair`.
+    Repair,
+}
+
+/// What a recovery pass did, shard by shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Shards the plan called for.
+    pub shards_total: usize,
+    /// Shards reused from disk (verified, not re-rendered).
+    pub shards_reused: usize,
+    /// Shards rendered (from scratch or replacing a bad file).
+    pub shards_rendered: usize,
+    /// Corrupt or stray shard files moved to `.quarantine/`.
+    pub shards_quarantined: usize,
+    /// Stray `*.tmp` files from interrupted writes that were removed.
+    pub tmp_removed: usize,
+    /// Whether a matching manifest was found and trusted.
+    pub manifest_reused: bool,
+}
+
+impl RecoveryReport {
+    /// Fraction of planned shards that were reused instead of rendered.
+    #[must_use]
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.shards_total == 0 {
+            return 0.0;
+        }
+        self.shards_reused as f64 / self.shards_total as f64
+    }
+}
+
+/// One shard's verdict from a [`ShardStore::scrub`] pass.
+#[derive(Debug)]
+pub enum ScrubStatus {
+    /// Payload digest, record framing and manifest entry all agree.
+    Verified,
+    /// The manifest lists the shard but the file is gone.
+    Missing,
+    /// The shard failed validation (the error says how).
+    Corrupt(ShardError),
+}
+
+/// A scrub finding for one manifest entry.
+#[derive(Debug)]
+pub struct ScrubFinding {
+    /// Shard index (manifest order).
+    pub index: usize,
+    /// Shard file name.
+    pub file: String,
+    /// Verdict.
+    pub status: ScrubStatus,
+}
+
+/// Full-store integrity report: every byte of every shard re-hashed and
+/// re-framed against the manifest.
+#[derive(Debug)]
+pub struct ScrubReport {
+    /// Per-shard verdicts, in manifest order.
+    pub findings: Vec<ScrubFinding>,
+    /// `shard-*.wsp` / `*.tmp` files in the directory the manifest does
+    /// not list (a torn write the old globbing `open` would have let
+    /// join the store).
+    pub strays: Vec<String>,
+}
+
+impl ScrubReport {
+    /// Shards that verified clean.
+    #[must_use]
+    pub fn verified(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f.status, ScrubStatus::Verified))
+            .count()
+    }
+
+    /// Shards missing from disk.
+    #[must_use]
+    pub fn missing(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f.status, ScrubStatus::Missing))
+            .count()
+    }
+
+    /// Shards that failed validation.
+    #[must_use]
+    pub fn corrupt(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f.status, ScrubStatus::Corrupt(_)))
+            .count()
+    }
+
+    /// Whether every shard verified and nothing stray was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt() == 0 && self.missing() == 0 && self.strays.is_empty()
+    }
+
+    /// Human-readable per-shard table (the `webstruct scrub` output).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let verdict = match &f.status {
+                ScrubStatus::Verified => "ok".to_string(),
+                ScrubStatus::Missing => "MISSING".to_string(),
+                ScrubStatus::Corrupt(e) => format!("CORRUPT: {e}"),
+            };
+            out.push_str(&format!("  shard {:>3}  {:<20} {}\n", f.index, f.file, verdict));
+        }
+        for s in &self.strays {
+            out.push_str(&format!("  stray      {s}  (not in manifest)\n"));
+        }
+        out.push_str(&format!(
+            "  {} verified, {} corrupt, {} missing, {} stray\n",
+            self.verified(),
+            self.corrupt(),
+            self.missing(),
+            self.strays.len()
+        ));
+        out
+    }
+}
+
 /// A directory of shard files (`shard-00000.wsp`, `shard-00001.wsp`, …)
-/// covering a whole web in site order.
+/// covering a whole web in site order, described and vouched for by a
+/// [`StoreManifest`] (`MANIFEST.wsm`).
+///
+/// ## Durability protocol
+///
+/// Every file — shard or manifest — is written the same way: stream to
+/// `name.tmp`, `fsync`, atomically rename to `name`, `fsync` the
+/// directory. The manifest is written **after** every shard has
+/// committed, so its existence certifies a complete store; a crash at
+/// any earlier point leaves at worst a stale manifest, complete shards
+/// at final names, and a `*.tmp` that recovery deletes. [`open`]
+/// (ShardStore::open) trusts only the manifest: coverage must tile the
+/// site axis and every shard header must match its manifest entry.
 #[derive(Debug, Clone)]
 pub struct ShardStore {
     dir: PathBuf,
     shards: Vec<PathBuf>,
+    manifest: StoreManifest,
 }
 
 impl ShardStore {
     fn shard_path(dir: &Path, i: usize) -> PathBuf {
-        dir.join(format!("shard-{i:05}.wsp"))
+        dir.join(Self::shard_name(i))
+    }
+
+    fn shard_name(i: usize) -> String {
+        format!("shard-{i:05}.wsp")
+    }
+
+    /// Fingerprint of everything that determines the store's bytes: the
+    /// web's shape, the page config, the render seed and the shard
+    /// target. Recorded in the manifest; resume refuses to reuse shards
+    /// across a fingerprint change (a different corpus would silently
+    /// produce a frankenstore).
+    #[must_use]
+    pub fn fingerprint(
+        web: &Web,
+        config: &PageConfig,
+        seed: Seed,
+        target_bytes: u64,
+    ) -> [u8; 32] {
+        let mut sha = Sha256::new();
+        sha.update(b"webstruct-store-fingerprint-v1\n");
+        sha.update(&seed.0.to_le_bytes());
+        sha.update(&target_bytes.to_le_bytes());
+        sha.update(&(web.n_sites() as u64).to_le_bytes());
+        sha.update(&(web.n_mentions() as u64).to_le_bytes());
+        // The page config has no stable binary encoding; its Debug
+        // rendering is deterministic and covers every field.
+        sha.update(format!("{config:?}").as_bytes());
+        sha.finalize()
     }
 
     /// Render every page of `web` into shard files under `dir` (created
     /// if missing), cutting shards per [`plan_shards`] with
-    /// `target_bytes` estimated payload each. Peak memory is one page of
-    /// scratch — records stream straight to disk.
+    /// `target_bytes` estimated payload each, then commit `MANIFEST.wsm`.
+    /// Crash-safe: see the type-level durability protocol. Peak memory
+    /// is one page of scratch — records stream straight to disk.
     ///
     /// # Errors
-    /// Propagates file-system errors.
+    /// Propagates file-system errors; partial temp files are cleaned up
+    /// on the error path.
     pub fn write(
         dir: &Path,
         web: &Web,
@@ -526,62 +841,469 @@ impl ShardStore {
         seed: Seed,
         target_bytes: u64,
     ) -> Result<ShardStore, ShardError> {
+        Self::write_with_session(dir, web, catalog, config, seed, target_bytes, &FaultSession::clean())
+            .map(|(store, _)| store)
+    }
+
+    /// [`write`](ShardStore::write) with every file-system operation
+    /// charged against an I/O fault session — the torture harness's
+    /// entry point for "crash at operation k" sweeps.
+    ///
+    /// # Errors
+    /// Injected faults surface as [`ShardError::Io`].
+    pub fn write_with_session(
+        dir: &Path,
+        web: &Web,
+        catalog: &EntityCatalog,
+        config: &PageConfig,
+        seed: Seed,
+        target_bytes: u64,
+        session: &FaultSession,
+    ) -> Result<(ShardStore, RecoveryReport), ShardError> {
+        Self::recover_with_session(
+            dir, web, catalog, config, seed, target_bytes, session, RecoverMode::Cold,
+        )
+    }
+
+    /// Resume an interrupted [`write`](ShardStore::write): shards the
+    /// manifest vouches for are kept as-is (rendering is seed-pure, so
+    /// the reused bytes are identical to what a cold run would produce)
+    /// and only the incomplete tail is re-rendered. The manifest
+    /// recommits after every rendered shard, so a kill strands at most
+    /// one completed-but-unlisted shard; unlisted survivors are
+    /// quarantined and re-rendered rather than trusted (a header check
+    /// against the plan cannot distinguish seeds). The resulting store —
+    /// manifest included — is byte-identical to a cold write at the same
+    /// seed.
+    ///
+    /// # Errors
+    /// Propagates file-system errors.
+    pub fn write_resumable(
+        dir: &Path,
+        web: &Web,
+        catalog: &EntityCatalog,
+        config: &PageConfig,
+        seed: Seed,
+        target_bytes: u64,
+    ) -> Result<(ShardStore, RecoveryReport), ShardError> {
+        Self::recover_with_session(
+            dir,
+            web,
+            catalog,
+            config,
+            seed,
+            target_bytes,
+            &FaultSession::clean(),
+            RecoverMode::Resume,
+        )
+    }
+
+    /// [`write_resumable`](ShardStore::write_resumable) under an I/O
+    /// fault session (so the torture sweep can crash *recovery* too).
+    ///
+    /// # Errors
+    /// Injected faults surface as [`ShardError::Io`].
+    pub fn write_resumable_with_session(
+        dir: &Path,
+        web: &Web,
+        catalog: &EntityCatalog,
+        config: &PageConfig,
+        seed: Seed,
+        target_bytes: u64,
+        session: &FaultSession,
+    ) -> Result<(ShardStore, RecoveryReport), ShardError> {
+        Self::recover_with_session(
+            dir, web, catalog, config, seed, target_bytes, session, RecoverMode::Resume,
+        )
+    }
+
+    /// Repair a damaged store: every manifest-vouched shard's payload is
+    /// fully re-hashed; corrupt, mismatched, unlisted or stray files are
+    /// moved to `.quarantine/` (never deleted — they are evidence) and
+    /// re-rendered from the seed. Converges to the same bytes as a cold
+    /// write.
+    ///
+    /// # Errors
+    /// Propagates file-system errors.
+    pub fn repair(
+        dir: &Path,
+        web: &Web,
+        catalog: &EntityCatalog,
+        config: &PageConfig,
+        seed: Seed,
+        target_bytes: u64,
+    ) -> Result<(ShardStore, RecoveryReport), ShardError> {
+        Self::recover_with_session(
+            dir,
+            web,
+            catalog,
+            config,
+            seed,
+            target_bytes,
+            &FaultSession::clean(),
+            RecoverMode::Repair,
+        )
+    }
+
+    /// Write one shard crash-safely: tmp → fsync → rename → dir fsync.
+    #[allow(clippy::too_many_arguments)]
+    fn write_one_shard(
+        dir: &Path,
+        i: usize,
+        spec: &ShardSpec,
+        web: &Web,
+        catalog: &EntityCatalog,
+        config: &PageConfig,
+        seed: Seed,
+        session: &FaultSession,
+        scratch: &mut PageScratch,
+        url: &mut String,
+    ) -> Result<ShardHeader, ShardError> {
+        let final_path = Self::shard_path(dir, i);
+        let tmp = dir.join(format!("{}.tmp", Self::shard_name(i)));
+        let file = session.create(&tmp)?;
+        let mut writer = PageShardWriter::new(BufWriter::new(file))
+            .with_cleanup(TempFileGuard::new(tmp.clone()));
+        let mut stream = PageStream::for_site_range(
+            web,
+            catalog,
+            config.clone(),
+            seed,
+            spec.sites.clone(),
+            spec.first_page,
+        );
+        while stream.render_into(scratch) {
+            url.clear();
+            scratch.url_into(url);
+            writer.push(scratch.id(), scratch.site(), scratch.kind(), url, scratch.text())?;
+        }
+        let (header, sink, guard) = writer.finish_parts()?;
+        let file = sink
+            .into_inner()
+            .map_err(|e| ShardError::Io(e.into_error()))?;
+        file.sync_all()?;
+        drop(file);
+        session.rename(&tmp, &final_path)?;
+        if let Some(g) = guard {
+            g.disarm();
+        }
+        session.sync_dir(dir)?;
+        Ok(header)
+    }
+
+    /// Move `path` into `dir/.quarantine/`, never clobbering evidence
+    /// already there.
+    fn quarantine_file(dir: &Path, path: &Path) -> Result<(), ShardError> {
+        let qdir = dir.join(".quarantine");
+        std::fs::create_dir_all(&qdir)?;
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("unnamed")
+            .to_string();
+        let mut dest = qdir.join(&name);
+        let mut k = 1u32;
+        while dest.exists() {
+            dest = qdir.join(format!("{name}.{k}"));
+            k += 1;
+        }
+        std::fs::rename(path, &dest)?;
+        Ok(())
+    }
+
+    /// Whether the existing shard at `path` can be reused for the
+    /// manifest entry that vouches for it. Reuse always requires a
+    /// manifest entry: the entry's digest is the only thing that
+    /// distinguishes same-shaped shards rendered under a different seed
+    /// (page counts and site ranges derive from the web alone, so a
+    /// header-vs-plan check cannot tell them apart).
+    fn reusable(path: &Path, entry: &ManifestEntry, mode: RecoverMode) -> bool {
+        let Ok(header) = read_header_path(path) else {
+            return false;
+        };
+        if entry.header_mismatch(&header).is_some() {
+            return false;
+        }
+        // Manifest + matching header: in Resume mode that is proof — the
+        // tmp → fsync → rename protocol guarantees a complete fsynced
+        // file behind any final name, and the manifest commits strictly
+        // after the shards it lists. Repair trusts nothing it has not
+        // re-hashed end to end.
+        mode == RecoverMode::Resume || PageShardReader::open_path(path).is_ok()
+    }
+
+    /// The engine behind write / resume / repair.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_with_session(
+        dir: &Path,
+        web: &Web,
+        catalog: &EntityCatalog,
+        config: &PageConfig,
+        seed: Seed,
+        target_bytes: u64,
+        session: &FaultSession,
+        mode: RecoverMode,
+    ) -> Result<(ShardStore, RecoveryReport), ShardError> {
+        let _span = webstruct_util::span!("store.recover");
         std::fs::create_dir_all(dir)?;
         let specs = plan_shards(web, config, target_bytes);
-        let mut shards = Vec::with_capacity(specs.len());
+        let fingerprint = Self::fingerprint(web, config, seed, target_bytes);
+        let mut report = RecoveryReport {
+            shards_total: specs.len(),
+            ..RecoveryReport::default()
+        };
+
+        // A manifest is only trusted when it certifies the same bytes
+        // this invocation would produce: a manifest for a *different*
+        // fingerprint is positive evidence the shards on disk belong to
+        // another (web, config, seed, target), and reusing them would
+        // build a frankenstore. Shards without a trusted manifest entry
+        // are never reused at all — a header-vs-plan check cannot tell
+        // two seeds apart (the plan derives from the web alone), and
+        // because the manifest recommits after every rendered shard, a
+        // crash strands at most one completed-but-unlisted shard.
+        let old_manifest = match StoreManifest::load(dir) {
+            Ok(m) if m.fingerprint == fingerprint && m.n_sites as usize == web.n_sites() => {
+                report.manifest_reused = mode != RecoverMode::Cold;
+                Some(m)
+            }
+            _ => None,
+        };
+
+        // Sweep stray temp files from interrupted writes.
+        let mut strays: Vec<PathBuf> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".tmp") {
+                std::fs::remove_file(&path)?;
+                report.tmp_removed += 1;
+            } else if name.starts_with("shard-") && name.ends_with(".wsp") {
+                strays.push(path);
+            }
+        }
+
         let mut scratch = PageScratch::default();
         let mut url = String::new();
+        let mut shards = Vec::with_capacity(specs.len());
+        let mut entries = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
             let path = Self::shard_path(dir, i);
-            let mut writer = PageShardWriter::new(BufWriter::new(File::create(&path)?));
-            let mut stream = PageStream::for_site_range(
-                web,
-                catalog,
-                config.clone(),
-                seed,
-                spec.sites.clone(),
-                spec.first_page,
-            );
-            while stream.render_into(&mut scratch) {
-                url.clear();
-                scratch.url_into(&mut url);
-                writer.push(scratch.id(), scratch.site(), scratch.kind(), &url, scratch.text())?;
+            strays.retain(|p| p != &path);
+            let existing = path.exists();
+            let entry = old_manifest
+                .as_ref()
+                .and_then(|m| m.shards.get(i))
+                .filter(|e| {
+                    e.file == Self::shard_name(i)
+                        && e.sites
+                            == (spec.sites.start as u32..spec.sites.end as u32)
+                        && e.first_page == spec.first_page
+                        && e.page_count == spec.page_count
+                });
+            if mode != RecoverMode::Cold
+                && existing
+                && entry.is_some_and(|e| Self::reusable(&path, e, mode))
+            {
+                let header = read_header_path(&path)?;
+                entries.push(ManifestEntry::from_parts(Self::shard_name(i), spec, &header));
+                shards.push(path);
+                report.shards_reused += 1;
+                continue;
             }
-            writer.finish()?;
+            if existing && mode != RecoverMode::Cold {
+                // Present but unusable: quarantine the evidence before
+                // rendering a replacement. (Cold mode just overwrites.)
+                Self::quarantine_file(dir, &path)?;
+                report.shards_quarantined += 1;
+            }
+            let header = Self::write_one_shard(
+                dir, i, spec, web, catalog, config, seed, session, &mut scratch, &mut url,
+            )?;
+            entries.push(ManifestEntry::from_parts(Self::shard_name(i), spec, &header));
+            shards.push(path);
+            report.shards_rendered += 1;
+            // Recommit the manifest after every rendered shard, so that
+            // whatever prefix survives a crash is vouched for and a
+            // resume re-renders only the tail (plus at most this one
+            // shard, if the crash lands between its rename and this
+            // commit). Reused shards are already covered by the old
+            // manifest, so pure-reuse iterations skip the rewrite; the
+            // last shard is covered by the final commit below.
+            if i + 1 < specs.len() {
+                let partial = StoreManifest {
+                    fingerprint,
+                    n_sites: web.n_sites() as u32,
+                    shards: entries.clone(),
+                };
+                partial.write_atomic(dir, session)?;
+            }
+        }
+
+        // Shard-looking files beyond the plan (e.g. from a larger
+        // previous corpus) would never be read — the manifest does not
+        // list them — but leaving them invites exactly the globbing
+        // confusion this layer removes. Quarantine them.
+        for stray in strays {
+            Self::quarantine_file(dir, &stray)?;
+            report.shards_quarantined += 1;
+        }
+
+        let manifest = StoreManifest {
+            fingerprint,
+            n_sites: web.n_sites() as u32,
+            shards: entries,
+        };
+        manifest.write_atomic(dir, session)?;
+
+        let m = webstruct_util::obs::metrics();
+        m.add("store.resume_skipped", report.shards_reused as u64);
+        m.add("store.shards_rendered", report.shards_rendered as u64);
+        m.add("store.shards_quarantined", report.shards_quarantined as u64);
+
+        Ok((
+            ShardStore {
+                dir: dir.to_path_buf(),
+                shards,
+                manifest,
+            },
+            report,
+        ))
+    }
+
+    /// Open an existing store by its manifest — the directory listing is
+    /// never trusted. Validates that the manifest parses and checksums,
+    /// that the shard ranges tile `0..n_sites` starting at site 0, that
+    /// every listed shard file exists, and that each shard's header (64
+    /// bytes of I/O per shard) matches its manifest entry, digest
+    /// included. Payloads are *not* re-hashed here — that is
+    /// [`scrub`](ShardStore::scrub)'s job (and each payload is verified
+    /// anyway when the shard is opened for reading).
+    ///
+    /// # Errors
+    /// [`ShardError::ManifestMissing`] / [`ManifestCorrupt`]
+    /// (ShardError::ManifestCorrupt) / [`Gap`](ShardError::Gap) /
+    /// [`MissingShard`](ShardError::MissingShard) /
+    /// [`HeaderMismatch`](ShardError::HeaderMismatch), or I/O errors.
+    pub fn open(dir: &Path) -> Result<ShardStore, ShardError> {
+        let manifest = StoreManifest::load(dir)?;
+        manifest.validate_coverage()?;
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        for (index, entry) in manifest.shards.iter().enumerate() {
+            let path = dir.join(&entry.file);
+            if !path.exists() {
+                return Err(ShardError::MissingShard { index });
+            }
+            let header = read_header_path(&path)?;
+            if let Some(field) = entry.header_mismatch(&header) {
+                return Err(ShardError::HeaderMismatch { index, field });
+            }
             shards.push(path);
         }
         Ok(ShardStore {
             dir: dir.to_path_buf(),
             shards,
+            manifest,
         })
     }
 
-    /// Open an existing store: every `shard-*.wsp` under `dir`, in name
-    /// (= site) order. Headers are *not* validated here — each shard is
-    /// checked when opened for reading.
+    /// Re-hash and re-frame every shard against the manifest: the full
+    /// integrity pass behind `webstruct scrub`. Reads every byte of the
+    /// store (in streaming chunks — nothing is resident) and classifies
+    /// each shard as verified, missing or corrupt, plus any stray files
+    /// the manifest does not list.
+    #[must_use]
+    pub fn scrub(&self) -> ScrubReport {
+        Self::scrub_manifest(&self.dir, &self.manifest)
+    }
+
+    /// [`scrub`](ShardStore::scrub) without requiring a clean
+    /// [`open`](ShardStore::open) first: classifies damage in a store
+    /// whose shards no longer pass open-time validation.
     ///
     /// # Errors
-    /// Propagates directory-listing errors.
-    pub fn open(dir: &Path) -> Result<ShardStore, ShardError> {
-        let mut shards = Vec::new();
-        for entry in std::fs::read_dir(dir)? {
-            let path = entry?.path();
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.starts_with("shard-") && name.ends_with(".wsp") {
-                shards.push(path);
+    /// Only manifest-level failures ([`ShardError::ManifestMissing`] /
+    /// [`ManifestCorrupt`](ShardError::ManifestCorrupt)) — a readable
+    /// manifest always yields a report, however damaged the shards.
+    pub fn scrub_dir(dir: &Path) -> Result<ScrubReport, ShardError> {
+        let manifest = StoreManifest::load(dir)?;
+        Ok(Self::scrub_manifest(dir, &manifest))
+    }
+
+    fn scrub_manifest(dir: &Path, manifest: &StoreManifest) -> ScrubReport {
+        let _span = webstruct_util::span!("scrub");
+        let mut findings = Vec::with_capacity(manifest.shards.len());
+        for (index, entry) in manifest.shards.iter().enumerate() {
+            let path = dir.join(&entry.file);
+            let status = if path.exists() {
+                Self::scrub_one(&path, index, entry)
+            } else {
+                ScrubStatus::Missing
+            };
+            findings.push(ScrubFinding {
+                index,
+                file: entry.file.clone(),
+                status,
+            });
+        }
+        let listed: std::collections::HashSet<&str> =
+            manifest.shards.iter().map(|e| e.file.as_str()).collect();
+        let mut strays = Vec::new();
+        if let Ok(dir_entries) = std::fs::read_dir(dir) {
+            for e in dir_entries.flatten() {
+                let name = e.file_name().to_string_lossy().into_owned();
+                let shardlike = name.starts_with("shard-") && name.ends_with(".wsp");
+                if (shardlike || name.ends_with(".tmp")) && !listed.contains(name.as_str()) {
+                    strays.push(name);
+                }
             }
         }
-        shards.sort();
-        Ok(ShardStore {
-            dir: dir.to_path_buf(),
-            shards,
-        })
+        strays.sort();
+        let report = ScrubReport { findings, strays };
+        let m = webstruct_util::obs::metrics();
+        m.add("store.shards_verified", report.verified() as u64);
+        m.add("store.shards_quarantined", 0); // ensure the counter exists next to verified
+        report
+    }
+
+    /// Fully validate one shard file against its manifest entry.
+    fn scrub_one(path: &Path, index: usize, entry: &ManifestEntry) -> ScrubStatus {
+        let mut reader = match PageShardReader::open_path(path) {
+            Ok(r) => r,
+            Err(e) => return ScrubStatus::Corrupt(e),
+        };
+        if let Some(field) = entry.header_mismatch(reader.header()) {
+            return ScrubStatus::Corrupt(ShardError::HeaderMismatch { index, field });
+        }
+        // Digest passed; now prove the record framing is sound end to end.
+        let expected = reader.header().page_count;
+        let mut rec = ShardRecord::default();
+        let mut count = 0u32;
+        loop {
+            match reader.read_into(&mut rec) {
+                Ok(true) => count += 1,
+                Ok(false) => break,
+                Err(e) => return ScrubStatus::Corrupt(e),
+            }
+        }
+        if count != expected {
+            return ScrubStatus::Corrupt(ShardError::CorruptRecord(
+                "record count disagrees with header",
+            ));
+        }
+        ScrubStatus::Verified
     }
 
     /// Directory the store lives in.
     #[must_use]
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The manifest the store was opened or written with.
+    #[must_use]
+    pub fn manifest(&self) -> &StoreManifest {
+        &self.manifest
     }
 
     /// Number of shard files.
@@ -950,6 +1672,354 @@ mod tests {
             assert_eq!(a, b, "shard {i} diverged");
             assert_eq!(ab, bb);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- durability: crash sweeps, corruption taxonomy, recovery ----
+
+    use webstruct_util::iofault::IoFaultPlan;
+
+    const TORTURE_TARGET: u64 = 256 * 1024;
+
+    /// An even smaller web than [`tiny_setup`]: the torture sweeps below
+    /// re-render the store once per crash point, so the fixture must be
+    /// cheap while still cutting several shards.
+    fn micro_setup() -> (EntityCatalog, Web) {
+        let catalog =
+            EntityCatalog::generate(&CatalogConfig::new(Domain::Restaurants, 80), Seed(21));
+        let config = WebConfig::preset(Domain::Restaurants).scaled(0.002);
+        let web = Web::generate(&catalog, &config, Seed(21));
+        (catalog, web)
+    }
+
+    /// Every top-level file of a store (shards + manifest), name-sorted —
+    /// the byte-identity oracle for recovery convergence. `.quarantine/`
+    /// contents are deliberately excluded: they are evidence, not store.
+    fn store_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .expect("read store dir")
+            .map(|e| e.expect("dir entry"))
+            .filter(|e| e.path().is_file())
+            .map(|e| {
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).expect("read store file"),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Cold-write a reference store, returning its files and the number
+    /// of I/O ops the write issues (= the crash-sweep domain).
+    fn reference_store(
+        dir: &Path,
+        web: &Web,
+        catalog: &EntityCatalog,
+    ) -> (Vec<(String, Vec<u8>)>, u64) {
+        let session = FaultSession::clean();
+        ShardStore::write_with_session(
+            dir,
+            web,
+            catalog,
+            &PageConfig::default(),
+            Seed(3),
+            TORTURE_TARGET,
+            &session,
+        )
+        .expect("cold reference write");
+        (store_files(dir), session.ops_issued())
+    }
+
+    #[test]
+    fn crash_point_sweep_converges_to_cold_store() {
+        let (catalog, web) = micro_setup();
+        let cfg = PageConfig::default();
+        let refdir = tmpdir("sweep-ref");
+        let (reference, total_ops) = reference_store(&refdir, &web, &catalog);
+        assert!(total_ops > 20, "sweep domain suspiciously small: {total_ops}");
+
+        // Crash points: every op across the first shard-and-a-half (all
+        // op kinds — create, buffered writes, header seek+stamp, fsync,
+        // rename, dir fsync), a stride through the steady-state middle,
+        // and every op of the manifest commit tail.
+        let mut points: Vec<u64> = (0..total_ops.min(40)).collect();
+        let stride = (total_ops.saturating_sub(48) / 32).max(7);
+        let mut op = 40;
+        while op + 8 < total_ops {
+            points.push(op);
+            op += stride;
+        }
+        points.extend(total_ops.saturating_sub(8).max(40)..total_ops);
+
+        let dir = tmpdir("sweep");
+        for &k in &points {
+            let _ = std::fs::remove_dir_all(&dir);
+            let session = FaultSession::new(IoFaultPlan::crash_at(k, Seed(1_000 + k)));
+            let crashed = ShardStore::write_with_session(
+                &dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET, &session,
+            );
+            assert!(crashed.is_err(), "crash at op {k}/{total_ops} did not surface");
+            // Open-or-repair must converge: either the manifest committed
+            // (open validates a complete store) or resume re-renders the
+            // missing tail.
+            if ShardStore::open(&dir).is_err() {
+                ShardStore::write_resumable(&dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET)
+                    .unwrap_or_else(|e| panic!("resume after crash at op {k} failed: {e}"));
+            }
+            assert_eq!(
+                store_files(&dir),
+                reference,
+                "store after crash at op {k}/{total_ops} is not byte-identical to cold"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&refdir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flaky_io_torture_converges_via_scrub_and_repair() {
+        let (catalog, web) = micro_setup();
+        let cfg = PageConfig::default();
+        let refdir = tmpdir("flaky-ref");
+        let (reference, _) = reference_store(&refdir, &web, &catalog);
+
+        let dir = tmpdir("flaky");
+        for trial in 0..6u64 {
+            let _ = std::fs::remove_dir_all(&dir);
+            let session =
+                FaultSession::new(IoFaultPlan::flaky(0.015, 0.5, Seed(7_000 + trial)));
+            let wrote = ShardStore::write_with_session(
+                &dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET, &session,
+            );
+            // Bit flips and lost writes can leave a "successful" write
+            // silently corrupt — scrub must catch what errors did not.
+            let clean = wrote.is_ok()
+                && matches!(ShardStore::scrub_dir(&dir), Ok(r) if r.is_clean());
+            if !clean {
+                ShardStore::repair(&dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET)
+                    .unwrap_or_else(|e| panic!("repair after flaky trial {trial} failed: {e}"));
+            }
+            assert_eq!(
+                store_files(&dir),
+                reference,
+                "flaky trial {trial} did not converge to the cold store"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&refdir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_after_kill_skips_complete_shards() {
+        let (catalog, web) = micro_setup();
+        let cfg = PageConfig::default();
+        let refdir = tmpdir("resume-ref");
+        let (reference, total_ops) = reference_store(&refdir, &web, &catalog);
+
+        let dir = tmpdir("resume");
+        let kill_at = total_ops * 6 / 10;
+        let session = FaultSession::new(IoFaultPlan::crash_at(kill_at, Seed(5)));
+        assert!(ShardStore::write_with_session(
+            &dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET, &session,
+        )
+        .is_err());
+        // The graceful error path must not leak the in-flight temp file.
+        assert!(
+            store_files(&dir).iter().all(|(n, _)| !n.ends_with(".tmp")),
+            "crashed write leaked a temp file"
+        );
+
+        let (_, report) =
+            ShardStore::write_resumable(&dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET)
+                .expect("resume");
+        assert!(report.shards_reused >= 1, "nothing reused: {report:?}");
+        assert!(report.shards_rendered >= 1, "nothing re-rendered: {report:?}");
+        assert_eq!(
+            report.shards_reused + report.shards_rendered,
+            report.shards_total
+        );
+        assert_eq!(store_files(&dir), reference);
+
+        // A second resume over the now-complete store skips everything.
+        let (_, again) =
+            ShardStore::write_resumable(&dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET)
+                .expect("resume again");
+        assert_eq!(again.shards_reused, again.shards_total);
+        assert_eq!(again.shards_rendered, 0);
+        assert!(again.manifest_reused);
+        assert_eq!(store_files(&dir), reference);
+
+        // A different seed must refuse to reuse anything (fingerprint
+        // mismatch ⇒ frankenstore guard) and still converge for *its*
+        // seed.
+        let (_, other) =
+            ShardStore::write_resumable(&dir, &web, &catalog, &cfg, Seed(4), TORTURE_TARGET)
+                .expect("resume across seeds");
+        assert_eq!(other.shards_reused, 0, "reused shards across seeds");
+        let _ = std::fs::remove_dir_all(&refdir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unfinished_writer_drop_removes_temp_file() {
+        let dir = tmpdir("tempclean");
+        let tmp = dir.join("shard-00000.wsp.tmp");
+        let file = File::create(&tmp).expect("create tmp");
+        let writer = PageShardWriter::new(BufWriter::new(file))
+            .with_cleanup(TempFileGuard::new(tmp.clone()));
+        assert!(tmp.exists());
+        drop(writer);
+        assert!(!tmp.exists(), "dropped unfinished writer left its temp file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_missing_shards_gaps_and_bad_manifests() {
+        let (catalog, web) = micro_setup();
+        let cfg = PageConfig::default();
+        let dir = tmpdir("gaps");
+        let store = ShardStore::write(&dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET)
+            .expect("write");
+        assert!(store.len() > 2);
+
+        // Deleting a shard the manifest lists is MissingShard, not a
+        // silently smaller web.
+        let victim = store.paths()[1].clone();
+        let pristine = std::fs::read(&victim).expect("read victim");
+        std::fs::remove_file(&victim).expect("delete shard");
+        match ShardStore::open(&dir) {
+            Err(ShardError::MissingShard { index: 1 }) => {}
+            other => panic!("open with deleted shard: {other:?}"),
+        }
+        std::fs::write(&victim, &pristine).expect("restore shard");
+        assert!(ShardStore::open(&dir).is_ok());
+
+        // A manifest whose ranges do not tile the site axis is a Gap.
+        let mut manifest = StoreManifest::load(&dir).expect("load manifest");
+        manifest.shards[1].sites.start += 1;
+        manifest
+            .write_atomic(&dir, &FaultSession::clean())
+            .expect("write gapped manifest");
+        match ShardStore::open(&dir) {
+            Err(ShardError::Gap { .. }) => {}
+            other => panic!("open with gapped manifest: {other:?}"),
+        }
+
+        // A truncated manifest fails its own checksum.
+        let mpath = StoreManifest::path_in(&dir);
+        let text = std::fs::read_to_string(&mpath).expect("read manifest");
+        std::fs::write(&mpath, &text[..text.len() / 2]).expect("truncate manifest");
+        match ShardStore::open(&dir) {
+            Err(ShardError::ManifestCorrupt(_)) => {}
+            other => panic!("open with truncated manifest: {other:?}"),
+        }
+
+        // No manifest at all is ManifestMissing — directory listings are
+        // never trusted, however plausible they look.
+        std::fs::remove_file(&mpath).expect("delete manifest");
+        match ShardStore::open(&dir) {
+            Err(ShardError::ManifestMissing) => {}
+            other => panic!("open without manifest: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_taxonomy_yields_precise_errors() {
+        let (catalog, web) = micro_setup();
+        let cfg = PageConfig::default();
+        let dir = tmpdir("taxonomy");
+        let store = ShardStore::write(&dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET)
+            .expect("write");
+        let victim = store.paths()[0].clone();
+        let pristine = std::fs::read(&victim).expect("read shard");
+        let payload_len = u64::from_le_bytes(pristine[24..32].try_into().unwrap());
+        assert!(payload_len > 0);
+
+        let corrupt_with = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut bytes = pristine.clone();
+            mutate(&mut bytes);
+            std::fs::write(&victim, &bytes).expect("write corrupted shard");
+            PageShardReader::open_path(&victim)
+        };
+        let scrub_status = || {
+            let report = ShardStore::scrub_dir(&dir).expect("scrub");
+            assert!(!report.is_clean());
+            report
+                .findings
+                .into_iter()
+                .find(|f| f.index == 0)
+                .expect("finding for shard 0")
+                .status
+        };
+
+        // Magic.
+        match corrupt_with(&|b| b[0] ^= 0xFF) {
+            Err(ShardError::BadMagic(_)) => {}
+            other => panic!("flipped magic: {other:?}"),
+        }
+        assert!(matches!(
+            scrub_status(),
+            ScrubStatus::Corrupt(ShardError::BadMagic(_))
+        ));
+
+        // Version.
+        match corrupt_with(&|b| b[4] = 99) {
+            Err(ShardError::BadVersion(99)) => {}
+            other => panic!("flipped version: {other:?}"),
+        }
+
+        // Payload length: growing it promises bytes that are not there.
+        match corrupt_with(&|b| {
+            b[24..32].copy_from_slice(&(payload_len + 8).to_le_bytes());
+        }) {
+            Err(ShardError::Truncated { expected, got }) => {
+                assert_eq!(expected, payload_len + 8);
+                assert_eq!(got, payload_len);
+            }
+            other => panic!("grown payload_len: {other:?}"),
+        }
+
+        // Digest stamp.
+        match corrupt_with(&|b| b[40] ^= 0x01) {
+            Err(ShardError::ChecksumMismatch) => {}
+            other => panic!("flipped digest: {other:?}"),
+        }
+        // ...which open() catches against the manifest without hashing.
+        match ShardStore::open(&dir) {
+            Err(ShardError::HeaderMismatch { index: 0, field }) => assert_eq!(field, "sha256"),
+            other => panic!("open with flipped digest: {other:?}"),
+        }
+
+        // Mid-payload bit flip: header is intact, only the hash knows.
+        let mid = SHARD_HEADER_LEN + payload_len as usize / 2;
+        match corrupt_with(&move |b| b[mid] ^= 0x10) {
+            Err(ShardError::ChecksumMismatch) => {}
+            other => panic!("payload bit flip: {other:?}"),
+        }
+        assert!(matches!(
+            scrub_status(),
+            ScrubStatus::Corrupt(ShardError::ChecksumMismatch)
+        ));
+
+        // Truncation at a record boundary (payload cut short).
+        match corrupt_with(&|b| b.truncate(SHARD_HEADER_LEN + payload_len as usize / 2)) {
+            Err(ShardError::Truncated { expected, got }) => {
+                assert_eq!(expected, payload_len);
+                assert_eq!(got, payload_len / 2);
+            }
+            other => panic!("truncated payload: {other:?}"),
+        }
+
+        // Repair puts every case right again.
+        std::fs::write(&victim, &pristine[..pristine.len() / 2]).expect("re-corrupt");
+        let (_, report) = ShardStore::repair(&dir, &web, &catalog, &cfg, Seed(3), TORTURE_TARGET)
+            .expect("repair");
+        assert_eq!(report.shards_quarantined, 1);
+        assert_eq!(std::fs::read(&victim).expect("read repaired"), pristine);
+        assert!(ShardStore::scrub_dir(&dir).expect("scrub").is_clean());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -24,6 +24,9 @@
 //!   chunking with a `WEBSTRUCT_THREADS` override);
 //! * [`fault`] — seeded fault injection: per-site failure plans, a
 //!   simulated clock, retry/backoff policies and circuit breakers;
+//! * [`iofault`] — seeded *storage* fault injection: deterministic
+//!   torn-write/bit-flip/ENOSPC/fsync/rename fault plans behind a
+//!   `Read`/`Write`/`Seek` file wrapper, for crash-safety torture tests;
 //! * [`obs`] — structured observability: hierarchical spans, deterministic
 //!   counter/gauge/histogram registries and per-run trace reports;
 //! * [`sha`] — std-only SHA-256 for golden artifact manifests.
@@ -36,6 +39,7 @@ pub mod csv;
 pub mod fault;
 pub mod hash;
 pub mod ids;
+pub mod iofault;
 pub mod obs;
 pub mod par;
 pub mod powerlaw;
@@ -50,6 +54,7 @@ pub use fault::{
     BreakerConfig, CircuitBreaker, Fault, FaultConfig, FaultPlan, RetryPolicy, SimClock,
 };
 pub use hash::{FxHashMap, FxHashSet};
+pub use iofault::{FaultFile, FaultSession, IoFault, IoFaultPlan, OpKind};
 pub use ids::{EntityId, PageId, RegionId, SiteId, UserId};
 pub use obs::{LocalHistogram, Metrics, MetricsSnapshot, Obs, Trace, TraceMode};
 pub use report::{Figure, Series, Table};

@@ -29,13 +29,25 @@
 #   WEBSTRUCT_BENCH_TOL   fractional tolerance band, default 0.40
 #                         (fresh numbers may be up to 40% below baseline).
 #
-# Usage: scripts/bench_gate.sh [artifact.json] [baseline.json] [scale_artifact.json]
+# When a durability artifact (BENCH_durability.json) is present, it also
+# gates the crash-safety story:
+#
+#   resume_cost_fraction     <= WEBSTRUCT_RESUME_MAX (default 0.5)
+#   resume_manifest_identical == true                 (hard-fail)
+#   sweep_failures            == 0                    (hard-fail)
+#   corruption_failures       == 0                    (hard-fail)
+#
+# Convergence counts and manifest identity are deterministic — they fail
+# the gate even in warn mode; only the cost fraction is advisory there.
+#
+# Usage: scripts/bench_gate.sh [artifact.json] [baseline.json] [scale_artifact.json] [durability_artifact.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ARTIFACT="${1:-artifacts/BENCH_pipeline.json}"
 BASELINE="${2:-scripts/bench_baseline.json}"
 SCALE_ARTIFACT="${3:-artifacts/BENCH_scale.json}"
+DURABILITY_ARTIFACT="${4:-artifacts/BENCH_durability.json}"
 TOL="${WEBSTRUCT_BENCH_TOL:-0.40}"
 MODE="${WEBSTRUCT_BENCH_GATE:-warn}"
 
@@ -133,6 +145,53 @@ if [[ -f "$SCALE_ARTIFACT" && -n "$base_t2_floor" ]]; then
         check_ceiling rss_ratio_full_vs_tenth "$cur_rss" "$base_rss_max"
     else
         echo "  SKIP  rss_ratio_full_vs_tenth: sweep did not cover scales 0.1 and 1.0"
+    fi
+fi
+
+# Durability stage: crash-point sweep convergence, corruption-trial
+# convergence and manifest identity are exact properties of the recovery
+# code — a nonzero count means resume/repair genuinely diverged, so they
+# hard-fail regardless of mode. The resume cost fraction is a wall-clock
+# ratio (best-of-3 on both sides) and goes through the normal fails
+# counter.
+if [[ -f "$DURABILITY_ARTIFACT" ]]; then
+    echo "bench_gate: durability, $DURABILITY_ARTIFACT"
+    resume_frac="$(json_num "$DURABILITY_ARTIFACT" resume_cost_fraction)"
+    sweep_fail="$(json_num "$DURABILITY_ARTIFACT" sweep_failures)"
+    sweep_pts="$(json_num "$DURABILITY_ARTIFACT" sweep_points)"
+    corr_fail="$(json_num "$DURABILITY_ARTIFACT" corruption_failures)"
+    corr_trials="$(json_num "$DURABILITY_ARTIFACT" corruption_trials)"
+    manifest_ok="$(grep -o '"resume_manifest_identical": *[a-z]*' "$DURABILITY_ARTIFACT" | head -1 | sed 's/.*: *//')"
+    RESUME_MAX="${WEBSTRUCT_RESUME_MAX:-0.5}"
+    ok="$(awk -v c="$resume_frac" -v m="$RESUME_MAX" 'BEGIN { print (c <= m) ? 1 : 0 }')"
+    if [[ "$ok" == "1" ]]; then
+        echo "  OK    resume_cost_fraction: $resume_frac <= $RESUME_MAX"
+    else
+        echo "  SLOW  resume_cost_fraction: $resume_frac > $RESUME_MAX (resume re-rendered more than the tail)"
+        fails=$((fails + 1))
+    fi
+    hard_fails=0
+    if [[ "${sweep_fail:-1}" != "0" ]]; then
+        echo "  FAIL  sweep_failures: ${sweep_fail:-missing} crash point(s) of $sweep_pts did not converge"
+        hard_fails=$((hard_fails + 1))
+    else
+        echo "  OK    sweep_failures: 0 of $sweep_pts crash points"
+    fi
+    if [[ "${corr_fail:-1}" != "0" ]]; then
+        echo "  FAIL  corruption_failures: ${corr_fail:-missing} trial(s) of $corr_trials did not converge"
+        hard_fails=$((hard_fails + 1))
+    else
+        echo "  OK    corruption_failures: 0 of $corr_trials trials"
+    fi
+    if [[ "$manifest_ok" != "true" ]]; then
+        echo "  FAIL  resume_manifest_identical: ${manifest_ok:-missing}"
+        hard_fails=$((hard_fails + 1))
+    else
+        echo "  OK    resume_manifest_identical: true"
+    fi
+    if [[ "$hard_fails" -gt 0 ]]; then
+        echo "bench_gate: FAIL ($hard_fails durability violation(s); deterministic, failing in any mode)"
+        exit 1
     fi
 fi
 

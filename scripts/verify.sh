@@ -35,6 +35,9 @@ cargo test -q --test faults
 echo "==> fault-unit: breaker FSM, retry jitter bounds, clock monotonicity"
 cargo test -q --test fault_unit
 
+echo "==> durability: crash-safe store, resume-after-kill, quarantine + repair"
+cargo test -q --test durability
+
 echo "==> manifest: golden artifact hashes (committed + quick-scale regen)"
 cargo test -q --test manifest
 
@@ -65,6 +68,9 @@ echo "    trace smoke OK (metrics byte-identical across threads 1/2/8)"
 
 echo "==> stream: out-of-core render -> shards -> extract at scale 0.1"
 ./target/release/webstruct stream 0.1 "$TRACE_TMP/shards" 4 | sed 's/^/    /'
+
+echo "==> scrub: full integrity pass (every byte re-hashed) over the streamed store"
+./target/release/webstruct scrub "$TRACE_TMP/shards" | sed 's/^/    /'
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> bench: pipeline stages across thread counts -> artifacts/BENCH_pipeline.json"
@@ -118,6 +124,13 @@ if [[ "${1:-}" != "--quick" ]]; then
         --scales "${BENCH_SCALES:-0.02,0.1,0.5,1.0}" \
         --threads "${BENCH_SCALE_THREADS:-1,2}" \
         --repeats "${BENCH_REPEATS:-2}"
+
+    echo "==> bench: durability torture sweep + resume-after-kill cost -> artifacts/BENCH_durability.json"
+    cargo bench -p webstruct-bench --bench durability -- \
+        --out "$PWD/artifacts/BENCH_durability.json" \
+        --scale "${BENCH_DURABILITY_SCALE:-0.1}" \
+        --sweep-stride "${BENCH_SWEEP_STRIDE:-3}" \
+        --trials "${BENCH_CORRUPTION_TRIALS:-10}"
 
     echo "==> bench: throughput gate vs committed baseline (scripts/bench_baseline.json)"
     # Warn-only unless WEBSTRUCT_BENCH_GATE=strict (local runs on the

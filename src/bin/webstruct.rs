@@ -6,6 +6,8 @@
 //! webstruct figure <ID> [SCALE]          print one figure (ASCII + .dat)
 //! webstruct table <1|2> [SCALE]          print one table
 //! webstruct stream [SCALE] [DIR] [MB]    out-of-core render → shards → extract
+//! webstruct scrub [DIR]                  re-hash every shard against MANIFEST.wsm
+//! webstruct repair [SCALE] [DIR] [MB]    quarantine corrupt shards, re-render
 //! webstruct bootstrap [DOMAIN] [SCALE]   run the set-expansion crawler
 //! webstruct redundancy [DOMAIN] [SCALE]  fusion accuracy vs. redundancy
 //! webstruct tail-users [SCALE]           user-level tail analysis
@@ -46,6 +48,8 @@ fn main() {
         "figure" => cmd(|| figure(&args[1..])),
         "table" => cmd(|| table(&args[1..])),
         "stream" => stream_cmd(&args[1..]),
+        "scrub" => scrub_cmd(&args[1..]),
+        "repair" => repair_cmd(&args[1..]),
         "bootstrap" => cmd(|| bootstrap(&args[1..])),
         "discover" => cmd(|| discover(&args[1..])),
         "dedup" => cmd(|| dedup_cmd(&args[1..])),
@@ -85,6 +89,11 @@ fn report_dir(args: &[String]) -> String {
             .get(2)
             .cloned()
             .unwrap_or_else(|| "artifacts/extensions".into()),
+        // Store commands report next to the store they touched, so the
+        // scrub span and store.* counters land with the shards.
+        Some("stream") => args.get(2).cloned().unwrap_or_else(|| "artifacts/shards".into()),
+        Some("scrub") => args.get(1).cloned().unwrap_or_else(|| "artifacts/shards".into()),
+        Some("repair") => args.get(2).cloned().unwrap_or_else(|| "artifacts/shards".into()),
         _ => "artifacts".into(),
     }
 }
@@ -134,6 +143,8 @@ fn help() {
          \twebstruct figure <ID> [SCALE]      e.g. fig1a, fig4b, fig6-cdf-search, fig8-imdb\n\
          \twebstruct table <1|2> [SCALE]\n\
          \twebstruct stream [SCALE] [DIR] [SHARD_MB]  render to page shards, extract out-of-core\n\
+         \twebstruct scrub [DIR]                 re-hash every shard against MANIFEST.wsm\n\
+         \twebstruct repair [SCALE] [DIR] [SHARD_MB]  quarantine corrupt shards and re-render\n\
          \twebstruct bootstrap [DOMAIN] [SCALE]\n\
          \twebstruct discover [DOMAIN] [SCALE]   compare frontier policies + seed robustness\n\
          \twebstruct dedup [DOMAIN] [SCALE]      deduplicate noisy listing records\n\
@@ -302,7 +313,7 @@ fn stream_cmd(args: &[String]) -> i32 {
     let extractor = Extractor::new(&study.catalog).with_review_classifier(clf);
 
     let t0 = std::time::Instant::now();
-    let store = match ShardStore::write(
+    let (store, recovery) = match ShardStore::write_resumable(
         std::path::Path::new(&dir),
         &study.web,
         &study.catalog,
@@ -310,13 +321,24 @@ fn stream_cmd(args: &[String]) -> i32 {
         config.seed.derive("render"),
         shard_mb.max(1) * 1024 * 1024,
     ) {
-        Ok(store) => store,
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("stream: could not write shards under {dir}: {e}");
             return 1;
         }
     };
     let write_secs = t0.elapsed().as_secs_f64();
+    if recovery.shards_reused > 0 || recovery.shards_quarantined > 0 || recovery.tmp_removed > 0 {
+        println!(
+            "recovered previous run: {} shard(s) reused, {} re-rendered, \
+             {} quarantined, {} temp file(s) swept",
+            recovery.shards_reused,
+            recovery.shards_rendered,
+            recovery.shards_quarantined,
+            recovery.tmp_removed,
+        );
+    }
+    surface_degradation(std::path::Path::new(&dir), "stream", &recovery);
 
     let threads = webstruct::util::par::num_threads();
     let t1 = std::time::Instant::now();
@@ -345,6 +367,121 @@ fn stream_cmd(args: &[String]) -> i32 {
         if extract_secs > 0.0 { mb / extract_secs } else { 0.0 },
         webstruct::util::obs::peak_rss_bytes() as f64 / 1e6,
     );
+    0
+}
+
+/// Write (or clear) `DEGRADED.md` in the store directory: quarantined
+/// shards degrade the run without aborting it, and the marker file makes
+/// that loud for whoever picks up the artifacts.
+fn surface_degradation(
+    dir: &std::path::Path,
+    command: &str,
+    recovery: &webstruct::corpus::RecoveryReport,
+) {
+    let marker = dir.join("DEGRADED.md");
+    if recovery.shards_quarantined == 0 {
+        // A clean run supersedes any earlier degradation note.
+        let _ = std::fs::remove_file(&marker);
+        return;
+    }
+    let body = format!(
+        "# Degraded store recovery\n\n\
+         `webstruct {command}` found damage in this shard store and repaired it\n\
+         instead of aborting. The store is now complete and verified, but the\n\
+         original bytes of the affected shards are preserved under `.quarantine/`\n\
+         for post-mortem.\n\n\
+         | metric | count |\n|---|---|\n\
+         | shards planned | {} |\n\
+         | shards reused | {} |\n\
+         | shards re-rendered | {} |\n\
+         | shards quarantined | {} |\n\
+         | temp files swept | {} |\n",
+        recovery.shards_total,
+        recovery.shards_reused,
+        recovery.shards_rendered,
+        recovery.shards_quarantined,
+        recovery.tmp_removed,
+    );
+    match std::fs::write(&marker, body) {
+        Ok(()) => eprintln!(
+            "DEGRADED: {} shard(s) quarantined and re-rendered; see {}",
+            recovery.shards_quarantined,
+            marker.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", marker.display()),
+    }
+}
+
+/// Full integrity pass over an existing store: re-hash and re-frame every
+/// shard against `MANIFEST.wsm`. Exit code 0 = clean, 1 = damage found,
+/// 2 = no usable manifest.
+fn scrub_cmd(args: &[String]) -> i32 {
+    use webstruct::corpus::ShardStore;
+
+    let dir = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "artifacts/shards".into());
+    let report = match ShardStore::scrub_dir(std::path::Path::new(&dir)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("scrub: cannot read store under {dir}: {e}");
+            return 2;
+        }
+    };
+    println!("scrub of {dir}/:");
+    print!("{}", report.to_text());
+    if report.is_clean() {
+        println!("store is clean: every shard digest verified against MANIFEST.wsm");
+        0
+    } else {
+        println!("store is damaged — run `webstruct repair` to quarantine and re-render");
+        1
+    }
+}
+
+/// Quarantine-and-repair an existing store: corrupt or stray shards move
+/// to `.quarantine/` and are re-rendered from the seed, converging to the
+/// same bytes a cold write would have produced.
+fn repair_cmd(args: &[String]) -> i32 {
+    use webstruct::corpus::page::PageConfig;
+    use webstruct::corpus::ShardStore;
+    use webstruct::core::study::DomainStudy;
+
+    let scale = parse_scale(args, 0, 0.1);
+    let dir = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "artifacts/shards".into());
+    let shard_mb: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let config = StudyConfig::default().with_scale(scale);
+    let study = DomainStudy::generate(Domain::Restaurants, &config);
+    let t0 = std::time::Instant::now();
+    let (store, recovery) = match ShardStore::repair(
+        std::path::Path::new(&dir),
+        &study.web,
+        &study.catalog,
+        &PageConfig::default(),
+        config.seed.derive("render"),
+        shard_mb.max(1) * 1024 * 1024,
+    ) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("repair: could not rebuild store under {dir}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "repaired {dir}/ in {:.2}s: {} shard(s) verified and kept, {} re-rendered,\n\
+         \t{} quarantined to .quarantine/, {} temp file(s) swept; store now has {} shard(s)",
+        t0.elapsed().as_secs_f64(),
+        recovery.shards_reused,
+        recovery.shards_rendered,
+        recovery.shards_quarantined,
+        recovery.tmp_removed,
+        store.len(),
+    );
+    surface_degradation(std::path::Path::new(&dir), "repair", &recovery);
     0
 }
 

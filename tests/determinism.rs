@@ -206,6 +206,95 @@ fn extract_all_occurrences_identical_across_thread_counts() {
 }
 
 #[test]
+fn iofault_plans_are_seed_pure_at_every_thread_count() {
+    // The storage-fault layer joins the determinism contract: the same
+    // plan seed must reproduce the same failure sequence — and the same
+    // crashed-then-recovered store — no matter what WEBSTRUCT_THREADS
+    // says, because fault decisions are pure functions of (seed, op,
+    // kind), never of scheduling.
+    use webstruct::corpus::ShardStore;
+    use webstruct::util::iofault::{FaultSession, IoFaultPlan, OpKind};
+
+    let kinds = [
+        OpKind::Create,
+        OpKind::Write,
+        OpKind::Seek,
+        OpKind::Fsync,
+        OpKind::Rename,
+        OpKind::SyncDir,
+    ];
+    let sequence_of = |plan: &IoFaultPlan| {
+        let mut seq = Vec::new();
+        for op in 0..400u64 {
+            for kind in kinds {
+                seq.push(format!("{:?}", plan.fault_for(op, kind, 4096)));
+            }
+        }
+        seq
+    };
+    let baseline = sequence_of(&IoFaultPlan::flaky(0.07, 0.5, Seed(99)));
+    for threads in [1usize, 2, 8] {
+        let seq = with_threads(threads, || sequence_of(&IoFaultPlan::flaky(0.07, 0.5, Seed(99))));
+        assert_eq!(seq, baseline, "fault sequence diverged at {threads} threads");
+    }
+
+    // End to end: crash the same write at the same op under different
+    // thread counts; the surviving files and the recovered store must be
+    // byte-identical.
+    let cfg = StudyConfig::quick().with_scale(0.01);
+    let study = DomainStudy::generate(Domain::Restaurants, &cfg);
+    let run = |threads: usize, tag: &str| {
+        with_threads(threads, || {
+            let dir = std::env::temp_dir().join(format!(
+                "webstruct-iofault-det-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let session = FaultSession::new(IoFaultPlan::crash_at(33, Seed(4)));
+            let crashed = ShardStore::write_with_session(
+                &dir,
+                &study.web,
+                &study.catalog,
+                &PageConfig::default(),
+                Seed(9),
+                256 * 1024,
+                &session,
+            );
+            assert!(crashed.is_err(), "crash at op 33 did not surface");
+            let error = format!("{}", crashed.err().expect("crash error"));
+            ShardStore::write_resumable(
+                &dir,
+                &study.web,
+                &study.catalog,
+                &PageConfig::default(),
+                Seed(9),
+                256 * 1024,
+            )
+            .expect("resume");
+            let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+                .expect("read store dir")
+                .map(|e| e.expect("dir entry"))
+                .filter(|e| e.path().is_file())
+                .map(|e| {
+                    (
+                        e.file_name().to_string_lossy().into_owned(),
+                        std::fs::read(e.path()).expect("read file"),
+                    )
+                })
+                .collect();
+            files.sort();
+            let _ = std::fs::remove_dir_all(&dir);
+            (error, session.ops_issued(), files)
+        })
+    };
+    let baseline = run(1, "t1");
+    for threads in [2usize, 8] {
+        let other = run(threads, &format!("t{threads}"));
+        assert_eq!(other, baseline, "recovery diverged at {threads} threads");
+    }
+}
+
+#[test]
 fn oracle_and_extracted_sources_agree_under_parallel_path() {
     let cfg = StudyConfig::quick().with_scale(0.02);
     let study = DomainStudy::generate(Domain::Banks, &cfg);
