@@ -1,0 +1,77 @@
+//! Std-only incremental-recomputation benchmark: populate a
+//! content-addressed store, mutate a fraction of the corpus, and measure
+//! the warm (dirty-slice) re-run against a cold run at the same mutated
+//! state. Writes `BENCH_incremental.json` for `bench_gate.sh` to gate
+//! (incremental cost fraction <= 0.05 after a 1% mutation; a warm/cold
+//! digest mismatch fails in any mode).
+//!
+//! ```text
+//! cargo bench -p webstruct-bench --bench incremental -- \
+//!     --out artifacts/BENCH_incremental.json --scale 0.1 --shard-kb 4 \
+//!     --fraction 0.01
+//! ```
+
+use webstruct_bench::incremental::run_incremental_bench;
+
+fn main() {
+    let mut out_path = String::from("artifacts/BENCH_incremental.json");
+    let mut scale = 0.1f64;
+    let mut shard_kb = 4u64;
+    let mut fraction = 0.01f64;
+    let mut threads = webstruct_util::par::num_threads();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--shard-kb" if i + 1 < args.len() => {
+                shard_kb = args[i + 1].parse().expect("--shard-kb takes an integer");
+                i += 2;
+            }
+            "--fraction" if i + 1 < args.len() => {
+                fraction = args[i + 1].parse().expect("--fraction takes a float");
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                threads = args[i + 1].parse().expect("--threads takes an integer");
+                i += 2;
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench); skip them.
+            _ => i += 1,
+        }
+    }
+
+    eprintln!(
+        "incremental bench: scale={scale} shard_kb={shard_kb} fraction={fraction} \
+         threads={threads} -> {out_path}"
+    );
+    let report = run_incremental_bench(scale, shard_kb.max(1) * 1024, fraction, threads);
+    eprintln!(
+        "  {} shards, {} sites mutated -> {} stale; warm {:.3}s vs cold {:.3}s \
+         ({:.1}% of cold), {} cache hits / {} misses, byte identical: {}",
+        report.n_shards,
+        report.sites_mutated,
+        report.shards_stale,
+        report.warm_secs,
+        report.cold_secs,
+        100.0 * report.incremental_cost_fraction,
+        report.cache_hits,
+        report.cache_misses,
+        report.byte_identical,
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH_incremental.json");
+    eprintln!("wrote {out_path}");
+}

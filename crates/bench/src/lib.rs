@@ -16,7 +16,10 @@
 //!   RSS is clean — and writes `BENCH_scale.json` (see [`scale`]);
 //! * `benches/durability.rs` runs the crash-point torture sweep and the
 //!   resume-after-kill cost measurement and writes
-//!   `BENCH_durability.json` (see [`durability`]).
+//!   `BENCH_durability.json` (see [`durability`]);
+//! * `benches/incremental.rs` measures the warm (dirty-slice) re-run
+//!   after a small corpus mutation against a cold run at the same state
+//!   and writes `BENCH_incremental.json` (see [`incremental`]).
 //!
 //! Run them with:
 //!
@@ -31,6 +34,7 @@
 
 pub mod alloc;
 pub mod durability;
+pub mod incremental;
 pub mod scale;
 
 use crate::alloc::count_allocs;

@@ -75,6 +75,15 @@ impl Study {
         }))
     }
 
+    /// Record that `n` cached artifacts were invalidated (rejected and
+    /// recomputed rather than reused). The epoch engine calls this when a
+    /// content-addressed extraction entry fails its digest or key checks;
+    /// anything else that discards memoised state should too, so
+    /// `RUN_REPORT.json` shows *why* a warm run was not fully warm.
+    pub fn note_invalidations(n: usize) {
+        webstruct_util::obs::metrics().add("cache.invalidations", n as u64);
+    }
+
     /// Number of domain webs generated so far.
     ///
     /// # Panics
@@ -90,9 +99,66 @@ impl Study {
     }
 }
 
+/// Derive the cache hit-rate gauge from the `cache.*` counters and make
+/// sure the `cache.invalidations` counter exists in every report, even
+/// when it stayed at zero.
+///
+/// Requests and builds are snapshot-deterministic (pure functions of the
+/// work done); *hit rate* is derived from them rather than counted, so no
+/// race over which caller builds a cell can skew it. The gauge is
+/// published in basis points (`10_000` = every request was a hit) under
+/// `cache.hit_rate_bp` — gauges land in `RUN_REPORT.json`'s
+/// non-deterministic section, which is where a rate belongs: it depends
+/// on which commands ran, not on the corpus.
+pub fn publish_cache_hit_rate() {
+    let m = webstruct_util::obs::metrics();
+    m.add("cache.invalidations", 0);
+    let requests = m.counter("cache.domain_requests").get()
+        + m.counter("cache.traffic_requests").get()
+        + m.counter("cache.ext_requests").get();
+    let builds = m.counter("cache.domain_builds").get()
+        + m.counter("cache.traffic_builds").get()
+        + m.counter("cache.ext_misses").get();
+    #[allow(clippy::cast_precision_loss)]
+    m.set_gauge("cache.hit_rate_bp", hit_rate_bp(requests, builds) as f64);
+}
+
+/// Hit rate in basis points given total requests and cache builds/misses.
+/// A build satisfies the request that triggered it, so it is not a hit;
+/// zero requests is reported as a zero rate rather than a division error.
+fn hit_rate_bp(requests: u64, builds: u64) -> u64 {
+    let hits = requests.saturating_sub(builds);
+    if requests == 0 {
+        0
+    } else {
+        hits * 10_000 / requests
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        assert_eq!(hit_rate_bp(0, 0), 0);
+        assert_eq!(hit_rate_bp(1, 1), 0); // cold: the only request built
+        assert_eq!(hit_rate_bp(3, 1), 6666); // 2 hits of 3 requests
+        assert_eq!(hit_rate_bp(100, 0), 10_000); // fully warm
+        assert_eq!(hit_rate_bp(1, 5), 0); // over-built never underflows
+    }
+
+    #[test]
+    fn publish_registers_gauge_and_invalidations() {
+        // Other tests share the global metrics registry, so assert
+        // presence and range, not exact values.
+        publish_cache_hit_rate();
+        let m = webstruct_util::obs::metrics();
+        let snap = m.snapshot();
+        assert!(snap.counters.contains_key("cache.invalidations"));
+        let bp = m.gauge("cache.hit_rate_bp").get();
+        assert!((0.0..=10_000.0).contains(&bp), "bp out of range: {bp}");
+    }
 
     #[test]
     fn domain_is_generated_once() {

@@ -6,6 +6,8 @@
 //!
 //! * [`study`] — scales, seeds and the oracle/extracted source switch;
 //! * [`cache`] — memoised generation of domain webs and traffic studies;
+//! * [`epoch`] — incremental recomputation: content-addressed extraction
+//!   caching, seed-pure corpus mutation, dirty-slice re-runs;
 //! * [`experiments`] — one function per paper artifact (Figures 1–9,
 //!   Tables 1–2);
 //! * [`bootstrap`] — the §5.2 set-expansion crawler and its d/2 bound;
@@ -28,13 +30,15 @@
 
 pub mod bootstrap;
 pub mod cache;
+pub mod epoch;
 pub mod experiments;
 pub mod milestones;
 pub mod runner;
 pub mod study;
 
 pub use bootstrap::{bootstrap_expansion, BootstrapResult};
-pub use cache::Study;
+pub use cache::{publish_cache_hit_rate, Study};
+pub use epoch::{identifying_attribute, Epoch, EpochError, EpochReport};
 pub use milestones::{compute_milestones, milestones_table, Milestone};
 pub use runner::{run_all, run_extensions, write_outputs, FamilyTiming, RunOutput};
 pub use study::{DataSource, DomainStudy, StudyConfig};

@@ -17,7 +17,10 @@
 //! * [`shard`] — out-of-core page shards with crash-safe writes,
 //!   resume-after-kill and quarantine-and-repair recovery;
 //! * [`manifest`] — the store-level `MANIFEST.wsm` commit record
-//!   (per-shard digests, site coverage, config/seed fingerprint).
+//!   (per-shard digests, site coverage, config/seed fingerprint);
+//! * [`extcache`] — content-addressed per-shard extraction cache
+//!   (`ext-NNNNN.wse` files keyed by shard digest + extractor
+//!   fingerprint, committed through the same manifest).
 
 //!
 //! ## Example
@@ -43,6 +46,7 @@
 
 pub mod domain;
 pub mod entity;
+pub mod extcache;
 pub mod isbn;
 pub mod manifest;
 pub mod page;
@@ -58,7 +62,11 @@ pub use entity::{CatalogConfig, Entity, EntityCatalog};
 pub use isbn::Isbn;
 pub use page::{Page, PageConfig, PageKind, PageScratch, PageStream};
 pub use phone::{PhoneFormat, PhoneNumber};
-pub use manifest::{ManifestEntry, StoreManifest, MANIFEST_NAME};
+pub use extcache::{ext_name, ext_path, read_ext_header, ExtCacheHeader, ExtLoad};
+pub use manifest::{
+    revision_digest, zero_revision_digest, ExtEntry, ExtSection, ManifestEntry, StoreManifest,
+    MANIFEST_NAME,
+};
 pub use shard::{
     plan_shards, read_header_path, PageShardReader, PageShardWriter, RecoveryReport, ScrubFinding,
     ScrubReport, ScrubStatus, ShardError, ShardRecord, ShardSpec, ShardStore, ShardedWeb,

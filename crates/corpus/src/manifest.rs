@@ -21,8 +21,31 @@
 //! shards <n>
 //! shard <idx> <file> <site_start> <site_end> <first_page> <page_count> <payload_len> <sha256 hex>
 //! ...                                  one line per shard, in site order
+//! revs <n>                             OPTIONAL: per-shard revision-slice digests
+//! rev <idx> <64 hex>                   ... one per shard (epoch != 0 only)
+//! extfp <64 hex>                       OPTIONAL: extractor config fingerprint
+//! exts <n>                             ... extraction-cache entries committed so far
+//! ext <idx> <file> <payload_len> <sha256 hex>
 //! checksum <64 hex>                    SHA-256 of every byte above
 //! ```
+//!
+//! The two optional sections are the incremental-recomputation layer
+//! (see `DESIGN.md` §14). Both are omitted when empty, so an epoch-0
+//! store with no extraction cache renders byte-identical to the format
+//! PR 7 shipped — old manifests parse unchanged, and the durability
+//! suite's byte-identity oracles keep holding.
+//!
+//! * `rev` lines record, per shard, the SHA-256 of the per-site content
+//!   revision counters over the shard's planned site range. Recovery
+//!   re-derives the expected digest from the current `Web` and re-renders
+//!   any shard whose recorded digest disagrees — that is the dirty-set
+//!   planner: content-addressed staleness, no timestamps.
+//! * `ext` lines vouch for per-shard extraction-cache payloads
+//!   (`ext-NNNNN.wse` beside the shards), keyed by the shard's payload
+//!   SHA-256 plus the `extfp` extractor fingerprint. An entry is only
+//!   trusted when the manifest lists it *and* the cache file's own header
+//!   and payload digest agree — a bit-flipped cache entry is recomputed,
+//!   never believed.
 //!
 //! The per-shard `site_start..site_end` is the **planned** range (from
 //! [`plan_shards`](crate::shard::plan_shards)), not the observed one in
@@ -99,6 +122,58 @@ impl ManifestEntry {
     }
 }
 
+/// One extraction-cache entry in the manifest's optional `ext` section:
+/// the serialized extraction results for shard `idx`, stored beside the
+/// shards as `ext-NNNNN.wse`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtEntry {
+    /// Cache file name (relative to the store directory).
+    pub file: String,
+    /// Payload bytes after the cache file's header.
+    pub payload_len: u64,
+    /// SHA-256 of the cache payload.
+    pub sha256: [u8; 32],
+}
+
+/// The manifest's optional extraction-cache section: the extractor
+/// fingerprint all entries were produced under, plus one entry slot per
+/// shard (`None` = not cached yet; entries commit incrementally through
+/// the same atomic-recommit protocol as the shards).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtSection {
+    /// Fingerprint of the extractor version + config the cached results
+    /// were computed with. A store scrubbed or resumed under a different
+    /// extractor must not silently reuse these entries.
+    pub fingerprint: [u8; 32],
+    /// Per-shard cache entries, indexed like `shards`.
+    pub entries: Vec<Option<ExtEntry>>,
+}
+
+/// Digest of a slice of per-site content revision counters — the
+/// content-addressed staleness key for one shard's site range.
+#[must_use]
+pub fn revision_digest(revisions: &[u32]) -> [u8; 32] {
+    let mut sha = Sha256::new();
+    sha.update(b"webstruct-shard-revisions-v1\n");
+    for r in revisions {
+        sha.update(&r.to_le_bytes());
+    }
+    sha.finalize()
+}
+
+/// [`revision_digest`] of `len` all-zero revisions — what a manifest
+/// without a `revs` section implicitly records for a shard of `len`
+/// sites (epoch 0 predates the section, so absence means "as generated").
+#[must_use]
+pub fn zero_revision_digest(len: usize) -> [u8; 32] {
+    let mut sha = Sha256::new();
+    sha.update(b"webstruct-shard-revisions-v1\n");
+    for _ in 0..len {
+        sha.update(&0u32.to_le_bytes());
+    }
+    sha.finalize()
+}
+
 /// The parsed (or to-be-written) store manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreManifest {
@@ -110,6 +185,12 @@ pub struct StoreManifest {
     pub n_sites: u32,
     /// Per-shard entries, in site order.
     pub shards: Vec<ManifestEntry>,
+    /// Per-shard revision-slice digests ([`revision_digest`] over the
+    /// shard's planned site range). Empty = every site at revision 0.
+    /// When non-empty, the length always equals `shards.len()`.
+    pub revs: Vec<[u8; 32]>,
+    /// Extraction-cache section, when any entry has been committed.
+    pub ext: Option<ExtSection>,
 }
 
 fn hex(bytes: &[u8]) -> String {
@@ -154,6 +235,27 @@ impl StoreManifest {
                 e.payload_len,
                 hex(&e.sha256),
             ));
+        }
+        if !self.revs.is_empty() {
+            body.push_str(&format!("revs {}\n", self.revs.len()));
+            for (i, d) in self.revs.iter().enumerate() {
+                body.push_str(&format!("rev {i} {}\n", hex(d)));
+            }
+        }
+        if let Some(ext) = &self.ext {
+            body.push_str(&format!("extfp {}\n", hex(&ext.fingerprint)));
+            let present = ext.entries.iter().flatten().count();
+            body.push_str(&format!("exts {present}\n"));
+            for (i, e) in ext.entries.iter().enumerate() {
+                if let Some(e) = e {
+                    body.push_str(&format!(
+                        "ext {i} {} {} {}\n",
+                        e.file,
+                        e.payload_len,
+                        hex(&e.sha256),
+                    ));
+                }
+            }
         }
         let mut sha = Sha256::new();
         sha.update(body.as_bytes());
@@ -245,14 +347,107 @@ impl StoreManifest {
                 sha256,
             });
         }
-        if lines.next().is_some() {
+        // Optional sections, in fixed order: `revs`, then `extfp`/`exts`.
+        let mut revs: Vec<[u8; 32]> = Vec::new();
+        let mut ext: Option<ExtSection> = None;
+        let mut next = lines.next();
+        if let Some(n) = next.and_then(|l| l.strip_prefix("revs ")) {
+            let n_revs: usize = n.parse().map_err(|_| corrupt("malformed revs line"))?;
+            if n_revs != n_shards {
+                return Err(corrupt("revs count disagrees with shards"));
+            }
+            revs.reserve(n_revs);
+            for i in 0..n_revs {
+                let line = lines.next().ok_or(corrupt("missing rev line"))?;
+                let rest = line.strip_prefix("rev ").ok_or(corrupt("rev line missing prefix"))?;
+                let (idx, digest) = rest
+                    .split_once(' ')
+                    .ok_or(corrupt("rev line missing digest"))?;
+                if idx.parse::<usize>().ok() != Some(i) {
+                    return Err(corrupt("rev lines out of order"));
+                }
+                revs.push(unhex32(digest).ok_or(corrupt("rev line bad digest"))?);
+            }
+            next = lines.next();
+        }
+        if let Some(fp) = next.and_then(|l| l.strip_prefix("extfp ")) {
+            let fingerprint = unhex32(fp).ok_or(corrupt("malformed extfp line"))?;
+            let n_ext: usize = lines
+                .next()
+                .and_then(|l| l.strip_prefix("exts "))
+                .and_then(|s| s.parse().ok())
+                .ok_or(corrupt("malformed exts line"))?;
+            if n_ext > n_shards {
+                return Err(corrupt("more ext entries than shards"));
+            }
+            let mut entries: Vec<Option<ExtEntry>> = vec![None; n_shards];
+            let mut last_idx = None;
+            for _ in 0..n_ext {
+                let line = lines.next().ok_or(corrupt("missing ext line"))?;
+                let mut parts = line.split(' ');
+                if parts.next() != Some("ext") {
+                    return Err(corrupt("ext line missing prefix"));
+                }
+                let idx: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(corrupt("ext line bad index"))?;
+                if idx >= n_shards || last_idx.is_some_and(|l| idx <= l) {
+                    return Err(corrupt("ext lines out of order"));
+                }
+                last_idx = Some(idx);
+                let file = parts
+                    .next()
+                    .ok_or(corrupt("ext line missing file"))?
+                    .to_string();
+                let payload_len: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(corrupt("ext line bad payload_len"))?;
+                let sha256 = parts
+                    .next()
+                    .and_then(unhex32)
+                    .ok_or(corrupt("ext line bad sha256"))?;
+                if parts.next().is_some() {
+                    return Err(corrupt("ext line trailing fields"));
+                }
+                entries[idx] = Some(ExtEntry {
+                    file,
+                    payload_len,
+                    sha256,
+                });
+            }
+            ext = Some(ExtSection {
+                fingerprint,
+                entries,
+            });
+            next = lines.next();
+        }
+        if next.is_some() {
             return Err(corrupt("trailing lines after shard list"));
         }
         Ok(StoreManifest {
             fingerprint,
             n_sites,
             shards,
+            revs,
+            ext,
         })
+    }
+
+    /// The revision-slice digest the manifest records for shard `i` — the
+    /// stored digest when a `revs` section is present, else the implicit
+    /// all-zero digest for a shard of `spec_sites` sites.
+    ///
+    /// # Panics
+    /// Panics when a `revs` section is present but `i` is out of range.
+    #[must_use]
+    pub fn rev_digest(&self, i: usize, spec_sites: usize) -> [u8; 32] {
+        if self.revs.is_empty() {
+            zero_revision_digest(spec_sites)
+        } else {
+            self.revs[i]
+        }
     }
 
     /// Path of the manifest inside `dir`.
@@ -356,7 +551,26 @@ mod tests {
                     sha256: [2u8; 32],
                 },
             ],
+            revs: Vec::new(),
+            ext: None,
         }
+    }
+
+    fn sample_with_sections() -> StoreManifest {
+        let mut m = sample();
+        m.revs = vec![[3u8; 32], [4u8; 32]];
+        m.ext = Some(ExtSection {
+            fingerprint: [5u8; 32],
+            entries: vec![
+                None,
+                Some(ExtEntry {
+                    file: "ext-00001.wse".into(),
+                    payload_len: 512,
+                    sha256: [6u8; 32],
+                }),
+            ],
+        });
+        m
     }
 
     #[test]
@@ -365,6 +579,44 @@ mod tests {
         let text = m.render();
         let back = StoreManifest::parse(&text).expect("parse");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn optional_sections_roundtrip() {
+        let m = sample_with_sections();
+        let text = m.render();
+        let back = StoreManifest::parse(&text).expect("parse with sections");
+        assert_eq!(back, m);
+        // Flipping any byte of the sectioned manifest is still caught.
+        let bytes = text.as_bytes();
+        for pos in [0usize, bytes.len() / 3, bytes.len() / 2, bytes.len() - 10] {
+            let mut bad = bytes.to_vec();
+            bad[pos] ^= 0x01;
+            if let Ok(s) = String::from_utf8(bad) {
+                assert!(StoreManifest::parse(&s).is_err(), "flip at {pos} unnoticed");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sections_render_the_pr7_bytes() {
+        // An epoch-0 store with no extraction cache must be byte-identical
+        // to the pre-incremental format: no revs/extfp/exts lines at all.
+        let text = sample().render();
+        assert!(!text.contains("revs "));
+        assert!(!text.contains("extfp "));
+        assert!(!text.contains("exts "));
+    }
+
+    #[test]
+    fn rev_digest_defaults_to_all_zero_slice() {
+        let m = sample();
+        assert_eq!(m.rev_digest(0, 4), revision_digest(&[0u32; 4]));
+        assert_eq!(m.rev_digest(1, 6), zero_revision_digest(6));
+        let m = sample_with_sections();
+        assert_eq!(m.rev_digest(0, 4), [3u8; 32]);
+        // A mutated slice digests differently from the zero slice.
+        assert_ne!(revision_digest(&[0, 1, 0, 0]), zero_revision_digest(4));
     }
 
     #[test]

@@ -409,7 +409,19 @@ impl<'a> PageStream<'a> {
         use std::fmt::Write;
         let site = &self.web.sites[site_idx];
         let mentions = self.web.mentions_of(site.id);
-        let mut rng = Xoshiro256::from_seed(self.seed.derive_u64(u64::from(page_id.raw())));
+        // Rendering is a pure function of (seed, page id, site revision):
+        // revision 0 keys exactly as before the epoch model existed (so
+        // epoch-0 stores are byte-identical to historical ones), and a
+        // bumped revision re-keys only this site's pages.
+        let rev = self.web.revision(site_idx);
+        let page_seed = if rev == 0 {
+            self.seed.derive_u64(u64::from(page_id.raw()))
+        } else {
+            self.seed
+                .derive_u64(u64::from(page_id.raw()))
+                .derive_u64(u64::from(rev))
+        };
+        let mut rng = Xoshiro256::from_seed(page_seed);
         scratch.id = page_id;
         scratch.site = site.id;
         scratch.host.clear();

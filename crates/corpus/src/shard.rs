@@ -44,7 +44,7 @@
 //! byte-identical results either way.
 
 use crate::entity::EntityCatalog;
-use crate::manifest::{ManifestEntry, StoreManifest};
+use crate::manifest::{ExtEntry, ExtSection, ManifestEntry, StoreManifest};
 use crate::page::{Page, PageConfig, PageKind, PageScratch, PageStream};
 use crate::web::Web;
 use std::fs::File;
@@ -657,8 +657,17 @@ pub struct RecoveryReport {
     pub shards_reused: usize,
     /// Shards rendered (from scratch or replacing a bad file).
     pub shards_rendered: usize,
+    /// Shards whose bytes were intact and vouched for, but whose site
+    /// revisions moved since the manifest committed — re-rendered in
+    /// place, *not* quarantined (staleness is a planned mutation, not
+    /// evidence of damage).
+    pub shards_stale: usize,
     /// Corrupt or stray shard files moved to `.quarantine/`.
     pub shards_quarantined: usize,
+    /// Extraction-cache entries dropped: stale (their shard re-rendered),
+    /// unlisted, or — under repair — failing verification (those are
+    /// quarantined rather than deleted).
+    pub ext_dropped: usize,
     /// Stray `*.tmp` files from interrupted writes that were removed.
     pub tmp_removed: usize,
     /// Whether a matching manifest was found and trusted.
@@ -704,9 +713,14 @@ pub struct ScrubFinding {
 pub struct ScrubReport {
     /// Per-shard verdicts, in manifest order.
     pub findings: Vec<ScrubFinding>,
-    /// `shard-*.wsp` / `*.tmp` files in the directory the manifest does
-    /// not list (a torn write the old globbing `open` would have let
-    /// join the store).
+    /// Per-extraction-cache-entry verdicts for every entry the
+    /// manifest's `ext` section lists: existence, header key binding
+    /// (shard digest + extractor fingerprint) and a full payload
+    /// re-hash. Empty when the manifest carries no `ext` section.
+    pub ext_findings: Vec<ScrubFinding>,
+    /// `shard-*.wsp` / `ext-*.wse` / `*.tmp` files in the directory the
+    /// manifest does not list (a torn write the old globbing `open`
+    /// would have let join the store).
     pub strays: Vec<String>,
 }
 
@@ -738,10 +752,27 @@ impl ScrubReport {
             .count()
     }
 
-    /// Whether every shard verified and nothing stray was found.
+    /// Extraction-cache entries that verified clean.
+    #[must_use]
+    pub fn ext_verified(&self) -> usize {
+        self.ext_findings
+            .iter()
+            .filter(|f| matches!(f.status, ScrubStatus::Verified))
+            .count()
+    }
+
+    /// Extraction-cache entries that are missing or failed verification
+    /// (wrong key, digest mismatch, truncation).
+    #[must_use]
+    pub fn ext_bad(&self) -> usize {
+        self.ext_findings.len() - self.ext_verified()
+    }
+
+    /// Whether every shard and cache entry verified and nothing stray
+    /// was found.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.corrupt() == 0 && self.missing() == 0 && self.strays.is_empty()
+        self.corrupt() == 0 && self.missing() == 0 && self.ext_bad() == 0 && self.strays.is_empty()
     }
 
     /// Human-readable per-shard table (the `webstruct scrub` output).
@@ -756,16 +787,33 @@ impl ScrubReport {
             };
             out.push_str(&format!("  shard {:>3}  {:<20} {}\n", f.index, f.file, verdict));
         }
+        for f in &self.ext_findings {
+            let verdict = match &f.status {
+                ScrubStatus::Verified => "ok".to_string(),
+                ScrubStatus::Missing => "MISSING".to_string(),
+                ScrubStatus::Corrupt(e) => format!("CORRUPT: {e}"),
+            };
+            out.push_str(&format!("  cache {:>3}  {:<20} {}\n", f.index, f.file, verdict));
+        }
         for s in &self.strays {
             out.push_str(&format!("  stray      {s}  (not in manifest)\n"));
         }
         out.push_str(&format!(
-            "  {} verified, {} corrupt, {} missing, {} stray\n",
+            "  {} verified, {} corrupt, {} missing, {} stray",
             self.verified(),
             self.corrupt(),
             self.missing(),
             self.strays.len()
         ));
+        if self.ext_findings.is_empty() {
+            out.push('\n');
+        } else {
+            out.push_str(&format!(
+                "; cache: {} verified, {} bad\n",
+                self.ext_verified(),
+                self.ext_bad()
+            ));
+        }
         out
     }
 }
@@ -1011,6 +1059,33 @@ impl ShardStore {
         Ok(())
     }
 
+    /// Retire a dead extraction-cache file: repair quarantines it (the
+    /// payload may be evidence of how the cache went bad), every other
+    /// mode deletes it — a cache entry is reproducible by construction,
+    /// so unlike shards it is not precious.
+    fn drop_ext_file(dir: &Path, path: &Path, mode: RecoverMode) -> Result<(), ShardError> {
+        if mode == RecoverMode::Repair {
+            Self::quarantine_file(dir, path)
+        } else {
+            std::fs::remove_file(path)?;
+            Ok(())
+        }
+    }
+
+    /// Manifest `ext` section for the carried-forward entries, or `None`
+    /// when there was no prior section or nothing survived (so stores
+    /// that never cached extractions keep rendering PR 7 manifest bytes).
+    fn ext_section(old: Option<&ExtSection>, entries: &[Option<ExtEntry>]) -> Option<ExtSection> {
+        let old = old?;
+        if entries.iter().all(Option::is_none) {
+            return None;
+        }
+        Some(ExtSection {
+            fingerprint: old.fingerprint,
+            entries: entries.to_vec(),
+        })
+    }
+
     /// Whether the existing shard at `path` can be reused for the
     /// manifest entry that vouches for it. Reuse always requires a
     /// manifest entry: the entry's digest is the only thing that
@@ -1070,8 +1145,23 @@ impl ShardStore {
             _ => None,
         };
 
+        // Per-shard revision digests this invocation expects. A shard's
+        // manifest `rev` line must equal the digest of its sites' current
+        // revisions for the bytes on disk to still be the bytes this web
+        // would render; an absent `revs` section means the store was
+        // committed at revision 0 everywhere.
+        let revisions = web.revisions();
+        let any_rev = revisions.iter().any(|r| *r != 0);
+        let want_revs: Vec<[u8; 32]> = specs
+            .iter()
+            .map(|s| crate::manifest::revision_digest(&revisions[s.sites.clone()]))
+            .collect();
+        let old_ext = old_manifest.as_ref().and_then(|m| m.ext.as_ref());
+        let mut ext_entries: Vec<Option<ExtEntry>> = vec![None; specs.len()];
+
         // Sweep stray temp files from interrupted writes.
         let mut strays: Vec<PathBuf> = Vec::new();
+        let mut ext_strays: Vec<PathBuf> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -1080,6 +1170,8 @@ impl ShardStore {
                 report.tmp_removed += 1;
             } else if name.starts_with("shard-") && name.ends_with(".wsp") {
                 strays.push(path);
+            } else if name.starts_with("ext-") && name.ends_with(".wse") {
+                ext_strays.push(path);
             }
         }
 
@@ -1089,7 +1181,9 @@ impl ShardStore {
         let mut entries = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
             let path = Self::shard_path(dir, i);
+            let epath = crate::extcache::ext_path(dir, i);
             strays.retain(|p| p != &path);
+            ext_strays.retain(|p| p != &epath);
             let existing = path.exists();
             let entry = old_manifest
                 .as_ref()
@@ -1101,21 +1195,77 @@ impl ShardStore {
                         && e.first_page == spec.first_page
                         && e.page_count == spec.page_count
                 });
-            if mode != RecoverMode::Cold
+            let vouched = mode != RecoverMode::Cold
                 && existing
-                && entry.is_some_and(|e| Self::reusable(&path, e, mode))
-            {
+                && entry.is_some_and(|e| Self::reusable(&path, e, mode));
+            let rev_ok = entry.is_some()
+                && old_manifest
+                    .as_ref()
+                    .is_some_and(|m| m.rev_digest(i, spec.sites.len()) == want_revs[i]);
+            if vouched && rev_ok {
                 let header = read_header_path(&path)?;
-                entries.push(ManifestEntry::from_parts(Self::shard_name(i), spec, &header));
+                let committed = ManifestEntry::from_parts(Self::shard_name(i), spec, &header);
+                // Same shard bytes ⟹ a cached extraction keyed on them is
+                // still valid: carry the manifest entry forward. Repair
+                // re-verifies the cache payload end to end first; Resume
+                // trusts the manifest like it trusts shard digests.
+                if let Some(section) = old_ext {
+                    if let Some(Some(e)) = section.entries.get(i) {
+                        let keep = if mode == RecoverMode::Repair {
+                            matches!(
+                                crate::extcache::load_entry(
+                                    dir,
+                                    i,
+                                    e,
+                                    committed.sha256,
+                                    section.fingerprint,
+                                ),
+                                crate::extcache::ExtLoad::Hit(_)
+                            )
+                        } else {
+                            epath.exists()
+                        };
+                        if keep {
+                            ext_entries[i] = Some(e.clone());
+                        } else if epath.exists() {
+                            Self::quarantine_file(dir, &epath)?;
+                            report.ext_dropped += 1;
+                        } else {
+                            report.ext_dropped += 1;
+                        }
+                    } else if epath.exists() {
+                        Self::drop_ext_file(dir, &epath, mode)?;
+                        report.ext_dropped += 1;
+                    }
+                } else if epath.exists() {
+                    Self::drop_ext_file(dir, &epath, mode)?;
+                    report.ext_dropped += 1;
+                }
+                entries.push(committed);
                 shards.push(path);
                 report.shards_reused += 1;
                 continue;
             }
             if existing && mode != RecoverMode::Cold {
-                // Present but unusable: quarantine the evidence before
-                // rendering a replacement. (Cold mode just overwrites.)
-                Self::quarantine_file(dir, &path)?;
-                report.shards_quarantined += 1;
+                if vouched {
+                    // Intact and vouched for, just rendered at revisions
+                    // that have since moved: overwrite in place. Staleness
+                    // is a planned mutation, not evidence of damage, so
+                    // nothing is quarantined.
+                    report.shards_stale += 1;
+                } else {
+                    // Present but unusable: quarantine the evidence
+                    // before rendering a replacement. (Cold mode just
+                    // overwrites.)
+                    Self::quarantine_file(dir, &path)?;
+                    report.shards_quarantined += 1;
+                }
+            }
+            // Whatever extraction was cached for the old bytes is dead
+            // the moment the shard re-renders.
+            if epath.exists() {
+                Self::drop_ext_file(dir, &epath, mode)?;
+                report.ext_dropped += 1;
             }
             let header = Self::write_one_shard(
                 dir, i, spec, web, catalog, config, seed, session, &mut scratch, &mut url,
@@ -1135,6 +1285,12 @@ impl ShardStore {
                     fingerprint,
                     n_sites: web.n_sites() as u32,
                     shards: entries.clone(),
+                    revs: if any_rev {
+                        want_revs[..entries.len()].to_vec()
+                    } else {
+                        Vec::new()
+                    },
+                    ext: Self::ext_section(old_ext, &ext_entries[..entries.len()]),
                 };
                 partial.write_atomic(dir, session)?;
             }
@@ -1148,18 +1304,28 @@ impl ShardStore {
             Self::quarantine_file(dir, &stray)?;
             report.shards_quarantined += 1;
         }
+        // Cache files beyond the plan are just dead cache: drop them
+        // (quarantined under repair, deleted otherwise).
+        for stray in ext_strays {
+            Self::drop_ext_file(dir, &stray, mode)?;
+            report.ext_dropped += 1;
+        }
 
         let manifest = StoreManifest {
             fingerprint,
             n_sites: web.n_sites() as u32,
             shards: entries,
+            revs: if any_rev { want_revs } else { Vec::new() },
+            ext: Self::ext_section(old_ext, &ext_entries),
         };
         manifest.write_atomic(dir, session)?;
 
         let m = webstruct_util::obs::metrics();
         m.add("store.resume_skipped", report.shards_reused as u64);
         m.add("store.shards_rendered", report.shards_rendered as u64);
+        m.add("store.shards_stale", report.shards_stale as u64);
         m.add("store.shards_quarantined", report.shards_quarantined as u64);
+        m.add("store.ext_dropped", report.ext_dropped as u64);
 
         Ok((
             ShardStore {
@@ -1246,23 +1412,73 @@ impl ShardStore {
                 status,
             });
         }
-        let listed: std::collections::HashSet<&str> =
-            manifest.shards.iter().map(|e| e.file.as_str()).collect();
+        // Every cache entry the manifest vouches for gets the same
+        // treatment as a shard under repair: existence, header keys
+        // (shard digest + extractor fingerprint) and a full payload
+        // re-hash. A fingerprint mismatch is a Corrupt finding — the
+        // frankenstore case where cached extractions from a different
+        // extractor config sit beside shards they do not describe.
+        let mut ext_findings = Vec::new();
+        if let Some(section) = &manifest.ext {
+            for (index, maybe) in section.entries.iter().enumerate() {
+                let Some(entry) = maybe else { continue };
+                let shard_sha = manifest
+                    .shards
+                    .get(index)
+                    .map_or([0u8; 32], |e| e.sha256);
+                let status = match crate::extcache::load_entry(
+                    dir,
+                    index,
+                    entry,
+                    shard_sha,
+                    section.fingerprint,
+                ) {
+                    crate::extcache::ExtLoad::Hit(_) => ScrubStatus::Verified,
+                    crate::extcache::ExtLoad::Miss => ScrubStatus::Missing,
+                    crate::extcache::ExtLoad::Poisoned(why) => {
+                        ScrubStatus::Corrupt(ShardError::CorruptRecord(why))
+                    }
+                };
+                ext_findings.push(ScrubFinding {
+                    index,
+                    file: entry.file.clone(),
+                    status,
+                });
+            }
+        }
+        let listed: std::collections::HashSet<&str> = manifest
+            .shards
+            .iter()
+            .map(|e| e.file.as_str())
+            .chain(
+                manifest
+                    .ext
+                    .iter()
+                    .flat_map(|s| s.entries.iter().flatten().map(|e| e.file.as_str())),
+            )
+            .collect();
         let mut strays = Vec::new();
         if let Ok(dir_entries) = std::fs::read_dir(dir) {
             for e in dir_entries.flatten() {
                 let name = e.file_name().to_string_lossy().into_owned();
                 let shardlike = name.starts_with("shard-") && name.ends_with(".wsp");
-                if (shardlike || name.ends_with(".tmp")) && !listed.contains(name.as_str()) {
+                let extlike = name.starts_with("ext-") && name.ends_with(".wse");
+                if (shardlike || extlike || name.ends_with(".tmp")) && !listed.contains(name.as_str())
+                {
                     strays.push(name);
                 }
             }
         }
         strays.sort();
-        let report = ScrubReport { findings, strays };
+        let report = ScrubReport {
+            findings,
+            ext_findings,
+            strays,
+        };
         let m = webstruct_util::obs::metrics();
         m.add("store.shards_verified", report.verified() as u64);
         m.add("store.shards_quarantined", 0); // ensure the counter exists next to verified
+        m.add("store.ext_verified", report.ext_verified() as u64);
         report
     }
 
@@ -1333,6 +1549,40 @@ impl ShardStore {
     /// Panics when `i` is out of range.
     pub fn reader(&self, i: usize) -> Result<PageShardReader<BufReader<File>>, ShardError> {
         PageShardReader::open_path(&self.shards[i])
+    }
+
+    /// Commit extraction-cache entries into the manifest's `ext` section
+    /// and atomically recommit `MANIFEST.wsm` — the same tmp → fsync →
+    /// rename protocol every other commit uses, so a crash leaves either
+    /// the old manifest or the new one, never a torn record. Entries must
+    /// be indexed by shard (`None` = no cache for that shard); pass the
+    /// extractor fingerprint the payloads were computed with.
+    ///
+    /// # Errors
+    /// Propagates injected or real I/O failures from the recommit.
+    ///
+    /// # Panics
+    /// Panics when `entries.len()` disagrees with the shard count.
+    pub fn commit_extractions(
+        &mut self,
+        extractor_fp: [u8; 32],
+        entries: Vec<Option<ExtEntry>>,
+        session: &FaultSession,
+    ) -> Result<(), ShardError> {
+        assert_eq!(
+            entries.len(),
+            self.shards.len(),
+            "one ext slot per shard, in shard order"
+        );
+        self.manifest.ext = if entries.iter().all(Option::is_none) {
+            None
+        } else {
+            Some(ExtSection {
+                fingerprint: extractor_fp,
+                entries,
+            })
+        };
+        self.manifest.write_atomic(&self.dir, session)
     }
 }
 

@@ -229,6 +229,15 @@ pub struct Web {
     reviews_per_page: usize,
     /// Number of entities in the catalog this web was generated against.
     n_entities: usize,
+    /// Per-site content revision counters — the epoch / churn model.
+    ///
+    /// Revision 0 (the state `generate` produces) renders exactly the
+    /// bytes this crate has always rendered; bumping a site's revision
+    /// re-keys the per-page RNG for that site's pages only, so the page
+    /// *plan* (counts, ids, shard cuts) is untouched while the rendered
+    /// content changes. That containment is what makes the dirty slice
+    /// after a mutation exactly the shards whose sites were bumped.
+    revisions: Vec<u32>,
 }
 
 impl Web {
@@ -460,6 +469,7 @@ impl Web {
             });
         }
 
+        let n_sites = sites.len();
         Web {
             domain,
             sites,
@@ -467,7 +477,42 @@ impl Web {
             offsets,
             reviews_per_page: config.reviews_per_page,
             n_entities: n,
+            revisions: vec![0; n_sites],
         }
+    }
+
+    /// Current content revision of site `site_idx` (0 = as generated).
+    ///
+    /// # Panics
+    /// Panics when `site_idx` is out of range.
+    #[must_use]
+    pub fn revision(&self, site_idx: usize) -> u32 {
+        self.revisions[site_idx]
+    }
+
+    /// All per-site revisions, in site order.
+    #[must_use]
+    pub fn revisions(&self) -> &[u32] {
+        &self.revisions
+    }
+
+    /// Bump site `site_idx` to its next content revision: its pages render
+    /// different bytes, every other site's pages are untouched, and the
+    /// page plan (counts, ids, shard cuts) is unchanged.
+    ///
+    /// # Panics
+    /// Panics when `site_idx` is out of range.
+    pub fn bump_revision(&mut self, site_idx: usize) {
+        self.revisions[site_idx] += 1;
+    }
+
+    /// Set site `site_idx`'s revision directly (for replaying a known
+    /// epoch state).
+    ///
+    /// # Panics
+    /// Panics when `site_idx` is out of range.
+    pub fn set_revision(&mut self, site_idx: usize, rev: u32) {
+        self.revisions[site_idx] = rev;
     }
 
     /// Number of sites.

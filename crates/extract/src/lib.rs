@@ -44,6 +44,7 @@ pub mod wrapper;
 pub use nb::NaiveBayes;
 pub use pipeline::{
     ExtractPool, ExtractScratch, ExtractedWeb, Extractor, PageExtraction, CHUNKS_PER_WORKER,
+    EXTRACTOR_VERSION, SNAPSHOT_MAGIC,
 };
 pub use precision::{phone_precision_study, PrecisionReport};
 pub use training::train_review_classifier;

@@ -21,6 +21,20 @@ use webstruct_util::obs::{self, LocalHistogram};
 use webstruct_util::par;
 use webstruct_util::rng::Seed;
 
+/// Extraction-semantics version, hashed into extractor-config
+/// fingerprints that key the content-addressed cache. Bump whenever the
+/// pipeline's output for the same page bytes can change — matching rules,
+/// classifier features, aggregation semantics, or the
+/// [`ExtractedWeb::shard_snapshot_bytes`] encoding — so stale cached
+/// extractions stop matching instead of being silently trusted.
+pub const EXTRACTOR_VERSION: u32 = 1;
+
+/// Magic of the serialized shard-extraction snapshot ("WebStruct
+/// eXtraction v1") produced by [`ExtractedWeb::shard_snapshot_bytes`].
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"WSX1";
+/// Fixed header bytes before the per-site lists in a snapshot.
+const SNAPSHOT_HEADER_LEN: usize = 4 + 4 + 4 + 4 + 7 * 8 + LocalHistogram::WIRE_LEN;
+
 /// What one page yielded.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PageExtraction {
@@ -608,6 +622,41 @@ impl<'a> Extractor<'a> {
     ) -> Result<ExtractedWeb, ShardError> {
         self.extract_sharded(&ShardedWeb::Stored(store), n_sites, threads)
     }
+
+    /// Extract exactly one shard of a sharded web into a fresh full-width
+    /// accumulator, sealed and ready to snapshot. This is the unit of
+    /// work behind the incremental epoch pipeline: a dirty shard is
+    /// extracted alone so its result can be serialized into the
+    /// content-addressed cache before merging, while clean shards skip
+    /// extraction entirely and replay their cached snapshot.
+    ///
+    /// # Errors
+    /// Propagates shard validation/read failures ([`ShardError`]).
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range for the sharded web.
+    pub fn extract_one_shard(
+        &self,
+        sharded: &ShardedWeb<'_>,
+        i: usize,
+        n_sites: usize,
+    ) -> Result<ExtractedWeb, ShardError> {
+        let mut acc = ExtractedWeb::new(n_sites, self.catalog.len());
+        let mut bufs = PageBuffers::default();
+        let (mut lo, mut hi) = (u32::MAX, 0u32);
+        sharded.for_each_page(i, |_id, site, _kind, text| {
+            lo = lo.min(site.raw());
+            hi = hi.max(site.raw());
+            self.extract_html_into(text, &mut bufs);
+            acc.bytes_rendered += text.len() as u64;
+            acc.page_bytes.record(text.len() as u64);
+            acc.ingest(site, &bufs.extraction);
+        })?;
+        if lo <= hi {
+            acc.seal_sites(lo, hi);
+        }
+        Ok(acc)
+    }
 }
 
 /// Reusable state for repeated [`Extractor::extract_web_pooled`] runs.
@@ -1043,6 +1092,19 @@ impl ExtractedWeb {
             .collect()
     }
 
+    /// One site's distinct entities for `attr`, sorted ascending — the
+    /// ranged counterpart of
+    /// [`occurrence_lists`](ExtractedWeb::occurrence_lists), so the
+    /// incremental pipeline can feed streaming accumulators shard by
+    /// shard without materializing the full-width table.
+    ///
+    /// # Panics
+    /// Panics when `site` is out of range.
+    #[must_use]
+    pub fn site_entities(&self, site: usize, attr: Attribute) -> Vec<EntityId> {
+        self.occurrences.entities(site, attr_tag(attr))
+    }
+
     /// Per-site `(entity, review_page_count)` lists.
     #[must_use]
     pub fn review_page_lists(&self) -> Vec<Vec<(EntityId, u32)>> {
@@ -1111,6 +1173,130 @@ impl ExtractedWeb {
         self.skipped_pages += other.skipped_pages;
         self.page_bytes.merge(&other.page_bytes);
         self.occurrences.merge_ref(&other.occurrences);
+    }
+
+    /// Serialize this accumulator's results for the sites in `sites` as a
+    /// canonical, content-addressable snapshot — the payload the
+    /// extraction cache stores beside each shard. The encoding is
+    /// deterministic (per-site lists are emitted compacted: sorted and
+    /// folded), so extracting the same shard bytes always serializes to
+    /// the same snapshot bytes regardless of thread schedule. Counters
+    /// and the page-size histogram cover the *whole* accumulator, so call
+    /// this on a single-shard accumulation
+    /// ([`Extractor::extract_one_shard`]), not a merged one.
+    ///
+    /// Layout, little-endian: `"WSX1"`, version `u32`, site range
+    /// `[lo, hi)` as two `u32`s, seven diagnostic counters (`u64` each:
+    /// pages, bytes, unmatched phones/isbns/hrefs, truncated, skipped),
+    /// the page-size histogram
+    /// ([`LocalHistogram::to_bytes`]), then per site an entry count
+    /// `u32` followed by that many packed `u64` occurrences.
+    #[must_use]
+    pub fn shard_snapshot_bytes(&self, sites: std::ops::Range<usize>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SNAPSHOT_HEADER_LEN + 64 * sites.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(sites.start as u32).to_le_bytes());
+        out.extend_from_slice(&(sites.end as u32).to_le_bytes());
+        for c in [
+            self.pages_processed,
+            self.bytes_rendered,
+            self.unmatched_phones,
+            self.unmatched_isbns,
+            self.unmatched_hrefs,
+            self.truncated_pages,
+            self.skipped_pages,
+        ] {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&self.page_bytes.to_bytes());
+        for s in sites {
+            let entries = self.occurrences.compacted(s);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for e in entries {
+                out.extend_from_slice(&e.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Fold a serialized shard snapshot into this accumulator — the
+    /// cache-hit half of the incremental pipeline, equivalent to merging
+    /// the [`ExtractedWeb`] the snapshot was taken from. Merging a
+    /// snapshot into an accumulator whose sites in the snapshot's range
+    /// are empty reproduces byte-for-byte the state a fresh extraction of
+    /// that shard would have merged (snapshots store compacted lists, and
+    /// [`merge`](ExtractedWeb::merge) compacts on contact).
+    ///
+    /// # Errors
+    /// A static description of the first structural problem: wrong magic
+    /// or version, a truncated buffer, or a site range outside this
+    /// accumulator's universe. Digest-level corruption is the cache
+    /// layer's job to catch before the bytes get here.
+    pub fn merge_snapshot(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        if bytes.len() < SNAPSHOT_HEADER_LEN {
+            return Err("snapshot shorter than its header");
+        }
+        if bytes[0..4] != SNAPSHOT_MAGIC {
+            return Err("bad snapshot magic (want WSX1)");
+        }
+        if u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) != 1 {
+            return Err("unsupported snapshot version");
+        }
+        let lo = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let hi = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        if lo > hi || hi > self.n_sites() {
+            return Err("snapshot site range outside accumulator universe");
+        }
+        let mut at = 16usize;
+        let counter = |at: &mut usize| {
+            let v = u64::from_le_bytes(bytes[*at..*at + 8].try_into().expect("8 bytes"));
+            *at += 8;
+            v
+        };
+        self.pages_processed += counter(&mut at);
+        self.bytes_rendered += counter(&mut at);
+        self.unmatched_phones += counter(&mut at);
+        self.unmatched_isbns += counter(&mut at);
+        self.unmatched_hrefs += counter(&mut at);
+        self.truncated_pages += counter(&mut at);
+        self.skipped_pages += counter(&mut at);
+        let hist = LocalHistogram::from_bytes(&bytes[at..at + LocalHistogram::WIRE_LEN])
+            .ok_or("undecodable snapshot histogram")?;
+        self.page_bytes.merge(&hist);
+        at += LocalHistogram::WIRE_LEN;
+        for s in lo..hi {
+            if at + 4 > bytes.len() {
+                return Err("snapshot truncated in site table");
+            }
+            let n = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+            at += 4;
+            if at + n * 8 > bytes.len() {
+                return Err("snapshot truncated in occurrence list");
+            }
+            if n > 0 {
+                let dst = &mut self.occurrences.lists[s];
+                let was_empty = dst.is_empty();
+                dst.reserve_exact(n);
+                for k in 0..n {
+                    dst.push(u64::from_le_bytes(
+                        bytes[at + k * 8..at + k * 8 + 8].try_into().expect("8 bytes"),
+                    ));
+                }
+                // Snapshots store compacted lists, so a fresh site is
+                // already canonical; a site with prior entries re-folds.
+                if !was_empty {
+                    compact_packed(dst);
+                }
+                dst.shrink_to_fit();
+                self.occurrences.sorted[s] = dst.len() as u32;
+            }
+            at += n * 8;
+        }
+        if at != bytes.len() {
+            return Err("snapshot has trailing bytes");
+        }
+        Ok(())
     }
 }
 
@@ -1223,6 +1409,62 @@ mod tests {
         // in training-noise, which our listing pages do not contain.
         assert_eq!(extracted.unmatched_phones, 0);
         assert!(extracted.pages_processed > 0);
+    }
+
+    #[test]
+    fn snapshot_replay_is_bit_identical_to_direct_extraction() {
+        let (catalog, web) = restaurant_fixture();
+        let clf = train_review_classifier(Seed(35), 150).unwrap();
+        let extractor = Extractor::new(&catalog).with_review_classifier(clf);
+        let sharded = ShardedWeb::rendered(&web, &catalog, PageConfig::default(), Seed(32));
+        let ShardedWeb::Rendered { ref specs, .. } = sharded else {
+            unreachable!()
+        };
+        let specs = specs.clone();
+        let direct = extractor
+            .extract_sharded(&sharded, web.n_sites(), 2)
+            .unwrap();
+        // Extract each shard alone, serialize, and replay the snapshots
+        // into a fresh accumulator — the cache-hit path end to end.
+        let mut replayed = ExtractedWeb::new(web.n_sites(), catalog.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let acc = extractor
+                .extract_one_shard(&sharded, i, web.n_sites())
+                .unwrap();
+            let bytes = acc.shard_snapshot_bytes(spec.sites.clone());
+            replayed.merge_snapshot(&bytes).unwrap();
+        }
+        for attr in [Attribute::Phone, Attribute::Homepage, Attribute::Review] {
+            assert_eq!(replayed.occurrence_lists(attr), direct.occurrence_lists(attr));
+        }
+        assert_eq!(replayed.review_page_lists(), direct.review_page_lists());
+        assert_eq!(replayed.pages_processed, direct.pages_processed);
+        assert_eq!(replayed.page_bytes, direct.page_bytes);
+        // The strongest form: the two accumulators serialize identically.
+        assert_eq!(
+            replayed.shard_snapshot_bytes(0..web.n_sites()),
+            direct.shard_snapshot_bytes(0..web.n_sites())
+        );
+    }
+
+    #[test]
+    fn merge_snapshot_rejects_structural_damage() {
+        let (catalog, web) = restaurant_fixture();
+        let extractor = Extractor::new(&catalog);
+        let sharded = ShardedWeb::rendered(&web, &catalog, PageConfig::default(), Seed(32));
+        let acc = extractor
+            .extract_one_shard(&sharded, 0, web.n_sites())
+            .unwrap();
+        let bytes = acc.shard_snapshot_bytes(0..web.n_sites());
+        let mut fresh = ExtractedWeb::new(web.n_sites(), catalog.len());
+        assert!(fresh.merge_snapshot(&bytes[..10]).is_err(), "truncated header");
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(fresh.merge_snapshot(&bad).is_err(), "bad magic");
+        assert!(
+            fresh.merge_snapshot(&bytes[..bytes.len() - 1]).is_err(),
+            "truncated tail"
+        );
     }
 
     #[test]

@@ -209,6 +209,41 @@ impl LocalHistogram {
             .map(|(i, &c)| (bucket_floor(i), c))
             .collect()
     }
+
+    /// Serialized size of [`to_bytes`](LocalHistogram::to_bytes): all 65
+    /// buckets plus count and sum, little-endian u64s.
+    pub const WIRE_LEN: usize = (HIST_BUCKETS + 2) * 8;
+
+    /// Canonical fixed-width encoding, for embedding in content-addressed
+    /// snapshots: the same histogram always serializes to the same bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        for (i, b) in self.buckets.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&b.to_le_bytes());
+        }
+        out[HIST_BUCKETS * 8..HIST_BUCKETS * 8 + 8].copy_from_slice(&self.count.to_le_bytes());
+        out[(HIST_BUCKETS + 1) * 8..].copy_from_slice(&self.sum.to_le_bytes());
+        out
+    }
+
+    /// Decode [`to_bytes`](LocalHistogram::to_bytes) output. Returns
+    /// `None` when `bytes` is not exactly [`WIRE_LEN`]
+    /// (LocalHistogram::WIRE_LEN) long.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<LocalHistogram> {
+        if bytes.len() != Self::WIRE_LEN {
+            return None;
+        }
+        let mut h = LocalHistogram::new();
+        for i in 0..HIST_BUCKETS {
+            h.buckets[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().ok()?);
+        }
+        h.count =
+            u64::from_le_bytes(bytes[HIST_BUCKETS * 8..HIST_BUCKETS * 8 + 8].try_into().ok()?);
+        h.sum = u64::from_le_bytes(bytes[(HIST_BUCKETS + 1) * 8..].try_into().ok()?);
+        Some(h)
+    }
 }
 
 /// The shared half of a histogram: the registry-resident accumulator
@@ -1020,6 +1055,18 @@ pub fn run_report_json(command: &str, threads: usize, obs: &Obs) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_wire_roundtrip() {
+        let mut h = LocalHistogram::new();
+        for v in [0u64, 1, 7, 4096, u64::MAX] {
+            h.record(v);
+        }
+        let bytes = h.to_bytes();
+        assert_eq!(bytes.len(), LocalHistogram::WIRE_LEN);
+        assert_eq!(LocalHistogram::from_bytes(&bytes), Some(h));
+        assert_eq!(LocalHistogram::from_bytes(&bytes[1..]), None);
+    }
 
     #[test]
     fn counters_accumulate_and_snapshot_sorts() {

@@ -40,7 +40,15 @@
 # Convergence counts and manifest identity are deterministic — they fail
 # the gate even in warn mode; only the cost fraction is advisory there.
 #
-# Usage: scripts/bench_gate.sh [artifact.json] [baseline.json] [scale_artifact.json] [durability_artifact.json]
+# When an incremental artifact (BENCH_incremental.json) is present, it
+# also gates the dirty-slice recomputation story:
+#
+#   incremental_cost_fraction <= baseline.max_incremental_cost_fraction
+#                                (default 0.05; advisory in warn mode)
+#   byte_identical            == true  (hard-fail: a warm/cold digest
+#                                mismatch is a determinism violation)
+#
+# Usage: scripts/bench_gate.sh [artifact.json] [baseline.json] [scale_artifact.json] [durability_artifact.json] [incremental_artifact.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +56,7 @@ ARTIFACT="${1:-artifacts/BENCH_pipeline.json}"
 BASELINE="${2:-scripts/bench_baseline.json}"
 SCALE_ARTIFACT="${3:-artifacts/BENCH_scale.json}"
 DURABILITY_ARTIFACT="${4:-artifacts/BENCH_durability.json}"
+INCREMENTAL_ARTIFACT="${5:-artifacts/BENCH_incremental.json}"
 TOL="${WEBSTRUCT_BENCH_TOL:-0.40}"
 MODE="${WEBSTRUCT_BENCH_GATE:-warn}"
 
@@ -193,6 +202,31 @@ if [[ -f "$DURABILITY_ARTIFACT" ]]; then
         echo "bench_gate: FAIL ($hard_fails durability violation(s); deterministic, failing in any mode)"
         exit 1
     fi
+fi
+
+# Incremental stage: byte identity between the warm (dirty-slice) run
+# and the cold oracle is exact — a mismatch hard-fails in any mode. The
+# cost fraction is a wall-clock ratio (best-of-3 on both sides) and goes
+# through the normal fails counter, so it is advisory in warn mode.
+if [[ -f "$INCREMENTAL_ARTIFACT" ]]; then
+    echo "bench_gate: incremental, $INCREMENTAL_ARTIFACT"
+    inc_frac="$(json_num "$INCREMENTAL_ARTIFACT" incremental_cost_fraction)"
+    inc_identical="$(grep -o '"byte_identical": *[a-z]*' "$INCREMENTAL_ARTIFACT" | head -1 | sed 's/.*: *//')"
+    base_inc_max="$(json_num "$BASELINE" max_incremental_cost_fraction || true)"
+    INC_MAX="${WEBSTRUCT_INCREMENTAL_MAX:-${base_inc_max:-0.05}}"
+    ok="$(awk -v c="$inc_frac" -v m="$INC_MAX" 'BEGIN { print (c <= m) ? 1 : 0 }')"
+    if [[ "$ok" == "1" ]]; then
+        echo "  OK    incremental_cost_fraction: $inc_frac <= $INC_MAX"
+    else
+        echo "  SLOW  incremental_cost_fraction: $inc_frac > $INC_MAX (warm re-run did more than the dirty slice)"
+        fails=$((fails + 1))
+    fi
+    if [[ "$inc_identical" != "true" ]]; then
+        echo "  FAIL  byte_identical: ${inc_identical:-missing} (warm run diverged from the cold oracle)"
+        echo "bench_gate: FAIL (incremental determinism violation; failing in any mode)"
+        exit 1
+    fi
+    echo "  OK    byte_identical: true"
 fi
 
 if [[ "$fails" -gt 0 ]]; then

@@ -4,6 +4,7 @@
 #
 #   tests/MANIFEST.sha256        — hashes of committed artifacts/*.csv
 #   tests/MANIFEST_quick.sha256  — hashes of quick-scale in-process CSVs
+#   tests/EPOCH.sha256           — output digest of the golden epoch scenario
 #
 # If the full-scale committed artifacts themselves changed, regenerate
 # them first (`cargo run --release --bin webstruct -- reproduce`) and
@@ -13,7 +14,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WEBSTRUCT_BLESS=1 cargo test -q --test manifest
+WEBSTRUCT_BLESS=1 cargo test -q --test epoch epoch_digest_matches_golden
 
 echo
 echo "Manifests re-blessed. Review the diff before committing:"
-git --no-pager diff --stat -- tests/MANIFEST.sha256 tests/MANIFEST_quick.sha256 || true
+git --no-pager diff --stat -- tests/MANIFEST.sha256 tests/MANIFEST_quick.sha256 tests/EPOCH.sha256 || true

@@ -41,6 +41,9 @@ cargo test -q --test durability
 echo "==> manifest: golden artifact hashes (committed + quick-scale regen)"
 cargo test -q --test manifest
 
+echo "==> epoch: incremental == cold across fractions/threads, poisoned-cache recompute"
+cargo test -q --test epoch
+
 echo "==> trace: RUN_REPORT.json smoke — metrics tail identical across thread counts"
 TRACE_TMP="$(mktemp -d)"
 trap 'rm -rf "$TRACE_TMP"' EXIT
@@ -71,6 +74,9 @@ echo "==> stream: out-of-core render -> shards -> extract at scale 0.1"
 
 echo "==> scrub: full integrity pass (every byte re-hashed) over the streamed store"
 ./target/release/webstruct scrub "$TRACE_TMP/shards" | sed 's/^/    /'
+
+echo "==> epoch: 1%-mutation incremental re-run (dirty slice only, cache replay)"
+./target/release/webstruct epoch banks 0.05 "$TRACE_TMP/epoch" 0.01 | sed 's/^/    /'
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> bench: pipeline stages across thread counts -> artifacts/BENCH_pipeline.json"
@@ -131,6 +137,13 @@ if [[ "${1:-}" != "--quick" ]]; then
         --scale "${BENCH_DURABILITY_SCALE:-0.1}" \
         --sweep-stride "${BENCH_SWEEP_STRIDE:-3}" \
         --trials "${BENCH_CORRUPTION_TRIALS:-10}"
+
+    echo "==> bench: incremental recomputation cost after a 1% mutation -> artifacts/BENCH_incremental.json"
+    cargo bench -p webstruct-bench --bench incremental -- \
+        --out "$PWD/artifacts/BENCH_incremental.json" \
+        --scale "${BENCH_INCREMENTAL_SCALE:-0.1}" \
+        --shard-kb "${BENCH_INCREMENTAL_SHARD_KB:-4}" \
+        --fraction "${BENCH_INCREMENTAL_FRACTION:-0.01}"
 
     echo "==> bench: throughput gate vs committed baseline (scripts/bench_baseline.json)"
     # Warn-only unless WEBSTRUCT_BENCH_GATE=strict (local runs on the

@@ -8,6 +8,7 @@
 //! webstruct stream [SCALE] [DIR] [MB]    out-of-core render → shards → extract
 //! webstruct scrub [DIR]                  re-hash every shard against MANIFEST.wsm
 //! webstruct repair [SCALE] [DIR] [MB]    quarantine corrupt shards, re-render
+//! webstruct epoch [DOMAIN] [SCALE] [DIR] [FRAC] [KB]  mutate sites, re-run dirty slice
 //! webstruct bootstrap [DOMAIN] [SCALE]   run the set-expansion crawler
 //! webstruct redundancy [DOMAIN] [SCALE]  fusion accuracy vs. redundancy
 //! webstruct tail-users [SCALE]           user-level tail analysis
@@ -50,6 +51,7 @@ fn main() {
         "stream" => stream_cmd(&args[1..]),
         "scrub" => scrub_cmd(&args[1..]),
         "repair" => repair_cmd(&args[1..]),
+        "epoch" => epoch_cmd(&args[1..]),
         "bootstrap" => cmd(|| bootstrap(&args[1..])),
         "discover" => cmd(|| discover(&args[1..])),
         "dedup" => cmd(|| dedup_cmd(&args[1..])),
@@ -94,6 +96,7 @@ fn report_dir(args: &[String]) -> String {
         Some("stream") => args.get(2).cloned().unwrap_or_else(|| "artifacts/shards".into()),
         Some("scrub") => args.get(1).cloned().unwrap_or_else(|| "artifacts/shards".into()),
         Some("repair") => args.get(2).cloned().unwrap_or_else(|| "artifacts/shards".into()),
+        Some("epoch") => args.get(3).cloned().unwrap_or_else(|| "artifacts/epoch".into()),
         _ => "artifacts".into(),
     }
 }
@@ -108,6 +111,9 @@ fn emit_trace_report(mode: TraceMode, command: &str, dir: &str) {
         eprintln!("trace: could not create {}: {e}", dir.display());
         return;
     }
+    // Derive the cache hit-rate gauge (and force-register the
+    // invalidations counter) so every RUN_REPORT.json carries them.
+    webstruct::core::publish_cache_hit_rate();
     let obs = obs::global();
     let report = obs::run_report_json(command, webstruct::util::par::num_threads(), obs);
     let report_path = dir.join("RUN_REPORT.json");
@@ -145,6 +151,8 @@ fn help() {
          \twebstruct stream [SCALE] [DIR] [SHARD_MB]  render to page shards, extract out-of-core\n\
          \twebstruct scrub [DIR]                 re-hash every shard against MANIFEST.wsm\n\
          \twebstruct repair [SCALE] [DIR] [SHARD_MB]  quarantine corrupt shards and re-render\n\
+         \twebstruct epoch [DOMAIN] [SCALE] [DIR] [FRACTION] [SHARD_KB]  incremental\n\
+         \t                                      re-run after mutating FRACTION of sites\n\
          \twebstruct bootstrap [DOMAIN] [SCALE]\n\
          \twebstruct discover [DOMAIN] [SCALE]   compare frontier policies + seed robustness\n\
          \twebstruct dedup [DOMAIN] [SCALE]      deduplicate noisy listing records\n\
@@ -482,6 +490,81 @@ fn repair_cmd(args: &[String]) -> i32 {
         store.len(),
     );
     surface_degradation(std::path::Path::new(&dir), "repair", &recovery);
+    0
+}
+
+/// Incremental recomputation demo: bring the store to epoch 0 (cold if
+/// the directory is empty, warm resume otherwise), mutate a fraction of
+/// the corpus's sites, and re-run — only the dirty shards re-render and
+/// re-extract; every clean shard's extraction replays from its
+/// content-addressed `ext-*.wse` snapshot.
+fn epoch_cmd(args: &[String]) -> i32 {
+    use webstruct::core::epoch::Epoch;
+
+    let domain = parse_domain(args, 0);
+    let scale = parse_scale(args, 1, 0.05);
+    let dir = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "artifacts/epoch".into());
+    let fraction = parse_scale(args, 3, 0.01);
+    let shard_kb: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let threads = webstruct::util::par::num_threads();
+    let config = StudyConfig::default().with_scale(scale);
+    // Small shards (few sites per shard) so a small site mutation
+    // dirties a small *fraction* of the shard count.
+    let mut epoch = Epoch::new(domain, config).with_shard_bytes(shard_kb.max(1) * 1024);
+
+    let t0 = std::time::Instant::now();
+    let base = match epoch.run(std::path::Path::new(&dir), threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("epoch: baseline run failed under {dir}: {e}");
+            return 1;
+        }
+    };
+    let base_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "epoch {}: {} shard(s), {} cache hit(s), {} miss(es) in {:.2}s\n\
+         \toutput digest {}",
+        base.epoch,
+        base.recovery.shards_total,
+        base.cache_hits,
+        base.cache_misses,
+        base_secs,
+        base.digest_hex(),
+    );
+
+    let mutated = epoch.mutate(fraction, Seed::DEFAULT.derive("epoch-cli"));
+    println!("mutated {mutated} site(s) ({:.1}% of the corpus)", 100.0 * fraction);
+
+    let t1 = std::time::Instant::now();
+    let warm = match epoch.run(std::path::Path::new(&dir), threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("epoch: incremental run failed under {dir}: {e}");
+            return 1;
+        }
+    };
+    let warm_secs = t1.elapsed().as_secs_f64();
+    println!(
+        "epoch {}: re-rendered {} stale shard(s), replayed {} from cache \
+         ({} recomputed, {} invalidated) in {:.2}s\n\
+         \toutput digest {}",
+        warm.epoch,
+        warm.recovery.shards_rendered,
+        warm.cache_hits,
+        warm.cache_misses,
+        warm.cache_invalidations,
+        warm_secs,
+        warm.digest_hex(),
+    );
+    if base_secs > 0.0 {
+        println!(
+            "incremental cost: {:.1}% of the epoch-0 wall clock",
+            100.0 * warm_secs / base_secs
+        );
+    }
     0
 }
 

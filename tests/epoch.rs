@@ -1,0 +1,178 @@
+//! Incremental-recomputation properties: for any mutation fraction and
+//! any worker-thread count, `incremental(mutate(E))` must be
+//! byte-identical to `cold(mutate(E))` — same output digest, same
+//! committed manifest — and a poisoned cache entry must be detected by
+//! its digest and recomputed, never trusted.
+//!
+//! Also pins the epoch output digest of a fixed scenario in
+//! `tests/EPOCH.sha256` (re-bless with `scripts/bless.sh` after an
+//! intentional output change).
+
+use std::path::{Path, PathBuf};
+use webstruct::core::epoch::Epoch;
+use webstruct::core::study::StudyConfig;
+use webstruct::corpus::domain::Domain;
+use webstruct::util::rng::Seed;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "webstruct-epoch-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The fixture every test runs: small corpus, small shards, so a
+/// fractional mutation leaves most shards clean.
+fn fixture() -> Epoch {
+    Epoch::new(Domain::Banks, StudyConfig::quick().with_scale(0.02)).with_shard_bytes(16 << 10)
+}
+
+#[test]
+fn incremental_equals_cold_across_fractions_and_threads() {
+    let warm_dir = tmpdir("fractions-warm");
+    let cold_dir = tmpdir("fractions-cold");
+    for fraction in [0.0, 0.01, 0.1, 1.0] {
+        // The cold oracle at the mutated state, computed once per
+        // fraction; the seed-pure mutation lets every thread count
+        // reconstruct the identical state from scratch.
+        let mut oracle = fixture();
+        oracle.mutate(fraction, Seed(17));
+        let cold = oracle
+            .run_cold(&cold_dir, 2)
+            .expect("cold oracle run");
+
+        for threads in [1usize, 2, 8] {
+            let mut epoch = fixture();
+            let _ = std::fs::remove_dir_all(&warm_dir);
+            let base = epoch.run(&warm_dir, threads).expect("populate run");
+            assert_eq!(base.cache_hits, 0, "fresh store cannot hit");
+            epoch.mutate(fraction, Seed(17));
+            let warm = epoch.run(&warm_dir, threads).expect("warm run");
+            assert_eq!(
+                warm.output_digest, cold.output_digest,
+                "incremental(mutate(E)) != cold(mutate(E)) at \
+                 fraction {fraction}, threads {threads}"
+            );
+            if fraction == 0.0 {
+                assert_eq!(warm.cache_misses, 0, "nothing mutated, nothing recomputes");
+                assert_eq!(warm.recovery.shards_stale, 0);
+            } else if fraction == 1.0 {
+                assert_eq!(warm.cache_hits, 0, "everything mutated, nothing replays");
+            } else {
+                assert!(
+                    warm.cache_hits > 0,
+                    "fraction {fraction} left clean shards that must replay: {warm:?}"
+                );
+            }
+            // The committed stores must agree byte for byte too.
+            assert_eq!(
+                std::fs::read(warm_dir.join("MANIFEST.wsm")).expect("warm manifest"),
+                std::fs::read(cold_dir.join("MANIFEST.wsm")).expect("cold manifest"),
+                "manifest divergence at fraction {fraction}, threads {threads}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let _ = std::fs::remove_dir_all(&cold_dir);
+}
+
+#[test]
+fn poisoned_cache_entry_is_detected_and_recomputed() {
+    let dir = tmpdir("poison");
+    let oracle_dir = tmpdir("poison-oracle");
+    let epoch = fixture();
+    let base = epoch.run(&dir, 2).expect("populate run");
+    assert!(base.cache_misses > 1, "need at least two shards: {base:?}");
+
+    // Flip one bit in the payload of the first cache entry, past the
+    // 112-byte header so the keys still match and only the payload
+    // digest can catch it.
+    let victim = dir.join("ext-00000.wse");
+    let mut bytes = std::fs::read(&victim).expect("read cache entry");
+    assert!(bytes.len() > 112, "entry has a payload");
+    bytes[112] ^= 0x40;
+    std::fs::write(&victim, bytes).expect("rewrite cache entry");
+
+    let warm = epoch.run(&dir, 2).expect("warm run over poisoned cache");
+    assert!(
+        warm.cache_invalidations >= 1,
+        "the flipped payload must be rejected: {warm:?}"
+    );
+    assert!(
+        warm.cache_misses >= 1,
+        "the rejected entry must be recomputed: {warm:?}"
+    );
+    let cold = epoch.run_cold(&oracle_dir, 2).expect("cold oracle");
+    assert_eq!(
+        warm.output_digest, cold.output_digest,
+        "recomputation after poisoning must converge to the cold bytes"
+    );
+    // The rewritten cache entry must now verify again: a second warm run
+    // replays everything.
+    let healed = epoch.run(&dir, 2).expect("healed run");
+    assert_eq!(healed.cache_invalidations, 0, "{healed:?}");
+    assert_eq!(healed.cache_misses, 0, "{healed:?}");
+    assert_eq!(healed.output_digest, cold.output_digest);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&oracle_dir);
+}
+
+#[test]
+fn extractor_fingerprint_keys_the_cache() {
+    // Same corpus, different extraction config (a different training
+    // seed) → different fingerprint → every carried entry is an
+    // invalidation, and the two runs' digests differ only through the
+    // manifest's fingerprint section (occurrences are classifier-free
+    // for Banks, but the manifest commits the fingerprint).
+    let a = fixture();
+    let mut other = StudyConfig::quick().with_scale(0.02);
+    other.seed = Seed(999);
+    let b = Epoch::new(Domain::Banks, other).with_shard_bytes(16 << 10);
+    assert_ne!(
+        a.extractor_fingerprint(),
+        b.extractor_fingerprint(),
+        "config seed must re-key the cache"
+    );
+}
+
+/// Golden pin: the output digest of a fixed scenario (populate, mutate
+/// 5% with seed 3, warm re-run) — catches silent drift in any layer the
+/// digest covers: page bytes, extraction, coverage, graph, manifest.
+#[test]
+fn epoch_digest_matches_golden() {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/EPOCH.sha256");
+    let dir = tmpdir("golden");
+    let mut epoch = fixture();
+    epoch.run(&dir, 2).expect("populate run");
+    epoch.mutate(0.05, Seed(3));
+    let warm = epoch.run(&dir, 2).expect("warm run");
+    let _ = std::fs::remove_dir_all(&dir);
+    let actual = warm.digest_hex();
+
+    if std::env::var("WEBSTRUCT_BLESS").map_or(false, |v| v == "1") {
+        let body = format!(
+            "# Output digest of the golden epoch scenario (banks, quick scale 0.02,\n\
+             # 16 KiB shards, mutate 5% with seed 3, warm re-run at 2 threads).\n\
+             # Re-bless with scripts/bless.sh after an INTENTIONAL output change.\n\
+             {actual}  epoch-banks-quick\n"
+        );
+        std::fs::write(&golden_path, body).expect("write EPOCH.sha256");
+        eprintln!("blessed {}", golden_path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}; run scripts/bless.sh", golden_path.display()));
+    let expected = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no digest line in {}", golden_path.display()));
+    assert_eq!(
+        actual, expected,
+        "epoch output digest drifted from tests/EPOCH.sha256 — if the change\n\
+         is intentional, re-bless with scripts/bless.sh"
+    );
+}
