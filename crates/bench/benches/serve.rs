@@ -1,0 +1,68 @@
+//! Std-only serving bench: build warm serving state once, then replay
+//! the simulated search/browse population over real loopback sockets
+//! against a sweep of server worker counts. Writes `BENCH_serve.json`
+//! for `bench_gate.sh` to gate (an rps floor and a p99 latency ceiling;
+//! a digest divergence across the sweep fails in any mode).
+//!
+//! ```text
+//! cargo bench -p webstruct-bench --bench serve -- \
+//!     --out artifacts/BENCH_serve.json --scale 0.05 --requests 2000 \
+//!     --clients 4
+//! ```
+
+use webstruct_bench::serve::run_serve_bench;
+
+fn main() {
+    let mut out_path = String::from("artifacts/BENCH_serve.json");
+    let mut scale = 0.05f64;
+    let mut requests = 2000u64;
+    let mut clients = 4usize;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--requests" if i + 1 < args.len() => {
+                requests = args[i + 1].parse().expect("--requests takes an integer");
+                i += 2;
+            }
+            "--clients" if i + 1 < args.len() => {
+                clients = args[i + 1].parse().expect("--clients takes an integer");
+                i += 2;
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench); skip them.
+            _ => i += 1,
+        }
+    }
+
+    eprintln!(
+        "serve bench: scale={scale} requests={requests} clients={clients} -> {out_path}"
+    );
+    let report = run_serve_bench(scale, requests, clients, &[1, 2, 4]);
+    for m in &report.measurements {
+        eprintln!(
+            "  {} worker(s): {:.0} req/s, p50 {:.2}ms p99 {:.2}ms mean {:.2}ms, \
+             {} ok / {} rejected / {} errors",
+            m.server_threads, m.rps, m.p50_ms, m.p99_ms, m.mean_ms, m.ok, m.rejected, m.errors,
+        );
+    }
+    eprintln!(
+        "  headline: {:.0} req/s, p99 {:.2}ms, byte identical: {}",
+        report.rps, report.p99_latency_ms, report.byte_identical
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+}

@@ -19,7 +19,10 @@
 //!   `BENCH_durability.json` (see [`durability`]);
 //! * `benches/incremental.rs` measures the warm (dirty-slice) re-run
 //!   after a small corpus mutation against a cold run at the same state
-//!   and writes `BENCH_incremental.json` (see [`incremental`]).
+//!   and writes `BENCH_incremental.json` (see [`incremental`]);
+//! * `benches/serve.rs` replays the simulated search/browse population
+//!   over real loopback sockets against a sweep of server worker counts
+//!   and writes `BENCH_serve.json` (see [`serve`]).
 //!
 //! Run them with:
 //!
@@ -36,6 +39,7 @@ pub mod alloc;
 pub mod durability;
 pub mod incremental;
 pub mod scale;
+pub mod serve;
 
 use crate::alloc::count_allocs;
 use std::time::Instant;

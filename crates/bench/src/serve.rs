@@ -1,0 +1,215 @@
+//! Serving-layer bench: replay the simulated search/browse population
+//! over real sockets and record throughput and latency percentiles into
+//! `BENCH_serve.json`.
+//!
+//! One warm [`ServeState`] is built up front and shared by a sweep of
+//! server worker counts; each sweep step replays the identical seed-pure
+//! [`RequestPlan`] and folds every response into an order-independent
+//! digest. The headline numbers `bench_gate.sh` reads:
+//!
+//! * `rps` — the best requests-per-second across the sweep (floor-gated);
+//! * `p99_latency_ms` — the 99th-percentile latency of that best run
+//!   (ceiling-gated);
+//! * `byte_identical` — whether every sweep step produced the same
+//!   response digest with zero transport errors. A `false` here is a
+//!   determinism violation and fails the gate in any mode.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use webstruct_core::study::StudyConfig;
+use webstruct_corpus::domain::Domain;
+use webstruct_demand::model::{StudySite, TrafficConfig};
+use webstruct_demand::traffic::RequestPlan;
+use webstruct_serve::{fetch, replay, ReplayOptions, ReplayReport, ServeConfig, ServeState, Server};
+
+/// One sweep step: a full replay against a server at one worker count.
+#[derive(Debug, Clone)]
+pub struct ServeMeasurement {
+    /// Worker threads the server ran with.
+    pub server_threads: usize,
+    /// Requests per second over the whole replay.
+    pub rps: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 4xx/5xx responses.
+    pub rejected: u64,
+    /// Transport failures.
+    pub errors: u64,
+    /// Order-independent response digest (hex).
+    pub digest: String,
+}
+
+/// Everything `BENCH_serve.json` records.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Corpus scale the serving state was built at.
+    pub scale: f64,
+    /// Requests per sweep step.
+    pub requests: u64,
+    /// Concurrent replay clients.
+    pub clients: usize,
+    /// Entities in the served catalog.
+    pub entities: usize,
+    /// Sites in the served corpus.
+    pub sites: usize,
+    /// One measurement per swept server worker count.
+    pub measurements: Vec<ServeMeasurement>,
+    /// Best requests-per-second across the sweep (the headline, gated
+    /// with a floor).
+    pub rps: f64,
+    /// p99 latency of the best-rps step (the headline, gated with a
+    /// ceiling).
+    pub p99_latency_ms: f64,
+    /// Whether every step produced the same response digest with zero
+    /// transport errors (hard-gated).
+    pub byte_identical: bool,
+}
+
+impl ServeBenchReport {
+    /// Render the report as a stable, hand-rolled JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"requests\": {},\n", self.requests));
+        out.push_str(&format!("  \"clients\": {},\n", self.clients));
+        out.push_str(&format!("  \"entities\": {},\n", self.entities));
+        out.push_str(&format!("  \"sites\": {},\n", self.sites));
+        out.push_str("  \"measurements\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"server_threads\": {}, \"rps\": {:.1}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"ok\": {}, \"rejected\": {}, \
+                 \"errors\": {}, \"digest\": \"{}\"}}{}\n",
+                m.server_threads,
+                m.rps,
+                m.p50_ms,
+                m.p99_ms,
+                m.mean_ms,
+                m.ok,
+                m.rejected,
+                m.errors,
+                m.digest,
+                if i + 1 < self.measurements.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"rps\": {:.1},\n", self.rps));
+        out.push_str(&format!(
+            "  \"p99_latency_ms\": {:.3},\n",
+            self.p99_latency_ms
+        ));
+        out.push_str(&format!("  \"byte_identical\": {}\n}}\n", self.byte_identical));
+        out
+    }
+}
+
+fn bench_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("webstruct-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run the serving bench: build state once, then replay `requests`
+/// requests with `clients` concurrent connections against a server at
+/// each worker count in `thread_counts`.
+///
+/// # Panics
+/// Panics if the state build, server bind or shutdown request fails —
+/// the bench runs on a loopback socket and a clean temp directory, so a
+/// failure is a serving-layer bug, not an environment issue.
+#[must_use]
+pub fn run_serve_bench(
+    scale: f64,
+    requests: u64,
+    clients: usize,
+    thread_counts: &[usize],
+) -> ServeBenchReport {
+    let dir = bench_dir();
+    let config = StudyConfig::default().with_scale(scale);
+    let state = Arc::new(
+        ServeState::build(Domain::Restaurants, config.clone(), &dir, 2)
+            .expect("serve state builds on a clean temp dir"),
+    );
+    let plan = RequestPlan::new(
+        &TrafficConfig::preset(StudySite::Amazon).scaled(scale),
+        state.catalog.len(),
+        config.seed,
+    );
+    let opts = ReplayOptions { clients, requests };
+
+    let mut measurements = Vec::new();
+    for &threads in thread_counts {
+        let server = Server::start(
+            Arc::clone(&state),
+            &ServeConfig {
+                threads,
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+        // One warmup pass primes connection state and the page cache;
+        // the measured pass replays the identical plan.
+        let _ = replay(addr, &plan, &opts);
+        let report: ReplayReport = replay(addr, &plan, &opts);
+        fetch(addr, "POST", "/shutdown").expect("shutdown request");
+        let stats = server.join();
+        assert!(stats.is_consistent(), "serve stats inconsistent: {stats:?}");
+        measurements.push(ServeMeasurement {
+            server_threads: threads,
+            rps: report.rps,
+            p50_ms: report.p50_ms,
+            p99_ms: report.p99_ms,
+            mean_ms: report.mean_ms,
+            ok: report.ok,
+            rejected: report.rejected,
+            errors: report.errors,
+            digest: report.digest,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let best = measurements
+        .iter()
+        .max_by(|a, b| a.rps.total_cmp(&b.rps))
+        .expect("at least one sweep step");
+    let byte_identical = measurements
+        .iter()
+        .all(|m| m.digest == measurements[0].digest && m.errors == 0);
+    ServeBenchReport {
+        scale,
+        requests,
+        clients,
+        entities: state.catalog.len(),
+        sites: state.n_sites(),
+        rps: best.rps,
+        p99_latency_ms: best.p99_ms,
+        byte_identical,
+        measurements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_runs_at_tiny_scale() {
+        let report = run_serve_bench(0.01, 120, 2, &[1, 2]);
+        assert_eq!(report.measurements.len(), 2);
+        assert!(report.byte_identical, "{report:?}");
+        assert!(report.rps > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"byte_identical\": true"));
+        assert!(json.contains("\"server_threads\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -311,6 +311,21 @@ impl Epoch {
     /// Panics if a worker's partial state goes missing (a bug, not an
     /// environment condition).
     pub fn run(&self, dir: &Path, threads: usize) -> Result<EpochReport, EpochError> {
+        self.run_extracted(dir, threads).map(|(report, _)| report)
+    }
+
+    /// [`run`](Epoch::run), but also hand back the merged
+    /// [`ExtractedWeb`] instead of discarding it after the digest — the
+    /// serving layer builds its warm in-memory indexes from exactly the
+    /// state the digest covers.
+    ///
+    /// # Errors
+    /// See [`run`](Epoch::run).
+    pub fn run_extracted(
+        &self,
+        dir: &Path,
+        threads: usize,
+    ) -> Result<(EpochReport, ExtractedWeb), EpochError> {
         let _span = webstruct_util::span!("epoch.run", threads);
         let n_sites = self.web.n_sites();
         let n_entities = self.catalog.len();
@@ -487,17 +502,20 @@ impl Epoch {
         h.update(store.manifest().render().as_bytes());
         let output_digest = h.finalize();
 
-        Ok(EpochReport {
-            epoch: self.epoch,
-            recovery,
-            cache_hits: first.hits,
-            cache_misses: first.misses,
-            cache_invalidations: invalidations,
-            coverages,
-            graph_edges: graph.n_edges(),
-            occurrences,
-            output_digest,
-        })
+        Ok((
+            EpochReport {
+                epoch: self.epoch,
+                recovery,
+                cache_hits: first.hits,
+                cache_misses: first.misses,
+                cache_invalidations: invalidations,
+                coverages,
+                graph_edges: graph.n_edges(),
+                occurrences,
+                output_digest,
+            },
+            first.acc,
+        ))
     }
 
     /// [`run`](Epoch::run) against a throwaway directory with no prior

@@ -9,7 +9,10 @@
 //! * [`curves`] — aggregate demand CDFs/PDFs (Figure 6);
 //! * [`value`] — demand vs. availability and the relative value-add
 //!   `VA(n)/VA(0)` of one new review (Figures 7–8), with pluggable
-//!   information-decay models.
+//!   information-decay models;
+//! * [`traffic`] — the replay adapter: the simulated population as a
+//!   deterministic, index-addressable stream of HTTP requests for load
+//!   generation against `webstruct serve`.
 
 //!
 //! ## Example
@@ -29,9 +32,11 @@
 pub mod curves;
 pub mod estimate;
 pub mod model;
+pub mod traffic;
 pub mod value;
 
 pub use curves::{cdf_figure, pdf_figure, top_share, Channel};
 pub use estimate::{estimate_demand, DemandEstimate};
 pub use model::{ReviewModel, StudySite, TrafficConfig, TrafficStudy, UserTailStats};
+pub use traffic::{ReplayRequest, RequestPlan};
 pub use value::{fig7, fig8, review_bins, value_add_series, InfoDecay, ReviewBin};

@@ -344,11 +344,21 @@ enum DedupWindow {
 /// Per-rank interest weights: power law with the optional exponential
 /// tail cutoff.
 fn interest_weights(config: &TrafficConfig, alpha: f64) -> Vec<f64> {
-    let n = config.n_entities;
+    interest_weights_over(config.n_entities, alpha, config.demand_tail_cutoff)
+}
+
+/// [`interest_weights`] over an explicit inventory size — the traffic
+/// replay adapter re-derives the interest distribution over the *serving*
+/// catalog, which need not match the study preset's `n_entities`.
+pub(crate) fn interest_weights_over(
+    n: usize,
+    alpha: f64,
+    demand_tail_cutoff: Option<f64>,
+) -> Vec<f64> {
     let mut weights: Vec<f64> = (0..n)
         .map(|rank| (rank as f64 + 1.0).powf(-alpha))
         .collect();
-    if let Some(cutoff_frac) = config.demand_tail_cutoff {
+    if let Some(cutoff_frac) = demand_tail_cutoff {
         let scale = (cutoff_frac * n as f64).max(1.0);
         for (rank, w) in weights.iter_mut().enumerate() {
             *w *= (-(rank as f64) / scale).exp();

@@ -1,0 +1,57 @@
+//! # webstruct-serve
+//!
+//! The serving layer: expose the extracted web back as a query surface,
+//! closing the loop the paper's production context implies (the corpus
+//! was analyzed *because* it was served). Std-only — a hand-rolled
+//! HTTP/1.1 stack over `std::net`, no async runtime:
+//!
+//! * [`http`] — incremental request parser with an exact error taxonomy
+//!   (400/405/413/431/505), plus the deterministic response writer;
+//! * [`state`] — warm serving state built from the epoch store
+//!   (entities, per-site coverage, demand studies, figures);
+//! * [`router`] — the FTL-style resource tree mapping paths onto state;
+//! * [`server`] — acceptor + bounded worker pool, keep-alive and
+//!   pipelining, graceful shutdown, `serve.*` counters with an exact
+//!   connection-accounting invariant;
+//! * [`client`] — a minimal client for smoke tests and the replayer;
+//! * [`replay`] — the load generator: drive a seed-pure
+//!   [`RequestPlan`](webstruct_demand::traffic::RequestPlan) stream over
+//!   real sockets and digest every response order-independently.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use webstruct_core::study::StudyConfig;
+//! use webstruct_corpus::domain::Domain;
+//! use webstruct_serve::{ServeConfig, ServeState, Server};
+//!
+//! let state = ServeState::build(
+//!     Domain::Restaurants,
+//!     StudyConfig::quick(),
+//!     std::path::Path::new("artifacts/serve-store"),
+//!     4,
+//! )
+//! .unwrap();
+//! let server = Server::start(Arc::new(state), &ServeConfig::default(), "127.0.0.1:0").unwrap();
+//! println!("serving on http://{}", server.local_addr());
+//! let stats = server.join(); // blocks until POST /shutdown
+//! assert!(stats.is_consistent());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod http;
+pub mod replay;
+pub mod router;
+pub mod server;
+pub mod state;
+
+pub use client::{fetch, Connection, HttpResponse};
+pub use http::{parse_request, HttpError, Method, Parse, Request, Response};
+pub use replay::{replay, ReplayOptions, ReplayReport};
+pub use router::{route, Control, Routed};
+pub use server::{ServeConfig, ServeStats, Server};
+pub use state::ServeState;

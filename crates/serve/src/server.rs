@@ -1,0 +1,559 @@
+//! The connection layer: a thread-per-connection HTTP/1.1 server over a
+//! bounded worker pool, std-only.
+//!
+//! ## Request lifecycle
+//!
+//! One acceptor thread polls a non-blocking listener and pushes accepted
+//! sockets onto a bounded queue (backpressure: the acceptor blocks when
+//! all workers are busy and the queue is full). Each worker pops a
+//! connection and owns it end to end: read with a deadline, incrementally
+//! parse ([`parse_request`]) — torn reads and pipelined requests both
+//! fall out of re-parsing the growing buffer — route against the warm
+//! [`ServeState`], write the deterministic response, repeat while
+//! keep-alive holds. Graceful shutdown closes the queue; workers drain
+//! every already-accepted connection before exiting, which is why the
+//! accounting invariant below can be exact.
+//!
+//! ## Accounting invariant
+//!
+//! Every accepted connection ends in exactly one of `closed_clean`
+//! (EOF/keep-alive end), `closed_timeout` (deadline with a stalled
+//! request — the slow-loris case) or `closed_error` (mid-stream I/O
+//! failure or truncated request), and every response sent answers either
+//! a parsed request or a parse error. [`ServeStats::is_consistent`]
+//! checks both equations; the fault-injection tests drive chaotic
+//! clients at the server and then assert them.
+
+use crate::http::{parse_request, Method, Parse, Response};
+use crate::router::{route, Control};
+use crate::state::ServeState;
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use webstruct_util::obs::{self, LocalHistogram};
+use webstruct_util::par;
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (connections served concurrently). Defaults to
+    /// [`par::num_threads`], i.e. the `WEBSTRUCT_THREADS` contract.
+    pub threads: usize,
+    /// Per-read deadline; a connection that stalls mid-request past this
+    /// is closed as `closed_timeout` (the slow-loris defence).
+    pub read_timeout: Duration,
+    /// Keep-alive cap: a connection is closed (cleanly) after serving
+    /// this many requests, bounding per-connection state lifetime.
+    pub max_requests_per_conn: usize,
+    /// Bounded accept-queue depth.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let threads = par::num_threads();
+        ServeConfig {
+            threads,
+            read_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1024,
+            queue_depth: 2 * threads.max(1),
+        }
+    }
+}
+
+/// A snapshot of the server's connection/response accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections that ended cleanly (EOF, keep-alive end, post-error
+    /// close, idle timeout with nothing buffered).
+    pub closed_clean: u64,
+    /// Connections cut off with a stalled partial request buffered.
+    pub closed_timeout: u64,
+    /// Connections that died mid-stream (I/O error or truncated head).
+    pub closed_error: u64,
+    /// Requests successfully parsed.
+    pub requests: u64,
+    /// Heads rejected by the parser (each still gets one response).
+    pub parse_errors: u64,
+    /// Responses by status class.
+    pub resp_2xx: u64,
+    /// 4xx responses.
+    pub resp_4xx: u64,
+    /// 5xx responses.
+    pub resp_5xx: u64,
+    /// Response bytes written.
+    pub bytes_out: u64,
+    /// Request latency in microseconds (parse start → response written).
+    pub latency: LocalHistogram,
+}
+
+impl ServeStats {
+    /// The accounting invariant: after the server has fully drained,
+    /// every accepted connection is in exactly one `closed_*` bucket and
+    /// every response answered a parsed request or a parse error.
+    /// Only meaningful on the final stats from [`Server::join`] — a
+    /// mid-flight snapshot legitimately has open connections.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.accepted == self.closed_clean + self.closed_timeout + self.closed_error
+            && self.resp_2xx + self.resp_4xx + self.resp_5xx == self.requests + self.parse_errors
+    }
+
+    /// Latency percentile in microseconds (histogram-bucket resolution).
+    #[must_use]
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        let count = self.latency.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (floor, c) in self.latency.nonzero_buckets() {
+            cum += c;
+            if cum >= target {
+                return floor;
+            }
+        }
+        0
+    }
+}
+
+/// Live counters shared by the workers. Plain relaxed atomics: the exact
+/// cross-thread ordering of increments is irrelevant, only totals are
+/// ever read.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    closed_clean: AtomicU64,
+    closed_timeout: AtomicU64,
+    closed_error: AtomicU64,
+    requests: AtomicU64,
+    parse_errors: AtomicU64,
+    resp_2xx: AtomicU64,
+    resp_4xx: AtomicU64,
+    resp_5xx: AtomicU64,
+    bytes_out: AtomicU64,
+    latency: Mutex<LocalHistogram>,
+    /// Totals already pushed to the global registry, so republishing is
+    /// a delta and the `serve.*` counters stay monotone.
+    published: Mutex<[u64; 9]>,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed_clean: self.closed_clean.load(Ordering::Relaxed),
+            closed_timeout: self.closed_timeout.load(Ordering::Relaxed),
+            closed_error: self.closed_error.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            resp_2xx: self.resp_2xx.load(Ordering::Relaxed),
+            resp_4xx: self.resp_4xx.load(Ordering::Relaxed),
+            resp_5xx: self.resp_5xx.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            latency: self.latency.lock().expect("latency lock").clone(),
+        }
+    }
+
+    /// Push deltas into the global `obs` registry under `serve.*`. The
+    /// counters land in the deterministic metrics tail (they are a pure
+    /// function of the request stream); latency, which is wall-clock, is
+    /// published as gauges — gauges are excluded from the deterministic
+    /// snapshot by design.
+    fn publish(&self) {
+        let s = self.snapshot();
+        let live = [
+            s.accepted,
+            s.closed_clean,
+            s.closed_timeout,
+            s.closed_error,
+            s.requests,
+            s.parse_errors,
+            s.resp_2xx,
+            s.resp_4xx,
+            s.resp_5xx,
+        ];
+        const NAMES: [&str; 9] = [
+            "serve.accepted",
+            "serve.closed_clean",
+            "serve.closed_timeout",
+            "serve.closed_error",
+            "serve.requests",
+            "serve.parse_errors",
+            "serve.resp_2xx",
+            "serve.resp_4xx",
+            "serve.resp_5xx",
+        ];
+        let m = obs::metrics();
+        let mut published = self.published.lock().expect("publish lock");
+        for ((name, &now), prev) in NAMES.iter().zip(live.iter()).zip(published.iter_mut()) {
+            m.add(name, now.saturating_sub(*prev));
+            *prev = now;
+        }
+        drop(published);
+        m.set_gauge("serve.latency_p50_us", s.latency_percentile_us(0.50) as f64);
+        m.set_gauge("serve.latency_p99_us", s.latency_percentile_us(0.99) as f64);
+        m.set_gauge("serve.latency_count", s.latency.count() as f64);
+        m.set_gauge("serve.bytes_out", s.bytes_out as f64);
+    }
+}
+
+/// The bounded handoff between the acceptor and the workers.
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+struct QueueInner {
+    deque: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(QueueInner {
+                deque: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocking push; returns `false` if the queue is closed (the
+    /// connection is dropped unaccounted, so the acceptor must only
+    /// count connections it successfully enqueues).
+    fn push(&self, conn: TcpStream) -> bool {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while inner.deque.len() >= self.cap && !inner.closed {
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+        if inner.closed {
+            return false;
+        }
+        inner.deque.push_back(conn);
+        drop(inner);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocking pop; `None` once the queue is closed **and** drained, so
+    /// every accepted connection is served even during shutdown.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(conn) = inner.deque.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(conn);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// A running server: acceptor + worker pool bound to a local address.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    command: String,
+    threads: usize,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `state` with `config`.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(
+        state: Arc<ServeState>,
+        config: &ServeConfig,
+        addr: &str,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let queue = Arc::new(ConnQueue::new(config.queue_depth));
+        let command = format!("serve {}", state.domain.slug());
+        let threads = config.threads.max(1);
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                loop {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((conn, _)) => {
+                            if queue.push(conn) {
+                                counters.accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+                queue.close();
+            })
+        };
+
+        let workers = (0..threads)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                let counters = Arc::clone(&counters);
+                let shutdown = Arc::clone(&shutdown);
+                let config = config.clone();
+                let command = command.clone();
+                std::thread::spawn(move || {
+                    while let Some(conn) = queue.pop() {
+                        serve_connection(
+                            conn, &state, &config, &counters, &shutdown, &command,
+                        );
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Server {
+            addr: local,
+            shutdown,
+            counters,
+            acceptor: Some(acceptor),
+            workers,
+            command,
+            threads,
+        })
+    }
+
+    /// The bound address (query this for the ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Trigger graceful shutdown: stop accepting; already-accepted
+    /// connections are still served.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// A live stats snapshot (connections may still be open; see
+    /// [`ServeStats::is_consistent`]).
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.counters.snapshot()
+    }
+
+    /// Wait for the acceptor and every worker to drain, publish the
+    /// final `serve.*` counters, and return the final stats.
+    ///
+    /// Blocks until shutdown is triggered — either via
+    /// [`shutdown`](Server::shutdown) or a client's `POST /shutdown`.
+    ///
+    /// # Panics
+    /// Panics if a server thread itself panicked (a bug: connection
+    /// handlers catch handler panics and answer 500).
+    #[must_use]
+    pub fn join(mut self) -> ServeStats {
+        if let Some(a) = self.acceptor.take() {
+            a.join().expect("acceptor thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+        self.counters.publish();
+        self.counters.snapshot()
+    }
+
+    /// The `RUN_REPORT.json`-shaped metrics body `/metrics` serves.
+    #[must_use]
+    pub fn metrics_report(&self) -> String {
+        self.counters.publish();
+        obs::run_report_json(&self.command, self.threads, obs::global())
+    }
+}
+
+/// How one connection ended — maps 1:1 onto the `closed_*` counters.
+enum ConnEnd {
+    Clean,
+    Timeout,
+    Error,
+}
+
+/// Serve one connection to completion. Every return path records exactly
+/// one [`ConnEnd`].
+fn serve_connection(
+    mut conn: TcpStream,
+    state: &ServeState,
+    config: &ServeConfig,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+    command: &str,
+) {
+    let _ = conn.set_read_timeout(Some(config.read_timeout));
+    let _ = conn.set_nodelay(true);
+    let end = drive_connection(&mut conn, state, config, counters, shutdown, command);
+    let bucket = match end {
+        ConnEnd::Clean => &counters.closed_clean,
+        ConnEnd::Timeout => &counters.closed_timeout,
+        ConnEnd::Error => &counters.closed_error,
+    };
+    bucket.fetch_add(1, Ordering::Relaxed);
+}
+
+fn drive_connection(
+    conn: &mut TcpStream,
+    state: &ServeState,
+    config: &ServeConfig,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+    command: &str,
+) -> ConnEnd {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut served = 0usize;
+    loop {
+        // Drain every complete request already buffered (pipelining)
+        // before touching the socket again.
+        match parse_request(&buf) {
+            Parse::Complete(req, consumed) => {
+                buf.drain(..consumed);
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                served += 1;
+                let start = Instant::now();
+                let _span = webstruct_util::span!("serve.request");
+                // A handler panic must not take the worker down: catch it
+                // and answer with the 500 arm of the taxonomy.
+                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(state, &req)
+                }));
+                let (response, control) = match routed {
+                    Ok(r) => (r.response, r.control),
+                    Err(_) => (
+                        Response::error(500, "internal", "handler panicked"),
+                        Control::None,
+                    ),
+                };
+                let response = if control == Control::Metrics {
+                    counters.publish();
+                    Response::ok_json(obs::run_report_json(
+                        command,
+                        config.threads,
+                        obs::global(),
+                    ))
+                } else {
+                    response
+                };
+                let closing = !req.keep_alive
+                    || served >= config.max_requests_per_conn
+                    || control == Control::Shutdown
+                    || shutdown.load(Ordering::Relaxed);
+                match response.class() {
+                    2 => counters.resp_2xx.fetch_add(1, Ordering::Relaxed),
+                    4 => counters.resp_4xx.fetch_add(1, Ordering::Relaxed),
+                    _ => counters.resp_5xx.fetch_add(1, Ordering::Relaxed),
+                };
+                let head_only = req.method == Method::Head;
+                let written =
+                    response.write_to(conn, !closing, head_only);
+                let micros =
+                    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                counters
+                    .latency
+                    .lock()
+                    .expect("latency lock")
+                    .record(micros);
+                if control == Control::Shutdown {
+                    shutdown.store(true, Ordering::Relaxed);
+                }
+                match written {
+                    Ok(n) => {
+                        counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    // The mid-response disconnect: the client vanished
+                    // while we were writing.
+                    Err(_) => return ConnEnd::Error,
+                }
+                if closing {
+                    return ConnEnd::Clean;
+                }
+                continue;
+            }
+            Parse::Error(e) => {
+                // One response per parse error, then close: after a
+                // malformed head there is no reliable way to resync the
+                // stream.
+                counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let response = Response::from_http_error(e);
+                match response.class() {
+                    4 => counters.resp_4xx.fetch_add(1, Ordering::Relaxed),
+                    _ => counters.resp_5xx.fetch_add(1, Ordering::Relaxed),
+                };
+                match response.write_to(conn, false, false) {
+                    Ok(n) => {
+                        counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                        return ConnEnd::Clean;
+                    }
+                    Err(_) => return ConnEnd::Error,
+                }
+            }
+            Parse::Partial => {}
+        }
+        match conn.read(&mut chunk) {
+            // EOF with nothing buffered is the normal keep-alive end;
+            // EOF mid-head is a truncated request.
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ConnEnd::Clean
+                } else {
+                    ConnEnd::Error
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Deadline hit. An idle keep-alive connection is a clean
+                // close; a stalled partial head is the slow-loris case.
+                return if buf.is_empty() {
+                    ConnEnd::Clean
+                } else {
+                    ConnEnd::Timeout
+                };
+            }
+            Err(_) => return ConnEnd::Error,
+        }
+    }
+}

@@ -48,7 +48,16 @@
 #   byte_identical            == true  (hard-fail: a warm/cold digest
 #                                mismatch is a determinism violation)
 #
-# Usage: scripts/bench_gate.sh [artifact.json] [baseline.json] [scale_artifact.json] [durability_artifact.json] [incremental_artifact.json]
+# When a serving artifact (BENCH_serve.json) is present, it also gates
+# the serving layer's traffic replay:
+#
+#   rps             >= baseline.min_rps              (advisory in warn mode)
+#   p99_latency_ms  <= baseline.max_p99_latency_ms   (advisory in warn mode)
+#   byte_identical  == true  (hard-fail: a response-digest divergence
+#                             across server thread counts is a
+#                             determinism violation)
+#
+# Usage: scripts/bench_gate.sh [artifact.json] [baseline.json] [scale_artifact.json] [durability_artifact.json] [incremental_artifact.json] [serve_artifact.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +66,7 @@ BASELINE="${2:-scripts/bench_baseline.json}"
 SCALE_ARTIFACT="${3:-artifacts/BENCH_scale.json}"
 DURABILITY_ARTIFACT="${4:-artifacts/BENCH_durability.json}"
 INCREMENTAL_ARTIFACT="${5:-artifacts/BENCH_incremental.json}"
+SERVE_ARTIFACT="${6:-artifacts/BENCH_serve.json}"
 TOL="${WEBSTRUCT_BENCH_TOL:-0.40}"
 MODE="${WEBSTRUCT_BENCH_GATE:-warn}"
 
@@ -224,6 +234,40 @@ if [[ -f "$INCREMENTAL_ARTIFACT" ]]; then
     if [[ "$inc_identical" != "true" ]]; then
         echo "  FAIL  byte_identical: ${inc_identical:-missing} (warm run diverged from the cold oracle)"
         echo "bench_gate: FAIL (incremental determinism violation; failing in any mode)"
+        exit 1
+    fi
+    echo "  OK    byte_identical: true"
+fi
+
+# Serving stage: throughput and tail latency are wall-clock (advisory
+# in warn mode, with env-overridable limits); replay-digest identity
+# across server thread counts is exact and hard-fails in any mode.
+if [[ -f "$SERVE_ARTIFACT" ]]; then
+    echo "bench_gate: serve, $SERVE_ARTIFACT"
+    serve_rps="$(json_num "$SERVE_ARTIFACT" rps)"
+    serve_p99="$(json_num "$SERVE_ARTIFACT" p99_latency_ms)"
+    serve_identical="$(grep -o '"byte_identical": *[a-z]*' "$SERVE_ARTIFACT" | head -1 | sed 's/.*: *//')"
+    base_min_rps="$(json_num "$BASELINE" min_rps || true)"
+    base_max_p99="$(json_num "$BASELINE" max_p99_latency_ms || true)"
+    SERVE_MIN_RPS="${WEBSTRUCT_SERVE_MIN_RPS:-${base_min_rps:-2000}}"
+    SERVE_MAX_P99="${WEBSTRUCT_SERVE_MAX_P99_MS:-${base_max_p99:-50}}"
+    ok="$(awk -v c="$serve_rps" -v f="$SERVE_MIN_RPS" 'BEGIN { print (c >= f) ? 1 : 0 }')"
+    if [[ "$ok" == "1" ]]; then
+        echo "  OK    rps: $serve_rps >= $SERVE_MIN_RPS"
+    else
+        echo "  SLOW  rps: $serve_rps < $SERVE_MIN_RPS (replay throughput regressed)"
+        fails=$((fails + 1))
+    fi
+    ok="$(awk -v c="$serve_p99" -v m="$SERVE_MAX_P99" 'BEGIN { print (c <= m) ? 1 : 0 }')"
+    if [[ "$ok" == "1" ]]; then
+        echo "  OK    p99_latency_ms: $serve_p99 <= $SERVE_MAX_P99"
+    else
+        echo "  SLOW  p99_latency_ms: $serve_p99 > $SERVE_MAX_P99 (tail latency regressed)"
+        fails=$((fails + 1))
+    fi
+    if [[ "$serve_identical" != "true" ]]; then
+        echo "  FAIL  byte_identical: ${serve_identical:-missing} (response bytes diverged across server thread counts)"
+        echo "bench_gate: FAIL (serving determinism violation; failing in any mode)"
         exit 1
     fi
     echo "  OK    byte_identical: true"

@@ -44,6 +44,9 @@ cargo test -q --test manifest
 echo "==> epoch: incremental == cold across fractions/threads, poisoned-cache recompute"
 cargo test -q --test epoch
 
+echo "==> serve: endpoint byte-identity, parser taxonomy, chaos accounting, replay digests"
+cargo test -q --test serve
+
 echo "==> trace: RUN_REPORT.json smoke — metrics tail identical across thread counts"
 TRACE_TMP="$(mktemp -d)"
 trap 'rm -rf "$TRACE_TMP"' EXIT
@@ -77,6 +80,40 @@ echo "==> scrub: full integrity pass (every byte re-hashed) over the streamed st
 
 echo "==> epoch: 1%-mutation incremental re-run (dirty slice only, cache replay)"
 ./target/release/webstruct epoch banks 0.05 "$TRACE_TMP/epoch" 0.01 | sed 's/^/    /'
+
+echo "==> serve: smoke — boot on an ephemeral port, hit three endpoints, clean shutdown"
+./target/release/webstruct serve restaurants 0.02 "$TRACE_TMP/serve-store" 0 \
+    > "$TRACE_TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "serving on" "$TRACE_TMP/serve.log" 2>/dev/null && break
+    sleep 0.1
+done
+SERVE_URL="$(grep -o 'http://[0-9.:]*' "$TRACE_TMP/serve.log" | head -1)"
+if [[ -z "$SERVE_URL" ]]; then
+    echo "    FAIL: server did not come up"; cat "$TRACE_TMP/serve.log"; exit 1
+fi
+# Prefer curl; fall back to the bundled std-only client on bare runners.
+http_get() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1" >/dev/null
+    else
+        ./target/release/webstruct http GET "$1" >/dev/null
+    fi
+}
+for ep in / /coverage /sites; do
+    http_get "$SERVE_URL$ep" || { echo "    FAIL: GET $ep"; exit 1; }
+done
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS -X POST "$SERVE_URL/shutdown" >/dev/null
+else
+    ./target/release/webstruct http POST "$SERVE_URL/shutdown" >/dev/null
+fi
+wait "$SERVE_PID" || {
+    echo "    FAIL: server exited nonzero (accounting inconsistent?)"
+    cat "$TRACE_TMP/serve.log"; exit 1
+}
+echo "    serve smoke OK ($SERVE_URL: /, /coverage, /sites, clean shutdown)"
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> bench: pipeline stages across thread counts -> artifacts/BENCH_pipeline.json"
@@ -144,6 +181,13 @@ if [[ "${1:-}" != "--quick" ]]; then
         --scale "${BENCH_INCREMENTAL_SCALE:-0.1}" \
         --shard-kb "${BENCH_INCREMENTAL_SHARD_KB:-4}" \
         --fraction "${BENCH_INCREMENTAL_FRACTION:-0.01}"
+
+    echo "==> bench: serving-layer traffic replay over real sockets -> artifacts/BENCH_serve.json"
+    cargo bench -p webstruct-bench --bench serve -- \
+        --out "$PWD/artifacts/BENCH_serve.json" \
+        --scale "${BENCH_SERVE_SCALE:-0.02}" \
+        --requests "${BENCH_SERVE_REQUESTS:-2000}" \
+        --clients "${BENCH_SERVE_CLIENTS:-4}"
 
     echo "==> bench: throughput gate vs committed baseline (scripts/bench_baseline.json)"
     # Warn-only unless WEBSTRUCT_BENCH_GATE=strict (local runs on the

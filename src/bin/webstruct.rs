@@ -9,6 +9,9 @@
 //! webstruct scrub [DIR]                  re-hash every shard against MANIFEST.wsm
 //! webstruct repair [SCALE] [DIR] [MB]    quarantine corrupt shards, re-render
 //! webstruct epoch [DOMAIN] [SCALE] [DIR] [FRAC] [KB]  mutate sites, re-run dirty slice
+//! webstruct serve [DOMAIN] [SCALE] [DIR] [PORT]  HTTP server over the extracted web
+//! webstruct replay [DOMAIN] [SCALE] [DIR] [N] [CLIENTS]  traffic replay against a local server
+//! webstruct http <METHOD> <URL>          one-shot HTTP client (smoke tests)
 //! webstruct bootstrap [DOMAIN] [SCALE]   run the set-expansion crawler
 //! webstruct redundancy [DOMAIN] [SCALE]  fusion accuracy vs. redundancy
 //! webstruct tail-users [SCALE]           user-level tail analysis
@@ -52,6 +55,9 @@ fn main() {
         "scrub" => scrub_cmd(&args[1..]),
         "repair" => repair_cmd(&args[1..]),
         "epoch" => epoch_cmd(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
+        "replay" => replay_cmd(&args[1..]),
+        "http" => http_cmd(&args[1..]),
         "bootstrap" => cmd(|| bootstrap(&args[1..])),
         "discover" => cmd(|| discover(&args[1..])),
         "dedup" => cmd(|| dedup_cmd(&args[1..])),
@@ -97,6 +103,10 @@ fn report_dir(args: &[String]) -> String {
         Some("scrub") => args.get(1).cloned().unwrap_or_else(|| "artifacts/shards".into()),
         Some("repair") => args.get(2).cloned().unwrap_or_else(|| "artifacts/shards".into()),
         Some("epoch") => args.get(3).cloned().unwrap_or_else(|| "artifacts/epoch".into()),
+        Some("serve" | "replay") => args
+            .get(3)
+            .cloned()
+            .unwrap_or_else(|| "artifacts/serve".into()),
         _ => "artifacts".into(),
     }
 }
@@ -153,6 +163,12 @@ fn help() {
          \twebstruct repair [SCALE] [DIR] [SHARD_MB]  quarantine corrupt shards and re-render\n\
          \twebstruct epoch [DOMAIN] [SCALE] [DIR] [FRACTION] [SHARD_KB]  incremental\n\
          \t                                      re-run after mutating FRACTION of sites\n\
+         \twebstruct serve [DOMAIN] [SCALE] [DIR] [PORT]  serve the extracted web over HTTP\n\
+         \t                                      (entity lookup, coverage, demand curves,\n\
+         \t                                      figure CSVs, /metrics; POST /shutdown stops)\n\
+         \twebstruct replay [DOMAIN] [SCALE] [DIR] [N] [CLIENTS]  replay the simulated\n\
+         \t                                      population against a local server\n\
+         \twebstruct http <METHOD> <URL>         one-shot HTTP client (exit 0 on 2xx)\n\
          \twebstruct bootstrap [DOMAIN] [SCALE]\n\
          \twebstruct discover [DOMAIN] [SCALE]   compare frontier policies + seed robustness\n\
          \twebstruct dedup [DOMAIN] [SCALE]      deduplicate noisy listing records\n\
@@ -566,6 +582,201 @@ fn epoch_cmd(args: &[String]) -> i32 {
         );
     }
     0
+}
+
+/// Serve the extracted web over HTTP until a client POSTs `/shutdown`.
+/// The state is built from (or warms) the epoch store under DIR, so a
+/// second boot replays cached extraction snapshots instead of
+/// re-extracting.
+fn serve_cmd(args: &[String]) -> i32 {
+    use std::sync::Arc;
+    use webstruct::serve::{ServeConfig, ServeState, Server};
+
+    let domain = parse_domain(args, 0);
+    let scale = parse_scale(args, 1, 0.05);
+    let dir = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "artifacts/serve".into());
+    let port: u16 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let threads = webstruct::util::par::num_threads();
+    let config = StudyConfig::default().with_scale(scale);
+
+    let t0 = std::time::Instant::now();
+    let state = match ServeState::build(domain, config, std::path::Path::new(&dir), threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: could not build state under {dir}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "built serving state for {domain} (scale {scale}) in {:.2}s: \
+         {} entities, {} sites, epoch {} (digest {})",
+        t0.elapsed().as_secs_f64(),
+        state.catalog.len(),
+        state.n_sites(),
+        state.report.epoch,
+        state.report.digest_hex(),
+    );
+    let serve_config = ServeConfig {
+        threads,
+        ..ServeConfig::default()
+    };
+    let server = match Server::start(
+        Arc::new(state),
+        &serve_config,
+        &format!("127.0.0.1:{port}"),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: could not bind 127.0.0.1:{port}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "serving on http://{} with {threads} worker(s); POST /shutdown to stop",
+        server.local_addr()
+    );
+    let stats = server.join();
+    println!(
+        "shut down: {} connection(s) ({} clean, {} timeout, {} error), \
+         {} request(s), {} parse error(s), {}/{}/{} 2xx/4xx/5xx, \
+         p50 {}us p99 {}us",
+        stats.accepted,
+        stats.closed_clean,
+        stats.closed_timeout,
+        stats.closed_error,
+        stats.requests,
+        stats.parse_errors,
+        stats.resp_2xx,
+        stats.resp_4xx,
+        stats.resp_5xx,
+        stats.latency_percentile_us(0.50),
+        stats.latency_percentile_us(0.99),
+    );
+    if stats.is_consistent() {
+        0
+    } else {
+        eprintln!("serve: accounting invariant violated: {stats:?}");
+        1
+    }
+}
+
+/// Boot an in-process server, replay the simulated population against it
+/// over real sockets, and print the latency/throughput report.
+fn replay_cmd(args: &[String]) -> i32 {
+    use std::sync::Arc;
+    use webstruct::demand::model::{StudySite, TrafficConfig};
+    use webstruct::demand::traffic::RequestPlan;
+    use webstruct::serve::{replay, ReplayOptions, ServeConfig, ServeState, Server};
+
+    let domain = parse_domain(args, 0);
+    let scale = parse_scale(args, 1, 0.05);
+    let dir = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "artifacts/serve".into());
+    let requests: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let clients: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads = webstruct::util::par::num_threads();
+    let config = StudyConfig::default().with_scale(scale);
+    let seed = config.seed;
+
+    let state = match ServeState::build(domain, config, std::path::Path::new(&dir), threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("replay: could not build state under {dir}: {e}");
+            return 1;
+        }
+    };
+    let n_entities = state.catalog.len();
+    let serve_config = ServeConfig {
+        threads,
+        ..ServeConfig::default()
+    };
+    let server = match Server::start(Arc::new(state), &serve_config, "127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("replay: could not bind an ephemeral port: {e}");
+            return 1;
+        }
+    };
+    let addr = server.local_addr();
+    println!(
+        "replaying {requests} request(s) from the simulated population \
+         over {clients} client(s) against http://{addr} ({threads} server worker(s))"
+    );
+    let plan = RequestPlan::new(
+        &TrafficConfig::preset(StudySite::Amazon).scaled(scale),
+        n_entities,
+        seed,
+    );
+    let report = replay(addr, &plan, &ReplayOptions { clients, requests });
+    let _ = webstruct::serve::fetch(addr, "POST", "/shutdown");
+    let stats = server.join();
+    println!(
+        "replay done in {:.2}s:\n\
+         \t{} ok, {} rejected, {} transport error(s)\n\
+         \t{:.0} req/s, latency p50 {:.2}ms p99 {:.2}ms mean {:.2}ms\n\
+         \tresponse digest {}",
+        report.wall_secs,
+        report.ok,
+        report.rejected,
+        report.errors,
+        report.rps,
+        report.p50_ms,
+        report.p99_ms,
+        report.mean_ms,
+        report.digest,
+    );
+    if stats.is_consistent() {
+        0
+    } else {
+        eprintln!("replay: accounting invariant violated: {stats:?}");
+        1
+    }
+}
+
+/// A one-shot HTTP client for smoke tests: prints the status and body,
+/// exits 0 on a 2xx response.
+fn http_cmd(args: &[String]) -> i32 {
+    use std::net::ToSocketAddrs;
+
+    let (method, url) = match args {
+        [url] => ("GET", url.as_str()),
+        [method, url, ..] => (method.as_str(), url.as_str()),
+        [] => {
+            eprintln!("usage: webstruct http [METHOD] <URL>");
+            return 2;
+        }
+    };
+    let Some(rest) = url.strip_prefix("http://") else {
+        eprintln!("http: only http:// URLs are supported");
+        return 2;
+    };
+    let (host, target) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let addr = match host.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("http: could not resolve {host}");
+            return 2;
+        }
+    };
+    match webstruct::serve::fetch(addr, &method.to_ascii_uppercase(), target) {
+        Ok(resp) => {
+            eprintln!("{} {} ({} bytes)", resp.status, resp.content_type, resp.body.len());
+            print!("{}", resp.text());
+            i32::from(resp.status / 100 != 2)
+        }
+        Err(e) => {
+            eprintln!("http: request failed: {e}");
+            1
+        }
+    }
 }
 
 fn bootstrap(args: &[String]) {

@@ -19,7 +19,8 @@
 //! * [`fuse`] — truth fusion for corroborated extraction;
 //! * [`crawl`] — bootstrapping-based source discovery;
 //! * [`dedup`] — record deduplication for extracted listings;
-//! * [`core`] — the experiment registry (`run_all` regenerates the paper).
+//! * [`core`] — the experiment registry (`run_all` regenerates the paper);
+//! * [`serve`] — the std-only HTTP serving layer and traffic replay.
 //!
 //! ## Example
 //!
@@ -42,6 +43,7 @@ pub use webstruct_fuse as fuse;
 pub use webstruct_crawl as crawl;
 pub use webstruct_dedup as dedup;
 pub use webstruct_graph as graph;
+pub use webstruct_serve as serve;
 pub use webstruct_util as util;
 
 /// The version of the workspace.

@@ -1,0 +1,470 @@
+//! The serving layer's contract, locked down over real sockets:
+//!
+//! * every endpoint's `(status, content-type, body)` is byte-identical
+//!   across `WEBSTRUCT_THREADS ∈ {1, 2, 8}` — worker count changes
+//!   scheduling, never bytes;
+//! * a fixed endpoint sweep's combined digest is pinned in
+//!   `tests/SERVE.sha256` (re-bless with `scripts/bless.sh` after an
+//!   intentional output change);
+//! * the HTTP/1.1 parser maps every adversarial input — torn reads, bad
+//!   methods/versions, oversized heads, bodies, pipelining — onto its
+//!   exact error-taxonomy variant, never a panic;
+//! * a chaotic client population (driven by `webstruct_util::fault`)
+//!   cannot break the connection-accounting invariant: after drain,
+//!   every accepted connection is in exactly one `closed_*` bucket;
+//! * replaying the same seed-pure `RequestPlan` against servers at
+//!   different thread counts produces the same order-independent
+//!   response digest.
+//!
+//! Tests that publish metrics or mutate `WEBSTRUCT_THREADS` serialise
+//! through the same process-wide env lock as `tests/determinism.rs`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+use webstruct::core::study::StudyConfig;
+use webstruct::corpus::domain::Domain;
+use webstruct::demand::model::{StudySite, TrafficConfig};
+use webstruct::demand::traffic::RequestPlan;
+use webstruct::serve::{fetch, replay, Connection, ReplayOptions, ServeConfig, ServeState, Server};
+use webstruct::util::fault::{Fault, FaultConfig, FaultPlan};
+use webstruct::util::obs;
+use webstruct::util::rng::Seed;
+use webstruct::util::sha::Sha256;
+
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("env lock poisoned")
+}
+
+/// Run `f` with `WEBSTRUCT_THREADS` pinned to `threads`.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = env_lock();
+    std::env::set_var(webstruct::util::par::THREADS_ENV, threads.to_string());
+    let out = f();
+    std::env::remove_var(webstruct::util::par::THREADS_ENV);
+    out
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "webstruct-serve-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The fixture config every serving test builds state at: small corpus,
+/// fixed seed, so state builds in well under a second and every run is
+/// bit-reproducible.
+fn fixture_config() -> StudyConfig {
+    StudyConfig::quick().with_scale(0.02)
+}
+
+/// Build fresh (cold-store) serving state in its own temp directory. A
+/// cold store every time keeps `/coverage`'s cache-hit counters — part
+/// of the response body — identical across runs.
+fn fixture_state(tag: &str, threads: usize) -> (Arc<ServeState>, PathBuf) {
+    let dir = tmpdir(tag);
+    let state = ServeState::build(Domain::Restaurants, fixture_config(), &dir, threads)
+        .expect("serve state builds");
+    (Arc::new(state), dir)
+}
+
+/// Stop `server` via its own control endpoint and return drained stats.
+fn stop(server: Server) -> webstruct::serve::ServeStats {
+    let addr = server.local_addr();
+    let resp = fetch(addr, "POST", "/shutdown").expect("shutdown request");
+    assert_eq!(resp.status, 200);
+    server.join()
+}
+
+/// The endpoint sweep every determinism/golden test walks, with the
+/// status each target must answer — 2xx data paths and each arm of the
+/// router's error taxonomy.
+const SWEEP: &[(&str, u16)] = &[
+    ("/", 200),
+    ("/entity/0", 200),
+    ("/entity/3", 200),
+    ("/entity/banana", 400),
+    ("/entity/999999999", 404),
+    ("/entity?phone=xyz", 400),
+    ("/sites", 200),
+    ("/site/0", 200),
+    ("/site/999999999", 404),
+    ("/coverage", 200),
+    ("/coverage.csv", 200),
+    ("/demand/yelp/search.csv", 200),
+    ("/demand/yelp/browse.csv", 200),
+    ("/demand/imdb/search.csv", 200),
+    ("/demand/amazon/browse.csv", 200),
+    ("/demand/nosuch/search.csv", 404),
+    ("/figures", 200),
+    ("/figure/serve-coverage.csv", 200),
+    ("/figure/nope.csv", 404),
+    ("/nothing/here", 404),
+    ("/shutdown", 405), // GET to the POST-only control endpoint
+];
+
+/// Fetch every sweep target over one keep-alive connection and return
+/// one digest line per target: `target status content-type sha256(body)`.
+fn sweep_digests(addr: SocketAddr) -> Vec<String> {
+    let mut conn = Connection::new(addr);
+    SWEEP
+        .iter()
+        .map(|&(target, want)| {
+            let resp = conn.get(target).expect("sweep request");
+            assert_eq!(resp.status, want, "{target}");
+            let mut h = Sha256::new();
+            h.update(&resp.body);
+            let digest = h.finalize();
+            let mut hex = String::with_capacity(64);
+            for b in digest {
+                hex.push_str(&format!("{b:02x}"));
+            }
+            format!("{target} {} {} {hex}", resp.status, resp.content_type)
+        })
+        .collect()
+}
+
+#[test]
+fn endpoints_are_byte_identical_across_thread_counts() {
+    // Build-and-serve at each WEBSTRUCT_THREADS — the operator knob
+    // drives both the extraction pipeline and the default worker count —
+    // and require identical response digests for the whole sweep.
+    let run_at = |threads: usize| {
+        with_threads(threads, || {
+            let (state, dir) = fixture_state(&format!("sweep-t{threads}"), threads);
+            let server = Server::start(state, &ServeConfig::default(), "127.0.0.1:0")
+                .expect("server binds");
+            let digests = sweep_digests(server.local_addr());
+            let stats = stop(server);
+            assert!(stats.is_consistent(), "stats inconsistent: {stats:?}");
+            let _ = std::fs::remove_dir_all(&dir);
+            digests
+        })
+    };
+    let baseline = run_at(1);
+    for threads in [2usize, 8] {
+        let digests = run_at(threads);
+        assert_eq!(
+            digests, baseline,
+            "endpoint bytes diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn serve_golden_digest_matches_blessed() {
+    // The combined sweep digest of the fixed fixture, pinned on disk:
+    // any change to a served byte anywhere in the resource tree must be
+    // an intentional, blessed change.
+    let lines = with_threads(2, || {
+        let (state, dir) = fixture_state("golden", 2);
+        let server =
+            Server::start(state, &ServeConfig::default(), "127.0.0.1:0").expect("server binds");
+        let lines = sweep_digests(server.local_addr());
+        let stats = stop(server);
+        assert!(stats.is_consistent(), "stats inconsistent: {stats:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+        lines
+    });
+    let mut h = Sha256::new();
+    for line in &lines {
+        h.update(line.as_bytes());
+        h.update(b"\n");
+    }
+    let digest = h.finalize();
+    let mut hex = String::with_capacity(64);
+    for b in digest {
+        hex.push_str(&format!("{b:02x}"));
+    }
+
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/SERVE.sha256");
+    if std::env::var("WEBSTRUCT_BLESS").is_ok() {
+        std::fs::write(&golden_path, format!("{hex}\n")).expect("bless serve golden");
+        return;
+    }
+    let blessed = std::fs::read_to_string(&golden_path)
+        .expect("tests/SERVE.sha256 missing — run scripts/bless.sh");
+    assert_eq!(
+        blessed.trim(),
+        hex,
+        "served bytes changed; if intentional, re-bless with scripts/bless.sh\nsweep:\n{}",
+        lines.join("\n")
+    );
+}
+
+#[test]
+fn metrics_tail_is_identical_across_thread_counts() {
+    // `/metrics` serves the RUN_REPORT shape: spans and gauges are
+    // wall-clock and legitimately vary, but the final `"metrics"` key —
+    // counters and histograms — is the deterministic tail, and must not
+    // depend on the worker count. One keep-alive connection issues a
+    // fixed request sequence so the `serve.*` counters at publish time
+    // are a pure function of the stream.
+    let tail_at = |threads: usize| {
+        with_threads(threads, || {
+            let (state, dir) = fixture_state(&format!("metrics-t{threads}"), threads);
+            obs::metrics().reset();
+            let server = Server::start(state, &ServeConfig::default(), "127.0.0.1:0")
+                .expect("server binds");
+            let mut conn = Connection::new(server.local_addr());
+            for target in ["/", "/coverage", "/entity/1"] {
+                assert_eq!(conn.get(target).expect("warmup request").status, 200);
+            }
+            let resp = conn.get("/metrics").expect("metrics request");
+            assert_eq!(resp.status, 200);
+            drop(conn);
+            let body = resp.text();
+            let tail_pos = body.rfind("\"metrics\":").expect("metrics key present");
+            let tail = body[tail_pos..].to_string();
+            let stats = stop(server);
+            assert!(stats.is_consistent(), "stats inconsistent: {stats:?}");
+            let _ = std::fs::remove_dir_all(&dir);
+            tail
+        })
+    };
+    let baseline = tail_at(1);
+    assert!(baseline.contains("serve.requests"), "tail: {baseline}");
+    assert!(baseline.contains("serve.accepted"), "tail: {baseline}");
+    for threads in [2usize, 8] {
+        assert_eq!(
+            tail_at(threads),
+            baseline,
+            "metrics tail diverged at {threads} threads"
+        );
+    }
+}
+
+/// Write `head` on a fresh socket and read until EOF; the server closes
+/// after an error response, so this captures the full wire reply.
+fn raw_roundtrip(addr: SocketAddr, head: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // The server may answer (and close) before the full head is written
+    // — e.g. the oversized-head rejection — so a write error is fine.
+    let _ = s.write_all(head);
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn adversarial_inputs_map_to_exact_taxonomy() {
+    let _guard = env_lock();
+    let (state, dir) = fixture_state("adversarial", 2);
+    let config = ServeConfig {
+        threads: 2,
+        read_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(state, &config, "127.0.0.1:0").expect("server binds");
+    let addr = server.local_addr();
+
+    // Each malformed head must draw its exact taxonomy arm — status and
+    // machine-readable slug — and the server must keep running.
+    let reply = raw_roundtrip(addr, b"FROB / HTTP/1.1\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 405 "), "reply: {reply}");
+    assert!(reply.contains("method_unsupported"), "reply: {reply}");
+
+    let reply = raw_roundtrip(addr, b"GET / HTTP/9.9\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 505 "), "reply: {reply}");
+    assert!(reply.contains("version_unsupported"), "reply: {reply}");
+
+    let huge = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(64 * 1024));
+    let reply = raw_roundtrip(addr, huge.as_bytes());
+    assert!(reply.starts_with("HTTP/1.1 431 "), "reply: {reply}");
+    assert!(reply.contains("head_too_large"), "reply: {reply}");
+
+    let reply = raw_roundtrip(addr, b"complete garbage\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 400 "), "reply: {reply}");
+    assert!(reply.contains("bad_request_line"), "reply: {reply}");
+
+    let reply = raw_roundtrip(addr, b"GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+    assert!(reply.starts_with("HTTP/1.1 413 "), "reply: {reply}");
+    assert!(reply.contains("body_unsupported"), "reply: {reply}");
+
+    let reply = raw_roundtrip(addr, b"GET / HTTP/1.1\r\nBad Header Name: x\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 400 "), "reply: {reply}");
+    assert!(reply.contains("bad_header"), "reply: {reply}");
+
+    // Two pipelined requests in one write must draw two responses.
+    let reply = raw_roundtrip(
+        addr,
+        b"GET /sites HTTP/1.1\r\n\r\nGET /coverage HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(
+        reply.matches("HTTP/1.1 200 ").count(),
+        2,
+        "pipelined reply: {reply}"
+    );
+
+    // A request torn at every byte boundary must still parse to 200.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.set_nodelay(true).unwrap();
+        for &b in b"GET /sites HTTP/1.1\r\nConnection: close\r\n\r\n".iter() {
+            s.write_all(&[b]).expect("torn write");
+            s.flush().expect("flush");
+        }
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let reply = String::from_utf8_lossy(&out);
+        assert!(reply.starts_with("HTTP/1.1 200 "), "torn reply: {reply}");
+    }
+
+    let stats = stop(server);
+    assert!(stats.is_consistent(), "stats inconsistent: {stats:?}");
+    assert_eq!(stats.parse_errors, 6, "one per malformed head: {stats:?}");
+    assert_eq!(stats.requests, 4, "sites+coverage+torn+shutdown: {stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaotic_clients_cannot_break_the_accounting_invariant() {
+    // Drive a fault-plan-scripted population of misbehaving clients at
+    // the server — slow-loris stalls, truncated heads, mid-response
+    // disconnects, connect-and-vanish — and require that the pool
+    // recovers (a clean request still answers) and that the final stats
+    // account for every accepted connection exactly once.
+    let _guard = env_lock();
+    let (state, dir) = fixture_state("chaos", 2);
+    let config = ServeConfig {
+        threads: 2,
+        read_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(state, &config, "127.0.0.1:0").expect("server binds");
+    let addr = server.local_addr();
+
+    let plan = FaultPlan::new(FaultConfig::flaky(0.6), Seed::DEFAULT.derive("serve-chaos"));
+    let mut attempted = 0u64; // connections we actually opened
+    let mut stalled = 0u64; // slow-loris clients (must close as timeout)
+    let mut truncated = 0u64; // mid-head FINs (must close as error)
+    let mut chaos_round = |fault: Option<Fault>| match fault {
+        None => {
+            let resp = fetch(addr, "GET", "/coverage").expect("clean request");
+            assert_eq!(resp.status, 200);
+            attempted += 1;
+        }
+        Some(Fault::Transient) => {
+            // Connect and vanish without a byte: an idle EOF, clean close.
+            let s = TcpStream::connect(addr).expect("connect");
+            drop(s);
+            attempted += 1;
+        }
+        Some(Fault::Timeout) => {
+            // Slow loris: a partial head, then silence past the read
+            // deadline.
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"GET /cover").expect("partial write");
+            std::thread::sleep(Duration::from_millis(250));
+            drop(s);
+            attempted += 1;
+            stalled += 1;
+        }
+        Some(Fault::Truncated(_)) => {
+            // A clean FIN mid-head: the request can never complete.
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"GET /sites HT").expect("partial write");
+            drop(s);
+            // Give the worker time to observe the EOF before the next
+            // chaos round competes for the 2-worker pool.
+            std::thread::sleep(Duration::from_millis(30));
+            attempted += 1;
+            truncated += 1;
+        }
+        Some(Fault::RateLimited) => {
+            // Mid-response disconnect: send a real request, read a few
+            // bytes of the reply, hang up.
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"GET /coverage.csv HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .expect("write");
+            let mut first = [0u8; 16];
+            let _ = s.read(&mut first);
+            drop(s);
+            attempted += 1;
+        }
+        Some(Fault::Dead) => {} // this client never connects
+    };
+    // One deterministic instance of each behaviour, then the seeded mix.
+    chaos_round(Some(Fault::Timeout));
+    chaos_round(Some(Fault::Truncated(0.5)));
+    for i in 0..24usize {
+        chaos_round(plan.fault(i, 0));
+    }
+
+    // Pool recovery: after all that, a well-formed request still answers.
+    let resp = fetch(addr, "GET", "/sites").expect("post-chaos request");
+    assert_eq!(resp.status, 200);
+    attempted += 1;
+
+    let stats = stop(server);
+    attempted += 1; // the shutdown POST's own connection
+    assert!(stats.is_consistent(), "stats inconsistent: {stats:?}");
+    assert_eq!(stats.accepted, attempted, "{stats:?}");
+    assert!(
+        stats.closed_timeout >= stalled.min(1),
+        "slow-loris clients must land in closed_timeout: {stats:?}"
+    );
+    assert!(
+        stats.closed_error >= truncated.min(1),
+        "truncated heads must land in closed_error: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_digest_is_identical_across_server_thread_counts() {
+    // The end-to-end determinism check: the same seed-pure request plan,
+    // replayed over real sockets against servers running 1 vs 4 workers,
+    // must fold to the same order-independent response digest — and a
+    // second replay against the same server must reproduce it too.
+    let _guard = env_lock();
+    let config = fixture_config();
+    let plan_config = TrafficConfig::preset(StudySite::Amazon).scaled(config.scale);
+    let opts = ReplayOptions {
+        clients: 3,
+        requests: 400,
+    };
+
+    let run_at = |server_threads: usize, tag: &str, twice: bool| {
+        let (state, dir) = fixture_state(tag, 2);
+        let plan = RequestPlan::new(&plan_config, state.catalog.len(), config.seed);
+        let server = Server::start(
+            state,
+            &ServeConfig {
+                threads: server_threads,
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("server binds");
+        let report = replay(server.local_addr(), &plan, &opts);
+        assert_eq!(report.errors, 0, "transport errors: {report:?}");
+        assert_eq!(report.ok + report.rejected, 400);
+        if twice {
+            let again = replay(server.local_addr(), &plan, &opts);
+            assert_eq!(again.digest, report.digest, "replay must reproduce itself");
+        }
+        let stats = stop(server);
+        assert!(stats.is_consistent(), "stats inconsistent: {stats:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    };
+
+    let t1 = run_at(1, "replay-t1", true);
+    let t4 = run_at(4, "replay-t4", false);
+    assert_eq!(
+        t1.digest, t4.digest,
+        "replay digest diverged across server thread counts"
+    );
+    assert!(t1.ok > 0, "the plan must include servable requests");
+}
