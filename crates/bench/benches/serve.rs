@@ -1,8 +1,13 @@
 //! Std-only serving bench: build warm serving state once, then replay
 //! the simulated search/browse population over real loopback sockets
-//! against a sweep of server worker counts. Writes `BENCH_serve.json`
-//! for `bench_gate.sh` to gate (an rps floor and a p99 latency ceiling;
-//! a digest divergence across the sweep fails in any mode).
+//! against a sweep of server worker counts — each count measured with
+//! the hot-path response cache off (full router) and on — plus an
+//! allocation window over cache hits and a cached replay with an epoch
+//! hot-swap triggered mid-stream. Writes `BENCH_serve.json` for
+//! `bench_gate.sh` to gate (per-thread rps floors, a cached-speedup
+//! floor, a p99 latency ceiling, an allocs-per-hit ceiling; a digest
+//! divergence — across the sweep or between cached and uncached — fails
+//! in any mode).
 //!
 //! ```text
 //! cargo bench -p webstruct-bench --bench serve -- \
@@ -11,6 +16,11 @@
 //! ```
 
 use webstruct_bench::serve::run_serve_bench;
+
+/// The counting allocator makes `allocs_per_request_cached` a real
+/// number; without it the window reports zero unconditionally.
+#[global_allocator]
+static ALLOC: webstruct_bench::alloc::CountingAlloc = webstruct_bench::alloc::CountingAlloc;
 
 fn main() {
     let mut out_path = String::from("artifacts/BENCH_serve.json");
@@ -49,14 +59,35 @@ fn main() {
     let report = run_serve_bench(scale, requests, clients, &[1, 2, 4]);
     for m in &report.measurements {
         eprintln!(
-            "  {} worker(s): {:.0} req/s, p50 {:.2}ms p99 {:.2}ms mean {:.2}ms, \
+            "  {} worker(s): {:.0} req/s cached / {:.0} uncached ({:.2}x), \
+             hit rate {:.1}%, p50 {:.2}ms p99 {:.2}ms mean {:.2}ms, \
              {} ok / {} rejected / {} errors",
-            m.server_threads, m.rps, m.p50_ms, m.p99_ms, m.mean_ms, m.ok, m.rejected, m.errors,
+            m.server_threads,
+            m.rps,
+            m.rps_uncached,
+            if m.rps_uncached > 0.0 { m.rps / m.rps_uncached } else { 0.0 },
+            100.0 * m.cache_hit_rate,
+            m.p50_ms,
+            m.p99_ms,
+            m.mean_ms,
+            m.ok,
+            m.rejected,
+            m.errors,
         );
     }
     eprintln!(
-        "  headline: {:.0} req/s, p99 {:.2}ms, byte identical: {}",
-        report.rps, report.p99_latency_ms, report.byte_identical
+        "  headline: {:.0} req/s uncached, {:.0} cached (worst ratio {:.2}x), \
+         {:.0} req/s through a hot-swap, p99 {:.2}ms, \
+         {:.3} alloc(s)/request on hits, byte identical: {}, \
+         cached == uncached bytes: {}",
+        report.rps,
+        report.rps_cached,
+        report.min_cached_ratio,
+        report.rps_swap,
+        report.p99_latency_ms,
+        report.allocs_per_request_cached,
+        report.byte_identical,
+        report.cached_digest_identical,
     );
     if let Some(parent) = std::path::Path::new(&out_path).parent() {
         if !parent.as_os_str().is_empty() {

@@ -233,6 +233,14 @@ pub(crate) fn best_of<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
     best
 }
 
+/// `std::thread::available_parallelism()`, defaulting to 1 where the
+/// platform cannot say. Recorded in every bench report so gate baselines
+/// are only compared against runs on comparable hardware.
+#[must_use]
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Time the pipeline stages at each thread count in `thread_counts`.
 ///
 /// Stages:
@@ -254,7 +262,7 @@ pub fn run_pipeline_bench(scale: f64, thread_counts: &[usize], repeats: usize) -
     let mut report = BenchReport {
         scale,
         repeats,
-        hardware_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        hardware_threads: hardware_threads(),
         measurements: Vec::new(),
     };
     let config = StudyConfig::default().with_scale(scale);

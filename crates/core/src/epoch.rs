@@ -224,6 +224,18 @@ impl Epoch {
         &self.catalog
     }
 
+    /// The domain this epoch's corpus was generated for.
+    #[must_use]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// The study configuration the corpus was generated at.
+    #[must_use]
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
     /// Epochs applied so far (number of [`mutate`](Epoch::mutate) calls).
     #[must_use]
     pub fn epoch(&self) -> u32 {

@@ -15,6 +15,8 @@ pub struct HttpResponse {
     pub content_type: String,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// `ETag` header value (empty if absent).
+    pub etag: String,
     /// Whether the server announced it will keep the connection open.
     pub keep_alive: bool,
 }
@@ -60,6 +62,7 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
     let mut content_type = String::new();
     let mut content_length = 0usize;
     let mut keep_alive = true;
+    let mut etag = String::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -70,6 +73,7 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
             "content-length" => {
                 content_length = value.parse().map_err(|_| invalid("bad content-length"))?;
             }
+            "etag" => etag = value.to_string(),
             "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
             _ => {}
         }
@@ -87,6 +91,7 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
         status,
         content_type,
         body,
+        etag,
         keep_alive,
     })
 }
@@ -96,12 +101,29 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
 /// # Errors
 /// Connect/read/write failures and malformed responses.
 pub fn fetch(addr: SocketAddr, method: &str, target: &str) -> std::io::Result<HttpResponse> {
+    fetch_with(addr, method, target, None)
+}
+
+/// One-shot request with an optional `If-None-Match` validator.
+///
+/// # Errors
+/// Connect/read/write failures and malformed responses.
+pub fn fetch_with(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    if_none_match: Option<&str>,
+) -> std::io::Result<HttpResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_nodelay(true)?;
-    stream.write_all(
-        format!("{method} {target} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes(),
-    )?;
+    let request = match if_none_match {
+        Some(inm) => format!(
+            "{method} {target} HTTP/1.1\r\nIf-None-Match: {inm}\r\nConnection: close\r\n\r\n"
+        ),
+        None => format!("{method} {target} HTTP/1.1\r\nConnection: close\r\n\r\n"),
+    };
+    stream.write_all(request.as_bytes())?;
     read_response(&mut stream)
 }
 
@@ -134,7 +156,22 @@ impl Connection {
     /// # Errors
     /// Connect/read/write failures and malformed responses.
     pub fn get(&mut self, target: &str) -> std::io::Result<HttpResponse> {
-        let request = format!("GET {target} HTTP/1.1\r\n\r\n");
+        self.get_with(target, None)
+    }
+
+    /// Issue one GET with an optional `If-None-Match` validator.
+    ///
+    /// # Errors
+    /// Connect/read/write failures and malformed responses.
+    pub fn get_with(
+        &mut self,
+        target: &str,
+        if_none_match: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let request = match if_none_match {
+            Some(inm) => format!("GET {target} HTTP/1.1\r\nIf-None-Match: {inm}\r\n\r\n"),
+            None => format!("GET {target} HTTP/1.1\r\n\r\n"),
+        };
         // One transparent retry: the server may have closed the cached
         // connection (request cap) between our requests.
         for attempt in 0..2 {

@@ -27,6 +27,7 @@
 //! | `BodyUnsupported`    | 413    | nonzero `Content-Length` / any `Transfer-Encoding` |
 
 use std::io::Write;
+use std::sync::Arc;
 
 /// Hard ceiling on the request head (request line + headers + CRLFCRLF).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -120,6 +121,9 @@ pub struct Request {
     /// Query parameters in request order (`k=v` pairs; bare keys get
     /// empty values).
     pub query: Vec<(String, String)>,
+    /// The `If-None-Match` header value, verbatim, if the client sent
+    /// one (conditional-GET revalidation against the epoch ETag).
+    pub if_none_match: Option<String>,
     /// `true` for HTTP/1.1, `false` for HTTP/1.0.
     pub http11: bool,
     /// Whether the connection should stay open after the response
@@ -136,6 +140,41 @@ impl Request {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Materialise an owned request from a borrowed head — the slow
+    /// path's single allocation point.
+    #[must_use]
+    pub fn from_head(head: &RequestHead<'_>) -> Self {
+        Request {
+            method: head.method,
+            path: head.path.to_string(),
+            query: parse_query(head.query_raw),
+            if_none_match: head.if_none_match.map(str::to_string),
+            http11: head.http11,
+            keep_alive: head.keep_alive,
+        }
+    }
+}
+
+/// A parsed request head borrowing straight from the connection buffer —
+/// the zero-allocation view the cached fast path routes on. The owned
+/// [`Request`] is derived from this via [`Request::from_head`] only when
+/// a request actually needs the full router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHead<'a> {
+    /// The method.
+    pub method: Method,
+    /// Path component of the target, without the query string.
+    pub path: &'a str,
+    /// The raw query string after `?` (empty if none) — parsed into
+    /// pairs only on the slow path.
+    pub query_raw: &'a str,
+    /// The `If-None-Match` header value, verbatim, if present.
+    pub if_none_match: Option<&'a str>,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
 }
 
 /// Outcome of parsing the bytes received so far.
@@ -150,9 +189,28 @@ pub enum Parse {
     Error(HttpError),
 }
 
+/// Borrowed-head variant of [`Parse`], returned by [`parse_head`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadParse<'a> {
+    /// A full head was parsed; `usize` is the bytes consumed.
+    Complete(RequestHead<'a>, usize),
+    /// No head terminator yet — read more bytes and re-parse.
+    Partial,
+    /// The prefix is already irrecoverably malformed.
+    Error(HttpError),
+}
+
 /// RFC 7230 token characters, the legal alphabet for header names.
 fn is_token_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Case-insensitive substring search over ASCII bytes (the `Connection`
+/// header tokens), allocation-free.
+fn contains_ignore_case(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack
+        .windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle))
 }
 
 /// Parse the request head at the front of `buf`.
@@ -160,8 +218,24 @@ fn is_token_byte(b: u8) -> bool {
 /// Pure over prefixes: for a fixed well-formed request, every proper
 /// prefix of its head parses `Partial` and every extension past the head
 /// parses `Complete` with identical fields and the same consumed count.
+/// Owned-allocation convenience wrapper around [`parse_head`].
 #[must_use]
 pub fn parse_request(buf: &[u8]) -> Parse {
+    match parse_head(buf) {
+        HeadParse::Complete(head, consumed) => {
+            Parse::Complete(Request::from_head(&head), consumed)
+        }
+        HeadParse::Partial => Parse::Partial,
+        HeadParse::Error(e) => Parse::Error(e),
+    }
+}
+
+/// Parse the request head at the front of `buf` without allocating: every
+/// field of the returned [`RequestHead`] borrows from `buf`. This is the
+/// hot-path entry point — a cache hit is served without ever building an
+/// owned [`Request`].
+#[must_use]
+pub fn parse_head(buf: &[u8]) -> HeadParse<'_> {
     // Locate the head terminator within the size budget first, so an
     // attacker streaming an unbounded head is cut off at the limit no
     // matter how the bytes are framed.
@@ -169,12 +243,12 @@ pub fn parse_request(buf: &[u8]) -> Parse {
     let head_end = find_crlfcrlf(&buf[..search_limit]);
     let Some(head_end) = head_end else {
         if buf.len() > MAX_HEAD_BYTES {
-            return Parse::Error(HttpError::HeadTooLarge);
+            return HeadParse::Error(HttpError::HeadTooLarge);
         }
-        return Parse::Partial;
+        return HeadParse::Partial;
     };
     if head_end > MAX_HEAD_BYTES {
-        return Parse::Error(HttpError::HeadTooLarge);
+        return HeadParse::Error(HttpError::HeadTooLarge);
     }
     let head = &buf[..head_end];
     let consumed = head_end + 4;
@@ -191,13 +265,13 @@ pub fn parse_request(buf: &[u8]) -> Parse {
     let (Some(method_b), Some(target_b), Some(version_b), None) =
         (fields.next(), fields.next(), fields.next(), fields.next())
     else {
-        return Parse::Error(HttpError::BadRequestLine);
+        return HeadParse::Error(HttpError::BadRequestLine);
     };
     if method_b.is_empty()
         || method_b.len() > MAX_METHOD_LEN
         || !method_b.iter().all(|&b| b.is_ascii_uppercase())
     {
-        return Parse::Error(HttpError::BadRequestLine);
+        return HeadParse::Error(HttpError::BadRequestLine);
     }
     let method = match method_b {
         b"GET" => Some(Method::Get),
@@ -206,87 +280,93 @@ pub fn parse_request(buf: &[u8]) -> Parse {
         _ => None,
     };
     if target_b.is_empty() || target_b[0] != b'/' || !target_b.is_ascii() {
-        return Parse::Error(HttpError::BadRequestLine);
+        return HeadParse::Error(HttpError::BadRequestLine);
     }
     let http11 = match version_b {
         b"HTTP/1.1" => true,
         b"HTTP/1.0" => false,
         v if v.len() == 8 && v.starts_with(b"HTTP/") => {
-            return Parse::Error(HttpError::VersionUnsupported)
+            return HeadParse::Error(HttpError::VersionUnsupported)
         }
-        _ => return Parse::Error(HttpError::BadRequestLine),
+        _ => return HeadParse::Error(HttpError::BadRequestLine),
     };
     // Method dispatch happens after version syntax, so "FROB / HTTP/1.1"
     // reports the method problem, not a phantom syntax error.
     let Some(method) = method else {
-        return Parse::Error(HttpError::MethodUnsupported);
+        return HeadParse::Error(HttpError::MethodUnsupported);
     };
 
-    // Headers.
+    // Headers. The last `Connection` header wins (matching the previous
+    // owned parser, which overwrote on repeats); values are inspected
+    // in place, case-insensitively, so nothing is copied.
     let mut n_headers = 0usize;
-    let mut connection: Option<String> = None;
+    let mut connection: Option<&[u8]> = None;
+    let mut if_none_match: Option<&[u8]> = None;
     let mut content_length = 0u64;
     let mut has_transfer_encoding = false;
     for line in lines {
         if line.is_empty() {
             // Head split produced a trailing empty slice only if the head
             // ended with a bare CRLF pair, which find_crlfcrlf excludes.
-            return Parse::Error(HttpError::BadHeader);
+            return HeadParse::Error(HttpError::BadHeader);
         }
         n_headers += 1;
         if n_headers > MAX_HEADERS {
-            return Parse::Error(HttpError::HeadTooLarge);
+            return HeadParse::Error(HttpError::HeadTooLarge);
         }
         let Some(colon) = line.iter().position(|&b| b == b':') else {
-            return Parse::Error(HttpError::BadHeader);
+            return HeadParse::Error(HttpError::BadHeader);
         };
         let name = &line[..colon];
         if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
-            return Parse::Error(HttpError::BadHeader);
+            return HeadParse::Error(HttpError::BadHeader);
         }
         let value = trim_ascii(&line[colon + 1..]);
         if !value.is_ascii() {
-            return Parse::Error(HttpError::BadHeader);
+            return HeadParse::Error(HttpError::BadHeader);
         }
-        let name_lower = name.to_ascii_lowercase();
-        match name_lower.as_slice() {
-            b"connection" => {
-                connection = Some(String::from_utf8_lossy(value).to_ascii_lowercase());
-            }
-            b"content-length" => {
-                let Ok(text) = std::str::from_utf8(value) else {
-                    return Parse::Error(HttpError::BadHeader);
-                };
-                let Ok(n) = text.parse::<u64>() else {
-                    return Parse::Error(HttpError::BadHeader);
-                };
-                content_length = n;
-            }
-            b"transfer-encoding" => has_transfer_encoding = true,
-            _ => {}
+        if name.eq_ignore_ascii_case(b"connection") {
+            connection = Some(value);
+        } else if name.eq_ignore_ascii_case(b"content-length") {
+            let Ok(n) = std::str::from_utf8(value)
+                .ok()
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or(())
+            else {
+                return HeadParse::Error(HttpError::BadHeader);
+            };
+            content_length = n;
+        } else if name.eq_ignore_ascii_case(b"transfer-encoding") {
+            has_transfer_encoding = true;
+        } else if name.eq_ignore_ascii_case(b"if-none-match") {
+            if_none_match = Some(value);
         }
     }
     if content_length > 0 || has_transfer_encoding {
-        return Parse::Error(HttpError::BodyUnsupported);
+        return HeadParse::Error(HttpError::BodyUnsupported);
     }
 
-    let keep_alive = match connection.as_deref() {
-        Some(c) if c.contains("close") => false,
-        Some(c) if c.contains("keep-alive") => true,
+    let keep_alive = match connection {
+        Some(c) if contains_ignore_case(c, b"close") => false,
+        Some(c) if contains_ignore_case(c, b"keep-alive") => true,
         _ => http11,
     };
 
-    let target = String::from_utf8_lossy(target_b).into_owned();
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), parse_query(q)),
-        None => (target, Vec::new()),
+    // Target and header values were ASCII-checked above, so the UTF-8
+    // views are infallible.
+    let target = std::str::from_utf8(target_b).expect("target is ASCII");
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
     };
 
-    Parse::Complete(
-        Request {
+    HeadParse::Complete(
+        RequestHead {
             method,
             path,
-            query,
+            query_raw,
+            if_none_match: if_none_match
+                .map(|v| std::str::from_utf8(v).expect("header value is ASCII")),
             http11,
             keep_alive,
         },
@@ -330,6 +410,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// The body bytes.
     pub body: Vec<u8>,
+    /// Optional `ETag` header (the epoch validator); `None` on error and
+    /// control responses. Shared, because every response in one epoch
+    /// carries the same tag.
+    pub etag: Option<Arc<str>>,
 }
 
 impl Response {
@@ -340,6 +424,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body: body.into_bytes(),
+            etag: None,
         }
     }
 
@@ -350,6 +435,7 @@ impl Response {
             status: 200,
             content_type: "text/csv",
             body: body.into_bytes(),
+            etag: None,
         }
     }
 
@@ -360,6 +446,20 @@ impl Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
             body: body.into_bytes(),
+            etag: None,
+        }
+    }
+
+    /// A 304 with no body: the client's cached representation (matched
+    /// via `If-None-Match`) is still current. `content_type` mirrors what
+    /// the 200 would have carried so the wire head stays deterministic.
+    #[must_use]
+    pub fn not_modified(content_type: &'static str, etag: Arc<str>) -> Self {
+        Response {
+            status: 304,
+            content_type,
+            body: Vec::new(),
+            etag: Some(etag),
         }
     }
 
@@ -375,6 +475,7 @@ impl Response {
                 escape_json(detail)
             )
             .into_bytes(),
+            etag: None,
         }
     }
 
@@ -384,26 +485,37 @@ impl Response {
         Response::error(e.status(), e.slug(), "request rejected by the parser")
     }
 
+    /// Attach the epoch ETag (builder style).
+    #[must_use]
+    pub fn with_etag(mut self, etag: Arc<str>) -> Self {
+        self.etag = Some(etag);
+        self
+    }
+
     /// Serialize head + body (body omitted for HEAD requests, per spec —
     /// `Content-Length` still reports the entity size).
     #[must_use]
     pub fn to_bytes(&self, keep_alive: bool, head_only: bool) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.body.len() + 128);
-        out.extend_from_slice(
-            format!(
-                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-                self.status,
-                reason_phrase(self.status),
-                self.content_type,
-                self.body.len(),
-                if keep_alive { "keep-alive" } else { "close" },
-            )
-            .as_bytes(),
+        let mut out = Vec::with_capacity(self.body.len() + 160);
+        self.write_into(&mut out, keep_alive, head_only);
+        out
+    }
+
+    /// Append the wire form to `out` without intermediate allocation —
+    /// the per-connection reusable-buffer path. `out` is not cleared;
+    /// callers own its lifecycle.
+    pub fn write_into(&self, out: &mut Vec<u8>, keep_alive: bool, head_only: bool) {
+        write_response_head(
+            out,
+            self.status,
+            self.content_type,
+            self.body.len(),
+            self.etag.as_deref(),
+            keep_alive,
         );
         if !head_only {
             out.extend_from_slice(&self.body);
         }
-        out
     }
 
     /// Write the response to `w`; returns bytes written.
@@ -430,14 +542,59 @@ impl Response {
     }
 }
 
+/// Append a deterministic response head to `out`: status line,
+/// `Content-Type`, `Content-Length`, optional `ETag`, `Connection`,
+/// blank line. `write!` into a `Vec<u8>` formats integers in place, so a
+/// head whose buffer already has capacity costs zero heap allocations —
+/// the property the cached fast path is built on.
+pub fn write_response_head(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    body_len: usize,
+    etag: Option<&str>,
+    keep_alive: bool,
+) {
+    let _ = write!(
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body_len,
+    );
+    if let Some(tag) = etag {
+        let _ = write!(out, "ETag: {tag}\r\n");
+    }
+    let _ = write!(
+        out,
+        "Connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+}
+
+/// Whether an `If-None-Match` header matches `etag`. Accepts a
+/// comma-separated list and the `*` wildcard; anything else (including
+/// malformed or unquoted tags) simply fails to match — a conditional
+/// request with a garbage validator degrades to an unconditional GET.
+#[must_use]
+pub fn if_none_match_matches(header: &str, etag: &str) -> bool {
+    header
+        .split(',')
+        .map(str::trim)
+        .any(|tag| tag == "*" || tag == etag)
+}
+
 /// The standard reason phrase for the statuses this server emits.
 #[must_use]
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -653,6 +810,71 @@ mod tests {
         let full = r.to_bytes(true, false);
         assert!(full.starts_with(&head), "HEAD form must be a prefix");
         assert!(!String::from_utf8(head).unwrap().contains("Date:"));
+    }
+
+    #[test]
+    fn if_none_match_header_is_captured_verbatim() {
+        let (r, _) = complete(
+            b"GET /coverage HTTP/1.1\r\nIf-None-Match: \"3-abc123\"\r\n\r\n",
+        );
+        assert_eq!(r.if_none_match.as_deref(), Some("\"3-abc123\""));
+        let (r, _) = complete(b"GET /coverage HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.if_none_match, None);
+        // Header name matching is case-insensitive; value kept verbatim.
+        let (r, _) = complete(b"GET / HTTP/1.1\r\nif-none-match: W/\"weak\"\r\n\r\n");
+        assert_eq!(r.if_none_match.as_deref(), Some("W/\"weak\""));
+    }
+
+    #[test]
+    fn head_and_owned_parsers_agree() {
+        let raw: &[u8] =
+            b"GET /entity/9?channel=browse HTTP/1.1\r\nIf-None-Match: \"1-ff\"\r\nConnection: close\r\n\r\n";
+        let HeadParse::Complete(head, n1) = parse_head(raw) else {
+            panic!("head parse failed");
+        };
+        let (owned, n2) = complete(raw);
+        assert_eq!(n1, n2);
+        assert_eq!(Request::from_head(&head), owned);
+        assert_eq!(head.path, "/entity/9");
+        assert_eq!(head.query_raw, "channel=browse");
+        assert!(!head.keep_alive);
+    }
+
+    #[test]
+    fn if_none_match_list_and_wildcard_semantics() {
+        assert!(if_none_match_matches("\"1-ab\"", "\"1-ab\""));
+        assert!(if_none_match_matches("\"0-x\", \"1-ab\"", "\"1-ab\""));
+        assert!(if_none_match_matches("*", "\"1-ab\""));
+        assert!(!if_none_match_matches("\"1-ab", "\"1-ab\"")); // malformed → miss
+        assert!(!if_none_match_matches("1-ab", "\"1-ab\"")); // unquoted → miss
+        assert!(!if_none_match_matches("\"2-cd\"", "\"1-ab\""));
+    }
+
+    #[test]
+    fn not_modified_wire_form() {
+        let etag: Arc<str> = Arc::from("\"2-0123456789abcdef\"");
+        let r = Response::not_modified("application/json", etag.clone());
+        let wire = String::from_utf8(r.to_bytes(true, false)).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 304 Not Modified\r\n"), "{wire}");
+        assert!(wire.contains("Content-Length: 0\r\n"));
+        assert!(wire.contains("ETag: \"2-0123456789abcdef\"\r\n"));
+        assert!(wire.ends_with("\r\n\r\n"), "304 must carry no body");
+        // A 200 with the same tag carries it too, after Content-Length.
+        let ok = Response::ok_json("{}\n".into()).with_etag(etag);
+        let wire = String::from_utf8(ok.to_bytes(true, false)).unwrap();
+        let cl = wire.find("Content-Length:").unwrap();
+        let et = wire.find("ETag:").unwrap();
+        assert!(cl < et, "header order must be deterministic: {wire}");
+    }
+
+    #[test]
+    fn write_into_matches_to_bytes_and_appends() {
+        let r = Response::ok_csv("a,b\n1,2\n".into())
+            .with_etag(Arc::from("\"7-deadbeefdeadbeef\""));
+        let mut buf = b"PREFIX".to_vec();
+        r.write_into(&mut buf, false, false);
+        assert_eq!(&buf[..6], b"PREFIX");
+        assert_eq!(&buf[6..], r.to_bytes(false, false).as_slice());
     }
 
     #[test]

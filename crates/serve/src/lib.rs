@@ -10,13 +10,22 @@
 //! * [`state`] — warm serving state built from the epoch store
 //!   (entities, per-site coverage, demand studies, figures);
 //! * [`router`] — the FTL-style resource tree mapping paths onto state;
+//! * [`cache`] — the hot-path response cache: fixed routes pre-rendered
+//!   once per epoch, entity cards lazily pinned in a direct-indexed
+//!   slab, every hit serving the router's exact bytes;
+//! * [`swap`] — live epoch hot-swap: the serving state behind an
+//!   atomically swappable `Arc`, rebuilt (mutate + dirty-slice
+//!   recompute) on a background thread and published without dropping
+//!   connections;
 //! * [`server`] — acceptor + bounded worker pool, keep-alive and
 //!   pipelining, graceful shutdown, `serve.*` counters with an exact
-//!   connection-accounting invariant;
+//!   connection-accounting invariant, ETag/`If-None-Match` → 304
+//!   revalidation against the epoch digest;
 //! * [`client`] — a minimal client for smoke tests and the replayer;
 //! * [`replay`] — the load generator: drive a seed-pure
 //!   [`RequestPlan`](webstruct_demand::traffic::RequestPlan) stream over
-//!   real sockets and digest every response order-independently.
+//!   real sockets and digest every response order-independently,
+//!   partitioned per epoch ETag so hot-swap windows stay auditable.
 //!
 //! ## Example
 //!
@@ -42,16 +51,23 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cache;
 pub mod client;
 pub mod http;
 pub mod replay;
 pub mod router;
 pub mod server;
 pub mod state;
+pub mod swap;
 
-pub use client::{fetch, Connection, HttpResponse};
-pub use http::{parse_request, HttpError, Method, Parse, Request, Response};
-pub use replay::{replay, ReplayOptions, ReplayReport};
+pub use cache::{CacheOutcome, CachedResponse, ResponseCache};
+pub use client::{fetch, fetch_with, Connection, HttpResponse};
+pub use http::{
+    if_none_match_matches, parse_head, parse_request, HeadParse, HttpError, Method, Parse, Request,
+    RequestHead, Response,
+};
+pub use replay::{replay, EpochSlice, ReplayOptions, ReplayReport};
 pub use router::{route, Control, Routed};
 pub use server::{ServeConfig, ServeStats, Server};
 pub use state::ServeState;
+pub use swap::{EpochManager, ServeEpoch, SharedServing};

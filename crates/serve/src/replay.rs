@@ -13,7 +13,8 @@
 //! asserted by `tests/serve.rs` and recorded as `byte_identical` in
 //! `BENCH_serve.json`.
 
-use crate::client::Connection;
+use crate::client::{fetch, Connection};
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::time::Instant;
 use webstruct_demand::traffic::RequestPlan;
@@ -29,12 +30,28 @@ pub struct ReplayOptions {
     pub requests: u64,
 }
 
+/// One epoch's slice of a replay: every response carrying the same ETag,
+/// digested separately so a replay that straddles a hot-swap can be
+/// audited epoch by epoch (each slice must match a cold server pinned at
+/// that epoch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSlice {
+    /// The ETag the responses carried (empty for untagged responses —
+    /// errors and control endpoints).
+    pub etag: String,
+    /// How many responses landed in this slice.
+    pub responses: u64,
+    /// Order-independent hex digest over the slice's
+    /// `(path, status, body)` triples.
+    pub digest: String,
+}
+
 /// What a replay run measured.
 #[derive(Debug, Clone)]
 pub struct ReplayReport {
     /// Requests attempted.
     pub requests: u64,
-    /// Responses with 2xx status.
+    /// Responses with 2xx status or a 304 revalidation.
     pub ok: u64,
     /// Responses with 4xx/5xx status.
     pub rejected: u64,
@@ -52,6 +69,10 @@ pub struct ReplayReport {
     pub mean_ms: f64,
     /// Order-independent hex digest over every `(path, status, body)`.
     pub digest: String,
+    /// The same digest partitioned by response ETag, ascending by tag.
+    /// Single-epoch replays have exactly one tagged slice; a replay
+    /// through a hot-swap window has one per epoch served.
+    pub epochs: Vec<EpochSlice>,
 }
 
 /// One client's partial result.
@@ -60,6 +81,7 @@ struct ClientFold {
     rejected: u64,
     errors: u64,
     digest: [u64; 4],
+    by_etag: BTreeMap<String, ([u64; 4], u64)>,
     latencies_us: Vec<u64>,
 }
 
@@ -89,6 +111,15 @@ pub fn replay(addr: SocketAddr, plan: &RequestPlan, opts: &ReplayOptions) -> Rep
     assert!(opts.clients > 0, "need at least one client");
     assert!(opts.requests > 0, "need at least one request");
     let clients = usize::try_from(opts.requests).map_or(opts.clients, |r| opts.clients.min(r));
+    // The validator conditional requests replay: fetched once up front
+    // (outside the measured window, not folded into any digest) so every
+    // client sends the same `If-None-Match` regardless of sharding. An
+    // unreachable server or a tagless response degrades conditionals to
+    // plain GETs.
+    let validator: Option<String> = fetch(addr, "GET", "/coverage")
+        .ok()
+        .map(|r| r.etag)
+        .filter(|t| !t.is_empty());
     let start = Instant::now();
     let folds: Vec<ClientFold> = par::par_map_threads(
         clients,
@@ -99,24 +130,36 @@ pub fn replay(addr: SocketAddr, plan: &RequestPlan, opts: &ReplayOptions) -> Rep
                 rejected: 0,
                 errors: 0,
                 digest: [0; 4],
+                by_etag: BTreeMap::new(),
                 latencies_us: Vec::new(),
             };
             let mut conn = Connection::new(addr);
             let mut i = client;
             while i < opts.requests {
                 let req = plan.request(i);
+                let inm = if req.conditional {
+                    validator.as_deref()
+                } else {
+                    None
+                };
                 let t0 = Instant::now();
-                match conn.get(&req.path) {
+                match conn.get_with(&req.path, inm) {
                     Ok(resp) => {
                         let us =
                             u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
                         fold.latencies_us.push(us);
-                        if resp.status / 100 == 2 {
+                        if resp.status / 100 == 2 || resp.status == 304 {
                             fold.ok += 1;
                         } else {
                             fold.rejected += 1;
                         }
                         fold_digest(&mut fold.digest, &req.path, resp.status, &resp.body);
+                        let (slice, count) = fold
+                            .by_etag
+                            .entry(resp.etag.clone())
+                            .or_insert(([0u64; 4], 0));
+                        fold_digest(slice, &req.path, resp.status, &resp.body);
+                        *count += 1;
                     }
                     Err(_) => fold.errors += 1,
                 }
@@ -131,6 +174,7 @@ pub fn replay(addr: SocketAddr, plan: &RequestPlan, opts: &ReplayOptions) -> Rep
     let mut rejected = 0;
     let mut errors = 0;
     let mut digest = [0u64; 4];
+    let mut by_etag: BTreeMap<String, ([u64; 4], u64)> = BTreeMap::new();
     let mut latencies: Vec<u64> = Vec::new();
     for f in folds {
         ok += f.ok;
@@ -138,6 +182,13 @@ pub fn replay(addr: SocketAddr, plan: &RequestPlan, opts: &ReplayOptions) -> Rep
         errors += f.errors;
         for (a, b) in digest.iter_mut().zip(f.digest.iter()) {
             *a = a.wrapping_add(*b);
+        }
+        for (tag, (slice, count)) in f.by_etag {
+            let (acc, n) = by_etag.entry(tag).or_insert(([0u64; 4], 0));
+            for (a, b) in acc.iter_mut().zip(slice.iter()) {
+                *a = a.wrapping_add(*b);
+            }
+            *n += count;
         }
         latencies.extend(f.latencies_us);
     }
@@ -154,10 +205,22 @@ pub fn replay(addr: SocketAddr, plan: &RequestPlan, opts: &ReplayOptions) -> Rep
     } else {
         latencies.iter().map(|&u| u as f64).sum::<f64>() / latencies.len() as f64 / 1000.0
     };
-    let mut hex = String::with_capacity(64);
-    for word in digest {
-        hex.push_str(&format!("{word:016x}"));
-    }
+    let to_hex = |words: [u64; 4]| {
+        let mut hex = String::with_capacity(64);
+        for word in words {
+            hex.push_str(&format!("{word:016x}"));
+        }
+        hex
+    };
+    let hex = to_hex(digest);
+    let epochs = by_etag
+        .into_iter()
+        .map(|(etag, (slice, responses))| EpochSlice {
+            etag,
+            responses,
+            digest: to_hex(slice),
+        })
+        .collect();
     ReplayReport {
         requests: opts.requests,
         ok,
@@ -169,5 +232,6 @@ pub fn replay(addr: SocketAddr, plan: &RequestPlan, opts: &ReplayOptions) -> Rep
         p99_ms: pct(0.99),
         mean_ms,
         digest: hex,
+        epochs,
     }
 }

@@ -28,6 +28,15 @@ pub enum Control {
     Metrics,
     /// Begin graceful shutdown after the response is written.
     Shutdown,
+    /// Kick off a background epoch mutation + hot swap (the server layer
+    /// owns the epoch manager). Fraction is carried in basis points so
+    /// the variant stays `Copy + Eq` and exactly deterministic.
+    EpochSwap {
+        /// Mutation fraction in basis points (100 = 1% of sites).
+        fraction_bp: u64,
+        /// Seed for the mutation's site selection.
+        seed: u64,
+    },
 }
 
 /// A routed request: the response plus the follow-up action.
@@ -75,6 +84,36 @@ pub fn route(state: &ServeState, req: &Request) -> Routed {
             _ => method_not_allowed("/shutdown is POST-only"),
         };
     }
+    // The hot-swap control endpoint: parameters parse here so taxonomy
+    // errors stay in the router, but the swap itself runs in the server
+    // layer (which owns the epoch manager and may not have one).
+    if segments == ["admin", "epoch"] {
+        return match req.method {
+            Method::Post => {
+                let fraction_bp = match req.query_param("fraction_bp") {
+                    None => 100,
+                    Some(raw) => match raw.parse::<u64>() {
+                        Ok(bp) if bp <= 10_000 => bp,
+                        _ => return bad_param("fraction_bp must be an integer in 0..=10000"),
+                    },
+                };
+                let seed = match req.query_param("seed") {
+                    None => 1,
+                    Some(raw) => match raw.parse::<u64>() {
+                        Ok(s) => s,
+                        Err(_) => return bad_param("seed must be a non-negative integer"),
+                    },
+                };
+                Routed {
+                    // Body is a placeholder; the server layer substitutes
+                    // the actual swap verdict (started / in-flight / off).
+                    response: Response::ok_json(String::new()),
+                    control: Control::EpochSwap { fraction_bp, seed },
+                }
+            }
+            _ => method_not_allowed("/admin/epoch is POST-only"),
+        };
+    }
     if req.method == Method::Post {
         return method_not_allowed("resource endpoints are read-only");
     }
@@ -107,7 +146,7 @@ fn index(state: &ServeState) -> Response {
          \"epoch\": {},\n  \"entities\": {},\n  \"sites\": {},\n  \"endpoints\": [\"/\", \
          \"/entity/{{id}}\", \"/entity?phone=|isbn=|homepage=\", \"/sites\", \"/site/{{idx}}\", \
          \"/coverage\", \"/coverage.csv\", \"/demand/{{site}}/{{channel}}.csv\", \"/figures\", \
-         \"/figure/{{id}}.csv\", \"/metrics\", \"POST /shutdown\"]\n}}\n",
+         \"/figure/{{id}}.csv\", \"/metrics\", \"POST /admin/epoch\", \"POST /shutdown\"]\n}}\n",
         state.domain.slug(),
         state.config.scale,
         state.report.epoch,
@@ -362,6 +401,40 @@ mod tests {
         let routed = route(&s, &req);
         assert_eq!(routed.response.status, 200);
         assert_eq!(routed.control, Control::Shutdown);
+    }
+
+    #[test]
+    fn admin_epoch_parses_params_and_rejects_garbage() {
+        let s = state();
+        // GET → 405, like /shutdown.
+        assert_eq!(get(&s, "/admin/epoch").response.status, 405);
+        // POST with defaults.
+        let post = |target: &str| {
+            let raw = format!("POST {target} HTTP/1.1\r\n\r\n");
+            let Parse::Complete(req, _) = parse_request(raw.as_bytes()) else {
+                panic!("test request must parse");
+            };
+            route(&s, &req)
+        };
+        let routed = post("/admin/epoch");
+        assert_eq!(
+            routed.control,
+            Control::EpochSwap {
+                fraction_bp: 100,
+                seed: 1
+            }
+        );
+        let routed = post("/admin/epoch?fraction_bp=250&seed=9");
+        assert_eq!(
+            routed.control,
+            Control::EpochSwap {
+                fraction_bp: 250,
+                seed: 9
+            }
+        );
+        assert_eq!(post("/admin/epoch?fraction_bp=10001").response.status, 400);
+        assert_eq!(post("/admin/epoch?fraction_bp=banana").response.status, 400);
+        assert_eq!(post("/admin/epoch?seed=-3").response.status, 400);
     }
 
     #[test]

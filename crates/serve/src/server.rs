@@ -24,11 +24,15 @@
 //! checks both equations; the fault-injection tests drive chaotic
 //! clients at the server and then assert them.
 
-use crate::http::{parse_request, Method, Parse, Response};
+use crate::cache::CacheOutcome;
+use crate::http::{
+    if_none_match_matches, parse_head, write_response_head, HeadParse, Method, Request, Response,
+};
 use crate::router::{route, Control};
 use crate::state::ServeState;
+use crate::swap::{EpochManager, ServeEpoch, SharedServing};
 use std::collections::VecDeque;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -50,6 +54,10 @@ pub struct ServeConfig {
     pub max_requests_per_conn: usize,
     /// Bounded accept-queue depth.
     pub queue_depth: usize,
+    /// Whether the hot-path response cache answers GET/HEAD requests.
+    /// Off, every request takes the full router — the configuration the
+    /// bench uses to prove cached and uncached bytes are identical.
+    pub cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +68,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(5),
             max_requests_per_conn: 1024,
             queue_depth: 2 * threads.max(1),
+            cache: true,
         }
     }
 }
@@ -82,10 +91,20 @@ pub struct ServeStats {
     pub parse_errors: u64,
     /// Responses by status class.
     pub resp_2xx: u64,
+    /// 3xx responses (`304 Not Modified` revalidations).
+    pub resp_3xx: u64,
     /// 4xx responses.
     pub resp_4xx: u64,
     /// 5xx responses.
     pub resp_5xx: u64,
+    /// Cache lookups served from already-pinned bytes.
+    pub cache_hits: u64,
+    /// Cache lookups that rendered and filled an entity slot.
+    pub cache_misses: u64,
+    /// Conditional requests answered `304` (the cheapest hit of all).
+    pub cache_revalidations: u64,
+    /// Epoch hot-swaps published since boot.
+    pub cache_swaps: u64,
     /// Response bytes written.
     pub bytes_out: u64,
     /// Request latency in microseconds (parse start → response written).
@@ -101,7 +120,8 @@ impl ServeStats {
     #[must_use]
     pub fn is_consistent(&self) -> bool {
         self.accepted == self.closed_clean + self.closed_timeout + self.closed_error
-            && self.resp_2xx + self.resp_4xx + self.resp_5xx == self.requests + self.parse_errors
+            && self.resp_2xx + self.resp_3xx + self.resp_4xx + self.resp_5xx
+                == self.requests + self.parse_errors
     }
 
     /// Latency percentile in microseconds (histogram-bucket resolution).
@@ -135,17 +155,23 @@ struct Counters {
     requests: AtomicU64,
     parse_errors: AtomicU64,
     resp_2xx: AtomicU64,
+    resp_3xx: AtomicU64,
     resp_4xx: AtomicU64,
     resp_5xx: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_revalidations: AtomicU64,
     bytes_out: AtomicU64,
     latency: Mutex<LocalHistogram>,
     /// Totals already pushed to the global registry, so republishing is
     /// a delta and the `serve.*` counters stay monotone.
-    published: Mutex<[u64; 9]>,
+    published: Mutex<[u64; 14]>,
 }
 
 impl Counters {
-    fn snapshot(&self) -> ServeStats {
+    /// Snapshot the counters. `swaps` comes from [`SharedServing`] — the
+    /// background swap thread publishes there, not here.
+    fn snapshot(&self, swaps: u64) -> ServeStats {
         ServeStats {
             accepted: self.accepted.load(Ordering::Relaxed),
             closed_clean: self.closed_clean.load(Ordering::Relaxed),
@@ -154,8 +180,13 @@ impl Counters {
             requests: self.requests.load(Ordering::Relaxed),
             parse_errors: self.parse_errors.load(Ordering::Relaxed),
             resp_2xx: self.resp_2xx.load(Ordering::Relaxed),
+            resp_3xx: self.resp_3xx.load(Ordering::Relaxed),
             resp_4xx: self.resp_4xx.load(Ordering::Relaxed),
             resp_5xx: self.resp_5xx.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_revalidations: self.cache_revalidations.load(Ordering::Relaxed),
+            cache_swaps: swaps,
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             latency: self.latency.lock().expect("latency lock").clone(),
         }
@@ -165,9 +196,10 @@ impl Counters {
     /// counters land in the deterministic metrics tail (they are a pure
     /// function of the request stream); latency, which is wall-clock, is
     /// published as gauges — gauges are excluded from the deterministic
-    /// snapshot by design.
-    fn publish(&self) {
-        let s = self.snapshot();
+    /// snapshot by design, which is also where the derived
+    /// `serve.cache.hit_rate_bp` lives (a ratio, not a monotone count).
+    fn publish(&self, swaps: u64) {
+        let s = self.snapshot(swaps);
         let live = [
             s.accepted,
             s.closed_clean,
@@ -176,10 +208,15 @@ impl Counters {
             s.requests,
             s.parse_errors,
             s.resp_2xx,
+            s.resp_3xx,
             s.resp_4xx,
             s.resp_5xx,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_revalidations,
+            s.cache_swaps,
         ];
-        const NAMES: [&str; 9] = [
+        const NAMES: [&str; 14] = [
             "serve.accepted",
             "serve.closed_clean",
             "serve.closed_timeout",
@@ -187,8 +224,13 @@ impl Counters {
             "serve.requests",
             "serve.parse_errors",
             "serve.resp_2xx",
+            "serve.resp_3xx",
             "serve.resp_4xx",
             "serve.resp_5xx",
+            "serve.cache.hits",
+            "serve.cache.misses",
+            "serve.cache.revalidations",
+            "serve.cache.swaps",
         ];
         let m = obs::metrics();
         let mut published = self.published.lock().expect("publish lock");
@@ -197,6 +239,14 @@ impl Counters {
             *prev = now;
         }
         drop(published);
+        // Derived hit rate in basis points, mirroring the extraction
+        // cache's `cache.hit_rate_bp`: a revalidation is the cheapest hit
+        // (no bytes moved at all), a fill is the only miss.
+        let lookups = s.cache_hits + s.cache_misses + s.cache_revalidations;
+        let rate_bp = ((lookups - s.cache_misses) * 10_000)
+            .checked_div(lookups)
+            .unwrap_or(0);
+        m.set_gauge("serve.cache.hit_rate_bp", rate_bp as f64);
         m.set_gauge("serve.latency_p50_us", s.latency_percentile_us(0.50) as f64);
         m.set_gauge("serve.latency_p99_us", s.latency_percentile_us(0.99) as f64);
         m.set_gauge("serve.latency_count", s.latency.count() as f64);
@@ -276,6 +326,7 @@ pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    shared: Arc<SharedServing>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     command: String,
@@ -284,12 +335,29 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `state` with `config`.
+    /// `state` with `config`. The state is pinned for the server's
+    /// lifetime — no hot swap; `POST /admin/epoch` answers 404. Use
+    /// [`Server::start_with`] to serve a swappable epoch.
     ///
     /// # Errors
     /// Propagates bind failures.
     pub fn start(
         state: Arc<ServeState>,
+        config: &ServeConfig,
+        addr: &str,
+    ) -> std::io::Result<Server> {
+        let shared = Arc::new(SharedServing::new(ServeEpoch::new(state)));
+        Server::start_with(shared, None, config, addr)
+    }
+
+    /// Bind `addr` and serve whatever epoch `shared` currently holds,
+    /// with `manager` (if any) answering `POST /admin/epoch` hot-swaps.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start_with(
+        shared: Arc<SharedServing>,
+        manager: Option<Arc<EpochManager>>,
         config: &ServeConfig,
         addr: &str,
     ) -> std::io::Result<Server> {
@@ -299,7 +367,7 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
         let queue = Arc::new(ConnQueue::new(config.queue_depth));
-        let command = format!("serve {}", state.domain.slug());
+        let command = format!("serve {}", shared.load().state.domain.slug());
         let threads = config.threads.max(1);
 
         let acceptor = {
@@ -330,7 +398,8 @@ impl Server {
         let workers = (0..threads)
             .map(|_| {
                 let queue = Arc::clone(&queue);
-                let state = Arc::clone(&state);
+                let shared = Arc::clone(&shared);
+                let manager = manager.clone();
                 let counters = Arc::clone(&counters);
                 let shutdown = Arc::clone(&shutdown);
                 let config = config.clone();
@@ -338,7 +407,13 @@ impl Server {
                 std::thread::spawn(move || {
                     while let Some(conn) = queue.pop() {
                         serve_connection(
-                            conn, &state, &config, &counters, &shutdown, &command,
+                            conn,
+                            &shared,
+                            manager.as_ref(),
+                            &config,
+                            &counters,
+                            &shutdown,
+                            &command,
                         );
                     }
                 })
@@ -349,6 +424,7 @@ impl Server {
             addr: local,
             shutdown,
             counters,
+            shared,
             acceptor: Some(acceptor),
             workers,
             command,
@@ -372,7 +448,7 @@ impl Server {
     /// [`ServeStats::is_consistent`]).
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        self.counters.snapshot()
+        self.counters.snapshot(self.shared.swaps())
     }
 
     /// Wait for the acceptor and every worker to drain, publish the
@@ -392,14 +468,15 @@ impl Server {
         for w in self.workers.drain(..) {
             w.join().expect("worker thread panicked");
         }
-        self.counters.publish();
-        self.counters.snapshot()
+        let swaps = self.shared.swaps();
+        self.counters.publish(swaps);
+        self.counters.snapshot(swaps)
     }
 
     /// The `RUN_REPORT.json`-shaped metrics body `/metrics` serves.
     #[must_use]
     pub fn metrics_report(&self) -> String {
-        self.counters.publish();
+        self.counters.publish(self.shared.swaps());
         obs::run_report_json(&self.command, self.threads, obs::global())
     }
 }
@@ -411,11 +488,16 @@ enum ConnEnd {
     Error,
 }
 
+/// A fast-path resolution: status, content type, and the pinned body
+/// bytes (`None` for a 304, whose body is empty by definition).
+type FastResponse = (u16, &'static str, Option<Arc<[u8]>>);
+
 /// Serve one connection to completion. Every return path records exactly
 /// one [`ConnEnd`].
 fn serve_connection(
     mut conn: TcpStream,
-    state: &ServeState,
+    shared: &Arc<SharedServing>,
+    manager: Option<&Arc<EpochManager>>,
     config: &ServeConfig,
     counters: &Counters,
     shutdown: &AtomicBool,
@@ -423,7 +505,7 @@ fn serve_connection(
 ) {
     let _ = conn.set_read_timeout(Some(config.read_timeout));
     let _ = conn.set_nodelay(true);
-    let end = drive_connection(&mut conn, state, config, counters, shutdown, command);
+    let end = drive_connection(&mut conn, shared, manager, config, counters, shutdown, command);
     let bucket = match end {
         ConnEnd::Clean => &counters.closed_clean,
         ConnEnd::Timeout => &counters.closed_timeout,
@@ -432,9 +514,11 @@ fn serve_connection(
     bucket.fetch_add(1, Ordering::Relaxed);
 }
 
+#[allow(clippy::too_many_lines)]
 fn drive_connection(
     conn: &mut TcpStream,
-    state: &ServeState,
+    shared: &Arc<SharedServing>,
+    manager: Option<&Arc<EpochManager>>,
     config: &ServeConfig,
     counters: &Counters,
     shutdown: &AtomicBool,
@@ -442,21 +526,106 @@ fn drive_connection(
 ) -> ConnEnd {
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // The reusable wire buffer: every response on this connection is
+    // assembled here, so a steady-state cache hit allocates nothing.
+    let mut out_buf: Vec<u8> = Vec::with_capacity(4096);
     let mut served = 0usize;
     loop {
         // Drain every complete request already buffered (pipelining)
         // before touching the socket again.
-        match parse_request(&buf) {
-            Parse::Complete(req, consumed) => {
-                buf.drain(..consumed);
+        match parse_head(&buf) {
+            HeadParse::Complete(head, consumed) => {
                 counters.requests.fetch_add(1, Ordering::Relaxed);
                 served += 1;
                 let start = Instant::now();
                 let _span = webstruct_util::span!("serve.request");
+                // One epoch snapshot per request: the whole response is
+                // served from it, so a concurrent hot-swap is invisible
+                // until the next request.
+                let epoch = shared.load();
+                let head_only = head.method == Method::Head;
+                let keep_alive = head.keep_alive;
+
+                // ── Fast path: GET/HEAD on a cacheable route ──────────
+                // Serves pinned bytes (or a 304) without building an
+                // owned Request, touching the router, or allocating.
+                let mut fast: Option<FastResponse> = None;
+                if config.cache && matches!(head.method, Method::Get | Method::Head) {
+                    if let Some(content_type) = epoch.cache.probe(head.path) {
+                        let revalidated = head
+                            .if_none_match
+                            .is_some_and(|inm| if_none_match_matches(inm, &epoch.etag));
+                        if revalidated {
+                            counters.cache_revalidations.fetch_add(1, Ordering::Relaxed);
+                            fast = Some((304, content_type, None));
+                        } else if let Some((cached, outcome)) =
+                            epoch.cache.lookup(&epoch.state, head.path)
+                        {
+                            match outcome {
+                                CacheOutcome::Hit => {
+                                    counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                                }
+                                CacheOutcome::Filled => {
+                                    counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            fast = Some((cached.status, cached.content_type, Some(Arc::clone(&cached.body))));
+                        }
+                    }
+                }
+                if let Some((status, content_type, body)) = fast {
+                    buf.drain(..consumed);
+                    let closing = !keep_alive
+                        || served >= config.max_requests_per_conn
+                        || shutdown.load(Ordering::Relaxed);
+                    match status / 100 {
+                        2 => counters.resp_2xx.fetch_add(1, Ordering::Relaxed),
+                        _ => counters.resp_3xx.fetch_add(1, Ordering::Relaxed),
+                    };
+                    out_buf.clear();
+                    let body_len = body.as_ref().map_or(0, |b| b.len());
+                    write_response_head(
+                        &mut out_buf,
+                        status,
+                        content_type,
+                        body_len,
+                        Some(&epoch.etag),
+                        !closing,
+                    );
+                    if !head_only {
+                        if let Some(b) = &body {
+                            out_buf.extend_from_slice(b);
+                        }
+                    }
+                    let written = conn.write_all(&out_buf).and_then(|()| conn.flush());
+                    let micros =
+                        u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    counters
+                        .latency
+                        .lock()
+                        .expect("latency lock")
+                        .record(micros);
+                    match written {
+                        Ok(()) => {
+                            counters
+                                .bytes_out
+                                .fetch_add(out_buf.len() as u64, Ordering::Relaxed);
+                        }
+                        Err(_) => return ConnEnd::Error,
+                    }
+                    if closing {
+                        return ConnEnd::Clean;
+                    }
+                    continue;
+                }
+
+                // ── Slow path: the full router ────────────────────────
+                let req = Request::from_head(&head);
+                buf.drain(..consumed);
                 // A handler panic must not take the worker down: catch it
                 // and answer with the 500 arm of the taxonomy.
                 let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    route(state, &req)
+                    route(&epoch.state, &req)
                 }));
                 let (response, control) = match routed {
                     Ok(r) => (r.response, r.control),
@@ -465,13 +634,58 @@ fn drive_connection(
                         Control::None,
                     ),
                 };
-                let response = if control == Control::Metrics {
-                    counters.publish();
-                    Response::ok_json(obs::run_report_json(
-                        command,
-                        config.threads,
-                        obs::global(),
-                    ))
+                let response = match control {
+                    Control::Metrics => {
+                        counters.publish(shared.swaps());
+                        Response::ok_json(obs::run_report_json(
+                            command,
+                            config.threads,
+                            obs::global(),
+                        ))
+                    }
+                    Control::EpochSwap { fraction_bp, seed } => match manager {
+                        None => Response::error(
+                            404,
+                            "not_found",
+                            "hot-swap disabled; start the server with --watch",
+                        ),
+                        Some(mgr) => {
+                            if mgr.begin_swap(shared, fraction_bp, seed) {
+                                Response::ok_json(format!(
+                                    "{{\"swap_started\": true, \"from_epoch\": {}, \
+                                     \"fraction_bp\": {fraction_bp}, \"seed\": {seed}}}\n",
+                                    epoch.version,
+                                ))
+                            } else {
+                                Response::error(
+                                    409,
+                                    "swap_in_progress",
+                                    "an epoch swap is already running",
+                                )
+                            }
+                        }
+                    },
+                    _ => response,
+                };
+                // The conditional layer: every plain-resource 200 carries
+                // the epoch ETag, and a matching If-None-Match collapses
+                // it to a 304. Deliberately independent of `config.cache`
+                // so cached and uncached servers answer conditional
+                // requests identically (the digest-equality guarantee).
+                let response = if control == Control::None
+                    && response.status == 200
+                    && matches!(req.method, Method::Get | Method::Head)
+                {
+                    match req.if_none_match.as_deref() {
+                        Some(inm) if if_none_match_matches(inm, &epoch.etag) => {
+                            counters.cache_revalidations.fetch_add(1, Ordering::Relaxed);
+                            Response::not_modified(
+                                response.content_type,
+                                Arc::clone(&epoch.etag),
+                            )
+                        }
+                        _ => response.with_etag(Arc::clone(&epoch.etag)),
+                    }
                 } else {
                     response
                 };
@@ -481,12 +695,13 @@ fn drive_connection(
                     || shutdown.load(Ordering::Relaxed);
                 match response.class() {
                     2 => counters.resp_2xx.fetch_add(1, Ordering::Relaxed),
+                    3 => counters.resp_3xx.fetch_add(1, Ordering::Relaxed),
                     4 => counters.resp_4xx.fetch_add(1, Ordering::Relaxed),
                     _ => counters.resp_5xx.fetch_add(1, Ordering::Relaxed),
                 };
-                let head_only = req.method == Method::Head;
-                let written =
-                    response.write_to(conn, !closing, head_only);
+                out_buf.clear();
+                response.write_into(&mut out_buf, !closing, head_only);
+                let written = conn.write_all(&out_buf).and_then(|()| conn.flush());
                 let micros =
                     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 counters
@@ -498,8 +713,10 @@ fn drive_connection(
                     shutdown.store(true, Ordering::Relaxed);
                 }
                 match written {
-                    Ok(n) => {
-                        counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    Ok(()) => {
+                        counters
+                            .bytes_out
+                            .fetch_add(out_buf.len() as u64, Ordering::Relaxed);
                     }
                     // The mid-response disconnect: the client vanished
                     // while we were writing.
@@ -510,7 +727,7 @@ fn drive_connection(
                 }
                 continue;
             }
-            Parse::Error(e) => {
+            HeadParse::Error(e) => {
                 // One response per parse error, then close: after a
                 // malformed head there is no reliable way to resync the
                 // stream.
@@ -520,15 +737,19 @@ fn drive_connection(
                     4 => counters.resp_4xx.fetch_add(1, Ordering::Relaxed),
                     _ => counters.resp_5xx.fetch_add(1, Ordering::Relaxed),
                 };
-                match response.write_to(conn, false, false) {
-                    Ok(n) => {
-                        counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                out_buf.clear();
+                response.write_into(&mut out_buf, false, false);
+                match conn.write_all(&out_buf).and_then(|()| conn.flush()) {
+                    Ok(()) => {
+                        counters
+                            .bytes_out
+                            .fetch_add(out_buf.len() as u64, Ordering::Relaxed);
                         return ConnEnd::Clean;
                     }
                     Err(_) => return ConnEnd::Error,
                 }
             }
-            Parse::Partial => {}
+            HeadParse::Partial => {}
         }
         match conn.read(&mut chunk) {
             // EOF with nothing buffered is the normal keep-alive end;

@@ -58,8 +58,22 @@ impl ServeState {
         dir: &Path,
         threads: usize,
     ) -> Result<Self, EpochError> {
+        let epoch = Epoch::new(domain, config);
+        Self::from_epoch(&epoch, dir, threads)
+    }
+
+    /// Build serving state from an existing [`Epoch`] — the hot-swap
+    /// path: the epoch manager mutates its long-lived `Epoch` and
+    /// rebuilds state from it (the dirty-slice recompute makes the re-run
+    /// proportional to the mutation), leaving the old state serving until
+    /// the new one is published.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures ([`EpochError`]).
+    pub fn from_epoch(epoch: &Epoch, dir: &Path, threads: usize) -> Result<Self, EpochError> {
         let _span = webstruct_util::span!("serve.build", threads);
-        let epoch = Epoch::new(domain, config.clone());
+        let domain = epoch.domain();
+        let config = epoch.config().clone();
         let (report, web) = epoch.run_extracted(dir, threads)?;
         let attr = identifying_attribute(domain);
         let catalog = epoch.catalog().clone();

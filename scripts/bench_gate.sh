@@ -51,11 +51,23 @@
 # When a serving artifact (BENCH_serve.json) is present, it also gates
 # the serving layer's traffic replay:
 #
-#   rps             >= baseline.min_rps              (advisory in warn mode)
+#   rps_t{1,2,4}    >= baseline.min_rps_t{1,2,4}     (per-worker-count
+#                      uncached floors, advisory in warn mode; falls back
+#                      to the headline rps >= min_rps against artifacts
+#                      or baselines that predate the per-thread keys)
+#   min_cached_ratio >= baseline.min_cached_rps_ratio (the response cache
+#                      must pay for itself at every worker count;
+#                      advisory in warn mode)
+#   allocs_per_request_cached <= baseline.max_allocs_per_request_cached
+#                      (steady-state heap traffic per cache hit;
+#                      advisory in warn mode)
 #   p99_latency_ms  <= baseline.max_p99_latency_ms   (advisory in warn mode)
 #   byte_identical  == true  (hard-fail: a response-digest divergence
 #                             across server thread counts is a
 #                             determinism violation)
+#   cached_digest_identical == true  (hard-fail in any mode: the cache
+#                             serving different bytes than the router is
+#                             a correctness violation, not a slowdown)
 #
 # Usage: scripts/bench_gate.sh [artifact.json] [baseline.json] [scale_artifact.json] [durability_artifact.json] [incremental_artifact.json] [serve_artifact.json]
 set -euo pipefail
@@ -239,25 +251,78 @@ if [[ -f "$INCREMENTAL_ARTIFACT" ]]; then
     echo "  OK    byte_identical: true"
 fi
 
-# Serving stage: throughput and tail latency are wall-clock (advisory
-# in warn mode, with env-overridable limits); replay-digest identity
-# across server thread counts is exact and hard-fails in any mode.
+# Serving stage: throughput, cached speedup and tail latency are
+# wall-clock (advisory in warn mode, with env-overridable limits);
+# replay-digest identity across server thread counts and cached-vs-
+# uncached byte identity are exact and hard-fail in any mode. The
+# artifact records hardware_threads so a baseline mismatch is explicable.
 if [[ -f "$SERVE_ARTIFACT" ]]; then
-    echo "bench_gate: serve, $SERVE_ARTIFACT"
-    serve_rps="$(json_num "$SERVE_ARTIFACT" rps)"
+    serve_hw="$(json_num "$SERVE_ARTIFACT" hardware_threads || true)"
+    echo "bench_gate: serve, $SERVE_ARTIFACT (hardware_threads: ${serve_hw:-unrecorded})"
     serve_p99="$(json_num "$SERVE_ARTIFACT" p99_latency_ms)"
     serve_identical="$(grep -o '"byte_identical": *[a-z]*' "$SERVE_ARTIFACT" | head -1 | sed 's/.*: *//')"
-    base_min_rps="$(json_num "$BASELINE" min_rps || true)"
     base_max_p99="$(json_num "$BASELINE" max_p99_latency_ms || true)"
-    SERVE_MIN_RPS="${WEBSTRUCT_SERVE_MIN_RPS:-${base_min_rps:-2000}}"
     SERVE_MAX_P99="${WEBSTRUCT_SERVE_MAX_P99_MS:-${base_max_p99:-50}}"
-    ok="$(awk -v c="$serve_rps" -v f="$SERVE_MIN_RPS" 'BEGIN { print (c >= f) ? 1 : 0 }')"
-    if [[ "$ok" == "1" ]]; then
-        echo "  OK    rps: $serve_rps >= $SERVE_MIN_RPS"
-    else
-        echo "  SLOW  rps: $serve_rps < $SERVE_MIN_RPS (replay throughput regressed)"
-        fails=$((fails + 1))
+
+    # Per-worker-count uncached floors: each swept thread count is gated
+    # against its own baseline, so a regression confined to one pool size
+    # cannot hide behind the best step. Falls back to the headline floor
+    # when either side predates the per-thread keys.
+    per_thread_checked=0
+    for t in 1 2 4 8; do
+        cur_t="$(json_num "$SERVE_ARTIFACT" "rps_t$t" || true)"
+        base_t="$(json_num "$BASELINE" "min_rps_t$t" || true)"
+        if [[ -n "$cur_t" && -n "$base_t" ]]; then
+            per_thread_checked=$((per_thread_checked + 1))
+            ok="$(awk -v c="$cur_t" -v f="$base_t" 'BEGIN { print (c >= f) ? 1 : 0 }')"
+            if [[ "$ok" == "1" ]]; then
+                echo "  OK    rps_t$t: $cur_t >= $base_t"
+            else
+                echo "  SLOW  rps_t$t: $cur_t < $base_t (uncached replay regressed at $t worker(s))"
+                fails=$((fails + 1))
+            fi
+        fi
+    done
+    if [[ "$per_thread_checked" == "0" ]]; then
+        serve_rps="$(json_num "$SERVE_ARTIFACT" rps)"
+        base_min_rps="$(json_num "$BASELINE" min_rps || true)"
+        SERVE_MIN_RPS="${WEBSTRUCT_SERVE_MIN_RPS:-${base_min_rps:-2000}}"
+        ok="$(awk -v c="$serve_rps" -v f="$SERVE_MIN_RPS" 'BEGIN { print (c >= f) ? 1 : 0 }')"
+        if [[ "$ok" == "1" ]]; then
+            echo "  OK    rps: $serve_rps >= $SERVE_MIN_RPS (headline fallback; no per-thread keys)"
+        else
+            echo "  SLOW  rps: $serve_rps < $SERVE_MIN_RPS (replay throughput regressed)"
+            fails=$((fails + 1))
+        fi
     fi
+
+    # Cached speedup floor: worst ratio across the sweep.
+    cur_ratio="$(json_num "$SERVE_ARTIFACT" min_cached_ratio || true)"
+    base_ratio="$(json_num "$BASELINE" min_cached_rps_ratio || true)"
+    if [[ -n "$cur_ratio" && -n "$base_ratio" ]]; then
+        MIN_RATIO="${WEBSTRUCT_SERVE_MIN_CACHED_RATIO:-$base_ratio}"
+        ok="$(awk -v c="$cur_ratio" -v f="$MIN_RATIO" 'BEGIN { print (c >= f) ? 1 : 0 }')"
+        if [[ "$ok" == "1" ]]; then
+            echo "  OK    min_cached_ratio: $cur_ratio >= $MIN_RATIO"
+        else
+            echo "  SLOW  min_cached_ratio: $cur_ratio < $MIN_RATIO (the response cache no longer pays for itself)"
+            fails=$((fails + 1))
+        fi
+    fi
+
+    # Steady-state heap traffic per cache hit.
+    cur_apr="$(json_num "$SERVE_ARTIFACT" allocs_per_request_cached || true)"
+    base_apr="$(json_num "$BASELINE" max_allocs_per_request_cached || true)"
+    if [[ -n "$cur_apr" && -n "$base_apr" ]]; then
+        ok="$(awk -v c="$cur_apr" -v m="$base_apr" 'BEGIN { print (c <= m) ? 1 : 0 }')"
+        if [[ "$ok" == "1" ]]; then
+            echo "  OK    allocs_per_request_cached: $cur_apr <= $base_apr"
+        else
+            echo "  SLOW  allocs_per_request_cached: $cur_apr > $base_apr (per-hit allocations crept back in)"
+            fails=$((fails + 1))
+        fi
+    fi
+
     ok="$(awk -v c="$serve_p99" -v m="$SERVE_MAX_P99" 'BEGIN { print (c <= m) ? 1 : 0 }')"
     if [[ "$ok" == "1" ]]; then
         echo "  OK    p99_latency_ms: $serve_p99 <= $SERVE_MAX_P99"
@@ -271,6 +336,18 @@ if [[ -f "$SERVE_ARTIFACT" ]]; then
         exit 1
     fi
     echo "  OK    byte_identical: true"
+    # Cached-vs-uncached byte identity: only checked when the artifact
+    # records it (older artifacts predate the cache), but a recorded
+    # false hard-fails in any mode.
+    cached_identical="$(grep -o '"cached_digest_identical": *[a-z]*' "$SERVE_ARTIFACT" | head -1 | sed 's/.*: *//')"
+    if [[ -n "$cached_identical" ]]; then
+        if [[ "$cached_identical" != "true" ]]; then
+            echo "  FAIL  cached_digest_identical: $cached_identical (cache served different bytes than the router)"
+            echo "bench_gate: FAIL (cache correctness violation; failing in any mode)"
+            exit 1
+        fi
+        echo "  OK    cached_digest_identical: true"
+    fi
 fi
 
 if [[ "$fails" -gt 0 ]]; then

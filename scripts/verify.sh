@@ -81,8 +81,8 @@ echo "==> scrub: full integrity pass (every byte re-hashed) over the streamed st
 echo "==> epoch: 1%-mutation incremental re-run (dirty slice only, cache replay)"
 ./target/release/webstruct epoch banks 0.05 "$TRACE_TMP/epoch" 0.01 | sed 's/^/    /'
 
-echo "==> serve: smoke — boot on an ephemeral port, hit three endpoints, clean shutdown"
-./target/release/webstruct serve restaurants 0.02 "$TRACE_TMP/serve-store" 0 \
+echo "==> serve: smoke — boot --watch on an ephemeral port, hit three endpoints, clean shutdown"
+./target/release/webstruct serve --watch restaurants 0.02 "$TRACE_TMP/serve-store" 0 \
     > "$TRACE_TMP/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
@@ -104,6 +104,43 @@ http_get() {
 for ep in / /coverage /sites; do
     http_get "$SERVE_URL$ep" || { echo "    FAIL: GET $ep"; exit 1; }
 done
+
+echo "==> serve: cache smoke — repeat hit, ETag 304 revalidation, live epoch swap"
+# Reconstruct the epoch ETag from the coverage body: "{epoch}-{first 16
+# hex of the output digest}", quoted.
+COV_BODY="$(./target/release/webstruct http GET "$SERVE_URL/coverage" 2>/dev/null)"
+COV_EPOCH="$(echo "$COV_BODY" | grep -o '"epoch": *[0-9]*' | head -1 | grep -o '[0-9]*$')"
+COV_DIGEST="$(echo "$COV_BODY" | grep -o '"output_digest": *"[0-9a-f]*"' | head -1 | grep -o '[0-9a-f]\{64\}')"
+ETAG="\"${COV_EPOCH}-${COV_DIGEST:0:16}\""
+# A conditional replay of the same validator must draw an empty-body 304
+# (the client exits 0 on 304).
+BODY_304="$(./target/release/webstruct http GET "$SERVE_URL/coverage" "$ETAG" 2>/dev/null)" || {
+    echo "    FAIL: conditional GET /coverage"; exit 1; }
+[[ -z "$BODY_304" ]] || { echo "    FAIL: 304 must carry an empty body"; exit 1; }
+# The repeated plain hits above must have landed in the response cache.
+./target/release/webstruct http GET "$SERVE_URL/metrics" 2>/dev/null \
+    | grep -q '"serve.cache.hits": *[1-9]' || {
+    echo "    FAIL: no serve.cache.hits recorded for repeated GETs"; exit 1; }
+# Trigger a live epoch swap and wait for the publish.
+./target/release/webstruct http POST "$SERVE_URL/admin/epoch?fraction_bp=100&seed=7" >/dev/null || {
+    echo "    FAIL: POST /admin/epoch"; exit 1; }
+SWAPPED=""
+for _ in $(seq 1 100); do
+    if ./target/release/webstruct http GET "$SERVE_URL/metrics" 2>/dev/null \
+        | grep -q '"serve.cache.swaps": *[1-9]'; then
+        SWAPPED=1; break
+    fi
+    sleep 0.1
+done
+[[ -n "$SWAPPED" ]] || { echo "    FAIL: epoch swap did not publish"; exit 1; }
+# The pre-swap validator is now stale: the same conditional GET must
+# draw the fresh full-bodied 200.
+BODY_STALE="$(./target/release/webstruct http GET "$SERVE_URL/coverage" "$ETAG" 2>/dev/null)" || {
+    echo "    FAIL: stale conditional GET /coverage"; exit 1; }
+[[ -n "$BODY_STALE" ]] || {
+    echo "    FAIL: stale validator must draw the full 200 after the swap"; exit 1; }
+echo "    cache smoke OK (hit counters, 304 revalidation, swap + stale validator)"
+
 if command -v curl >/dev/null 2>&1; then
     curl -fsS -X POST "$SERVE_URL/shutdown" >/dev/null
 else

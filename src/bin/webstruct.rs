@@ -104,7 +104,9 @@ fn report_dir(args: &[String]) -> String {
         Some("repair") => args.get(2).cloned().unwrap_or_else(|| "artifacts/shards".into()),
         Some("epoch") => args.get(3).cloned().unwrap_or_else(|| "artifacts/epoch".into()),
         Some("serve" | "replay") => args
-            .get(3)
+            .iter()
+            .filter(|a| *a != "--watch")
+            .nth(3)
             .cloned()
             .unwrap_or_else(|| "artifacts/serve".into()),
         _ => "artifacts".into(),
@@ -163,12 +165,15 @@ fn help() {
          \twebstruct repair [SCALE] [DIR] [SHARD_MB]  quarantine corrupt shards and re-render\n\
          \twebstruct epoch [DOMAIN] [SCALE] [DIR] [FRACTION] [SHARD_KB]  incremental\n\
          \t                                      re-run after mutating FRACTION of sites\n\
-         \twebstruct serve [DOMAIN] [SCALE] [DIR] [PORT]  serve the extracted web over HTTP\n\
-         \t                                      (entity lookup, coverage, demand curves,\n\
-         \t                                      figure CSVs, /metrics; POST /shutdown stops)\n\
+         \twebstruct serve [--watch] [DOMAIN] [SCALE] [DIR] [PORT]  serve the extracted\n\
+         \t                                      web over HTTP (entity lookup, coverage,\n\
+         \t                                      demand curves, figure CSVs, /metrics;\n\
+         \t                                      POST /shutdown stops; with --watch,\n\
+         \t                                      POST /admin/epoch hot-swaps a new epoch)\n\
          \twebstruct replay [DOMAIN] [SCALE] [DIR] [N] [CLIENTS]  replay the simulated\n\
          \t                                      population against a local server\n\
-         \twebstruct http <METHOD> <URL>         one-shot HTTP client (exit 0 on 2xx)\n\
+         \twebstruct http <METHOD> <URL> [ETAG]  one-shot HTTP client (exit 0 on 2xx/304;\n\
+         \t                                      ETAG is sent as If-None-Match)\n\
          \twebstruct bootstrap [DOMAIN] [SCALE]\n\
          \twebstruct discover [DOMAIN] [SCALE]   compare frontier policies + seed robustness\n\
          \twebstruct dedup [DOMAIN] [SCALE]      deduplicate noisy listing records\n\
@@ -590,10 +595,15 @@ fn epoch_cmd(args: &[String]) -> i32 {
 /// re-extracting.
 fn serve_cmd(args: &[String]) -> i32 {
     use std::sync::Arc;
-    use webstruct::serve::{ServeConfig, ServeState, Server};
+    use webstruct::core::epoch::Epoch;
+    use webstruct::serve::{
+        EpochManager, ServeConfig, ServeEpoch, ServeState, Server, SharedServing,
+    };
 
-    let domain = parse_domain(args, 0);
-    let scale = parse_scale(args, 1, 0.05);
+    let watch = args.iter().any(|a| a == "--watch");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--watch").cloned().collect();
+    let domain = parse_domain(&args, 0);
+    let scale = parse_scale(&args, 1, 0.05);
     let dir = args
         .get(2)
         .cloned()
@@ -603,7 +613,8 @@ fn serve_cmd(args: &[String]) -> i32 {
     let config = StudyConfig::default().with_scale(scale);
 
     let t0 = std::time::Instant::now();
-    let state = match ServeState::build(domain, config, std::path::Path::new(&dir), threads) {
+    let epoch = Epoch::new(domain, config);
+    let state = match ServeState::from_epoch(&epoch, std::path::Path::new(&dir), threads) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: could not build state under {dir}: {e}");
@@ -623,8 +634,17 @@ fn serve_cmd(args: &[String]) -> i32 {
         threads,
         ..ServeConfig::default()
     };
-    let server = match Server::start(
-        Arc::new(state),
+    let shared = Arc::new(SharedServing::new(ServeEpoch::new(Arc::new(state))));
+    let manager = watch.then(|| {
+        Arc::new(EpochManager::new(
+            epoch,
+            std::path::PathBuf::from(&dir),
+            threads,
+        ))
+    });
+    let server = match Server::start_with(
+        shared,
+        manager,
         &serve_config,
         &format!("127.0.0.1:{port}"),
     ) {
@@ -635,13 +655,19 @@ fn serve_cmd(args: &[String]) -> i32 {
         }
     };
     println!(
-        "serving on http://{} with {threads} worker(s); POST /shutdown to stop",
-        server.local_addr()
+        "serving on http://{} with {threads} worker(s); POST /shutdown to stop{}",
+        server.local_addr(),
+        if watch {
+            "; POST /admin/epoch hot-swaps the next epoch"
+        } else {
+            ""
+        },
     );
     let stats = server.join();
     println!(
         "shut down: {} connection(s) ({} clean, {} timeout, {} error), \
-         {} request(s), {} parse error(s), {}/{}/{} 2xx/4xx/5xx, \
+         {} request(s), {} parse error(s), {}/{}/{}/{} 2xx/3xx/4xx/5xx, \
+         cache {} hit(s) {} miss(es) {} revalidation(s) {} swap(s), \
          p50 {}us p99 {}us",
         stats.accepted,
         stats.closed_clean,
@@ -650,8 +676,13 @@ fn serve_cmd(args: &[String]) -> i32 {
         stats.requests,
         stats.parse_errors,
         stats.resp_2xx,
+        stats.resp_3xx,
         stats.resp_4xx,
         stats.resp_5xx,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_revalidations,
+        stats.cache_swaps,
         stats.latency_percentile_us(0.50),
         stats.latency_percentile_us(0.99),
     );
@@ -730,6 +761,17 @@ fn replay_cmd(args: &[String]) -> i32 {
         report.mean_ms,
         report.digest,
     );
+    for slice in &report.epochs {
+        let tag = if slice.etag.is_empty() {
+            "(untagged)"
+        } else {
+            slice.etag.as_str()
+        };
+        println!(
+            "\tepoch slice {tag}: {} response(s), digest {}",
+            slice.responses, slice.digest
+        );
+    }
     if stats.is_consistent() {
         0
     } else {
@@ -739,15 +781,17 @@ fn replay_cmd(args: &[String]) -> i32 {
 }
 
 /// A one-shot HTTP client for smoke tests: prints the status and body,
-/// exits 0 on a 2xx response.
+/// exits 0 on a 2xx or 304 response. An optional trailing argument is
+/// sent as an `If-None-Match` validator.
 fn http_cmd(args: &[String]) -> i32 {
     use std::net::ToSocketAddrs;
 
-    let (method, url) = match args {
-        [url] => ("GET", url.as_str()),
-        [method, url, ..] => (method.as_str(), url.as_str()),
+    let (method, url, inm) = match args {
+        [url] => ("GET", url.as_str(), None),
+        [method, url] => (method.as_str(), url.as_str(), None),
+        [method, url, etag, ..] => (method.as_str(), url.as_str(), Some(etag.as_str())),
         [] => {
-            eprintln!("usage: webstruct http [METHOD] <URL>");
+            eprintln!("usage: webstruct http [METHOD] <URL> [IF_NONE_MATCH]");
             return 2;
         }
     };
@@ -766,11 +810,26 @@ fn http_cmd(args: &[String]) -> i32 {
             return 2;
         }
     };
-    match webstruct::serve::fetch(addr, &method.to_ascii_uppercase(), target) {
+    match webstruct::serve::fetch_with(addr, &method.to_ascii_uppercase(), target, inm) {
         Ok(resp) => {
-            eprintln!("{} {} ({} bytes)", resp.status, resp.content_type, resp.body.len());
+            if resp.etag.is_empty() {
+                eprintln!(
+                    "{} {} ({} bytes)",
+                    resp.status,
+                    resp.content_type,
+                    resp.body.len()
+                );
+            } else {
+                eprintln!(
+                    "{} {} ({} bytes, etag {})",
+                    resp.status,
+                    resp.content_type,
+                    resp.body.len(),
+                    resp.etag
+                );
+            }
             print!("{}", resp.text());
-            i32::from(resp.status / 100 != 2)
+            i32::from(resp.status / 100 != 2 && resp.status != 304)
         }
         Err(e) => {
             eprintln!("http: request failed: {e}");

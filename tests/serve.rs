@@ -14,21 +14,34 @@
 //!   every accepted connection is in exactly one `closed_*` bucket;
 //! * replaying the same seed-pure `RequestPlan` against servers at
 //!   different thread counts produces the same order-independent
-//!   response digest.
+//!   response digest;
+//! * the hot-path response cache serves the router's exact bytes (the
+//!   endpoint sweep is identical with the cache on and off);
+//! * `ETag`/`If-None-Match` revalidation draws a 304 on a match, a full
+//!   200 on a stale or malformed validator, in both cache modes;
+//! * a live epoch hot-swap partitions responses cleanly: every response
+//!   matches a cold server pinned at the epoch its `ETag` names, at any
+//!   worker count, with a chaos client hammering through the window.
 //!
 //! Tests that publish metrics or mutate `WEBSTRUCT_THREADS` serialise
 //! through the same process-wide env lock as `tests/determinism.rs`.
 
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
+use webstruct::core::epoch::Epoch;
 use webstruct::core::study::StudyConfig;
 use webstruct::corpus::domain::Domain;
 use webstruct::demand::model::{StudySite, TrafficConfig};
 use webstruct::demand::traffic::RequestPlan;
-use webstruct::serve::{fetch, replay, Connection, ReplayOptions, ServeConfig, ServeState, Server};
+use webstruct::serve::{
+    fetch, fetch_with, replay, Connection, EpochManager, ReplayOptions, ServeConfig, ServeEpoch,
+    ServeState, Server, SharedServing,
+};
 use webstruct::util::fault::{Fault, FaultConfig, FaultPlan};
 use webstruct::util::obs;
 use webstruct::util::rng::Seed;
@@ -36,9 +49,11 @@ use webstruct::util::sha::Sha256;
 
 fn env_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A panic under the lock (one failing test) must not cascade into
+    // poison panics in every other serialised test.
     LOCK.get_or_init(|| Mutex::new(()))
         .lock()
-        .expect("env lock poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Run `f` with `WEBSTRUCT_THREADS` pinned to `threads`.
@@ -108,7 +123,8 @@ const SWEEP: &[(&str, u16)] = &[
     ("/figure/serve-coverage.csv", 200),
     ("/figure/nope.csv", 404),
     ("/nothing/here", 404),
-    ("/shutdown", 405), // GET to the POST-only control endpoint
+    ("/shutdown", 405),    // GET to the POST-only control endpoint
+    ("/admin/epoch", 405), // GET to the POST-only hot-swap endpoint
 ];
 
 /// Fetch every sweep target over one keep-alive connection and return
@@ -222,6 +238,13 @@ fn metrics_tail_is_identical_across_thread_counts() {
             assert_eq!(resp.status, 200);
             drop(conn);
             let body = resp.text();
+            // The hit-rate gauge lives with the other gauges (wall-clock
+            // section, excluded from the deterministic tail) but must be
+            // present in every publish.
+            assert!(
+                body.contains("serve.cache.hit_rate_bp"),
+                "hit-rate gauge missing: {body}"
+            );
             let tail_pos = body.rfind("\"metrics\":").expect("metrics key present");
             let tail = body[tail_pos..].to_string();
             let stats = stop(server);
@@ -233,6 +256,13 @@ fn metrics_tail_is_identical_across_thread_counts() {
     let baseline = tail_at(1);
     assert!(baseline.contains("serve.requests"), "tail: {baseline}");
     assert!(baseline.contains("serve.accepted"), "tail: {baseline}");
+    assert!(baseline.contains("serve.cache.hits"), "tail: {baseline}");
+    assert!(baseline.contains("serve.cache.misses"), "tail: {baseline}");
+    assert!(
+        baseline.contains("serve.cache.revalidations"),
+        "tail: {baseline}"
+    );
+    assert!(baseline.contains("serve.cache.swaps"), "tail: {baseline}");
     for threads in [2usize, 8] {
         assert_eq!(
             tail_at(threads),
@@ -467,4 +497,311 @@ fn replay_digest_is_identical_across_server_thread_counts() {
         "replay digest diverged across server thread counts"
     );
     assert!(t1.ok > 0, "the plan must include servable requests");
+}
+
+#[test]
+fn sweep_bytes_identical_with_cache_on_and_off() {
+    // The hot-path cache's core promise: a hit serves the router's exact
+    // bytes. The full endpoint sweep — data paths and error arms — must
+    // digest identically with the cache enabled and disabled.
+    let _guard = env_lock();
+    let run = |cache: bool, tag: &str| {
+        let (state, dir) = fixture_state(tag, 2);
+        let server = Server::start(
+            state,
+            &ServeConfig {
+                threads: 2,
+                cache,
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("server binds");
+        let digests = sweep_digests(server.local_addr());
+        let stats = stop(server);
+        assert!(stats.is_consistent(), "stats inconsistent: {stats:?}");
+        if cache {
+            assert!(stats.cache_hits > 0, "sweep should hit the cache: {stats:?}");
+        } else {
+            assert_eq!(stats.cache_hits, 0, "cache disabled must not hit: {stats:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        digests
+    };
+    assert_eq!(
+        run(true, "sweep-cached"),
+        run(false, "sweep-uncached"),
+        "cached bytes diverged from the router's"
+    );
+}
+
+#[test]
+fn etag_revalidation_over_real_sockets() {
+    // ETag/If-None-Match semantics, in both cache modes (the 304 layer
+    // is server-level, independent of the response cache): a matching
+    // validator draws an empty-body 304 carrying the same tag; list and
+    // wildcard forms match; a malformed or stale validator is a miss and
+    // draws the full 200; error responses carry no validator.
+    let _guard = env_lock();
+    for cache in [true, false] {
+        let (state, dir) = fixture_state(&format!("etag-cache-{cache}"), 2);
+        let server = Server::start(
+            state,
+            &ServeConfig {
+                threads: 2,
+                cache,
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("server binds");
+        let addr = server.local_addr();
+
+        let first = fetch(addr, "GET", "/coverage").expect("first fetch");
+        assert_eq!(first.status, 200);
+        assert!(
+            first.etag.starts_with('"') && first.etag.ends_with('"'),
+            "etag must be a quoted validator: {:?}",
+            first.etag
+        );
+        assert!(!first.body.is_empty());
+
+        let not_modified =
+            fetch_with(addr, "GET", "/coverage", Some(&first.etag)).expect("conditional fetch");
+        assert_eq!(not_modified.status, 304, "matching validator → 304");
+        assert!(not_modified.body.is_empty(), "304 must carry no body");
+        assert_eq!(not_modified.etag, first.etag, "304 repeats the tag");
+
+        let listed = fetch_with(
+            addr,
+            "GET",
+            "/coverage",
+            Some(&format!("\"stale-tag\", {}", first.etag)),
+        )
+        .expect("list-form conditional");
+        assert_eq!(listed.status, 304, "validator list containing the tag → 304");
+        let wildcard = fetch_with(addr, "GET", "/coverage", Some("*")).expect("wildcard");
+        assert_eq!(wildcard.status, 304, "wildcard validator → 304");
+
+        let malformed =
+            fetch_with(addr, "GET", "/coverage", Some("W/\"unterminated")).expect("malformed");
+        assert_eq!(malformed.status, 200, "malformed validator is a miss");
+        assert_eq!(malformed.body, first.body, "miss serves the full bytes");
+        assert_eq!(malformed.etag, first.etag);
+
+        let err = fetch_with(addr, "GET", "/entity/banana", Some(&first.etag)).expect("error");
+        assert_eq!(err.status, 400);
+        assert!(err.etag.is_empty(), "errors carry no validator");
+
+        let stats = stop(server);
+        assert!(stats.is_consistent(), "stats inconsistent: {stats:?}");
+        assert_eq!(stats.resp_3xx, 3, "three 304s: {stats:?}");
+        assert_eq!(
+            stats.cache_revalidations, 3,
+            "each 304 is one revalidation in either mode: {stats:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The fixed target walk the hot-swap test replays: cached routes,
+/// slab-cached entity cards and a figure CSV.
+const SWAP_TARGETS: &[&str] = &[
+    "/",
+    "/sites",
+    "/coverage",
+    "/coverage.csv",
+    "/entity/1",
+    "/entity/3",
+    "/demand/yelp/search.csv",
+    "/figure/serve-coverage.csv",
+];
+
+/// Mutation the hot-swap test applies, mirrored by the cold oracle.
+const SWAP_FRACTION_BP: u64 = 500;
+const SWAP_SEED: u64 = 7;
+
+/// Fetch every swap target from a cold server pinned at epoch 0 (or, if
+/// `mutated`, at epoch 1 via the same mutation the live swap applies)
+/// and return `(target → (status, body), etag)`. The mutated oracle
+/// replays the live server's exact store history — build epoch 0 state,
+/// then mutate and rebuild — because `/coverage` reports the epoch
+/// store's own cache counters as part of its body.
+fn cold_oracle(tag: &str, mutated: bool) -> (BTreeMap<String, (u16, Vec<u8>)>, String) {
+    let dir = tmpdir(tag);
+    let mut epoch = Epoch::new(Domain::Restaurants, fixture_config());
+    if mutated {
+        let _ = ServeState::from_epoch(&epoch, &dir, 2).expect("epoch-0 state builds");
+        #[allow(clippy::cast_precision_loss)]
+        let fraction = SWAP_FRACTION_BP as f64 / 10_000.0;
+        epoch.mutate(fraction, Seed(SWAP_SEED));
+    }
+    let state = ServeState::from_epoch(&epoch, &dir, 2).expect("oracle state builds");
+    let server = Server::start(
+        Arc::new(state),
+        &ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("oracle server binds");
+    let mut conn = Connection::new(server.local_addr());
+    let mut map = BTreeMap::new();
+    let mut etag = String::new();
+    for &target in SWAP_TARGETS {
+        let resp = conn.get(target).expect("oracle fetch");
+        assert_eq!(resp.status, 200, "{target}");
+        etag = resp.etag.clone();
+        map.insert(target.to_string(), (resp.status, resp.body));
+    }
+    drop(conn);
+    let stats = stop(server);
+    assert!(stats.is_consistent(), "oracle stats inconsistent: {stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+    (map, etag)
+}
+
+#[test]
+fn hot_swap_responses_match_cold_restarts_at_each_epoch() {
+    // The hot-swap correctness oracle: every response a live-swapping
+    // server produces must be byte-identical to a cold server pinned at
+    // the epoch the response's ETag names — before, during and after the
+    // swap window, at any worker count, with a chaos client misbehaving
+    // through the window. Snapshot isolation means there is no third
+    // possibility: a response is wholly epoch 0 or wholly epoch 1.
+    let (oracle0, etag0) = with_threads(2, || cold_oracle("swap-oracle0", false));
+    let (oracle1, etag1) = with_threads(2, || cold_oracle("swap-oracle1", true));
+    assert_ne!(etag0, etag1, "the mutation must change the epoch tag");
+
+    for threads in [1usize, 2, 8] {
+        with_threads(threads, || {
+            let dir = tmpdir(&format!("swap-live-t{threads}"));
+            let epoch = Epoch::new(Domain::Restaurants, fixture_config());
+            let state =
+                ServeState::from_epoch(&epoch, &dir, threads).expect("live state builds");
+            let shared = Arc::new(SharedServing::new(ServeEpoch::new(Arc::new(state))));
+            let manager = Arc::new(EpochManager::new(epoch, dir.clone(), threads));
+            let server = Server::start_with(
+                shared,
+                Some(manager),
+                &ServeConfig {
+                    threads,
+                    ..ServeConfig::default()
+                },
+                "127.0.0.1:0",
+            )
+            .expect("live server binds");
+            let addr = server.local_addr();
+
+            // A chaos client hammers the server for the whole test,
+            // including the swap window: stalls, truncated heads,
+            // connect-and-vanish, mid-response hangups.
+            let stop_chaos = Arc::new(AtomicBool::new(false));
+            let chaos = {
+                let stop_chaos = Arc::clone(&stop_chaos);
+                std::thread::spawn(move || {
+                    let plan =
+                        FaultPlan::new(FaultConfig::flaky(0.6), Seed::DEFAULT.derive("swap-chaos"));
+                    let mut i = 0usize;
+                    while !stop_chaos.load(Ordering::Relaxed) {
+                        match plan.fault(i, 0) {
+                            None | Some(Fault::RateLimited) => {
+                                let mut s = TcpStream::connect(addr).expect("chaos connect");
+                                let _ = s.write_all(
+                                    b"GET /coverage HTTP/1.1\r\nConnection: close\r\n\r\n",
+                                );
+                                let mut first = [0u8; 32];
+                                let _ = s.read(&mut first);
+                            }
+                            Some(Fault::Transient | Fault::Dead) => {
+                                drop(TcpStream::connect(addr));
+                            }
+                            Some(Fault::Timeout | Fault::Truncated(_)) => {
+                                let mut s = TcpStream::connect(addr).expect("chaos connect");
+                                let _ = s.write_all(b"GET /cover");
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                        }
+                        i += 1;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })
+            };
+
+            let mut recorded: Vec<(String, u16, Vec<u8>, String)> = Vec::new();
+            let mut conn = Connection::new(addr);
+            let walk = |recorded: &mut Vec<(String, u16, Vec<u8>, String)>,
+                            conn: &mut Connection| {
+                for &target in SWAP_TARGETS {
+                    let resp = conn.get(target).expect("live fetch");
+                    recorded.push((target.to_string(), resp.status, resp.body, resp.etag));
+                }
+            };
+            // Pass A: wholly pre-swap.
+            walk(&mut recorded, &mut conn);
+            // Trigger the swap, then keep requesting through the rebuild
+            // window — these land on whichever epoch is current.
+            let trigger = fetch(
+                addr,
+                "POST",
+                &format!("/admin/epoch?fraction_bp={SWAP_FRACTION_BP}&seed={SWAP_SEED}"),
+            )
+            .expect("swap trigger");
+            assert_eq!(trigger.status, 200, "{}", trigger.text());
+            assert!(trigger.text().contains("\"swap_started\": true"));
+            walk(&mut recorded, &mut conn);
+            // Wait for the publish, then a wholly post-swap pass.
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            while server.stats().cache_swaps == 0 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "swap did not publish within 30s"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            walk(&mut recorded, &mut conn);
+
+            // A stale validator (epoch 0's tag) now draws the fresh 200;
+            // the new tag revalidates to 304.
+            let stale = fetch_with(addr, "GET", "/coverage", Some(&etag0)).expect("stale");
+            assert_eq!(stale.status, 200, "stale validator after swap → full 200");
+            assert_eq!(stale.etag, etag1, "fresh response carries the new tag");
+            let fresh = fetch_with(addr, "GET", "/coverage", Some(&etag1)).expect("fresh");
+            assert_eq!(fresh.status, 304, "current validator → 304");
+            drop(conn);
+
+            stop_chaos.store(true, Ordering::Relaxed);
+            chaos.join().expect("chaos client");
+            let stats = stop(server);
+            assert!(stats.is_consistent(), "stats inconsistent: {stats:?}");
+            assert_eq!(stats.cache_swaps, 1, "exactly one publish: {stats:?}");
+            let _ = std::fs::remove_dir_all(&dir);
+
+            // Every recorded response must match the cold oracle at the
+            // epoch its ETag names, and both epochs must have been seen.
+            let mut seen0 = 0usize;
+            let mut seen1 = 0usize;
+            for (target, status, body, etag) in &recorded {
+                let oracle = if *etag == etag0 {
+                    seen0 += 1;
+                    &oracle0
+                } else if *etag == etag1 {
+                    seen1 += 1;
+                    &oracle1
+                } else {
+                    panic!("response tagged with unknown epoch {etag:?} for {target}");
+                };
+                let (want_status, want_body) =
+                    oracle.get(target).expect("target in oracle");
+                assert_eq!(status, want_status, "{target} @ {etag}");
+                assert_eq!(
+                    body, want_body,
+                    "{target} bytes diverged from the cold restart at {etag}"
+                );
+            }
+            assert!(seen0 > 0, "no pre-swap responses recorded at {threads} threads");
+            assert!(seen1 > 0, "no post-swap responses recorded at {threads} threads");
+        });
+    }
 }
